@@ -1,0 +1,58 @@
+"""Fig. 12 — average accuracy of the seven IDSs.
+
+The paper's summary figure: as the level of dynamic synchronization rises
+from none (Moore, Bayens, Belikovetsky) through coarse/layer-level (Gao,
+Gatlin) to fine (NSYNC/DTW, NSYNC/DWM), average accuracy rises, with
+NSYNC/DWM on top at 0.99.  This bench reruns all seven IDSs over the UM3
+campaign's channels and transforms and prints the ranking.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval import fig12_overall_accuracy, format_accuracy_ranking
+
+# Fig. 12 groups (paper): none -> coarse -> fine DSYNC.
+DSYNC_LEVEL = {
+    "moore": 0,
+    "bayens": 0,
+    "belikovetsky": 0,
+    "gao": 1,
+    "gatlin": 1,
+    "nsync_dtw": 2,
+    "nsync_dwm": 2,
+}
+
+
+def test_fig12_overall_accuracy(benchmark, um3_campaign, report):
+    accuracies = run_once(
+        benchmark,
+        lambda: fig12_overall_accuracy(
+            um3_campaign, channels=("ACC", "MAG", "AUD", "EPT")
+        ),
+    )
+
+    ranking = format_accuracy_ranking(accuracies)
+    by_level = {}
+    for name, acc in accuracies.items():
+        by_level.setdefault(DSYNC_LEVEL[name], []).append(acc)
+    level_means = {
+        level: float(np.mean(values)) for level, values in by_level.items()
+    }
+    summary = (
+        "\nmean accuracy by DSYNC level: "
+        f"none={level_means[0]:.2f}  coarse={level_means[1]:.2f}  "
+        f"fine={level_means[2]:.2f}"
+    )
+    report("fig12_overall_accuracy", ranking + summary)
+
+    assert set(accuracies) == set(DSYNC_LEVEL)
+    # The paper's headline ordering.
+    assert accuracies["nsync_dwm"] >= max(
+        accuracies[k] for k in DSYNC_LEVEL if k != "nsync_dwm"
+    )
+    # Accuracy rises with the DSYNC level.
+    assert level_means[2] >= level_means[1] - 0.05
+    assert level_means[1] >= level_means[0] - 0.05
+    # NSYNC/DWM approaches the paper's 0.99.
+    assert accuracies["nsync_dwm"] >= 0.9

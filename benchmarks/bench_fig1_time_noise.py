@@ -1,0 +1,38 @@
+"""Fig. 1 — time noise: identical prints drift apart.
+
+The paper's Fig. 1 shows three side-channel recordings of the same G-code on
+the same printer: aligned at the start, misaligned by the end.  This bench
+regenerates the underlying quantity — the spread of total durations across
+repeated identical prints — and confirms it is orders of magnitude above the
+sampling period (so a point-by-point comparison must fail) yet small
+relative to the whole print (so it is genuinely "noise").
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval import fig1_time_noise
+
+
+def test_fig1_time_noise(benchmark, um3_campaign, report):
+    out = run_once(benchmark, lambda: fig1_time_noise(um3_campaign))
+
+    durations = out["durations"]
+    sample_period = 1.0 / 400.0  # scaled ACC rate
+    lines = [
+        "Fig. 1 — duration spread of identical benign prints (UM3)",
+        f"  runs: {durations.size}",
+        f"  mean duration: {out['mean']:.2f} s",
+        f"  min/max:       {durations.min():.2f} / {durations.max():.2f} s",
+        f"  spread:        {out['spread']*1000:.0f} ms "
+        f"(= {out['spread']/sample_period:.0f} ACC sample periods)",
+        f"  spread / duration: {out['spread']/out['mean']*100:.2f} %",
+    ]
+    report("fig1_time_noise", "\n".join(lines))
+
+    assert out["spread"] > 10 * sample_period, (
+        "time noise must dwarf the sampling period or Fig. 1 has no content"
+    )
+    assert out["spread"] < 0.2 * out["mean"], (
+        "time noise must stay small relative to the print duration"
+    )

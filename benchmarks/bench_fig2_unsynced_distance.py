@@ -1,0 +1,36 @@
+"""Fig. 2 — correlation distances without synchronization.
+
+Without DSYNC, the correlation distances of a *benign* process grow as time
+noise desynchronizes it from the reference, ending up comparable to (or
+larger than) a malicious process — the failure mode that motivates NSYNC.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval import fig2_unsynced_distances
+
+
+def test_fig2_unsynced_distances(benchmark, um3_campaign, report):
+    out = run_once(
+        benchmark, lambda: fig2_unsynced_distances(um3_campaign, "ACC", "Raw")
+    )
+    benign, malicious = out["benign"], out["malicious"]
+
+    # Ignore the first windows (signals are aligned at the start).
+    settle = max(2, benign.size // 5)
+    b_tail = benign[settle:]
+    m_tail = malicious[settle : settle + b_tail.size]
+
+    lines = [
+        "Fig. 2 — window correlation distances with NO synchronization (UM3/ACC)",
+        f"  benign    windows: {benign.size}, tail median {np.median(b_tail):.2f}, max {benign.max():.2f}",
+        f"  malicious windows: {malicious.size}, tail median {np.median(m_tail):.2f}, max {malicious.max():.2f}",
+        "  paper's point: benign tail distances are as large as malicious ones",
+        f"  ratio benign/malicious tail medians: {np.median(b_tail)/max(np.median(m_tail), 1e-9):.2f}",
+    ]
+    report("fig2_unsynced_distances", "\n".join(lines))
+
+    # The benign process must look as 'far' as the malicious one: within 2x.
+    assert np.median(b_tail) > 0.3
+    assert np.median(b_tail) > 0.5 * np.median(m_tail)

@@ -1,0 +1,52 @@
+"""Fig. 6 — parametric analysis of t_sigma, t_win, and eta.
+
+Regenerates the h_disp traces of Fig. 6 for sweeps of the three DWM
+parameters on one benign UM3 observation and reports the range (the
+"brackets" shown in the paper's figure) plus a roughness measure, verifying
+the qualitative claims of Section VI-C:
+
+* very small t_win -> spiky h_disp;
+* overly large t_win -> lower temporal resolution (fewer windows);
+* eta near 1.0 can run away, moderate eta tracks.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval import fig6_parametric_analysis
+
+
+def _roughness(h: np.ndarray) -> float:
+    """Mean absolute step of h_disp — high when the trace is spiky."""
+    return float(np.abs(np.diff(h)).mean()) if h.size > 1 else 0.0
+
+
+def test_fig6_parametric_analysis(benchmark, um3_campaign, report):
+    out = run_once(
+        benchmark,
+        lambda: fig6_parametric_analysis(
+            um3_campaign,
+            channel="ACC",
+            t_sigma_values=(0.25, 0.5, 1.0, 2.0),
+            t_win_values=(0.5, 2.0, 4.0, 8.0),
+            eta_values=(0.05, 0.1, 0.3, 0.9),
+        ),
+    )
+
+    lines = ["Fig. 6 — parametric analysis (UM3 / ACC raw)"]
+    for param, sweeps in out.items():
+        lines.append(f"  {param}:")
+        for value, h in sorted(sweeps.items()):
+            lines.append(
+                f"    {value:>5}: windows={h.size:3d} "
+                f"range=[{h.min():7.1f}, {h.max():7.1f}] "
+                f"roughness={_roughness(h):7.1f}"
+            )
+    report("fig6_parametric", "\n".join(lines))
+
+    # (b): a tiny window is spikier than the Table IV window.
+    assert _roughness(out["t_win"][0.5]) > _roughness(out["t_win"][4.0])
+    # (b): a larger window lowers the temporal resolution (fewer windows).
+    assert out["t_win"][8.0].size < out["t_win"][2.0].size
+    # (c): moderate eta must not run away (bounded displacement).
+    assert np.abs(out["eta"][0.1]).max() < 2000

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the hot kernels (regression tracking).
+
+Unlike the table/figure benches (single-shot experiment reproductions),
+these use pytest-benchmark's statistical timing: the kernels here are the
+ones whose constants decide whether the IDS runs in real time, so a
+regression in any of them matters.
+
+Rough expectations on commodity hardware:
+* correlation_profile: sub-millisecond for a 4 s ACC window;
+* one full DWM synchronization of an 80 s raw ACC pair: tens of ms;
+* STFT of the same signal: a few ms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.signals import Signal, SpectrogramConfig, spectrogram
+from repro.sync import DwmSynchronizer, UM3_DWM_PARAMS, fastdtw_path, tdeb
+from repro.sync.tde import correlation_profile
+
+
+@pytest.fixture(scope="module")
+def acc_like_pair():
+    """Two 80 s, 400 Hz, 6-channel signals with realistic structure."""
+    rng = np.random.default_rng(0)
+    base = np.cumsum(rng.standard_normal((32000, 6)), axis=0)
+    base -= np.linspace(0, 1, 32000)[:, None] * base[-1]
+    a = Signal(base + 0.05 * rng.standard_normal(base.shape), 400.0)
+    b = Signal(base + 0.05 * rng.standard_normal(base.shape), 400.0)
+    return a, b
+
+
+def test_kernel_correlation_profile(benchmark, acc_like_pair):
+    a, b = acc_like_pair
+    window = a.data[:1600]            # one 4 s analysis window
+    segment = b.data[:3200]           # its extended search window
+    result = benchmark(correlation_profile, segment, window)
+    assert result.shape == (1601,)
+    assert result.max() > 0.9
+
+
+def test_kernel_tdeb(benchmark, acc_like_pair):
+    a, b = acc_like_pair
+    window = a.data[800:2400]         # planted at delay 800 in the segment
+    segment = b.data[:3200]
+    result = benchmark(tdeb, segment, window, 400.0)
+    assert abs(result.delay - 800) < 40
+
+
+def test_kernel_dwm_full_sync(benchmark, acc_like_pair):
+    a, b = acc_like_pair
+    sync = benchmark(DwmSynchronizer(UM3_DWM_PARAMS).synchronize, a, b)
+    assert sync.n_indexes > 30
+    # Real-time requirement: well under the 80 s of signal.
+    assert benchmark.stats["mean"] < 8.0
+
+
+def test_kernel_stft(benchmark, acc_like_pair):
+    a, _ = acc_like_pair
+    config = SpectrogramConfig(delta_f=2.0, delta_t=0.125)
+    spec = benchmark(spectrogram, a, config)
+    assert spec.n_samples > 100
+
+
+def test_kernel_fastdtw(benchmark):
+    rng = np.random.default_rng(1)
+    base = np.cumsum(rng.standard_normal((800, 8)), axis=0)
+    a, b = base[:760], base[20:780]
+    cost, path = benchmark(fastdtw_path, a, b, 1)
+    assert path[0] == (0, 0)

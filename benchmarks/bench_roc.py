@@ -1,0 +1,52 @@
+"""ROC analysis — the OCC margin as an operating-point dial (extension).
+
+Section VII-C describes the FPR/FNR trade-off of the margin ``r`` but the
+paper reports only two operating points.  This bench sweeps ``r`` for both
+synchronizers on the UM3 ACC cell and compares full ROC curves / AUC —
+showing that DWM dominates DTW across operating points, not just at
+r = 0.3.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval import auc, roc_sweep
+from repro.sync import FastDtwSynchronizer
+
+R_VALUES = (0.0, 0.1, 0.3, 0.6, 1.0, 2.0, 4.0)
+
+
+def test_roc_dwm_vs_dtw(benchmark, um3_campaign, report):
+    def evaluate():
+        dwm = roc_sweep(um3_campaign, "ACC", "Spectro.", r_values=R_VALUES)
+        dtw = roc_sweep(
+            um3_campaign,
+            "ACC",
+            "Spectro.",
+            synchronizer=FastDtwSynchronizer(radius=1),
+            r_values=R_VALUES,
+        )
+        return dwm, dtw
+
+    dwm, dtw = run_once(benchmark, evaluate)
+
+    lines = [
+        "ROC — OCC margin sweep (UM3 / ACC spectrogram)",
+        f"  {'r':>5} {'DWM fpr/tpr':>13} {'DTW fpr/tpr':>13}",
+    ]
+    for p_dwm, p_dtw in zip(dwm.points, dtw.points):
+        lines.append(
+            f"  {p_dwm.r:>5.1f} {p_dwm.fpr:>6.2f}/{p_dwm.tpr:<6.2f}"
+            f" {p_dtw.fpr:>6.2f}/{p_dtw.tpr:<6.2f}"
+        )
+    lines.append(f"  AUC: DWM {auc(dwm):.3f}  DTW {auc(dtw):.3f}")
+    lines.append(
+        f"  best operating points: DWM r={dwm.best.r} acc={dwm.best.accuracy:.2f}"
+        f"  DTW r={dtw.best.r} acc={dtw.best.accuracy:.2f}"
+    )
+    report("roc_dwm_vs_dtw", "\n".join(lines))
+
+    assert auc(dwm) >= 0.9
+    assert auc(dwm) >= auc(dtw) - 0.05
+    # The paper's r = 0.3 sits at (or near) DWM's best operating point.
+    assert dwm.best.accuracy >= 0.9

@@ -1,0 +1,49 @@
+"""Table VII — Gatlin's IDS: layer timing + per-layer fingerprints.
+
+Coarse (layer-level) DSYNC: better than no synchronization, still below
+NSYNC.  The paper's Table VII shows TPR 1.00 nearly everywhere with FPRs of
+0.05-0.53; the Time sub-module does most of the work.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.baselines import GatlinIds
+from repro.eval import baseline_results, format_ids_table
+
+CHANNELS = ("ACC", "MAG", "AUD", "EPT")
+
+
+def test_table7_gatlin(benchmark, campaigns, report):
+    def evaluate():
+        results = {}
+        for printer, campaign in campaigns.items():
+            for channel in CHANNELS:
+                results[f"{printer} {channel}"] = baseline_results(
+                    campaign, GatlinIds(), channel, "Raw"
+                )
+        return results
+
+    results = run_once(benchmark, evaluate)
+    table = format_ids_table(
+        results,
+        submodule_names=("time", "match"),
+        title="Table VII — Gatlin (layer timing + fingerprints)",
+    )
+    report("table7_gatlin", table)
+
+    tprs = [r.overall.tpr for r in results.values()]
+    accuracies = [r.overall.accuracy for r in results.values()]
+    # Timing attacks are caught through the layer-change moments...
+    assert np.mean(tprs) >= 0.6
+    # ...and overall it lands between the no-DSYNC IDSs and NSYNC.
+    assert 0.5 <= np.mean(accuracies) <= 1.0
+
+    # The Time sub-module dominates, as in the paper.
+    time_tpr = np.mean(
+        [r.submodules["time"].tpr for r in results.values()]
+    )
+    match_tpr = np.mean(
+        [r.submodules["match"].tpr for r in results.values()]
+    )
+    assert time_tpr >= match_tpr

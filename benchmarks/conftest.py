@@ -1,0 +1,75 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation on
+a simulated campaign.  Campaigns are expensive (dozens of firmware + sensor
+simulations), so they are session-scoped and shared across benchmark files.
+
+Scale: the paper ran 151 benign + 100 malicious prints per printer; the
+benchmark campaigns keep the same structure at 1 reference + 8 training +
+8 benign-test + 2 runs of each of the 5 attacks per printer.  Regenerated
+rows are printed AND appended to ``benchmarks/results/*.txt`` so they
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval import Campaign, default_setup, generate_campaign
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_TRAIN = 8
+N_BENIGN_TEST = 8
+N_ATTACK_RUNS = 2
+CHANNELS = ("ACC", "MAG", "AUD", "EPT")
+
+
+@pytest.fixture(scope="session")
+def um3_campaign() -> Campaign:
+    return generate_campaign(
+        default_setup("UM3", object_height=0.6),
+        channels=CHANNELS,
+        n_train=N_TRAIN,
+        n_benign_test=N_BENIGN_TEST,
+        n_attack_runs=N_ATTACK_RUNS,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def rm3_campaign() -> Campaign:
+    return generate_campaign(
+        default_setup("RM3", object_height=0.6),
+        channels=CHANNELS,
+        n_train=N_TRAIN,
+        n_benign_test=N_BENIGN_TEST,
+        n_attack_runs=N_ATTACK_RUNS,
+        seed=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def campaigns(um3_campaign, rm3_campaign):
+    return {"UM3": um3_campaign, "RM3": rm3_campaign}
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

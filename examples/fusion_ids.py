@@ -1,0 +1,89 @@
+"""Multi-channel fusion: spend all six sensors, not one.
+
+The paper evaluates channels one at a time; Fig. 10 shows that every
+well-correlated channel recovers the same timing relationship, so their
+verdicts can be fused.  This example trains one NSYNC per channel (ACC,
+MAG, AUD) and compares three fusion policies on benign prints and on the
+Table I attacks:
+
+* any        — alarm if any channel alarms (max sensitivity),
+* majority   — alarm if 2 of 3 channels alarm (robust to one flaky channel),
+* k=3        — alarm only on unanimity (min false alarms).
+
+Run:  python examples/fusion_ids.py
+"""
+
+import numpy as np
+
+from repro import (
+    DwmSynchronizer,
+    PrintJob,
+    TABLE_I_ATTACKS,
+    TimeNoiseModel,
+    ULTIMAKER3,
+    UM3_DWM_PARAMS,
+    default_daq,
+    gear_outline,
+    simulate_print,
+)
+from repro.core import MultiChannelNsyncIds
+from repro.slicer import SlicerConfig
+
+CHANNELS = ("ACC", "MAG", "AUD")
+
+
+def main() -> None:
+    outline = gear_outline(n_teeth=20, outer_diameter=60.0)
+    config = SlicerConfig(object_height=0.6, layer_height=0.2, infill_spacing=6.0)
+    job = PrintJob.slice(outline, config)
+    daq = default_daq()
+    noise = TimeNoiseModel()
+
+    def observe(program, seed):
+        trace = simulate_print(program, ULTIMAKER3, noise, seed=seed)
+        return daq.acquire(
+            trace, np.random.default_rng(seed), channels=CHANNELS
+        )
+
+    print(f"training one NSYNC per channel {CHANNELS}...")
+    reference = observe(job.program, 0)
+    training = [observe(job.program, s) for s in range(1, 9)]
+
+    systems = {}
+    for policy in ("any", "majority", 3):
+        ids = MultiChannelNsyncIds(
+            reference,
+            synchronizer_factory=lambda: DwmSynchronizer(UM3_DWM_PARAMS),
+            policy=policy,
+        )
+        ids.fit(training, r=0.3)
+        systems[str(policy)] = ids
+
+    print(f"\n{'process':<12}", end="")
+    for name in systems:
+        print(f"{name:>10}", end="")
+    print("   (votes)")
+
+    def screen(label, program, seed):
+        print(f"{label:<12}", end="")
+        votes = None
+        for ids in systems.values():
+            verdict = ids.detect(observe(program, seed))
+            votes = verdict.votes
+            print(f"{'ALARM' if verdict.is_intrusion else 'ok':>10}", end="")
+        print(f"   {votes}/{len(CHANNELS)}")
+
+    for seed in (101, 102, 103):
+        screen(f"benign#{seed}", job.program, seed)
+    for attack in TABLE_I_ATTACKS():
+        screen(attack.name, attack.apply(job).program, 200)
+
+    print(
+        "\n'any' maximizes sensitivity; 'majority' tolerates one flaky "
+        "channel; unanimity minimizes false alarms.  Fig. 10's consistency "
+        "result is what makes these votes meaningful."
+    )
+
+
+if __name__ == "__main__":
+    main()

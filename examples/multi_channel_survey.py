@@ -1,0 +1,83 @@
+"""Fig. 10 workflow: which side channels are worth deploying?
+
+Records all six Table II side channels of the same pair of benign prints,
+runs DWM on each (raw and spectrogram), and checks whether the recovered
+h_disp agrees with the accelerometer's.  Channels that agree are "strongly
+correlated with the printer state" and usable for intrusion detection; the
+rest (TMP, PWR, raw EPT in the paper) should be dropped.
+
+Run:  python examples/multi_channel_survey.py
+"""
+
+import numpy as np
+
+from repro import (
+    DwmSynchronizer,
+    PrintJob,
+    TimeNoiseModel,
+    ULTIMAKER3,
+    UM3_DWM_PARAMS,
+    default_daq,
+    gear_outline,
+    simulate_print,
+    spectrogram,
+)
+from repro.signals import resample_linear, scaled_spectrogram_config
+from repro.slicer import SlicerConfig
+
+CHANNELS = ("ACC", "TMP", "MAG", "AUD", "EPT", "PWR")
+
+
+def main() -> None:
+    outline = gear_outline(n_teeth=20, outer_diameter=60.0)
+    config = SlicerConfig(object_height=0.6, layer_height=0.2, infill_spacing=6.0)
+    job = PrintJob.slice(outline, config)
+    daq = default_daq()
+    noise = TimeNoiseModel()
+
+    ref_trace = simulate_print(job.program, ULTIMAKER3, noise, seed=0)
+    obs_trace = simulate_print(job.program, ULTIMAKER3, noise, seed=1)
+    ref_signals = daq.acquire(ref_trace, np.random.default_rng(0))
+    obs_signals = daq.acquire(obs_trace, np.random.default_rng(1))
+
+    def h_disp_seconds(channel, transform):
+        obs, ref = obs_signals[channel], ref_signals[channel]
+        if transform == "spectrogram":
+            cfg = scaled_spectrogram_config(channel, obs.sample_rate)
+            obs, ref = spectrogram(obs, cfg), spectrogram(ref, cfg)
+        sync = DwmSynchronizer(UM3_DWM_PARAMS).synchronize(obs, ref)
+        h = sync.h_disp / obs.sample_rate
+        return resample_linear(h, 40) if h.size >= 2 else np.zeros(40)
+
+    anchor = h_disp_seconds("ACC", "raw")
+    anchor_range = float(anchor.max() - anchor.min())
+
+    print(f"{'channel':<8} {'transform':<12} {'agree_with_ACC':>14} "
+          f"{'range_s':>8} verdict")
+    print("-" * 60)
+    for channel in CHANNELS:
+        for transform in ("raw", "spectrogram"):
+            h = h_disp_seconds(channel, transform)
+            if anchor.std() > 0 and h.std() > 0:
+                agreement = float(np.corrcoef(anchor, h)[0, 1])
+            else:
+                agreement = 0.0
+            h_range = float(h.max() - h.min())
+            # A usable channel must recover both the SHAPE of the true
+            # timing drift and its SCALE (raw EPT locks onto the 60 Hz hum
+            # phase: a flat, tiny h_disp that "does not make sense").
+            keep = agreement > 0.5 and h_range > 0.3 * anchor_range
+            verdict = "KEEP" if keep else "drop"
+            print(f"{channel:<8} {transform:<12} {agreement:>14.2f} "
+                  f"{h_range:>8.2f} {verdict}")
+
+    print(
+        "\npaper's conclusion (Section VIII-B): h_disp is a property of the "
+        "printing process, not of the side channel — every channel that "
+        "truly tracks the printer state recovers the same curve.  TMP and "
+        "PWR (and raw EPT) do not, and are dropped from the evaluation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Fig. 6 workflow: choosing DWM parameters for a new printer.
+
+Section VI-C prescribes how to pick t_sigma, t_win, and eta; this example
+runs those sweeps on a fresh pair of benign recordings and prints an ASCII
+rendition of Fig. 6 — the h_disp trace per parameter value, with the range
+bracket the paper annotates.
+
+Run:  python examples/parametric_analysis.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import (
+    DwmSynchronizer,
+    PrintJob,
+    TimeNoiseModel,
+    ULTIMAKER3,
+    UM3_DWM_PARAMS,
+    default_daq,
+    gear_outline,
+    simulate_print,
+)
+from repro.slicer import SlicerConfig
+
+
+def sparkline(values: np.ndarray, width: int = 48) -> str:
+    """Render a 1-D array as a unicode sparkline."""
+    if values.size == 0:
+        return "(empty)"
+    blocks = "▁▂▃▄▅▆▇█"
+    idx = np.linspace(0, values.size - 1, width).astype(int)
+    v = values[idx]
+    lo, hi = v.min(), v.max()
+    span = hi - lo if hi > lo else 1.0
+    return "".join(blocks[int(7 * (x - lo) / span)] for x in v)
+
+
+def main() -> None:
+    outline = gear_outline(n_teeth=20, outer_diameter=60.0)
+    config = SlicerConfig(object_height=0.6, layer_height=0.2, infill_spacing=6.0)
+    job = PrintJob.slice(outline, config)
+    daq = default_daq()
+    noise = TimeNoiseModel()
+
+    def acc(seed):
+        trace = simulate_print(job.program, ULTIMAKER3, noise, seed=seed)
+        return daq.acquire(trace, np.random.default_rng(seed), channels=["ACC"])["ACC"]
+
+    reference, observed = acc(0), acc(1)
+    base = UM3_DWM_PARAMS
+
+    def h_disp_for(params):
+        return DwmSynchronizer(params).synchronize(observed, reference).h_disp
+
+    print("(a) t_sigma sweep — too small cannot follow drift, too large is "
+          "distractable:")
+    for t_sigma in (0.25, 0.5, 1.0, 2.0):
+        h = h_disp_for(replace(base, t_sigma=t_sigma, t_ext=2 * t_sigma))
+        print(f"  t_sigma={t_sigma:<5} [{h.min():6.0f}, {h.max():6.0f}]  "
+              f"{sparkline(h)}")
+
+    print("\n(b) t_win sweep — small windows are spiky, large windows lose "
+          "temporal resolution:")
+    for t_win in (0.5, 1.0, 2.0, 4.0, 8.0):
+        h = h_disp_for(replace(base, t_win=t_win, t_hop=t_win / 2))
+        step = np.abs(np.diff(h)).mean() if h.size > 1 else 0.0
+        print(f"  t_win={t_win:<5} windows={h.size:<4} "
+              f"roughness={step:6.1f}  {sparkline(h)}")
+
+    print("\n(c) eta sweep — the inertia of the low-frequency displacement "
+          "track:")
+    for eta in (0.0, 0.05, 0.1, 0.3, 0.9):
+        h = h_disp_for(replace(base, eta=eta))
+        print(f"  eta={eta:<5} [{h.min():6.0f}, {h.max():6.0f}]  "
+              f"{sparkline(h)}")
+
+    print("\npaper's procedure: pick t_sigma above the largest benign "
+          "window-to-window drift, t_win where the h_disp shape stops "
+          "changing, and the smallest eta that converges (Table IV: "
+          "t_win=4s t_hop=2s t_ext=2s t_sigma=1s eta=0.1 for UM3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: protect one printing process with NSYNC, end to end.
+
+Pipeline: slice the paper's gear -> simulate benign prints on an Ultimaker 3
+(with time noise) -> record the accelerometer side channel -> train NSYNC's
+thresholds from benign runs only (one-class classification) -> screen new
+prints, including all five Table I attacks.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    DwmSynchronizer,
+    NsyncIds,
+    PrintJob,
+    TABLE_I_ATTACKS,
+    TimeNoiseModel,
+    ULTIMAKER3,
+    UM3_DWM_PARAMS,
+    default_daq,
+    gear_outline,
+    simulate_print,
+)
+from repro.slicer import SlicerConfig
+
+
+def acquire_acc(program, seed, daq, noise):
+    """Print once and record the printhead accelerometer."""
+    trace = simulate_print(program, ULTIMAKER3, noise, seed=seed)
+    signals = daq.acquire(trace, np.random.default_rng(seed + 10_000), channels=["ACC"])
+    return signals["ACC"]
+
+
+def main() -> None:
+    # 1. The part to protect: a thin slice of the paper's 60 mm gear.
+    outline = gear_outline(n_teeth=20, outer_diameter=60.0)
+    config = SlicerConfig(object_height=0.6, layer_height=0.2, infill_spacing=6.0)
+    job = PrintJob.slice(outline, config)
+    print(f"sliced gear: {len(job.program)} G-code commands, "
+          f"{config.n_layers} layers")
+
+    daq = default_daq()
+    noise = TimeNoiseModel()  # the asynchrony NSYNC exists to tolerate
+
+    # 2. Reference run + OCC training runs (benign only — no attack
+    #    knowledge is needed, unlike binary-classification IDSs).
+    reference = acquire_acc(job.program, seed=0, daq=daq, noise=noise)
+    print(f"reference signal: {reference}")
+
+    ids = NsyncIds(reference, DwmSynchronizer(UM3_DWM_PARAMS))
+    training = [
+        acquire_acc(job.program, seed, daq, noise) for seed in range(1, 13)
+    ]
+    thresholds = ids.fit(training, r=0.4)
+    print(f"learned thresholds: c_c={thresholds.c_c:.0f} "
+          f"h_c={thresholds.h_c:.0f} v_c={thresholds.v_c:.3f} "
+          f"d_c={thresholds.d_c:.1f}")
+
+    # 3. Screen three new benign prints.
+    print("\nbenign prints:")
+    for seed in (101, 102, 103):
+        verdict = ids.detect(acquire_acc(job.program, seed, daq, noise))
+        status = "INTRUSION" if verdict.is_intrusion else "ok"
+        print(f"  seed {seed}: {status}")
+
+    # 4. Screen one print per Table I attack.
+    print("\nmalicious prints (Table I):")
+    for attack in TABLE_I_ATTACKS():
+        attacked = attack.apply(job)
+        verdict = ids.detect(
+            acquire_acc(attacked.program, seed=200, daq=daq, noise=noise)
+        )
+        status = "INTRUSION" if verdict.is_intrusion else "MISSED"
+        fired = ",".join(verdict.fired_submodules()) or "-"
+        print(f"  {attack.name:<11} {status:<10} (sub-modules: {fired})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Design-model pipeline: STL file -> sliced G-code -> protected print.
+
+The attacks of Sturm et al. [25] (the source of Table I's Void and
+Scale0.95) tamper with the STL design file itself.  This example runs the
+whole chain on a design model: build a gear mesh, write/read a real binary
+STL, slice it at the print plane, print it under NSYNC protection, and show
+that an STL-level scale attack is caught just like its G-code twin.
+
+Run:  python examples/stl_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    DwmSynchronizer,
+    NsyncIds,
+    PrintJob,
+    TimeNoiseModel,
+    ULTIMAKER3,
+    UM3_DWM_PARAMS,
+    default_daq,
+    gear_outline,
+    simulate_print,
+)
+from repro.slicer import (
+    SlicerConfig,
+    extrude_outline,
+    load_stl,
+    mesh_bounds,
+    save_stl,
+    slice_mesh,
+)
+
+
+def job_from_stl(path, config):
+    """What a print server does: load STL, slice, generate G-code."""
+    mesh = load_stl(path)
+    lo, hi = mesh_bounds(mesh)
+    mid_z = (lo[2] + hi[2]) / 2.0
+    outline = slice_mesh(mesh, mid_z)[0]
+    return PrintJob.slice(outline, config)
+
+
+def main() -> None:
+    config = SlicerConfig(object_height=0.6, layer_height=0.2, infill_spacing=6.0)
+    daq = default_daq()
+    noise = TimeNoiseModel()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. The designer exports the part as STL.
+        gear_stl = Path(tmp) / "gear.stl"
+        mesh = extrude_outline(gear_outline(n_teeth=20, outer_diameter=60.0), 7.5)
+        save_stl(mesh, gear_stl)
+        print(f"designed part: {mesh.shape[0]} triangles -> {gear_stl.name} "
+              f"({gear_stl.stat().st_size} bytes)")
+
+        # 2. The attacker tampers with the FILE: a 5% uniform shrink.
+        #    (Exactly the dr0wned-style supply chain scenario.)
+        sabotaged_stl = Path(tmp) / "gear_tampered.stl"
+        save_stl(mesh * 0.95, sabotaged_stl)
+
+        benign_job = job_from_stl(gear_stl, config)
+        attacked_job = job_from_stl(sabotaged_stl, config)
+        print(f"benign G-code: {len(benign_job.program)} commands; "
+              f"tampered: {len(attacked_job.program)} commands")
+
+        # 3. Train NSYNC on prints of the genuine file.
+        def acc(program, seed):
+            trace = simulate_print(program, ULTIMAKER3, noise, seed=seed)
+            return daq.acquire(
+                trace, np.random.default_rng(seed), channels=["ACC"]
+            )["ACC"]
+
+        ids = NsyncIds(acc(benign_job.program, 0), DwmSynchronizer(UM3_DWM_PARAMS))
+        ids.fit([acc(benign_job.program, s) for s in range(1, 9)], r=0.4)
+
+        # 4. Screen prints of both files.
+        for label, job, seed in (
+            ("genuine STL", benign_job, 50),
+            ("tampered STL", attacked_job, 51),
+        ):
+            verdict = ids.detect(acc(job.program, seed))
+            status = "INTRUSION" if verdict.is_intrusion else "ok"
+            fired = ", ".join(verdict.fired_submodules()) or "-"
+            print(f"  {label:<13} -> {status:<10} ({fired})")
+
+    print(
+        "\nthe IDS never saw the STL — the 5% shrink surfaces in the "
+        "side-channel timing and content, exactly as with the G-code-level "
+        "Scale0.95 attack of Table I."
+    )
+
+
+if __name__ == "__main__":
+    main()

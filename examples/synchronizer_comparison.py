@@ -1,0 +1,107 @@
+"""DWM vs DTW: accuracy and cost of the two dynamic synchronizers.
+
+Synchronizes the same pair of benign recordings with DWM (window-based,
+streaming-capable) and FastDTW (point-based, offline), then compares the
+recovered timing relationship and the wall-clock cost — the essence of the
+paper's Tables VIII/IX and Fig. 11.
+
+Run:  python examples/synchronizer_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    Comparator,
+    DwmSynchronizer,
+    FastDtwSynchronizer,
+    PrintJob,
+    TimeNoiseModel,
+    ULTIMAKER3,
+    UM3_DWM_PARAMS,
+    default_daq,
+    gear_outline,
+    simulate_print,
+    spectrogram,
+)
+from repro.signals import SpectrogramConfig, scaled_spectrogram_config
+from repro.signals.spectrogram import PAPER_SPECTROGRAMS
+from repro.slicer import SlicerConfig
+
+
+def main() -> None:
+    outline = gear_outline(n_teeth=20, outer_diameter=60.0)
+    config = SlicerConfig(object_height=0.6, layer_height=0.2, infill_spacing=6.0)
+    job = PrintJob.slice(outline, config)
+    daq = default_daq()
+    noise = TimeNoiseModel()
+
+    def acc_spec(seed):
+        """ACC spectrogram at the paper's temporal resolution (80 frames/s).
+
+        The bin structure follows the scaled Table III config, but the hop
+        keeps the paper's delta_t: DTW's cost scales with the frame count,
+        so comparing at a toy frame rate would flatter it.
+        """
+        trace = simulate_print(job.program, ULTIMAKER3, noise, seed=seed)
+        raw = daq.acquire(trace, np.random.default_rng(seed), channels=["ACC"])["ACC"]
+        scaled = scaled_spectrogram_config("ACC", raw.sample_rate)
+        config = SpectrogramConfig(
+            delta_f=scaled.delta_f,
+            delta_t=PAPER_SPECTROGRAMS["ACC"].delta_t,
+            window=scaled.window,
+        )
+        return spectrogram(raw, config)
+
+    reference, observed = acc_spec(0), acc_spec(1)
+    print(f"comparing two benign runs on the ACC spectrogram "
+          f"({observed.n_samples} frames x {observed.n_channels} channels)")
+
+    comparator = Comparator()
+    results = {}
+    for name, sync in (
+        ("DWM", DwmSynchronizer(UM3_DWM_PARAMS)),
+        ("FastDTW", FastDtwSynchronizer(radius=1)),
+    ):
+        t0 = time.perf_counter()
+        result = sync.synchronize(observed, reference)
+        elapsed = time.perf_counter() - t0
+        v_dist = comparator.vertical_distances(observed, reference, result)
+        results[name] = (result, v_dist, elapsed)
+        # express displacement in seconds for comparability
+        h_seconds = result.h_disp / observed.sample_rate
+        print(
+            f"\n{name}:"
+            f"\n  mode              : {result.mode}"
+            f"\n  indexes           : {result.n_indexes}"
+            f"\n  h_disp range      : [{h_seconds.min():+.2f} s, "
+            f"{h_seconds.max():+.2f} s]"
+            f"\n  final drift       : {h_seconds[-1]:+.2f} s"
+            f"\n  median v_dist     : {np.median(v_dist):.3f}"
+            f"\n  wall time         : {elapsed*1000:.0f} ms "
+            f"({elapsed/observed.duration:.4f} s per signal-second)"
+        )
+
+    dwm_time = results["DWM"][2]
+    dtw_time = results["FastDTW"][2]
+    if dtw_time >= dwm_time:
+        print(f"\nDWM is {dtw_time / dwm_time:.1f}x faster on this pair.")
+    else:
+        print(f"\nFastDTW wins on this one cell ({dwm_time / dtw_time:.1f}x)"
+              " — the 606-bin ACC spectrogram is DWM's worst case; averaged"
+              " over the side channels DWM is an order of magnitude faster"
+              " (run benchmarks/bench_fig11_time_ratio.py).")
+
+    print(
+        "\nnote the v_dist medians: DTW warps every point onto its best "
+        "match, so its vertical distances collapse toward zero and stop "
+        "discriminating — the paper's Table IX shows the same effect "
+        "(v_dist sub-module TPR 0.00 under DTW).  DWM's windowed distances "
+        "retain contrast, and only DWM can run while the print is still in "
+        "progress."
+    )
+
+
+if __name__ == "__main__":
+    main()

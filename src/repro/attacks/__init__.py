@@ -1,0 +1,29 @@
+"""Attack suite: the five G-code attacks of Table I + firmware attacks."""
+
+from .base import Attack, PrintJob
+from .gcode_attacks import (
+    InfillGridAttack,
+    LayerHeightAttack,
+    ScaleAttack,
+    SpeedAttack,
+    TABLE_I_ATTACKS,
+    VoidAttack,
+)
+from .firmware_attacks import FirmwareSpeedAttack, FirmwareZShiftAttack
+from .extension_attacks import FanAttack, InfillDensityAttack, TemperatureAttack
+
+__all__ = [
+    "Attack",
+    "PrintJob",
+    "InfillGridAttack",
+    "LayerHeightAttack",
+    "ScaleAttack",
+    "SpeedAttack",
+    "TABLE_I_ATTACKS",
+    "VoidAttack",
+    "FirmwareSpeedAttack",
+    "FirmwareZShiftAttack",
+    "FanAttack",
+    "InfillDensityAttack",
+    "TemperatureAttack",
+]

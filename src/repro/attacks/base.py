@@ -1,0 +1,77 @@
+"""Attack interface.
+
+The threat model (paper Section IV) lets an attacker modify either the
+G-code sent to the printer or the printer's firmware, aiming to weaken the
+printed part while passing quality checks.  Every attack here transforms a
+benign print definition into a malicious one; some rewrite the G-code
+directly, others re-slice with sabotaged settings (which is how the paper's
+authors produced their malicious processes, Table I).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..printer.gcode import GcodeProgram
+from ..slicer.slicer import SlicerConfig, slice_model
+
+__all__ = ["Attack", "PrintJob"]
+
+
+@dataclass(frozen=True)
+class PrintJob:
+    """Everything needed to (re-)produce a print: outline + settings + code.
+
+    ``program`` is the G-code actually sent to the printer.  Keeping the
+    outline, slicer config, and bed ``center`` around lets re-slicing
+    attacks regenerate the program from sabotaged settings, exactly as an
+    attacker with access to the design pipeline would.  ``center`` is
+    ``(110, 110)`` for a Cartesian bed and ``(0, 0)`` for a delta.
+    """
+
+    outline: np.ndarray
+    config: SlicerConfig
+    program: GcodeProgram
+    center: tuple = (110.0, 110.0)
+
+    @staticmethod
+    def slice(
+        outline: np.ndarray,
+        config: Optional[SlicerConfig] = None,
+        center: tuple = (110.0, 110.0),
+    ) -> "PrintJob":
+        """Slice a model into a benign print job."""
+        config = config or SlicerConfig()
+        return PrintJob(
+            outline=np.asarray(outline, dtype=np.float64),
+            config=config,
+            program=slice_model(outline, config, center=center),
+            center=tuple(center),
+        )
+
+    def reslice(self, config: SlicerConfig) -> "PrintJob":
+        """Re-slice the same outline on the same bed with new settings."""
+        return PrintJob(
+            outline=self.outline,
+            config=config,
+            program=slice_model(self.outline, config, center=self.center),
+            center=self.center,
+        )
+
+
+class Attack(abc.ABC):
+    """A transformation from a benign print job to a malicious one."""
+
+    #: Short identifier matching Table I (e.g. ``"Void"``).
+    name: str = "Attack"
+
+    @abc.abstractmethod
+    def apply(self, job: PrintJob) -> PrintJob:
+        """Return the sabotaged print job.  The input job is not mutated."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,96 @@
+"""Extension attacks beyond Table I.
+
+Two further sabotage classes from the AM-security literature the paper
+cites but does not evaluate.  Both weaken parts while keeping the toolpath
+geometry identical — the hardest case for motion-based side channels, and a
+test of how much the *process* channels (fan noise in AUD, heater duty in
+PWR, TMP) actually contribute:
+
+* **FanAttack** — disable or throttle the part-cooling fan.  Overhangs and
+  bridges deform; the toolpath is untouched.
+* **TemperatureAttack** — lower the hotend temperature.  Interlayer bonding
+  weakens dramatically (Coogan & Kazmer [10] in the paper's references);
+  the toolpath is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..printer.gcode import GcodeCommand, GcodeProgram
+from .base import Attack, PrintJob
+
+__all__ = ["FanAttack", "TemperatureAttack", "InfillDensityAttack"]
+
+
+@dataclass
+class FanAttack(Attack):
+    """Scale (default: kill) every part-cooling-fan command."""
+
+    factor: float = 0.0
+
+    name = "FanOff"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.factor <= 1.0:
+            raise ValueError(f"factor must be in [0, 1], got {self.factor}")
+
+    def apply(self, job: PrintJob) -> PrintJob:
+        commands: List[GcodeCommand] = []
+        for command in job.program:
+            if command.code == "M106":
+                speed = command.get("S", 255.0) * self.factor
+                commands.append(command.with_params(S=speed))
+            else:
+                commands.append(command)
+        return PrintJob(job.outline, job.config, GcodeProgram(commands), job.center)
+
+
+@dataclass
+class InfillDensityAttack(Attack):
+    """Re-slice with sparser infill (default: half density).
+
+    The classic strength sabotage: the outside of the part is untouched,
+    the inside carries half the material.  Unlike FanOff/Temp-25 this DOES
+    change the toolpath, so the motion side channels see it.
+    """
+
+    spacing_factor: float = 2.0
+
+    name = "Infill/2"
+
+    def __post_init__(self) -> None:
+        if self.spacing_factor <= 0:
+            raise ValueError(
+                f"spacing_factor must be positive, got {self.spacing_factor}"
+            )
+
+    def apply(self, job: PrintJob) -> PrintJob:
+        return job.reslice(
+            job.config.with_updates(
+                infill_spacing=job.config.infill_spacing * self.spacing_factor
+            )
+        )
+
+
+@dataclass
+class TemperatureAttack(Attack):
+    """Offset every hotend temperature command (default: -25 degC)."""
+
+    offset: float = -25.0
+
+    name = "Temp-25"
+
+    def apply(self, job: PrintJob) -> PrintJob:
+        commands: List[GcodeCommand] = []
+        for command in job.program:
+            if command.code in ("M104", "M109"):
+                target = command.get("S")
+                if target is not None and target > 0:
+                    commands.append(
+                        command.with_params(S=max(target + self.offset, 0.0))
+                    )
+                    continue
+            commands.append(command)
+        return PrintJob(job.outline, job.config, GcodeProgram(commands), job.center)

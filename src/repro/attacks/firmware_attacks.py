@@ -1,0 +1,60 @@
+"""Firmware-level attacks.
+
+The threat model also allows compromising the printer's firmware: the
+controller receives *benign* G-code but executes something else.  We model
+this with the :class:`~repro.printer.firmware.Firmware` command-transformer
+hook — the attack is invisible to anything that inspects the G-code file,
+which is exactly why side-channel IDSs are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..printer.gcode import GcodeCommand
+
+__all__ = ["FirmwareSpeedAttack", "FirmwareZShiftAttack"]
+
+
+@dataclass(frozen=True)
+class FirmwareSpeedAttack:
+    """Firmware silently rescales every commanded feedrate.
+
+    Usable directly as the ``transformer`` argument of
+    :class:`~repro.printer.firmware.Firmware`.
+    """
+
+    factor: float = 0.95
+
+    name = "FwSpeed"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+    def __call__(self, command: GcodeCommand) -> GcodeCommand:
+        f = command.get("F")
+        if command.is_move and f is not None:
+            return command.with_params(F=f * self.factor)
+        return command
+
+
+@dataclass(frozen=True)
+class FirmwareZShiftAttack:
+    """Firmware offsets every Z target above a trigger height.
+
+    Shifting upper layers compromises interlayer bonding in a band of the
+    part while the dimensions of the finished object barely change.
+    """
+
+    z_trigger: float = 3.0
+    z_offset: float = 0.1
+
+    name = "FwZShift"
+
+    def __call__(self, command: GcodeCommand) -> GcodeCommand:
+        z = command.get("Z")
+        if command.is_move and z is not None and z >= self.z_trigger:
+            return command.with_params(Z=z + self.z_offset)
+        return command

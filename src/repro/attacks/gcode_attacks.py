@@ -1,0 +1,214 @@
+"""The five malicious printing processes of Table I.
+
+| Attack      | Manipulation                                  | Source |
+|-------------|-----------------------------------------------|--------|
+| Void        | an internal void is inserted                  | [25]   |
+| InfillGrid  | infill pattern changed to grid                | [4]    |
+| Speed0.95   | printing speed decreased by 5%                | [12]   |
+| Layer0.3    | layer height changed to 0.3 mm                | [12]   |
+| Scale0.95   | object shrunk by 5%                           | [25]   |
+
+Void and Speed manipulate the existing G-code; InfillGrid, Layer and Scale
+re-slice with sabotaged settings, as the paper did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..printer.gcode import GcodeCommand, GcodeProgram
+from ..slicer.geometry import polygon_centroid
+from .base import Attack, PrintJob
+
+__all__ = [
+    "VoidAttack",
+    "InfillGridAttack",
+    "SpeedAttack",
+    "LayerHeightAttack",
+    "ScaleAttack",
+    "TABLE_I_ATTACKS",
+]
+
+
+@dataclass
+class VoidAttack(Attack):
+    """Insert an internal void (Sturm et al. [25]).
+
+    In the middle band of layers (``layer_band`` as fractions of the layer
+    stack, always covering at least one layer), every extruding move whose
+    path crosses a disk of ``radius`` mm around the part centroid is
+    converted to a travel move at travel speed (a slicer crosses gaps
+    without extruding, and fast): material is not deposited there, leaving a
+    cavity invisible from outside.
+    """
+
+    radius: float = 8.0
+    layer_band: Tuple[float, float] = (1.0 / 3.0, 2.0 / 3.0)
+
+    name = "Void"
+
+    @staticmethod
+    def _segment_hits_disk(
+        p0: np.ndarray, p1: np.ndarray, centre: np.ndarray, radius: float
+    ) -> bool:
+        """Whether the segment ``p0 -> p1`` comes within ``radius`` of centre."""
+        d = p1 - p0
+        length_sq = float(d @ d)
+        if length_sq == 0.0:
+            return bool(np.linalg.norm(p0 - centre) <= radius)
+        t = float(np.clip((centre - p0) @ d / length_sq, 0.0, 1.0))
+        nearest = p0 + t * d
+        return bool(np.linalg.norm(nearest - centre) <= radius)
+
+    def apply(self, job: PrintJob) -> PrintJob:
+        centre = polygon_centroid(job.outline) + np.asarray(job.center)
+        travel_f = job.config.travel_speed * 60.0
+
+        # Determine which printed z-levels fall in the voided layer band.
+        z_levels = sorted(
+            {
+                c.get("Z")
+                for c in job.program
+                if c.is_move and c.get("Z") is not None
+            }
+        )
+        if not z_levels:
+            return PrintJob(job.outline, job.config, job.program.copy(), job.center)
+        n = len(z_levels)
+        lo = min(int(np.floor(self.layer_band[0] * n)), n - 1)
+        hi = max(int(np.ceil(self.layer_band[1] * n)), lo + 1)
+        voided_z = set(z_levels[lo:hi])
+
+        commands: List[GcodeCommand] = []
+        current_z: Optional[float] = None
+        position = np.zeros(2)
+        e_prev = 0.0
+        e_removed = 0.0  # E is absolute: skipped filament must be deducted
+        for command in job.program:
+            if command.is_move:
+                z = command.get("Z")
+                if z is not None:
+                    current_z = z
+                x, y = command.get("X"), command.get("Y")
+                e = command.get("E")
+                if x is not None and y is not None:
+                    target = np.array([x, y])
+                    if (
+                        command.code == "G1"
+                        and e is not None
+                        and current_z in voided_z
+                        and self._segment_hits_disk(
+                            position, target, centre, self.radius
+                        )
+                    ):
+                        e_removed += e - e_prev
+                        e_prev = e
+                        params = {
+                            k: v for k, v in command.params.items() if k != "E"
+                        }
+                        params["F"] = travel_f
+                        commands.append(
+                            GcodeCommand("G0", params, comment="voided")
+                        )
+                        position = target
+                        continue
+                    position = target
+                if e is not None:
+                    e_prev = e
+                    if e_removed:
+                        command = command.with_params(E=e - e_removed)
+            elif command.code == "G92" and command.get("E") is not None:
+                e_prev = command.get("E")
+                e_removed = 0.0
+            commands.append(command)
+        return PrintJob(job.outline, job.config, GcodeProgram(commands), job.center)
+
+
+@dataclass
+class InfillGridAttack(Attack):
+    """Switch the infill pattern to grid (Bayens et al. [4])."""
+
+    name = "InfillGrid"
+
+    def apply(self, job: PrintJob) -> PrintJob:
+        return job.reslice(job.config.with_updates(infill_pattern="grid"))
+
+
+@dataclass
+class SpeedAttack(Attack):
+    """Scale every feedrate (Gao et al. [12]; default -5%).
+
+    Slower printing changes layer adhesion and cooling behaviour; it also
+    stretches the whole timeline, which is precisely the signature the
+    horizontal-displacement sub-modules catch.
+    """
+
+    factor: float = 0.95
+
+    name = "Speed0.95"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+    def apply(self, job: PrintJob) -> PrintJob:
+        commands = []
+        for command in job.program:
+            f = command.get("F")
+            if command.is_move and f is not None:
+                commands.append(command.with_params(F=f * self.factor))
+            else:
+                commands.append(command)
+        return PrintJob(job.outline, job.config, GcodeProgram(commands), job.center)
+
+
+@dataclass
+class LayerHeightAttack(Attack):
+    """Re-slice with a different layer height (Gao et al. [12]; default 0.3)."""
+
+    layer_height: float = 0.3
+
+    name = "Layer0.3"
+
+    def __post_init__(self) -> None:
+        if self.layer_height <= 0:
+            raise ValueError(
+                f"layer_height must be positive, got {self.layer_height}"
+            )
+
+    def apply(self, job: PrintJob) -> PrintJob:
+        return job.reslice(
+            job.config.with_updates(layer_height=self.layer_height)
+        )
+
+
+@dataclass
+class ScaleAttack(Attack):
+    """Re-slice with the object scaled (Sturm et al. [25]; default -5%)."""
+
+    factor: float = 0.95
+
+    name = "Scale0.95"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+    def apply(self, job: PrintJob) -> PrintJob:
+        return job.reslice(
+            job.config.with_updates(scale=job.config.scale * self.factor)
+        )
+
+
+def TABLE_I_ATTACKS() -> List[Attack]:
+    """Fresh instances of the five malicious processes of Table I."""
+    return [
+        VoidAttack(),
+        InfillGridAttack(),
+        SpeedAttack(),
+        LayerHeightAttack(),
+        ScaleAttack(),
+    ]

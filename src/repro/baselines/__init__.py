@@ -1,0 +1,23 @@
+"""Prior-work IDSs the paper evaluates against (Section VIII-C/D)."""
+
+from .base import BaselineDetection, BaselineIds, ProcessRecording
+from .moore import MooreIds
+from .gao import GaoIds
+from .bayens import BayensIds
+from .belikovetsky import BelikovetskyIds, Pca
+from .gatlin import GatlinIds
+from .layers import LayerDetector, detect_layer_changes
+
+__all__ = [
+    "BaselineDetection",
+    "BaselineIds",
+    "ProcessRecording",
+    "MooreIds",
+    "GaoIds",
+    "BayensIds",
+    "BelikovetskyIds",
+    "Pca",
+    "GatlinIds",
+    "LayerDetector",
+    "detect_layer_changes",
+]

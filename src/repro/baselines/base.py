@@ -1,0 +1,76 @@
+"""Common machinery for the prior-work IDSs the paper compares against.
+
+Each baseline consumes a :class:`ProcessRecording` — one side-channel signal
+plus the layer-change timestamps of its printing process.  (The paper's
+layer-synchronized IDSs obtained those moments from a dedicated bed
+accelerometer [12] or from Z-motor currents [13]; the paper itself marked
+them manually for Gatlin's IDS.  Our simulator knows them exactly, which is
+the most charitable possible setting for these baselines.)
+
+Baselines follow the same fit/detect protocol as
+:class:`~repro.core.pipeline.NsyncIds` so the evaluation harness can drive
+all IDSs identically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..signals.signal import Signal
+
+__all__ = ["ProcessRecording", "BaselineDetection", "BaselineIds"]
+
+
+@dataclass(frozen=True)
+class ProcessRecording:
+    """One side-channel recording of one printing process."""
+
+    signal: Signal
+    layer_times: Sequence[float] = field(default_factory=tuple)
+
+    @property
+    def duration(self) -> float:
+        return self.signal.duration
+
+    def layer_slices(self) -> List[Signal]:
+        """Split the signal into per-layer segments at the layer times."""
+        bounds = [0.0] + sorted(self.layer_times) + [self.duration]
+        slices = []
+        for t0, t1 in zip(bounds[:-1], bounds[1:]):
+            if t1 - t0 > 0:
+                slices.append(self.signal.slice_seconds(t0, t1))
+        return slices
+
+
+@dataclass(frozen=True)
+class BaselineDetection:
+    """Verdict of a baseline IDS, with per-sub-module breakdown."""
+
+    is_intrusion: bool
+    submodules: Dict[str, bool] = field(default_factory=dict)
+
+    def fired_submodules(self) -> tuple:
+        return tuple(name for name, fired in self.submodules.items() if fired)
+
+
+class BaselineIds(abc.ABC):
+    """fit/detect protocol shared by all reproduced prior-work IDSs."""
+
+    #: Identifier used in evaluation tables (e.g. ``"moore"``).
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        reference: ProcessRecording,
+        benign: Sequence[ProcessRecording],
+    ) -> None:
+        """Learn whatever state the IDS needs from benign data only."""
+
+    @abc.abstractmethod
+    def detect(self, observed: ProcessRecording) -> BaselineDetection:
+        """Classify one observed printing process."""

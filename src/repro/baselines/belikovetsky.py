@@ -1,0 +1,123 @@
+"""Belikovetsky's IDS [5]: PCA-compressed spectrogram, cosine distance.
+
+The audio signal is transformed into a spectrogram, compressed by Principal
+Component Analysis down to three channels, and compared against the
+similarly-compressed reference *point by point without synchronization*
+using the cosine metric.  A 5-second moving average smooths the per-frame
+similarities, and an intrusion is declared when four consecutive window
+averages drop below the fixed magic number 0.63 — no learning, exactly as
+published.  Being blind to time noise, it false-alarms heavily once the
+signals drift (FPR 1.00 on the paper's UM3).
+
+The PCA is implemented from scratch on top of ``numpy.linalg.svd``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..signals.signal import Signal
+from ..signals.spectrogram import SpectrogramConfig, spectrogram
+from .base import BaselineDetection, BaselineIds, ProcessRecording
+
+__all__ = ["Pca", "BelikovetskyIds"]
+
+
+class Pca:
+    """Minimal principal-component projection."""
+
+    def __init__(self, n_components: int = 3) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "Pca":
+        """Learn the top components of ``x`` with shape (n_samples, n_dims)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D data, got shape {x.shape}")
+        k = min(self.n_components, x.shape[1], max(1, x.shape[0] - 1))
+        self.mean_ = x.mean(axis=0)
+        _, _, vt = np.linalg.svd(x - self.mean_, full_matrices=False)
+        self.components_ = vt[:k]
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("fit() must run before transform()")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) @ self.components_.T
+
+
+class BelikovetskyIds(BaselineIds):
+    """Unsynchronized PCA/cosine comparison with a fixed 0.63 threshold."""
+
+    name = "belikovetsky"
+
+    def __init__(
+        self,
+        spec_config: Optional[SpectrogramConfig] = None,
+        similarity_floor: float = 0.63,
+        average_seconds: float = 5.0,
+        consecutive_windows: int = 4,
+        n_components: int = 3,
+    ) -> None:
+        self.spec_config = spec_config or SpectrogramConfig(
+            delta_f=20.0, delta_t=0.05, window="BH"
+        )
+        self.similarity_floor = similarity_floor
+        self.average_seconds = average_seconds
+        self.consecutive_windows = consecutive_windows
+        self.pca = Pca(n_components)
+        self._reference_compressed: Optional[np.ndarray] = None
+        self._frame_rate: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _compress(self, signal: Signal) -> np.ndarray:
+        spec = spectrogram(signal, self.spec_config)
+        self._frame_rate = spec.sample_rate
+        return self.pca.transform(spec.data)
+
+    def fit(
+        self,
+        reference: ProcessRecording,
+        benign: Sequence[ProcessRecording],
+    ) -> None:
+        # The PCA basis is learned from the reference spectrogram (the
+        # original derives it from a benign print); extra benign runs are
+        # not needed — the decision threshold is the published constant.
+        spec = spectrogram(reference.signal, self.spec_config)
+        self._frame_rate = spec.sample_rate
+        self.pca.fit(spec.data)
+        self._reference_compressed = self.pca.transform(spec.data)
+
+    def detect(self, observed: ProcessRecording) -> BaselineDetection:
+        if self._reference_compressed is None or self._frame_rate is None:
+            raise RuntimeError("fit() must run before detect()")
+        a = self._compress(observed.signal)
+        b = self._reference_compressed
+        n = min(a.shape[0], b.shape[0])
+        if n == 0:
+            return BaselineDetection(is_intrusion=True, submodules={"cosine": True})
+
+        num = np.sum(a[:n] * b[:n], axis=1)
+        den = np.linalg.norm(a[:n], axis=1) * np.linalg.norm(b[:n], axis=1)
+        similarity = np.where(den > 1e-12, num / np.maximum(den, 1e-12), 0.0)
+
+        # 5-second moving average, then require `consecutive_windows`
+        # successive averages below the floor.
+        win = max(1, int(self.average_seconds * self._frame_rate))
+        kernel = np.ones(win) / win
+        averaged = np.convolve(similarity, kernel, mode="valid")
+        below = averaged < self.similarity_floor
+        run = 0
+        fired = False
+        for flag in below[:: max(1, win)]:  # non-overlapping windows
+            run = run + 1 if flag else 0
+            if run >= self.consecutive_windows:
+                fired = True
+                break
+        return BaselineDetection(is_intrusion=fired, submodules={"cosine": fired})

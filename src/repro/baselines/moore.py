@@ -1,0 +1,82 @@
+"""Moore's IDS [18]: point-by-point comparison without synchronization.
+
+The original observes electric currents delivered to actuators and compares
+the observed signal against a pre-recorded reference *point by point* using
+the mean absolute error.  It has no notion of time noise: once the signals
+drift out of alignment, benign distances explode (the paper's Fig. 2), which
+is why its accuracy collapses on a real printer.
+
+As in the paper's evaluation, the detection threshold is learned with
+NSYNC's OCC scheme (the original used fixed thresholds for a testbed we
+don't have); ``r = 0.0`` matches the paper's choice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.occ import occ_threshold
+from ..signals.filters import trailing_min_filter
+from .base import BaselineDetection, BaselineIds, ProcessRecording
+
+__all__ = ["MooreIds"]
+
+
+class MooreIds(BaselineIds):
+    """Unsynchronized point-by-point MAE comparison.
+
+    ``block`` groups samples into short blocks before thresholding so a
+    single-sample glitch cannot fire the detector (and so raw multi-kHz
+    signals stay cheap to scan); the comparison itself is still pointwise
+    and completely unaware of time noise.
+    """
+
+    name = "moore"
+
+    def __init__(self, r: float = 0.0, block: int = 64) -> None:
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self.r = r
+        self.block = block
+        self.reference: Optional[ProcessRecording] = None
+        self.threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _distance_profile(self, observed: ProcessRecording) -> np.ndarray:
+        """Blockwise-mean |a[n] - b[n]| over the common prefix."""
+        if self.reference is None:
+            raise RuntimeError("fit() must run before detect()")
+        a = observed.signal.data
+        b = self.reference.signal.data
+        n = min(a.shape[0], b.shape[0])
+        if n == 0:
+            return np.zeros(0)
+        pointwise = np.abs(a[:n] - b[:n]).mean(axis=1)
+        n_blocks = n // self.block
+        if n_blocks == 0:
+            return np.array([pointwise.mean()])
+        trimmed = pointwise[: n_blocks * self.block]
+        return trimmed.reshape(n_blocks, self.block).mean(axis=1)
+
+    def fit(
+        self,
+        reference: ProcessRecording,
+        benign: Sequence[ProcessRecording],
+    ) -> None:
+        self.reference = reference
+        maxima: List[float] = []
+        for run in benign:
+            profile = trailing_min_filter(self._distance_profile(run))
+            maxima.append(float(profile.max()) if profile.size else 0.0)
+        if not maxima:
+            raise ValueError("need at least one benign training run")
+        self.threshold = occ_threshold(maxima, self.r)
+
+    def detect(self, observed: ProcessRecording) -> BaselineDetection:
+        if self.threshold is None:
+            raise RuntimeError("fit() must run before detect()")
+        profile = trailing_min_filter(self._distance_profile(observed))
+        fired = bool(profile.size and profile.max() > self.threshold)
+        return BaselineDetection(is_intrusion=fired, submodules={"v_dist": fired})

@@ -1,0 +1,294 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four workflows cover the life of a deployment:
+
+* ``slice``    — produce the benign (or attacked) G-code for a part;
+* ``simulate`` — execute G-code on a simulated printer and record the
+  side-channel signals to disk;
+* ``train``    — build an NSYNC reference + thresholds from benign runs;
+* ``detect``   — screen a recorded run against a trained model;
+* ``campaign`` — run a scaled evaluation campaign and print the
+  Table VIII-style row for one channel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+def _attack_by_name(name: str):
+    from .attacks import TABLE_I_ATTACKS
+
+    attacks = {a.name: a for a in TABLE_I_ATTACKS()}
+    try:
+        return attacks[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown attack {name!r}; choose from {sorted(attacks)}"
+        ) from None
+
+
+def _setup_for(printer: str, height: float):
+    from .eval import default_setup
+
+    return default_setup(printer, object_height=height)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+def cmd_slice(args: argparse.Namespace) -> int:
+    setup = _setup_for(args.printer, args.height)
+    job = setup.job()
+    if args.attack:
+        job = _attack_by_name(args.attack).apply(job)
+    Path(args.output).write_text(job.program.to_text())
+    print(f"wrote {len(job.program)} commands to {args.output}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .io import save_signals
+    from .printer import GcodeProgram, simulate_print
+    from .sensors import default_daq
+
+    setup = _setup_for(args.printer, args.height)
+    program = GcodeProgram.from_text(Path(args.gcode).read_text())
+    trace = simulate_print(program, setup.machine, setup.noise, seed=args.seed)
+    channels = args.channels.split(",") if args.channels else None
+    signals = default_daq().acquire(
+        trace, np.random.default_rng(args.seed), channels=channels
+    )
+    save_signals(signals, args.output)
+    print(
+        f"simulated {trace.duration:.1f} s print "
+        f"({len(trace.layer_change_times) + 1} layers); wrote "
+        f"{len(signals)} channels to {args.output}/"
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from .core import NsyncIds
+    from .io import save_dwm_params, save_signal, save_thresholds
+    from .sensors import default_daq
+    from .printer import simulate_print
+    from .sync import DwmSynchronizer
+
+    setup = _setup_for(args.printer, args.height)
+    job = setup.job()
+    daq = default_daq()
+
+    def acc(seed: int):
+        trace = simulate_print(job.program, setup.machine, setup.noise, seed=seed)
+        return daq.acquire(
+            trace, np.random.default_rng(seed), channels=[args.channel]
+        )[args.channel]
+
+    print(f"recording reference + {args.runs} benign training runs "
+          f"({args.channel}, {args.printer})...")
+    reference = acc(args.seed)
+    ids = NsyncIds(reference, DwmSynchronizer(setup.dwm_params))
+    ids.fit([acc(args.seed + 1 + k) for k in range(args.runs)], r=args.r)
+
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    save_signal(reference, out / "reference.npz")
+    save_thresholds(ids.thresholds, out / "thresholds.json")
+    save_dwm_params(setup.dwm_params, out / "dwm_params.json")
+    print(f"model written to {out}/ "
+          f"(c_c={ids.thresholds.c_c:.1f}, h_c={ids.thresholds.h_c:.1f}, "
+          f"v_c={ids.thresholds.v_c:.3f}, d_c={ids.thresholds.d_c:.1f})")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    from .core import NsyncIds
+    from .io import load_dwm_params, load_signal, load_thresholds
+    from .sync import DwmSynchronizer
+
+    model = Path(args.model)
+    ids = NsyncIds(
+        load_signal(model / "reference.npz"),
+        DwmSynchronizer(load_dwm_params(model / "dwm_params.json")),
+    )
+    ids.thresholds = load_thresholds(model / "thresholds.json")
+
+    observed = load_signal(args.signal)
+    verdict = ids.detect(observed)
+    if verdict.is_intrusion:
+        fired = ", ".join(verdict.fired_submodules())
+        print(f"INTRUSION (sub-modules: {fired}; "
+              f"first alarm at window {verdict.first_alarm_index})")
+        return 1
+    print("ok — no intrusion detected")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .eval import format_ids_table, generate_campaign, nsync_results
+
+    setup = _setup_for(args.printer, args.height)
+    print(f"generating campaign ({args.printer}, {args.train} train, "
+          f"{args.test} benign test, {args.attack_runs} runs/attack)...")
+    campaign = generate_campaign(
+        setup,
+        channels=(args.channel,),
+        n_train=args.train,
+        n_benign_test=args.test,
+        n_attack_runs=args.attack_runs,
+        seed=args.seed,
+    )
+    result = nsync_results(campaign, args.channel, args.transform, r=args.r)
+    label = f"{args.printer} {args.transform} {args.channel}"
+    print(format_ids_table(
+        {label: result},
+        submodule_names=("c_disp", "h_dist", "v_dist", "duration"),
+        title="NSYNC/DWM",
+    ))
+    for attack, tpr in sorted(result.per_attack_tpr.items()):
+        print(f"  {attack:<11} TPR {tpr:.2f}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .eval import (
+        baseline_results,
+        fig12_overall_accuracy,
+        format_accuracy_ranking,
+        format_ids_table,
+        generate_campaign,
+        nsync_results,
+    )
+
+    setup = _setup_for(args.printer, args.height)
+    print(
+        f"generating campaign and running all seven IDSs "
+        f"({args.printer}; this takes a few minutes)..."
+    )
+    campaign = generate_campaign(
+        setup,
+        channels=("ACC", "MAG", "AUD", "EPT"),
+        n_train=args.train,
+        n_benign_test=args.test,
+        n_attack_runs=args.attack_runs,
+        seed=args.seed,
+    )
+
+    sections = ["# NSYNC evaluation report", ""]
+    sections.append(
+        f"Printer {args.printer}, object height {args.height} mm, "
+        f"{args.train} training / {args.test} benign-test / "
+        f"{args.attack_runs} runs per attack, seed {args.seed}."
+    )
+
+    nsync_cells = {}
+    for channel in ("ACC", "MAG", "AUD", "EPT"):
+        for transform in ("Raw", "Spectro."):
+            key = f"{args.printer} {transform} {channel}"
+            nsync_cells[key] = nsync_results(campaign, channel, transform)
+    sections.append(chr(10) + "## NSYNC/DWM (Table VIII)" + chr(10))
+    sections.append("```")
+    sections.append(
+        format_ids_table(
+            nsync_cells,
+            submodule_names=("c_disp", "h_dist", "v_dist", "duration"),
+        )
+    )
+    sections.append("```")
+
+    accuracies = fig12_overall_accuracy(campaign)
+    sections.append(chr(10) + "## All seven IDSs (Fig. 12)" + chr(10))
+    sections.append("```")
+    sections.append(format_accuracy_ranking(accuracies))
+    sections.append("```")
+
+    text = chr(10).join(sections) + chr(10)
+    Path(args.output).write_text(text)
+    print(f"report written to {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NSYNC side-channel IDS for additive manufacturing "
+        "(ICDCS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--printer", default="UM3", choices=["UM3", "RM3"])
+        p.add_argument("--height", type=float, default=0.6,
+                       help="object height in mm (default 0.6; paper: 7.5)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("slice", help="slice the gear into G-code")
+    common(p)
+    p.add_argument("--attack", default=None,
+                   help="apply a Table I attack (e.g. Void, Speed0.95)")
+    p.add_argument("output", help="output .gcode path")
+    p.set_defaults(func=cmd_slice)
+
+    p = sub.add_parser("simulate", help="execute G-code, record side channels")
+    common(p)
+    p.add_argument("gcode", help="input .gcode path")
+    p.add_argument("output", help="output directory for channel .npz files")
+    p.add_argument("--channels", default="ACC",
+                   help="comma-separated channel ids (default ACC)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("train", help="train an NSYNC model from benign runs")
+    common(p)
+    p.add_argument("output", help="model output directory")
+    p.add_argument("--channel", default="ACC")
+    p.add_argument("--runs", type=int, default=8)
+    p.add_argument("--r", type=float, default=0.3)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("detect", help="screen a recorded signal")
+    p.add_argument("model", help="model directory from 'train'")
+    p.add_argument("signal", help=".npz signal from 'simulate'")
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("report", help="full evaluation -> markdown report")
+    common(p)
+    p.add_argument("output", help="output .md path")
+    p.add_argument("--train", type=int, default=6)
+    p.add_argument("--test", type=int, default=6)
+    p.add_argument("--attack-runs", type=int, default=1)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("campaign", help="run a scaled evaluation campaign")
+    common(p)
+    p.add_argument("--channel", default="ACC")
+    p.add_argument("--transform", default="Raw", choices=["Raw", "Spectro."])
+    p.add_argument("--train", type=int, default=8)
+    p.add_argument("--test", type=int, default=8)
+    p.add_argument("--attack-runs", type=int, default=2)
+    p.add_argument("--r", type=float, default=0.3)
+    p.set_defaults(func=cmd_campaign)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""NSYNC core: comparator, discriminator, OCC training, IDS pipelines."""
+
+from .comparator import Comparator, vertical_distances
+from .discriminator import (
+    Detection,
+    DetectionFeatures,
+    Discriminator,
+    Thresholds,
+    detection_features,
+)
+from .occ import OneClassTrainer, occ_threshold
+from .pipeline import AnalysisResult, NsyncIds
+from .streaming import Alert, StreamingNsyncIds
+from .fusion import FusionDetection, MultiChannelNsyncIds
+
+__all__ = [
+    "Comparator",
+    "vertical_distances",
+    "Detection",
+    "DetectionFeatures",
+    "Discriminator",
+    "Thresholds",
+    "detection_features",
+    "OneClassTrainer",
+    "occ_threshold",
+    "AnalysisResult",
+    "NsyncIds",
+    "Alert",
+    "StreamingNsyncIds",
+    "FusionDetection",
+    "MultiChannelNsyncIds",
+]

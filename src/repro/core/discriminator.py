@@ -1,0 +1,172 @@
+"""Discriminator: automatic intrusion detection (paper Section VII-B).
+
+Three sub-modules examine the synchronizer/comparator outputs:
+
+1. **CADHD** — the Cumulative Absolute Difference of the Horizontal
+   Displacement (Eq. 17) exceeds ``c_c``: the synchronizer had to fight too
+   hard, i.e. DSYNC effectively failed.
+2. **Horizontal distance** — ``|h_disp[i]|`` exceeds ``h_c``: the process is
+   running early/late beyond anything seen in training (a timing attack).
+3. **Vertical distance** — ``v_dist[i]`` exceeds ``v_c``: the matched
+   content itself differs (an amplitude/content attack).
+4. **Duration** (reproduction extension) — the observed process produced a
+   window count that deviates from the reference's by more than ``d_c``
+   windows.  On the paper's physical printers a re-sliced print (e.g.
+   Layer0.3) desynchronizes DWM long before it ends, so ``c_disp`` catches
+   it; our simulated per-layer timing is ideal enough that an attack can end
+   the print early while staying locked on.  A real-time IDS trivially
+   observes "the print ended N windows early/late", so we expose it as an
+   explicit, separately-thresholded check (disabled by ``d_c = inf``).
+
+``h_dist`` and ``v_dist`` are first passed through a trailing minimum
+filter (Eq. 21-22) so isolated time-noise spikes cannot trip a threshold.
+An intrusion is declared as soon as *any* sub-module fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..signals.filters import trailing_min_filter
+from ..sync.base import SyncResult
+
+__all__ = ["Thresholds", "Detection", "Discriminator", "detection_features"]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Critical values for the three sub-modules.
+
+    ``c_c`` bounds CADHD, ``h_c`` the filtered horizontal distance, ``v_c``
+    the filtered vertical distance.  ``inf`` disables a sub-module.
+    """
+
+    c_c: float
+    h_c: float
+    v_c: float
+    d_c: float = float("inf")
+
+    def __post_init__(self) -> None:
+        for name in ("c_c", "h_c", "v_c", "d_c"):
+            value = getattr(self, name)
+            if not value >= 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class DetectionFeatures:
+    """Per-index evidence the discriminator examines."""
+
+    c_disp: np.ndarray
+    h_dist_filtered: np.ndarray
+    v_dist_filtered: np.ndarray
+    duration_mismatch: float = 0.0
+
+
+@dataclass(frozen=True)
+class Detection:
+    """Verdict of the discriminator for one printing process.
+
+    ``first_alarm_index`` is the earliest window/point index at which any
+    sub-module fired, or ``None`` for a benign verdict — a real-time
+    deployment would stop the print at that index.
+    """
+
+    is_intrusion: bool
+    cadhd_fired: bool
+    h_dist_fired: bool
+    v_dist_fired: bool
+    duration_fired: bool
+    first_alarm_index: Optional[int]
+    features: DetectionFeatures
+    #: Seconds into the print at which the first alarm fired (filled in by
+    #: pipelines that know the window geometry; None for a benign verdict).
+    first_alarm_time: Optional[float] = None
+
+    def fired_submodules(self) -> tuple:
+        names = []
+        if self.cadhd_fired:
+            names.append("c_disp")
+        if self.h_dist_fired:
+            names.append("h_dist")
+        if self.v_dist_fired:
+            names.append("v_dist")
+        if self.duration_fired:
+            names.append("duration")
+        return tuple(names)
+
+
+def detection_features(
+    sync: SyncResult,
+    v_dist: np.ndarray,
+    filter_window: int = 3,
+    duration_mismatch: float = 0.0,
+) -> DetectionFeatures:
+    """Compute the evidence arrays from raw synchronizer output."""
+    v_dist = np.asarray(v_dist, dtype=np.float64)
+    return DetectionFeatures(
+        c_disp=sync.cadhd(),
+        h_dist_filtered=trailing_min_filter(sync.h_dist, filter_window),
+        v_dist_filtered=trailing_min_filter(v_dist, filter_window),
+        duration_mismatch=float(duration_mismatch),
+    )
+
+
+class Discriminator:
+    """Applies the three threshold checks of Section VII-B.
+
+    Parameters
+    ----------
+    thresholds:
+        The critical values, normally learned via
+        :class:`repro.core.occ.OneClassTrainer`.
+    filter_window:
+        Size of the trailing minimum filter (the paper uses 3).
+    """
+
+    def __init__(self, thresholds: Thresholds, filter_window: int = 3) -> None:
+        if filter_window < 1:
+            raise ValueError(f"filter_window must be >= 1, got {filter_window}")
+        self.thresholds = thresholds
+        self.filter_window = filter_window
+
+    def detect(
+        self,
+        sync: SyncResult,
+        v_dist: np.ndarray,
+        duration_mismatch: float = 0.0,
+    ) -> Detection:
+        """Run all sub-modules and combine their verdicts."""
+        features = detection_features(
+            sync, v_dist, self.filter_window, duration_mismatch
+        )
+        return self.detect_features(features)
+
+    def detect_features(self, features: DetectionFeatures) -> Detection:
+        """Apply the thresholds to already-computed evidence."""
+        t = self.thresholds
+
+        c_hits = np.flatnonzero(features.c_disp > t.c_c)
+        h_hits = np.flatnonzero(features.h_dist_filtered > t.h_c)
+        v_hits = np.flatnonzero(features.v_dist_filtered > t.v_c)
+        duration_fired = features.duration_mismatch > t.d_c
+
+        first: Optional[int] = None
+        for hits in (c_hits, h_hits, v_hits):
+            if hits.size:
+                first = hits[0] if first is None else min(first, int(hits[0]))
+        if duration_fired and first is None:
+            # A duration violation is only observable once one signal ends.
+            first = int(features.c_disp.shape[0])
+        return Detection(
+            is_intrusion=first is not None,
+            cadhd_fired=bool(c_hits.size),
+            h_dist_fired=bool(h_hits.size),
+            v_dist_fired=bool(v_hits.size),
+            duration_fired=bool(duration_fired),
+            first_alarm_index=int(first) if first is not None else None,
+            features=features,
+        )

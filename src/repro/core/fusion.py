@@ -1,0 +1,140 @@
+"""Multi-channel fusion: one NSYNC per side channel, combined verdicts.
+
+The paper evaluates each side channel in isolation; a deployment that
+already paid for six sensors should use all of them.  Fig. 10's consistency
+result is what makes fusion sound: every well-correlated channel recovers
+the same timing relationship, so their verdicts are near-independent
+observations of the same process.
+
+:class:`MultiChannelNsyncIds` trains an independent
+:class:`~repro.core.pipeline.NsyncIds` per channel and combines the
+per-channel verdicts with a configurable policy:
+
+* ``"any"`` — alarm if any channel alarms (highest TPR, paper-style OR);
+* ``"majority"`` — alarm if more than half the channels alarm;
+* ``k`` (int) — alarm if at least ``k`` channels alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from ..signals.signal import Signal
+from ..sync.base import Synchronizer
+from .discriminator import Detection
+from .pipeline import NsyncIds
+
+__all__ = ["FusionDetection", "MultiChannelNsyncIds"]
+
+Policy = Union[str, int]
+
+
+@dataclass(frozen=True)
+class FusionDetection:
+    """Combined verdict plus the per-channel evidence behind it."""
+
+    is_intrusion: bool
+    votes: int
+    n_channels: int
+    per_channel: Dict[str, Detection]
+
+    def alarming_channels(self) -> tuple:
+        return tuple(
+            cid for cid, det in self.per_channel.items() if det.is_intrusion
+        )
+
+
+def _required_votes(policy: Policy, n_channels: int) -> int:
+    if policy == "any":
+        return 1
+    if policy == "majority":
+        return n_channels // 2 + 1
+    if isinstance(policy, int):
+        if not 1 <= policy <= n_channels:
+            raise ValueError(
+                f"k-of-n policy needs 1 <= k <= {n_channels}, got {policy}"
+            )
+        return policy
+    raise ValueError(f"unknown policy {policy!r}; expected 'any', 'majority', or int")
+
+
+class MultiChannelNsyncIds:
+    """Independent NSYNC per channel with vote-based fusion.
+
+    Parameters
+    ----------
+    references:
+        Mapping of channel id to that channel's reference signal.
+    synchronizer_factory:
+        Callable producing a fresh synchronizer per channel (synchronizers
+        are stateless here, but window geometry is rate-dependent).
+    policy:
+        Fusion policy (see module docstring).
+    """
+
+    def __init__(
+        self,
+        references: Mapping[str, Signal],
+        synchronizer_factory,
+        policy: Policy = "any",
+        metric: str = "correlation",
+        filter_window: int = 3,
+    ) -> None:
+        if not references:
+            raise ValueError("need at least one channel")
+        self.policy = policy
+        self.channels: Dict[str, NsyncIds] = {
+            cid: NsyncIds(
+                reference,
+                synchronizer_factory(),
+                metric=metric,
+                filter_window=filter_window,
+            )
+            for cid, reference in references.items()
+        }
+        # Validate the policy eagerly so misconfiguration fails at build time.
+        _required_votes(policy, len(self.channels))
+
+    # ------------------------------------------------------------------
+    @property
+    def channel_ids(self) -> tuple:
+        return tuple(self.channels)
+
+    def fit(
+        self,
+        benign_runs: Sequence[Mapping[str, Signal]],
+        r: float = 0.3,
+    ) -> None:
+        """Train every channel's thresholds from multi-channel benign runs.
+
+        ``benign_runs`` is a list of ``{channel_id: Signal}`` mappings, one
+        per benign printing process.
+        """
+        for cid, ids in self.channels.items():
+            try:
+                signals = [run[cid] for run in benign_runs]
+            except KeyError:
+                raise KeyError(
+                    f"benign run is missing channel {cid!r}"
+                ) from None
+            ids.fit(signals, r=r)
+
+    def detect(self, observed: Mapping[str, Signal]) -> FusionDetection:
+        """Classify one multi-channel observation."""
+        per_channel: Dict[str, Detection] = {}
+        for cid, ids in self.channels.items():
+            try:
+                signal = observed[cid]
+            except KeyError:
+                raise KeyError(f"observation is missing channel {cid!r}") from None
+            per_channel[cid] = ids.detect(signal)
+
+        votes = sum(det.is_intrusion for det in per_channel.values())
+        needed = _required_votes(self.policy, len(self.channels))
+        return FusionDetection(
+            is_intrusion=votes >= needed,
+            votes=votes,
+            n_channels=len(self.channels),
+            per_channel=per_channel,
+        )

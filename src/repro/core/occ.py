@@ -1,0 +1,90 @@
+"""One-Class Classification threshold learning (paper Section VII-C).
+
+Many prior IDSs either use binary classification (which requires examples of
+malicious prints in advance) or magic-number thresholds.  NSYNC instead
+learns each critical value from *benign runs only*: run the benign process
+``M`` times, record the per-run maxima of the three evidence arrays, and set
+each threshold to
+
+    ``max_m(stat_m) + r * (max_m(stat_m) - min_m(stat_m))``        (Eq. 26-28)
+
+``r`` trades FPR against FNR: larger ``r`` pushes the threshold further above
+anything seen in training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .discriminator import DetectionFeatures, Thresholds
+
+__all__ = ["occ_threshold", "OneClassTrainer"]
+
+
+def occ_threshold(per_run_maxima: Sequence[float], r: float) -> float:
+    """Apply Eq. (26)-(28) to the per-run maxima of one statistic."""
+    if len(per_run_maxima) == 0:
+        raise ValueError("need at least one training run")
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    high = float(max(per_run_maxima))
+    low = float(min(per_run_maxima))
+    return high + r * (high - low)
+
+
+@dataclass
+class OneClassTrainer:
+    """Accumulates benign-run evidence and produces :class:`Thresholds`.
+
+    Feed one :class:`DetectionFeatures` per benign training run via
+    :meth:`add_run`, then call :meth:`thresholds`.
+    """
+
+    r: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.r < 0:
+            raise ValueError(f"r must be non-negative, got {self.r}")
+        self._c_maxima: List[float] = []
+        self._h_maxima: List[float] = []
+        self._v_maxima: List[float] = []
+        self._d_values: List[float] = []
+
+    @property
+    def n_runs(self) -> int:
+        """Number of benign runs seen so far (the paper's ``M``)."""
+        return len(self._c_maxima)
+
+    def add_run(self, features: DetectionFeatures) -> None:
+        """Record the per-run maxima (Eq. 23-25) of one benign run.
+
+        The horizontal/vertical arrays are assumed already filtered, which
+        :func:`repro.core.discriminator.detection_features` guarantees.
+        """
+        self._c_maxima.append(_safe_max(features.c_disp))
+        self._h_maxima.append(_safe_max(features.h_dist_filtered))
+        self._v_maxima.append(_safe_max(features.v_dist_filtered))
+        self._d_values.append(float(features.duration_mismatch))
+
+    def thresholds(self, r: float = None) -> Thresholds:
+        """Learn the critical values from all recorded runs."""
+        if self.n_runs == 0:
+            raise ValueError("no training runs recorded")
+        r = self.r if r is None else r
+        # The duration statistic is integer-valued (window counts), so give
+        # it one window of slack on top of the OCC rule.
+        return Thresholds(
+            c_c=occ_threshold(self._c_maxima, r),
+            h_c=occ_threshold(self._h_maxima, r),
+            v_c=occ_threshold(self._v_maxima, r),
+            d_c=occ_threshold(self._d_values, r) + 1.0,
+        )
+
+
+def _safe_max(values: np.ndarray) -> float:
+    """Max of an array, 0 for an empty one (a run that produced no windows)."""
+    values = np.asarray(values)
+    return float(values.max()) if values.size else 0.0

@@ -1,0 +1,141 @@
+"""The NSYNC IDS pipeline (paper Section VII, Fig. 7).
+
+Wires the four components together: a dynamic synchronizer (DWM or DTW)
+produces ``h_disp``; the comparator produces ``v_dist``; the discriminator
+checks both against thresholds learned by one-class classification from
+benign runs.
+
+Typical usage::
+
+    ids = NsyncIds(reference, DwmSynchronizer(UM3_DWM_PARAMS))
+    ids.fit(benign_signals, r=0.3)
+    verdict = ids.detect(observed_signal)
+    if verdict.is_intrusion:
+        stop_the_printer()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Union
+
+import numpy as np
+
+from ..signals.signal import Signal
+from ..sync.base import SyncResult, Synchronizer
+from .comparator import Comparator, DistanceFn
+from .discriminator import (
+    Detection,
+    DetectionFeatures,
+    Discriminator,
+    Thresholds,
+    detection_features,
+)
+from .occ import OneClassTrainer
+
+__all__ = ["AnalysisResult", "NsyncIds"]
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything NSYNC derives from one observed signal."""
+
+    sync: SyncResult
+    v_dist: np.ndarray
+    features: DetectionFeatures
+
+    @property
+    def duration_mismatch(self) -> float:
+        """Window-count deviation of the observed process vs the reference."""
+        return self.features.duration_mismatch
+
+
+class NsyncIds:
+    """A complete NSYNC intrusion-detection system for one reference signal.
+
+    Parameters
+    ----------
+    reference:
+        The reference side-channel signal ``b``, recorded from (or simulated
+        for) a known-benign printing process.
+    synchronizer:
+        Any :class:`~repro.sync.base.Synchronizer`; the paper evaluates
+        :class:`~repro.sync.dwm.DwmSynchronizer` and
+        :class:`~repro.sync.fastdtw.FastDtwSynchronizer`.
+    metric:
+        Vertical-distance metric (default the correlation distance).
+    filter_window:
+        Spike-suppression window for the discriminator (default 3).
+    """
+
+    def __init__(
+        self,
+        reference: Signal,
+        synchronizer: Synchronizer,
+        metric: Union[str, DistanceFn] = "correlation",
+        filter_window: int = 3,
+    ) -> None:
+        self.reference = reference
+        self.synchronizer = synchronizer
+        self.comparator = Comparator(metric)
+        self.filter_window = filter_window
+        self.thresholds: Optional[Thresholds] = None
+
+    # ------------------------------------------------------------------
+    def analyze(self, observed: Signal) -> AnalysisResult:
+        """Synchronize, compare, and featurize one observed signal."""
+        sync = self.synchronizer.synchronize(observed, self.reference)
+        v_dist = self.comparator.vertical_distances(observed, self.reference, sync)
+        mismatch = self._duration_mismatch(observed, sync)
+        features = detection_features(
+            sync, v_dist, self.filter_window, duration_mismatch=mismatch
+        )
+        return AnalysisResult(sync=sync, v_dist=v_dist, features=features)
+
+    def _duration_mismatch(self, observed: Signal, sync: SyncResult) -> float:
+        """Deviation between the observed and reference process lengths.
+
+        Measured in analysis windows.  Covers both directions: the observed
+        print ending early/late relative to the reference, and the
+        synchronizer walking off the reference before the observation ended
+        (both only happen under timing attacks or gross re-slicing).
+        """
+        if sync.mode == "window":
+            n_obs = observed.n_windows(sync.n_win, sync.n_hop)
+            n_ref = self.reference.n_windows(sync.n_win, sync.n_hop)
+        else:
+            n_obs = observed.n_samples
+            n_ref = self.reference.n_samples
+        return float(max(abs(n_obs - n_ref), n_obs - sync.n_indexes))
+
+    def fit(self, benign_signals: Iterable[Signal], r: float = 0.3) -> Thresholds:
+        """Learn the discriminator thresholds from benign runs (Eq. 23-28)."""
+        trainer = OneClassTrainer(r=r)
+        for signal in benign_signals:
+            trainer.add_run(self.analyze(signal).features)
+        self.thresholds = trainer.thresholds()
+        return self.thresholds
+
+    def detect(self, observed: Signal) -> Detection:
+        """Full pipeline: analyze the signal and apply the discriminator.
+
+        The returned verdict carries ``first_alarm_time`` (seconds into the
+        print), derived from the synchronizer's window geometry.
+        """
+        if self.thresholds is None:
+            raise RuntimeError("call fit() (or set thresholds) before detect()")
+        analysis = self.analyze(observed)
+        discriminator = Discriminator(self.thresholds, self.filter_window)
+        verdict = discriminator.detect_features(analysis.features)
+        if verdict.first_alarm_index is not None:
+            if analysis.sync.mode == "window":
+                samples = verdict.first_alarm_index * analysis.sync.n_hop
+            else:
+                samples = verdict.first_alarm_index
+            from dataclasses import replace as _replace
+
+            verdict = _replace(
+                verdict,
+                first_alarm_time=samples / observed.sample_rate,
+            )
+        return verdict

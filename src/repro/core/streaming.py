@@ -1,0 +1,135 @@
+"""Real-time NSYNC: intrusion detection while the print is still running.
+
+The batch :class:`~repro.core.pipeline.NsyncIds` analyzes a finished
+recording.  :class:`StreamingNsyncIds` consumes the observed signal in
+chunks as the data-acquisition system delivers it, runs streaming DWM, and
+evaluates all three discriminator sub-modules incrementally, emitting an
+:class:`Alert` at the first window whose evidence crosses a threshold — the
+point at which a deployment would stop the printer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..signals.signal import Signal
+from ..sync.dwm import DwmParams, StreamingDwm
+from .comparator import Comparator, DistanceFn
+from .discriminator import Thresholds
+
+__all__ = ["Alert", "StreamingNsyncIds"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One threshold violation observed in real time."""
+
+    window_index: int
+    submodule: str  # "c_disp", "h_dist", or "v_dist"
+    value: float
+    threshold: float
+
+
+class StreamingNsyncIds:
+    """Chunk-by-chunk NSYNC with DWM as the synchronizer.
+
+    Parameters mirror :class:`~repro.core.pipeline.NsyncIds`, except the
+    thresholds must already be known (learn them offline with the batch
+    pipeline, then deploy here).
+    """
+
+    def __init__(
+        self,
+        reference: Signal,
+        params: DwmParams,
+        thresholds: Thresholds,
+        metric: Union[str, DistanceFn] = "correlation",
+        filter_window: int = 3,
+    ) -> None:
+        if filter_window < 1:
+            raise ValueError(f"filter_window must be >= 1, got {filter_window}")
+        self.reference = reference
+        self.thresholds = thresholds
+        self.filter_window = filter_window
+        self._dwm = StreamingDwm(reference, params)
+        self._comparator = Comparator(metric)
+        self._n_win = self._dwm._n_win
+        self._n_hop = self._dwm._n_hop
+        self._observed = np.zeros((0, reference.n_channels))
+        self._prev_disp = 0.0
+        self._c_disp = 0.0
+        self._h_hist: List[float] = []
+        self._v_hist: List[float] = []
+        self._alerts: List[Alert] = []
+        self._h_dist_f: List[float] = []
+        self._v_dist_f: List[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def alerts(self) -> List[Alert]:
+        """All alerts raised so far (chronological)."""
+        return list(self._alerts)
+
+    @property
+    def intrusion_detected(self) -> bool:
+        return bool(self._alerts)
+
+    def push(self, samples: np.ndarray) -> List[Alert]:
+        """Feed observed samples; return alerts raised by this chunk."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim == 1:
+            samples = samples[:, np.newaxis]
+        self._observed = np.concatenate([self._observed, samples], axis=0)
+
+        new_alerts: List[Alert] = []
+        for i, disp in self._dwm.push(samples):
+            new_alerts.extend(self._evaluate_window(i, disp))
+        self._alerts.extend(new_alerts)
+        return new_alerts
+
+    # ------------------------------------------------------------------
+    def _evaluate_window(self, i: int, disp: float) -> List[Alert]:
+        alerts: List[Alert] = []
+        t = self.thresholds
+
+        # Sub-module 1: CADHD, updated incrementally (Eq. 17).
+        self._c_disp += abs(disp - self._prev_disp)
+        self._prev_disp = disp
+        if self._c_disp > t.c_c:
+            alerts.append(Alert(i, "c_disp", self._c_disp, t.c_c))
+
+        # Sub-module 2: filtered horizontal distance (Eq. 19, 21).
+        self._h_hist.append(abs(disp))
+        h_f = min(self._h_hist[-self.filter_window :])
+        self._h_dist_f.append(h_f)
+        if h_f > t.h_c:
+            alerts.append(Alert(i, "h_dist", h_f, t.h_c))
+
+        # Sub-module 3: filtered vertical distance (Eq. 20, 22).
+        start = i * self._n_hop
+        wa = self._observed[start : start + self._n_win, :]
+        offset = int(round(disp))
+        wb = self.reference.slice(
+            start + offset, start + offset + self._n_win
+        ).data
+        n = min(wa.shape[0], wb.shape[0])
+        v = self._comparator.metric(wa[:n], wb[:n]) if n >= 2 else 2.0
+        self._v_hist.append(v)
+        v_f = min(self._v_hist[-self.filter_window :])
+        self._v_dist_f.append(v_f)
+        if v_f > t.v_c:
+            alerts.append(Alert(i, "v_dist", v_f, t.v_c))
+        return alerts
+
+    # ------------------------------------------------------------------
+    def evidence(self) -> dict:
+        """Snapshot of the evidence arrays accumulated so far."""
+        return {
+            "h_disp": self._dwm.result().h_disp,
+            "c_disp": self._c_disp,
+            "h_dist_filtered": np.asarray(self._h_dist_f),
+            "v_dist_filtered": np.asarray(self._v_dist_f),
+        }

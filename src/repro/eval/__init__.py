@@ -1,0 +1,57 @@
+"""Evaluation harness: campaign generation, metrics, experiment drivers."""
+
+from .dataset import (
+    Campaign,
+    PrinterSetup,
+    ProcessRun,
+    default_setup,
+    generate_campaign,
+    reference_from_gcode,
+    run_process,
+)
+from .metrics import DetectionStats, accuracy_from_rates
+from .experiments import (
+    BASELINE_FACTORIES,
+    IdsResult,
+    baseline_results,
+    fig1_time_noise,
+    fig2_unsynced_distances,
+    fig6_parametric_analysis,
+    fig10_hdisp_consistency,
+    fig11_time_ratio,
+    fig12_overall_accuracy,
+    nsync_results,
+    transform_signal,
+)
+from .reporting import format_accuracy_ranking, format_ids_table, format_table
+from .roc import RocCurve, RocPoint, auc, roc_sweep
+
+__all__ = [
+    "Campaign",
+    "PrinterSetup",
+    "ProcessRun",
+    "default_setup",
+    "generate_campaign",
+    "reference_from_gcode",
+    "run_process",
+    "DetectionStats",
+    "accuracy_from_rates",
+    "BASELINE_FACTORIES",
+    "IdsResult",
+    "baseline_results",
+    "fig1_time_noise",
+    "fig2_unsynced_distances",
+    "fig6_parametric_analysis",
+    "fig10_hdisp_consistency",
+    "fig11_time_ratio",
+    "fig12_overall_accuracy",
+    "nsync_results",
+    "transform_signal",
+    "format_accuracy_ranking",
+    "format_ids_table",
+    "format_table",
+    "RocCurve",
+    "RocPoint",
+    "auc",
+    "roc_sweep",
+]

@@ -1,0 +1,76 @@
+"""Detection metrics: FPR, TPR, and the paper's accuracy definition.
+
+The paper reports results as "FPR / TPR" pairs and defines accuracy as the
+fraction of correctly identified processes; with balanced test sets this is
+``((1 - FPR) + TPR) / 2`` (Section VIII-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["DetectionStats", "accuracy_from_rates"]
+
+
+def accuracy_from_rates(fpr: float, tpr: float) -> float:
+    """Balanced accuracy from the two error rates (paper Section VIII-F)."""
+    return ((1.0 - fpr) + tpr) / 2.0
+
+
+@dataclass
+class DetectionStats:
+    """Running confusion counts for one IDS configuration."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    def record(self, is_malicious: bool, detected: bool) -> None:
+        """Add one classified process."""
+        if is_malicious and detected:
+            self.true_positives += 1
+        elif is_malicious:
+            self.false_negatives += 1
+        elif detected:
+            self.false_positives += 1
+        else:
+            self.true_negatives += 1
+
+    def record_all(self, labels_and_verdicts: Iterable[tuple]) -> None:
+        for is_malicious, detected in labels_and_verdicts:
+            self.record(is_malicious, detected)
+
+    @property
+    def n_benign(self) -> int:
+        return self.false_positives + self.true_negatives
+
+    @property
+    def n_malicious(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    @property
+    def fpr(self) -> float:
+        """False-positive rate; 0 when no benign processes were seen."""
+        return self.false_positives / self.n_benign if self.n_benign else 0.0
+
+    @property
+    def tpr(self) -> float:
+        """True-positive rate; 0 when no malicious processes were seen."""
+        return self.true_positives / self.n_malicious if self.n_malicious else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Balanced accuracy, the paper's headline metric."""
+        return accuracy_from_rates(self.fpr, self.tpr)
+
+    def as_pair(self) -> str:
+        """The paper's "FPR / TPR" cell format."""
+        return f"{self.fpr:.2f} / {self.tpr:.2f}"
+
+    def __str__(self) -> str:
+        return (
+            f"FPR={self.fpr:.2f} TPR={self.tpr:.2f} acc={self.accuracy:.2f} "
+            f"(benign={self.n_benign}, malicious={self.n_malicious})"
+        )

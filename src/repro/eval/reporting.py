@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .experiments import IdsResult
+
+__all__ = ["format_table", "format_ids_table", "format_accuracy_ranking"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in cells
+    ]
+    return "\n".join([line, sep] + body)
+
+
+def format_ids_table(
+    results: Mapping[str, IdsResult],
+    submodule_names: Sequence[str] = ("c_disp", "h_dist", "v_dist"),
+    title: str = "",
+) -> str:
+    """Format per-cell IDS results in the paper's FPR / TPR style.
+
+    ``results`` maps a row label (e.g. ``"UM3 Raw ACC"``) to its
+    :class:`IdsResult`.
+    """
+    headers = ["Cell", "Overall"] + list(submodule_names) + ["Accuracy"]
+    rows: List[List[object]] = []
+    for label, result in results.items():
+        row: List[object] = [label, result.cell()]
+        for name in submodule_names:
+            stats = result.submodules.get(name)
+            row.append(stats.as_pair() if stats is not None else "-")
+        row.append(f"{result.overall.accuracy:.2f}")
+        rows.append(row)
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def format_accuracy_ranking(accuracies: Mapping[str, float]) -> str:
+    """Fig. 12-style ranking: IDS name -> average accuracy, sorted."""
+    ordered = sorted(accuracies.items(), key=lambda kv: kv[1])
+    return format_table(
+        ["IDS", "Avg accuracy"],
+        [[name, f"{acc:.3f}"] for name, acc in ordered],
+    )

@@ -1,0 +1,116 @@
+"""ROC analysis: the OCC margin ``r`` as an operating-point dial.
+
+Section VII-C explains that ``r`` trades FPR against FNR but the paper only
+reports two operating points (r = 0 for the weak baselines, r = 0.3 for
+NSYNC).  This module sweeps ``r`` over a campaign cell and returns the full
+ROC curve — useful both for picking an operating point on a new printer and
+for comparing IDSs by area under the curve rather than a single accuracy.
+
+The sweep is cheap: the expensive part (synchronize + compare every run) is
+done once, and each ``r`` only re-applies thresholds to cached features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.occ import OneClassTrainer
+from ..core.pipeline import NsyncIds
+from ..signals.signal import Signal
+from ..sync.base import Synchronizer
+from ..sync.dwm import DwmSynchronizer
+from .dataset import Campaign, ProcessRun
+from .experiments import RAW, _submodule_flags, transform_signal
+from .metrics import DetectionStats
+
+__all__ = ["RocPoint", "RocCurve", "roc_sweep", "auc"]
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point of the sweep."""
+
+    r: float
+    fpr: float
+    tpr: float
+    accuracy: float
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """The full sweep, ordered by increasing ``r``."""
+
+    points: Tuple[RocPoint, ...]
+
+    @property
+    def best(self) -> RocPoint:
+        """The operating point with the highest balanced accuracy."""
+        return max(self.points, key=lambda p: p.accuracy)
+
+    def fprs(self) -> np.ndarray:
+        return np.asarray([p.fpr for p in self.points])
+
+    def tprs(self) -> np.ndarray:
+        return np.asarray([p.tpr for p in self.points])
+
+
+def auc(curve: RocCurve) -> float:
+    """Area under the (FPR, TPR) curve via the trapezoid rule.
+
+    The sweep endpoints are extended to (0, 0) and (1, 1) so curves from
+    different sweeps are comparable.
+    """
+    fpr = np.concatenate([[0.0], curve.fprs()[::-1], [1.0]])
+    tpr = np.concatenate([[0.0], curve.tprs()[::-1], [1.0]])
+    order = np.argsort(fpr, kind="stable")
+    return float(np.trapezoid(tpr[order], fpr[order]))
+
+
+def roc_sweep(
+    campaign: Campaign,
+    channel: str,
+    transform: str = RAW,
+    synchronizer: Optional[Synchronizer] = None,
+    r_values: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.5, 1.0, 2.0, 4.0),
+) -> RocCurve:
+    """Sweep the OCC margin over one campaign cell.
+
+    Features are computed once per run; every ``r`` value re-derives the
+    thresholds from the cached training maxima and re-applies them.
+    """
+    if synchronizer is None:
+        synchronizer = DwmSynchronizer(campaign.setup.dwm_params)
+
+    def signal_of(run: ProcessRun) -> Signal:
+        return transform_signal(run.signals[channel], channel, transform)
+
+    ids = NsyncIds(signal_of(campaign.reference), synchronizer)
+    trainer = OneClassTrainer(r=0.0)
+    for run in campaign.training:
+        trainer.add_run(ids.analyze(signal_of(run)).features)
+
+    cached = []
+    for run in campaign.benign_test:
+        cached.append((False, ids.analyze(signal_of(run)).features))
+    for run in campaign.all_malicious():
+        cached.append((True, ids.analyze(signal_of(run)).features))
+
+    points: List[RocPoint] = []
+    for r in sorted(r_values):
+        thresholds = trainer.thresholds(r=r)
+        stats = DetectionStats()
+        for is_malicious, features in cached:
+            fired = any(_submodule_flags(features, thresholds).values())
+            stats.record(is_malicious, fired)
+        points.append(
+            RocPoint(
+                r=float(r),
+                fpr=stats.fpr,
+                tpr=stats.tpr,
+                accuracy=stats.accuracy,
+            )
+        )
+    return RocCurve(points=tuple(points))

@@ -1,0 +1,127 @@
+"""Persistence: save/load signals, thresholds, and DWM parameters.
+
+A deployed IDS records its reference signals once, learns its thresholds
+once, and then reloads both on every print.  Signals go to ``.npz`` (data +
+rate + channel names); the small configuration objects go to JSON so they
+stay human-auditable — an operator should be able to read the thresholds
+that will stop their printer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .core.discriminator import Thresholds
+from .signals.signal import Signal
+from .sync.dwm import DwmParams
+
+__all__ = [
+    "save_signal",
+    "load_signal",
+    "save_signals",
+    "load_signals",
+    "save_thresholds",
+    "load_thresholds",
+    "save_dwm_params",
+    "load_dwm_params",
+]
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Signals
+# ---------------------------------------------------------------------------
+def save_signal(signal: Signal, path: PathLike) -> None:
+    """Write one signal to a ``.npz`` file."""
+    path = Path(path)
+    payload = {
+        "data": signal.data,
+        "sample_rate": np.asarray(signal.sample_rate),
+    }
+    if signal.channel_names is not None:
+        payload["channel_names"] = np.asarray(signal.channel_names)
+    np.savez_compressed(path, **payload)
+
+
+def load_signal(path: PathLike) -> Signal:
+    """Read a signal written by :func:`save_signal`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        names = None
+        if "channel_names" in archive:
+            names = [str(n) for n in archive["channel_names"]]
+        return Signal(
+            archive["data"],
+            float(archive["sample_rate"]),
+            channel_names=names,
+        )
+
+
+def save_signals(signals: Dict[str, Signal], directory: PathLike) -> None:
+    """Write one ``<channel>.npz`` per channel into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for channel_id, signal in signals.items():
+        save_signal(signal, directory / f"{channel_id}.npz")
+
+
+def load_signals(directory: PathLike) -> Dict[str, Signal]:
+    """Read every ``*.npz`` in ``directory`` as a channel."""
+    directory = Path(directory)
+    out: Dict[str, Signal] = {}
+    for path in sorted(directory.glob("*.npz")):
+        out[path.stem] = load_signal(path)
+    if not out:
+        raise FileNotFoundError(f"no .npz signals under {directory}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Thresholds and parameters (JSON)
+# ---------------------------------------------------------------------------
+def save_thresholds(thresholds: Thresholds, path: PathLike) -> None:
+    """Write learned critical values as human-readable JSON."""
+    payload = {
+        "c_c": thresholds.c_c,
+        "h_c": thresholds.h_c,
+        "v_c": thresholds.v_c,
+        "d_c": thresholds.d_c,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_thresholds(path: PathLike) -> Thresholds:
+    payload = json.loads(Path(path).read_text())
+    return Thresholds(
+        c_c=float(payload["c_c"]),
+        h_c=float(payload["h_c"]),
+        v_c=float(payload["v_c"]),
+        d_c=float(payload.get("d_c", float("inf"))),
+    )
+
+
+def save_dwm_params(params: DwmParams, path: PathLike) -> None:
+    """Write DWM parameters (Table IV style) as JSON."""
+    payload = {
+        "t_win": params.t_win,
+        "t_hop": params.t_hop,
+        "t_ext": params.t_ext,
+        "t_sigma": params.t_sigma,
+        "eta": params.eta,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_dwm_params(path: PathLike) -> DwmParams:
+    payload = json.loads(Path(path).read_text())
+    return DwmParams(
+        t_win=float(payload["t_win"]),
+        t_hop=float(payload["t_hop"]),
+        t_ext=float(payload["t_ext"]),
+        t_sigma=float(payload["t_sigma"]),
+        eta=float(payload.get("eta", 0.1)),
+    )

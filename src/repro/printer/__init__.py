@@ -1,0 +1,35 @@
+"""Printer substrate: G-code, motion planning, kinematics, firmware."""
+
+from .gcode import GcodeCommand, GcodeProgram, parse_gcode, parse_line
+from .motion import TrapezoidalProfile, plan_move
+from .kinematics import CartesianKinematics, DeltaKinematics, Kinematics
+from .noise import NO_TIME_NOISE, TimeNoiseModel
+from .machine import MachineConfig, ROSTOCK_MAX_V3, ULTIMAKER3
+from .firmware import Firmware, MachineTrace, simulate_print
+from .arcs import arc_points, segment_arcs
+from .lookahead import GeneralProfile, junction_speed, plan_chain
+
+__all__ = [
+    "GcodeCommand",
+    "GcodeProgram",
+    "parse_gcode",
+    "parse_line",
+    "TrapezoidalProfile",
+    "plan_move",
+    "CartesianKinematics",
+    "DeltaKinematics",
+    "Kinematics",
+    "NO_TIME_NOISE",
+    "TimeNoiseModel",
+    "MachineConfig",
+    "ROSTOCK_MAX_V3",
+    "ULTIMAKER3",
+    "Firmware",
+    "MachineTrace",
+    "simulate_print",
+    "arc_points",
+    "segment_arcs",
+    "GeneralProfile",
+    "junction_speed",
+    "plan_chain",
+]

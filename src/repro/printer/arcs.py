@@ -1,0 +1,159 @@
+"""G2/G3 arc interpolation.
+
+Slicers with "arc welder" post-processing emit circular moves: ``G2``
+(clockwise) and ``G3`` (counter-clockwise) with the arc centre given as an
+``I``/``J`` offset from the current position (or a radius ``R``).  Real
+firmwares flatten arcs into short line segments internally; we do the same
+as a preprocessing pass, so the planner, the time-noise model, and every
+sensor see arcs exactly as they see any other toolpath.
+
+Extrusion ``E`` and the feedrate are carried through; ``E`` is distributed
+over the segments in proportion to arc length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .gcode import GcodeCommand, GcodeProgram
+
+__all__ = ["segment_arcs", "arc_points"]
+
+_FULL_CIRCLE_EPS = 1e-9
+
+
+def arc_points(
+    start: np.ndarray,
+    end: np.ndarray,
+    centre: np.ndarray,
+    clockwise: bool,
+    max_segment: float = 0.5,
+) -> np.ndarray:
+    """Points along the arc from ``start`` to ``end`` about ``centre``.
+
+    Returns the interior + final points (the start point is excluded).  A
+    coincident start/end is treated as a full circle, as firmwares do.
+    """
+    if max_segment <= 0:
+        raise ValueError(f"max_segment must be positive, got {max_segment}")
+    v0 = start - centre
+    v1 = end - centre
+    r0, r1 = np.linalg.norm(v0), np.linalg.norm(v1)
+    if r0 < _FULL_CIRCLE_EPS:
+        raise ValueError("arc start coincides with its centre")
+
+    a0 = np.arctan2(v0[1], v0[0])
+    a1 = np.arctan2(v1[1], v1[0])
+    sweep = a1 - a0
+    if clockwise:
+        while sweep >= -_FULL_CIRCLE_EPS:
+            sweep -= 2.0 * np.pi
+    else:
+        while sweep <= _FULL_CIRCLE_EPS:
+            sweep += 2.0 * np.pi
+
+    arc_len = abs(sweep) * max(r0, r1)
+    n_segments = max(2, int(np.ceil(arc_len / max_segment)))
+    ts = np.linspace(0.0, 1.0, n_segments + 1)[1:]
+    angles = a0 + sweep * ts
+    # Blend the radius linearly so slightly inconsistent I/J still closes
+    # onto the commanded endpoint (firmware behaviour).
+    radii = r0 + (r1 - r0) * ts
+    points = centre + np.column_stack(
+        [radii * np.cos(angles), radii * np.sin(angles)]
+    )
+    points[-1] = end  # land exactly on the commanded endpoint
+    return points
+
+
+def _centre_from_radius(
+    start: np.ndarray, end: np.ndarray, radius: float, clockwise: bool
+) -> np.ndarray:
+    """Arc centre from the R form (choose the minor arc as firmwares do)."""
+    chord = end - start
+    d = np.linalg.norm(chord)
+    if d < _FULL_CIRCLE_EPS:
+        raise ValueError("R-form arcs cannot be full circles")
+    if abs(radius) < d / 2.0 - 1e-9:
+        raise ValueError(f"radius {radius} too small for chord {d}")
+    mid = (start + end) / 2.0
+    h = np.sqrt(max(radius**2 - (d / 2.0) ** 2, 0.0))
+    normal = np.array([-chord[1], chord[0]]) / d
+    # Sign convention: positive R picks the minor arc.
+    sign = -1.0 if clockwise else 1.0
+    if radius < 0:
+        sign = -sign
+    return mid + sign * h * normal
+
+
+def segment_arcs(
+    program: GcodeProgram, max_segment: float = 0.5
+) -> GcodeProgram:
+    """Replace every G2/G3 with an equivalent chain of G1 moves.
+
+    Programs without arcs are returned unchanged (same object), so the
+    preprocessing is free in the common case.
+    """
+    if not any(c.code in ("G2", "G3") for c in program):
+        return program
+
+    commands: List[GcodeCommand] = []
+    pos = np.zeros(2)
+    e_pos = 0.0
+    for command in program:
+        if command.code in ("G2", "G3"):
+            clockwise = command.code == "G2"
+            end = np.array(
+                [command.get("X", pos[0]), command.get("Y", pos[1])]
+            )
+            if command.get("R") is not None:
+                centre = _centre_from_radius(
+                    pos, end, command.get("R"), clockwise
+                )
+            else:
+                centre = pos + np.array(
+                    [command.get("I", 0.0), command.get("J", 0.0)]
+                )
+            points = arc_points(pos, end, centre, clockwise, max_segment)
+
+            e_target = command.get("E")
+            lengths = np.linalg.norm(
+                np.diff(np.vstack([pos, points]), axis=0), axis=1
+            )
+            total = float(lengths.sum()) or 1.0
+            cumulative = np.cumsum(lengths) / total
+
+            f = command.get("F")
+            for k, point in enumerate(points):
+                params = {"X": round(float(point[0]), 5),
+                          "Y": round(float(point[1]), 5)}
+                if e_target is not None:
+                    e_here = e_pos + (e_target - e_pos) * cumulative[k]
+                    params["E"] = round(float(e_here), 6)
+                if f is not None and k == 0:
+                    params["F"] = f
+                z = command.get("Z")
+                if z is not None and k == len(points) - 1:
+                    params["Z"] = z
+                commands.append(
+                    GcodeCommand("G1", params, comment="arc" if k == 0 else None)
+                )
+            pos = end
+            if e_target is not None:
+                e_pos = float(e_target)
+            continue
+
+        if command.is_move:
+            pos = np.array(
+                [command.get("X", pos[0]), command.get("Y", pos[1])]
+            )
+            if command.get("E") is not None:
+                e_pos = float(command.get("E"))
+        elif command.code == "G92" and command.get("E") is not None:
+            e_pos = float(command.get("E"))
+        elif command.code == "G28":
+            pos = np.zeros(2)
+        commands.append(command)
+    return GcodeProgram(commands)

@@ -1,0 +1,487 @@
+"""Firmware simulator: executes G-code and produces a machine-state trace.
+
+The :class:`Firmware` plays the role of the printer's controller board: it
+consumes a :class:`~repro.printer.gcode.GcodeProgram`, plans every move with
+the trapezoidal planner, applies the time-noise model (per-move jitter +
+inter-instruction gaps), integrates a first-order thermal model, and samples
+the full machine state onto a uniform grid.  The resulting
+:class:`MachineTrace` is the single source every simulated sensor draws
+from, so all side channels of one run share the same (noisy) timeline —
+exactly the property the paper exploits in Fig. 10.
+
+A *firmware attack* is modelled by giving the firmware a command transformer
+that rewrites instructions at execution time, after the (benign) G-code has
+been received.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .gcode import GcodeCommand, GcodeProgram
+from .kinematics import Kinematics
+from .machine import MachineConfig
+from .motion import TrapezoidalProfile, plan_move
+from .noise import NO_TIME_NOISE, TimeNoiseModel, TimeNoiseProcess
+
+__all__ = ["MachineTrace", "Firmware", "simulate_print"]
+
+CommandTransformer = Callable[[GcodeCommand], GcodeCommand]
+
+
+@dataclass
+class MachineTrace:
+    """Uniformly sampled machine state over one printing process.
+
+    All arrays share the first dimension (``n_samples`` at ``sim_rate``).
+    Positions are tool coordinates in mm; joints are actuator coordinates
+    (axes for a Cartesian machine, carriage heights for a delta).
+    """
+
+    sim_rate: float
+    times: np.ndarray             # (n,)
+    position: np.ndarray          # (n, 3) tool x, y, z
+    velocity: np.ndarray          # (n, 3)
+    acceleration: np.ndarray      # (n, 3)
+    joint_position: np.ndarray    # (n, J)
+    joint_velocity: np.ndarray    # (n, J)
+    extrusion_rate: np.ndarray    # (n,) filament mm/s
+    hotend_temp: np.ndarray       # (n,) degC
+    bed_temp: np.ndarray          # (n,) degC
+    fan: np.ndarray               # (n,) 0..1
+    command_index: np.ndarray     # (n,) which program command was executing
+    layer_index: np.ndarray       # (n,) current layer number (0-based)
+    layer_change_times: List[float] = field(default_factory=list)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def duration(self) -> float:
+        return self.n_samples / self.sim_rate
+
+    @property
+    def n_joints(self) -> int:
+        return int(self.joint_position.shape[1])
+
+
+@dataclass
+class _MoveSegment:
+    """One planned move placed on the global timeline."""
+
+    t_start: float
+    duration: float          # actual (jittered) duration
+    profile: TrapezoidalProfile
+    start_xyz: np.ndarray
+    direction: np.ndarray    # unit vector in tool space (zeros for E-only)
+    e_start: float
+    e_delta: float
+    command_index: int
+    layer_index: int
+
+
+class Firmware:
+    """G-code executor with a stochastic timing model.
+
+    Parameters
+    ----------
+    machine:
+        Static machine description (kinematics, limits, thermal constants).
+    time_noise:
+        The timing perturbation model; defaults to no noise so that unit
+        tests of the kinematic pipeline stay deterministic.
+    transformer:
+        Optional command rewriter applied at execution time — the hook used
+        to model firmware-level attacks.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        time_noise: TimeNoiseModel = NO_TIME_NOISE,
+        transformer: Optional[CommandTransformer] = None,
+    ) -> None:
+        self.machine = machine
+        self.time_noise = time_noise
+        self.transformer = transformer
+
+    # ------------------------------------------------------------------
+    def run(
+        self, program: GcodeProgram, rng: Optional[np.random.Generator] = None
+    ) -> MachineTrace:
+        """Execute ``program`` and return the sampled machine trace."""
+        rng = rng if rng is not None else np.random.default_rng()
+        noise = self.time_noise.start(rng)
+        from .arcs import segment_arcs
+
+        program = segment_arcs(program)  # no-op when there are no G2/G3
+        segments, events = self._schedule(program, noise)
+        return self._sample(segments, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling: walk the program and lay segments on the timeline.
+    # ------------------------------------------------------------------
+    def _schedule(
+        self, program: GcodeProgram, noise: "TimeNoiseProcess"
+    ) -> Tuple[List[_MoveSegment], dict]:
+        machine = self.machine
+        pos = np.zeros(3)
+        e_pos = 0.0
+        feedrate = 30.0  # mm/s default until the first F parameter
+        hotend_target = machine.ambient_temp
+        bed_target = machine.ambient_temp
+        fan = 0.0
+        t = 0.0
+        layer = 0
+        current_z: Optional[float] = None
+        relative_xyz = False  # G90 (absolute) is the power-on default
+        relative_e = False    # M82 (absolute extruder) likewise
+
+        segments: List[_MoveSegment] = []
+        # Step events for the slow state (targets change instantaneously,
+        # the thermal filter smooths them at sampling time).
+        hotend_events: List[Tuple[float, float]] = [(0.0, hotend_target)]
+        bed_events: List[Tuple[float, float]] = [(0.0, bed_target)]
+        fan_events: List[Tuple[float, float]] = [(0.0, fan)]
+        layer_changes: List[float] = []
+
+        # Moves are queued and planned in chains so the optional look-ahead
+        # planner can join them at nonzero junction speeds; the stop-to-stop
+        # planner simply plans each queued move independently.
+        pending: List[dict] = []
+
+        def flush_moves() -> None:
+            nonlocal t
+            if not pending:
+                return
+            movers = [p for p in pending if p["path_length"] > 0]
+            if machine.lookahead and len(movers) > 1 and movers == pending:
+                from .lookahead import plan_chain
+
+                profiles = plan_chain(
+                    [p["direction"] for p in pending],
+                    [p["path_length"] for p in pending],
+                    [p["feedrate"] for p in pending],
+                    machine.acceleration,
+                    machine.junction_deviation,
+                )
+            else:
+                profiles = [
+                    plan_move(
+                        p["path_length"], p["feedrate"], machine.acceleration
+                    )
+                    for p in pending
+                ]
+            for p, profile in zip(pending, profiles):
+                if p["starts_layer"]:
+                    layer_changes.append(t)
+                duration = noise.perturb_duration(profile.duration)
+                segments.append(
+                    _MoveSegment(
+                        t_start=t,
+                        duration=duration,
+                        profile=profile,
+                        start_xyz=p["start"],
+                        direction=p["direction"],
+                        e_start=p["e_start"],
+                        e_delta=p["e_delta"],
+                        command_index=p["index"],
+                        layer_index=p["layer"],
+                    )
+                )
+                t += duration
+                if not machine.lookahead:
+                    t += noise.sample_gap()
+            if machine.lookahead:
+                # Joined moves flow through the planner buffer; the random
+                # queueing gap appears once per chain, not per move.
+                t += noise.sample_gap()
+            pending.clear()
+
+        for index, raw_command in enumerate(program):
+            command = (
+                self.transformer(raw_command) if self.transformer else raw_command
+            )
+            code = command.code
+
+            if command.is_move:
+                f = command.get("F")
+                if f is not None:
+                    feedrate = min(f / 60.0, machine.max_feedrate)
+                target = pos.copy()
+                for axis, k in enumerate("XYZ"):
+                    value = command.get(k)
+                    if value is not None:
+                        target[axis] = pos[axis] + value if relative_xyz else value
+                e_value = command.get("E")
+                if e_value is None:
+                    e_target = e_pos
+                elif relative_e:
+                    e_target = e_pos + e_value
+                else:
+                    e_target = e_value
+
+                starts_layer = False
+                z = command.get("Z")
+                if z is not None and (current_z is None or z > current_z):
+                    if current_z is not None:
+                        layer += 1
+                        starts_layer = True
+                    current_z = z
+
+                delta = target - pos
+                distance = float(np.linalg.norm(delta))
+                e_delta = float(e_target - e_pos)
+                if distance > 0:
+                    pending.append(
+                        {
+                            "direction": delta / distance,
+                            "path_length": distance,
+                            "feedrate": feedrate,
+                            "start": pos.copy(),
+                            "e_start": e_pos,
+                            "e_delta": e_delta,
+                            "index": index,
+                            "layer": layer,
+                            "starts_layer": starts_layer,
+                        }
+                    )
+                elif abs(e_delta) > 0:
+                    # Extruder-only move (retraction): the head stops, so it
+                    # breaks any look-ahead chain.
+                    flush_moves()
+                    pending.append(
+                        {
+                            "direction": np.zeros(3),
+                            "path_length": abs(e_delta),
+                            "feedrate": feedrate,
+                            "start": pos.copy(),
+                            "e_start": e_pos,
+                            "e_delta": e_delta,
+                            "index": index,
+                            "layer": layer,
+                            "starts_layer": starts_layer,
+                        }
+                    )
+                    flush_moves()
+                elif starts_layer:
+                    # A zero-length layer marker: record it in execution
+                    # order by flushing what came before it first.
+                    flush_moves()
+                    layer_changes.append(t)
+                pos = target
+                e_pos = float(e_target)
+
+            elif code == "G28":  # home: move to origin at a fixed rate
+                flush_moves()
+                distance = float(np.linalg.norm(pos))
+                if distance > 0:
+                    profile = plan_move(distance, 50.0, machine.acceleration)
+                    duration = noise.perturb_duration(profile.duration)
+                    segments.append(
+                        _MoveSegment(
+                            t_start=t,
+                            duration=duration,
+                            profile=profile,
+                            start_xyz=pos.copy(),
+                            direction=-pos / distance,
+                            e_start=e_pos,
+                            e_delta=0.0,
+                            command_index=index,
+                            layer_index=layer,
+                        )
+                    )
+                    t += duration
+                pos = np.zeros(3)
+                current_z = None
+
+            elif code == "G90":  # absolute positioning (XYZ and E)
+                relative_xyz = False
+                relative_e = False
+            elif code == "G91":  # relative positioning (XYZ and E)
+                relative_xyz = True
+                relative_e = True
+            elif code == "M82":  # absolute extruder
+                relative_e = False
+            elif code == "M83":  # relative extruder
+                relative_e = True
+
+            elif code == "G92":  # reset logical positions
+                flush_moves()
+                for axis, k in enumerate("XYZ"):
+                    value = command.get(k)
+                    if value is not None:
+                        pos[axis] = value
+                e = command.get("E")
+                if e is not None:
+                    e_pos = float(e)
+
+            elif code == "G4":  # dwell: P (ms) or S (s)
+                flush_moves()
+                t += (command.get("P", 0.0) or 0.0) / 1000.0
+                t += command.get("S", 0.0) or 0.0
+
+            elif code in ("M104", "M109"):
+                flush_moves()
+                hotend_target = command.get("S", hotend_target)
+                hotend_events.append((t, hotend_target))
+                if code == "M109":
+                    t += self._wait_time(machine.hotend_tau)
+            elif code in ("M140", "M190"):
+                flush_moves()
+                bed_target = command.get("S", bed_target)
+                bed_events.append((t, bed_target))
+                if code == "M190":
+                    t += self._wait_time(machine.bed_tau)
+            elif code == "M106":
+                flush_moves()
+                fan = float(np.clip(command.get("S", 255.0) / 255.0, 0.0, 1.0))
+                fan_events.append((t, fan))
+            elif code == "M107":
+                flush_moves()
+                fan = 0.0
+                fan_events.append((t, fan))
+            # Unknown codes are ignored, as real firmwares do.
+
+        flush_moves()
+
+        events = {
+            "hotend": hotend_events,
+            "bed": bed_events,
+            "fan": fan_events,
+            "layer_changes": layer_changes,
+            "total_time": t,
+        }
+        return segments, events
+
+    def _wait_time(self, tau: float) -> float:
+        """Time M109/M190 blocks, capped by the machine's wait limit."""
+        # First-order system reaches ~95% of a step in 3 tau.
+        return min(3.0 * tau, self.machine.max_temp_wait)
+
+    # ------------------------------------------------------------------
+    # Sampling: turn segments + events into uniform arrays.
+    # ------------------------------------------------------------------
+    def _sample(self, segments: List[_MoveSegment], events: dict) -> MachineTrace:
+        machine = self.machine
+        fs = machine.sim_rate
+        total = events["total_time"]
+        n = max(2, int(np.ceil(total * fs)) + 1)
+        times = np.arange(n) / fs
+
+        position = np.zeros((n, 3))
+        velocity = np.zeros((n, 3))
+        acceleration = np.zeros((n, 3))
+        extrusion = np.zeros(n)
+        command_index = np.zeros(n, dtype=np.intp)
+        layer_index = np.zeros(n, dtype=np.intp)
+
+        # Hold the last position between moves.
+        last_pos = np.zeros(3)
+        cursor = 0
+        for seg in segments:
+            i0 = int(np.ceil(seg.t_start * fs))
+            i1 = int(np.ceil((seg.t_start + seg.duration) * fs))
+            i0, i1 = min(i0, n), min(i1, n)
+            # idle gap before this segment holds the previous position
+            position[cursor:i0] = last_pos
+            if cursor > 0:
+                command_index[cursor:i0] = command_index[cursor - 1]
+                layer_index[cursor:i0] = layer_index[cursor - 1]
+
+            if i1 > i0:
+                local_t = times[i0:i1] - seg.t_start
+                # Jitter stretches real time; the profile is defined over the
+                # nominal duration, so map through the stretch factor.
+                stretch = (
+                    seg.profile.duration / seg.duration
+                    if seg.duration > 0
+                    else 1.0
+                )
+                tau = local_t * stretch
+                s = seg.profile.position(tau)
+                v = seg.profile.velocity(tau) * stretch
+                a = seg.profile.acceleration(tau) * stretch**2
+                position[i0:i1] = seg.start_xyz + np.outer(s, seg.direction)
+                velocity[i0:i1] = np.outer(v, seg.direction)
+                acceleration[i0:i1] = np.outer(a, seg.direction)
+                if seg.profile.distance > 0:
+                    frac = seg.e_delta / seg.profile.distance
+                    extrusion[i0:i1] = v * frac
+                command_index[i0:i1] = seg.command_index
+                layer_index[i0:i1] = seg.layer_index
+            end = seg.start_xyz + seg.direction * seg.profile.distance
+            last_pos = end
+            cursor = max(cursor, i1)
+        position[cursor:] = last_pos
+        if cursor > 0 and cursor < n:
+            command_index[cursor:] = command_index[cursor - 1]
+            layer_index[cursor:] = layer_index[cursor - 1]
+
+        hotend = self._thermal_track(times, events["hotend"], machine.hotend_tau)
+        bed = self._thermal_track(times, events["bed"], machine.bed_tau)
+        fan = self._step_track(times, events["fan"])
+
+        joint_pos = machine.kinematics.joint_positions(position)
+        joint_vel = np.gradient(joint_pos, 1.0 / fs, axis=0)
+
+        return MachineTrace(
+            sim_rate=fs,
+            times=times,
+            position=position,
+            velocity=velocity,
+            acceleration=acceleration,
+            joint_position=joint_pos,
+            joint_velocity=joint_vel,
+            extrusion_rate=extrusion,
+            hotend_temp=hotend,
+            bed_temp=bed,
+            fan=fan,
+            command_index=command_index,
+            layer_index=layer_index,
+            layer_change_times=list(events["layer_changes"]),
+        )
+
+    def _thermal_track(
+        self, times: np.ndarray, events: List[Tuple[float, float]], tau: float
+    ) -> np.ndarray:
+        """First-order response to a piecewise-constant target."""
+        target = self._step_track(times, events)
+        out = np.empty_like(target)
+        out[0] = self.machine.ambient_temp
+        alpha = (1.0 / self.machine.sim_rate) / max(tau, 1e-6)
+        alpha = min(alpha, 1.0)
+        for i in range(1, out.size):
+            out[i] = out[i - 1] + alpha * (target[i] - out[i - 1])
+        return out
+
+    @staticmethod
+    def _step_track(
+        times: np.ndarray, events: List[Tuple[float, float]]
+    ) -> np.ndarray:
+        """Piecewise-constant value track from (time, value) step events."""
+        out = np.zeros_like(times)
+        if not events:
+            return out
+        events = sorted(events)
+        values = np.array([v for _, v in events])
+        starts = np.array([t for t, _ in events])
+        idx = np.searchsorted(starts, times, side="right") - 1
+        idx = np.clip(idx, 0, len(events) - 1)
+        return values[idx]
+
+
+def simulate_print(
+    program: GcodeProgram,
+    machine: MachineConfig,
+    time_noise: TimeNoiseModel = NO_TIME_NOISE,
+    seed: Optional[int] = None,
+    transformer: Optional[CommandTransformer] = None,
+) -> MachineTrace:
+    """One-call convenience wrapper around :class:`Firmware`."""
+    rng = np.random.default_rng(seed)
+    return Firmware(machine, time_noise, transformer).run(program, rng)

@@ -1,0 +1,153 @@
+"""G-code parsing, representation, and serialization.
+
+G-code is the programming language of FDM printers (paper Section II-A).
+Instructions give target coordinates and feedrates but *not* timing — the
+firmware chooses accelerations and may insert gaps, which is exactly where
+time noise comes from.  This module handles the dialect our slicer emits and
+our firmware executes: linear moves (G0/G1), homing (G28), position resets
+(G92), unit/positioning modes (G20/G21/G90/G91), temperatures (M104/M109/
+M140/M190), and fan control (M106/M107).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["GcodeCommand", "GcodeProgram", "parse_gcode", "parse_line"]
+
+# Parameters whose values are coordinates affected by G90/G91 positioning.
+_AXIS_PARAMS = ("X", "Y", "Z", "E")
+
+
+@dataclass(frozen=True)
+class GcodeCommand:
+    """A single G-code instruction.
+
+    ``code`` is the normalized opcode (e.g. ``"G1"``); ``params`` maps
+    single-letter parameter names to floats; ``comment`` keeps any trailing
+    comment so attack transformers can annotate their edits.
+    """
+
+    code: str
+    params: Dict[str, float] = field(default_factory=dict)
+    comment: Optional[str] = None
+
+    def get(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        """Look up a parameter value."""
+        return self.params.get(key, default)
+
+    @property
+    def is_move(self) -> bool:
+        """Whether this is a linear move (G0 or G1)."""
+        return self.code in ("G0", "G1")
+
+    def with_params(self, **updates: float) -> "GcodeCommand":
+        """Return a copy with some parameters replaced (attack helper)."""
+        params = dict(self.params)
+        params.update(updates)
+        return GcodeCommand(self.code, params, self.comment)
+
+    def to_line(self) -> str:
+        """Serialize back to a G-code source line."""
+        parts = [self.code]
+        for key, value in self.params.items():
+            if value == int(value):
+                parts.append(f"{key}{int(value)}")
+            else:
+                parts.append(f"{key}{value:.5f}".rstrip("0").rstrip("."))
+        line = " ".join(parts)
+        if self.comment:
+            line += f" ;{self.comment}"
+        return line
+
+
+def parse_line(line: str) -> Optional[GcodeCommand]:
+    """Parse one source line; returns ``None`` for blanks and pure comments."""
+    comment = None
+    if ";" in line:
+        line, comment = line.split(";", 1)
+        comment = comment.strip() or None
+    line = line.strip()
+    if not line:
+        return None
+
+    tokens = line.split()
+    head = tokens[0].upper()
+    if not head or head[0] not in "GMT":
+        raise ValueError(f"unrecognized G-code line: {line!r}")
+    # Normalize e.g. "G01" -> "G1".
+    try:
+        number = int(float(head[1:]))
+    except ValueError:
+        raise ValueError(f"bad opcode in G-code line: {line!r}") from None
+    code = f"{head[0]}{number}"
+
+    params: Dict[str, float] = {}
+    for token in tokens[1:]:
+        key = token[0].upper()
+        try:
+            params[key] = float(token[1:])
+        except (ValueError, IndexError):
+            raise ValueError(f"bad parameter {token!r} in line {line!r}") from None
+    return GcodeCommand(code, params, comment)
+
+
+def parse_gcode(source: Iterable[str]) -> "GcodeProgram":
+    """Parse an iterable of source lines into a :class:`GcodeProgram`."""
+    commands = []
+    for raw in source:
+        command = parse_line(raw)
+        if command is not None:
+            commands.append(command)
+    return GcodeProgram(commands)
+
+
+class GcodeProgram:
+    """An ordered list of G-code commands with convenience accessors."""
+
+    def __init__(self, commands: Iterable[GcodeCommand]) -> None:
+        self.commands: List[GcodeCommand] = list(commands)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self) -> Iterator[GcodeCommand]:
+        return iter(self.commands)
+
+    def __getitem__(self, index):
+        return self.commands[index]
+
+    def moves(self) -> List[GcodeCommand]:
+        """All linear-move commands, in order."""
+        return [c for c in self.commands if c.is_move]
+
+    def layer_starts(self) -> List[int]:
+        """Indexes of commands that begin a new layer (Z-only or Z+move).
+
+        A command starts a layer when it is a move that raises ``Z``.  Used
+        by the layer-synchronized baseline IDSs (Gao, Gatlin).
+        """
+        starts = []
+        current_z: Optional[float] = None
+        for i, c in enumerate(self.commands):
+            if not c.is_move:
+                continue
+            z = c.get("Z")
+            if z is None:
+                continue
+            if current_z is None or z > current_z:
+                starts.append(i)
+            current_z = z
+        return starts
+
+    def to_text(self) -> str:
+        """Serialize the whole program."""
+        return "\n".join(c.to_line() for c in self.commands) + "\n"
+
+    @staticmethod
+    def from_text(text: str) -> "GcodeProgram":
+        return parse_gcode(text.splitlines())
+
+    def copy(self) -> "GcodeProgram":
+        return GcodeProgram(list(self.commands))

@@ -1,0 +1,95 @@
+"""Printer kinematics: tool position -> actuator (joint) coordinates.
+
+The side channels we simulate are driven by the *actuators*, not the tool:
+an accelerometer on the printhead feels Cartesian acceleration, but motor
+noise (audio, magnetic, power) follows the joint velocities.  A Cartesian
+machine (Ultimaker 3) has a trivial mapping; a delta machine (Rostock Max
+V3) maps the same toolpath through the three-tower inverse kinematics, which
+is why the same G-code "sounds" completely different on the two printers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Kinematics", "CartesianKinematics", "DeltaKinematics"]
+
+
+@runtime_checkable
+class Kinematics(Protocol):
+    """Maps tool coordinates to joint coordinates."""
+
+    n_joints: int
+
+    def joint_positions(self, xyz: np.ndarray) -> np.ndarray:
+        """Joint coordinates for tool positions ``xyz`` of shape (n, 3)."""
+        ...
+
+
+@dataclass(frozen=True)
+class CartesianKinematics:
+    """Identity mapping: joints are the X, Y, Z axes themselves."""
+
+    n_joints: int = 3
+
+    def joint_positions(self, xyz: np.ndarray) -> np.ndarray:
+        xyz = np.atleast_2d(np.asarray(xyz, dtype=np.float64))
+        if xyz.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) tool positions, got {xyz.shape}")
+        return xyz.copy()
+
+
+@dataclass(frozen=True)
+class DeltaKinematics:
+    """Linear-rail delta (Rostock-style) inverse kinematics.
+
+    Three towers stand on a circle of radius ``tower_radius`` at 120-degree
+    spacing; each carriage connects to the effector through an arm of length
+    ``arm_length``.  The carriage height for tower ``k`` at tool position
+    ``(x, y, z)`` is::
+
+        h_k = z + sqrt(L^2 - (x_k - x)^2 - (y_k - y)^2)
+
+    where ``(x_k, y_k)`` is the tower's base position (effector offsets are
+    folded into ``tower_radius``).
+    """
+
+    arm_length: float = 291.06
+    tower_radius: float = 200.0
+    n_joints: int = 3
+
+    def __post_init__(self) -> None:
+        if self.arm_length <= 0:
+            raise ValueError(f"arm_length must be positive, got {self.arm_length}")
+        if self.tower_radius <= 0:
+            raise ValueError(
+                f"tower_radius must be positive, got {self.tower_radius}"
+            )
+        if self.arm_length <= self.tower_radius:
+            raise ValueError(
+                "arm_length must exceed tower_radius or the centre is "
+                "unreachable"
+            )
+
+    def tower_xy(self) -> np.ndarray:
+        """Base (x, y) of the three towers, shape (3, 2)."""
+        angles = np.deg2rad([90.0, 210.0, 330.0])
+        return self.tower_radius * np.column_stack(
+            [np.cos(angles), np.sin(angles)]
+        )
+
+    def joint_positions(self, xyz: np.ndarray) -> np.ndarray:
+        """Carriage heights, shape (n, 3).  Raises if a point is unreachable."""
+        xyz = np.atleast_2d(np.asarray(xyz, dtype=np.float64))
+        if xyz.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) tool positions, got {xyz.shape}")
+        towers = self.tower_xy()  # (3, 2)
+        dx = towers[:, 0][np.newaxis, :] - xyz[:, 0][:, np.newaxis]  # (n, 3)
+        dy = towers[:, 1][np.newaxis, :] - xyz[:, 1][:, np.newaxis]
+        under = self.arm_length**2 - dx**2 - dy**2
+        if np.any(under <= 0):
+            raise ValueError("tool position outside the delta's reachable volume")
+        return xyz[:, 2][:, np.newaxis] + np.sqrt(under)

@@ -1,0 +1,208 @@
+"""Look-ahead motion planning with junction velocities.
+
+The basic planner (:mod:`repro.printer.motion`) brings the head to a full
+stop between moves — simple, and it produces the vibration bursts that make
+the ACC channel informative.  Real firmwares (Marlin, and the Ultimaker's)
+*look ahead*: consecutive nearly-collinear moves are joined at a nonzero
+junction velocity, so long perimeter polylines glide instead of stuttering.
+
+This module implements the classic junction-deviation planner:
+
+1. per junction, an allowed speed from the angle between the moves
+   (full speed for collinear, zero for a reversal);
+2. a forward pass limiting each entry speed by what acceleration can reach;
+3. a backward pass limiting each exit speed so the chain can always stop;
+4. per-move velocity profiles generalized to nonzero entry/exit speeds.
+
+Enable it per machine with ``MachineConfig(..., lookahead=True)`` — the
+evaluation defaults keep the stop-to-stop planner so published results stay
+stable; `benchmarks/bench_ablations.py` quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["GeneralProfile", "plan_chain", "junction_speed"]
+
+
+@dataclass(frozen=True)
+class GeneralProfile:
+    """Trapezoidal profile with arbitrary entry/exit speeds.
+
+    Phases: accelerate from ``v_start`` to ``v_peak``, cruise, decelerate to
+    ``v_end``.  Degenerates gracefully to triangular or single-ramp shapes.
+    """
+
+    distance: float
+    v_start: float
+    v_peak: float
+    v_end: float
+    accel: float
+    t_accel: float
+    t_cruise: float
+    t_decel: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_accel + self.t_cruise + self.t_decel
+
+    def position(self, t: np.ndarray) -> np.ndarray:
+        t = np.clip(np.asarray(t, dtype=np.float64), 0.0, self.duration)
+        d1 = self.v_start * self.t_accel + 0.5 * self.accel * self.t_accel**2
+        d2 = d1 + self.v_peak * self.t_cruise
+
+        out = np.empty_like(t)
+        in_acc = t < self.t_accel
+        in_cruise = (~in_acc) & (t < self.t_accel + self.t_cruise)
+        in_dec = ~(in_acc | in_cruise)
+
+        ta = t[in_acc]
+        out[in_acc] = self.v_start * ta + 0.5 * self.accel * ta**2
+        out[in_cruise] = d1 + self.v_peak * (t[in_cruise] - self.t_accel)
+        td = t[in_dec] - self.t_accel - self.t_cruise
+        out[in_dec] = d2 + self.v_peak * td - 0.5 * self.accel * td**2
+        return np.minimum(out, self.distance)
+
+    def velocity(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        out = np.zeros_like(t)
+        in_move = (t >= 0.0) & (t <= self.duration)
+        tm = t[in_move]
+        v = np.empty_like(tm)
+        acc_phase = tm < self.t_accel
+        cruise_phase = (~acc_phase) & (tm < self.t_accel + self.t_cruise)
+        dec_phase = ~(acc_phase | cruise_phase)
+        v[acc_phase] = self.v_start + self.accel * tm[acc_phase]
+        v[cruise_phase] = self.v_peak
+        td = tm[dec_phase] - self.t_accel - self.t_cruise
+        v[dec_phase] = np.maximum(self.v_peak - self.accel * td, 0.0)
+        out[in_move] = v
+        return out
+
+    def acceleration(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        out = np.zeros_like(t)
+        out[(t >= 0.0) & (t < self.t_accel)] = self.accel
+        lo = self.t_accel + self.t_cruise
+        out[(t >= lo) & (t <= self.duration)] = -self.accel
+        return out
+
+
+def junction_speed(
+    dir_in: np.ndarray,
+    dir_out: np.ndarray,
+    feedrate: float,
+    accel: float,
+    junction_deviation: float = 0.05,
+) -> float:
+    """Allowed speed through the corner between two unit directions.
+
+    The Marlin junction-deviation model: the corner is approximated by an
+    arc of radius ``r = delta * sin(theta/2) / (1 - sin(theta/2))`` and the
+    centripetal limit ``v = sqrt(a * r)`` applies; collinear junctions pass
+    at full feedrate, reversals force a stop.
+    """
+    cos_theta = float(np.clip(-np.dot(dir_in, dir_out), -1.0, 1.0))
+    # cos_theta is the cosine of the *turn* angle's supplement: -1 means
+    # collinear continuation, +1 a full reversal.
+    if cos_theta <= -0.9999:
+        return feedrate
+    if cos_theta >= 0.9999:
+        return 0.0
+    sin_half = np.sqrt(0.5 * (1.0 - cos_theta))
+    radius = junction_deviation * sin_half / max(1.0 - sin_half, 1e-9)
+    return float(min(feedrate, np.sqrt(max(accel * radius, 0.0))))
+
+
+def _profile_for(
+    distance: float,
+    v_start: float,
+    v_end: float,
+    feedrate: float,
+    accel: float,
+) -> GeneralProfile:
+    """Build one profile with fixed, feasible entry/exit speeds."""
+    # Peak speed reachable given the distance and both boundary speeds.
+    v_possible = np.sqrt(
+        (2.0 * accel * distance + v_start**2 + v_end**2) / 2.0
+    )
+    v_peak = float(min(feedrate, v_possible))
+    v_peak = max(v_peak, v_start, v_end)
+
+    t_accel = (v_peak - v_start) / accel
+    t_decel = (v_peak - v_end) / accel
+    d_accel = (v_peak**2 - v_start**2) / (2.0 * accel)
+    d_decel = (v_peak**2 - v_end**2) / (2.0 * accel)
+    d_cruise = max(distance - d_accel - d_decel, 0.0)
+    t_cruise = d_cruise / v_peak if v_peak > 0 else 0.0
+    return GeneralProfile(
+        distance=distance,
+        v_start=v_start,
+        v_peak=v_peak,
+        v_end=v_end,
+        accel=accel,
+        t_accel=t_accel,
+        t_cruise=t_cruise,
+        t_decel=t_decel,
+    )
+
+
+def plan_chain(
+    directions: Sequence[np.ndarray],
+    distances: Sequence[float],
+    feedrates: Sequence[float],
+    accel: float,
+    junction_deviation: float = 0.05,
+) -> List[GeneralProfile]:
+    """Plan a chain of moves with junction look-ahead.
+
+    ``directions`` are unit vectors, ``distances`` mm, ``feedrates`` mm/s;
+    the chain starts and ends at rest.
+    """
+    n = len(distances)
+    if not (len(directions) == len(feedrates) == n):
+        raise ValueError("directions, distances, feedrates must align")
+    if n == 0:
+        return []
+    if accel <= 0:
+        raise ValueError(f"accel must be positive, got {accel}")
+    for d in distances:
+        if d <= 0:
+            raise ValueError("all distances must be positive")
+
+    # Junction limits between consecutive moves.
+    v_junction = np.zeros(n + 1)  # v[0] = start at rest, v[n] = end at rest
+    for k in range(1, n):
+        v_junction[k] = junction_speed(
+            np.asarray(directions[k - 1]),
+            np.asarray(directions[k]),
+            min(feedrates[k - 1], feedrates[k]),
+            accel,
+            junction_deviation,
+        )
+
+    # Forward pass: entry speed limited by what accel can build up.
+    for k in range(1, n + 1):
+        reachable = np.sqrt(
+            v_junction[k - 1] ** 2 + 2.0 * accel * distances[k - 1]
+        )
+        v_junction[k] = min(v_junction[k], reachable)
+    # Backward pass: exit speed limited by the ability to slow down later.
+    for k in range(n - 1, -1, -1):
+        stoppable = np.sqrt(v_junction[k + 1] ** 2 + 2.0 * accel * distances[k])
+        v_junction[k] = min(v_junction[k], stoppable)
+
+    return [
+        _profile_for(
+            distances[k],
+            float(v_junction[k]),
+            float(v_junction[k + 1]),
+            feedrates[k],
+            accel,
+        )
+        for k in range(n)
+    ]

@@ -1,0 +1,69 @@
+"""Machine definitions for the two printers of the evaluation.
+
+The paper's testbed is an Ultimaker 3 (the most popular Cartesian desktop
+printer) and a SeeMeCNC Rostock Max V3 (a popular delta).  A
+:class:`MachineConfig` bundles everything the firmware simulator needs:
+kinematics, dynamics limits, thermal constants, and the simulation rate the
+machine-state trace is sampled at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .kinematics import CartesianKinematics, DeltaKinematics, Kinematics
+
+__all__ = ["MachineConfig", "ULTIMAKER3", "ROSTOCK_MAX_V3"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of one FDM printer.
+
+    ``acceleration`` (mm/s^2) and ``max_feedrate`` (mm/s) bound the motion
+    planner.  ``hotend_tau`` / ``bed_tau`` are first-order thermal time
+    constants (s).  ``sim_rate`` (Hz) is the sampling rate of the simulated
+    machine-state trace; sensors derive their own rates from it, so it
+    bounds the bandwidth of every simulated side channel.
+    """
+
+    name: str
+    kinematics: Kinematics
+    acceleration: float = 3000.0
+    max_feedrate: float = 150.0
+    sim_rate: float = 500.0
+    hotend_tau: float = 12.0
+    bed_tau: float = 60.0
+    ambient_temp: float = 25.0
+    max_temp_wait: float = 2.0
+    lookahead: bool = False
+    junction_deviation: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.acceleration <= 0:
+            raise ValueError(f"acceleration must be positive, got {self.acceleration}")
+        if self.max_feedrate <= 0:
+            raise ValueError(f"max_feedrate must be positive, got {self.max_feedrate}")
+        if self.sim_rate <= 0:
+            raise ValueError(f"sim_rate must be positive, got {self.sim_rate}")
+
+    def with_sim_rate(self, sim_rate: float) -> "MachineConfig":
+        """A copy sampled at a different simulation rate."""
+        return replace(self, sim_rate=sim_rate)
+
+
+#: Ultimaker 3: Cartesian bed-slinger-style gantry, brisk acceleration.
+ULTIMAKER3 = MachineConfig(
+    name="UM3",
+    kinematics=CartesianKinematics(),
+    acceleration=3000.0,
+    max_feedrate=150.0,
+)
+
+#: SeeMeCNC Rostock Max V3: delta with long arms and lighter effector.
+ROSTOCK_MAX_V3 = MachineConfig(
+    name="RM3",
+    kinematics=DeltaKinematics(arm_length=291.06, tower_radius=200.0),
+    acceleration=1800.0,
+    max_feedrate=200.0,
+)

@@ -1,0 +1,124 @@
+"""Trapezoidal motion planning.
+
+An FDM controller executes each linear move with a trapezoidal velocity
+profile: accelerate at the machine's acceleration limit, cruise at the
+requested feedrate, decelerate to a stop (we plan moves independently with
+zero junction velocity — the conservative strategy of many desktop
+firmwares, and the source of the per-move vibration bursts that make the
+acceleration/audio side channels so informative).
+
+Short moves that cannot reach the requested feedrate become triangular
+profiles.  The planner produces closed-form position/velocity/acceleration
+as functions of time, which the firmware samples onto its simulation grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["TrapezoidalProfile", "plan_move"]
+
+
+@dataclass(frozen=True)
+class TrapezoidalProfile:
+    """A 1-D trapezoidal (or triangular) velocity profile along a path.
+
+    ``distance`` is the total path length (mm), ``v_peak`` the attained peak
+    speed (mm/s), ``accel`` the acceleration magnitude (mm/s^2); ``t_accel``,
+    ``t_cruise``, ``t_decel`` the phase durations (s).
+    """
+
+    distance: float
+    v_peak: float
+    accel: float
+    t_accel: float
+    t_cruise: float
+    t_decel: float
+
+    @property
+    def duration(self) -> float:
+        """Total move duration in seconds."""
+        return self.t_accel + self.t_cruise + self.t_decel
+
+    def position(self, t: np.ndarray) -> np.ndarray:
+        """Distance travelled along the path at times ``t`` (clamped)."""
+        t = np.clip(np.asarray(t, dtype=np.float64), 0.0, self.duration)
+        d_accel = 0.5 * self.accel * self.t_accel**2
+        d_cruise = self.v_peak * self.t_cruise
+
+        out = np.empty_like(t)
+        in_accel = t < self.t_accel
+        in_cruise = (~in_accel) & (t < self.t_accel + self.t_cruise)
+        in_decel = ~(in_accel | in_cruise)
+
+        out[in_accel] = 0.5 * self.accel * t[in_accel] ** 2
+        out[in_cruise] = d_accel + self.v_peak * (t[in_cruise] - self.t_accel)
+        td = t[in_decel] - self.t_accel - self.t_cruise
+        out[in_decel] = (
+            d_accel + d_cruise + self.v_peak * td - 0.5 * self.accel * td**2
+        )
+        return np.minimum(out, self.distance)
+
+    def velocity(self, t: np.ndarray) -> np.ndarray:
+        """Speed along the path at times ``t`` (0 outside the move)."""
+        t = np.asarray(t, dtype=np.float64)
+        out = np.zeros_like(t)
+        in_move = (t >= 0.0) & (t <= self.duration)
+        tm = t[in_move]
+        v = np.empty_like(tm)
+        accel_phase = tm < self.t_accel
+        cruise_phase = (~accel_phase) & (tm < self.t_accel + self.t_cruise)
+        decel_phase = ~(accel_phase | cruise_phase)
+        v[accel_phase] = self.accel * tm[accel_phase]
+        v[cruise_phase] = self.v_peak
+        td = tm[decel_phase] - self.t_accel - self.t_cruise
+        v[decel_phase] = np.maximum(self.v_peak - self.accel * td, 0.0)
+        out[in_move] = v
+        return out
+
+    def acceleration(self, t: np.ndarray) -> np.ndarray:
+        """Signed acceleration along the path at times ``t``."""
+        t = np.asarray(t, dtype=np.float64)
+        out = np.zeros_like(t)
+        out[(t >= 0.0) & (t < self.t_accel)] = self.accel
+        lo = self.t_accel + self.t_cruise
+        out[(t >= lo) & (t <= self.duration)] = -self.accel
+        return out
+
+
+def plan_move(distance: float, feedrate: float, accel: float) -> TrapezoidalProfile:
+    """Plan a single move of ``distance`` mm at up to ``feedrate`` mm/s.
+
+    Returns a degenerate zero-duration profile for zero-length moves.
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if feedrate <= 0:
+        raise ValueError(f"feedrate must be positive, got {feedrate}")
+    if accel <= 0:
+        raise ValueError(f"accel must be positive, got {accel}")
+    if distance == 0.0:
+        return TrapezoidalProfile(0.0, 0.0, accel, 0.0, 0.0, 0.0)
+
+    # Distance needed to reach the feedrate and stop again.
+    d_ramps = feedrate**2 / accel
+    if distance >= d_ramps:
+        v_peak = feedrate
+        t_accel = feedrate / accel
+        t_cruise = (distance - d_ramps) / feedrate
+    else:
+        # Triangular profile: peak speed limited by the move length.
+        v_peak = float(np.sqrt(distance * accel))
+        t_accel = v_peak / accel
+        t_cruise = 0.0
+    return TrapezoidalProfile(
+        distance=distance,
+        v_peak=v_peak,
+        accel=accel,
+        t_accel=t_accel,
+        t_cruise=t_cruise,
+        t_decel=t_accel,
+    )

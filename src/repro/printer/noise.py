@@ -1,0 +1,143 @@
+"""Time-noise models (the phenomenon the paper is built around).
+
+AM systems are asynchronous: the same instruction can take slightly
+different time on each run, and the firmware may insert random gaps between
+instructions (paper Sections I-II).  The cumulative effect is small relative
+to the print duration but large relative to an analysis window — enough to
+break naive point-by-point comparison (Fig. 1-2).
+
+:class:`TimeNoiseModel` captures the named sources with two distinct time
+scales, matching what Fig. 1 shows (signals aligned at the start drift apart
+by the end while staying locally coherent):
+
+* a **slow execution-rate random walk** (thermal/mechanical drift of the
+  motion system) that accumulates into seconds of misalignment,
+* fast per-move **duration jitter** and random **inter-instruction gaps**
+  (queueing, task scheduling),
+* rare longer **stalls** (frame drops in the acquisition path).
+
+The model itself is immutable configuration; call :meth:`start` to get a
+stateful per-run :class:`TimeNoiseProcess`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TimeNoiseModel", "TimeNoiseProcess", "NO_TIME_NOISE"]
+
+
+@dataclass(frozen=True)
+class TimeNoiseModel:
+    """Stochastic timing perturbations applied per executed instruction.
+
+    Parameters
+    ----------
+    rate_walk_std:
+        Per-instruction standard deviation of the log execution-rate random
+        walk.  The walk is clamped to +/- ``rate_walk_limit`` so a run never
+        drifts absurdly.  This is the dominant, *slow* component of time
+        noise.
+    duration_jitter:
+        Fractional standard deviation of each move's duration on top of the
+        rate walk (fast component).  Durations never drop below 10% of
+        nominal.
+    gap_mean, gap_std:
+        Mean and standard deviation (seconds) of the random pause inserted
+        after each instruction.  Gaps are clipped at zero.
+    stall_probability, stall_duration:
+        With this probability an instruction is followed by an additional
+        stall of ``stall_duration`` seconds — the "frame drop" tail events.
+    """
+
+    rate_walk_std: float = 0.0005
+    rate_walk_limit: float = 0.012
+    duration_jitter: float = 0.005
+    gap_mean: float = 0.002
+    gap_std: float = 0.001
+    stall_probability: float = 0.001
+    stall_duration: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rate_walk_std < 0:
+            raise ValueError("rate_walk_std must be non-negative")
+        if self.rate_walk_limit < 0:
+            raise ValueError("rate_walk_limit must be non-negative")
+        if self.duration_jitter < 0:
+            raise ValueError("duration_jitter must be non-negative")
+        if self.gap_mean < 0 or self.gap_std < 0:
+            raise ValueError("gap parameters must be non-negative")
+        if not 0 <= self.stall_probability <= 1:
+            raise ValueError("stall_probability must be in [0, 1]")
+        if self.stall_duration < 0:
+            raise ValueError("stall_duration must be non-negative")
+
+    @property
+    def is_silent(self) -> bool:
+        """True when the model never perturbs timing."""
+        return (
+            self.rate_walk_std == 0
+            and self.duration_jitter == 0
+            and self.gap_mean == 0
+            and self.gap_std == 0
+            and self.stall_probability == 0
+        )
+
+    def start(self, rng: np.random.Generator) -> "TimeNoiseProcess":
+        """Create the stateful per-run sampler."""
+        return TimeNoiseProcess(self, rng)
+
+
+class TimeNoiseProcess:
+    """Per-run time-noise state: the rate walk plus the fast jitter."""
+
+    def __init__(self, model: TimeNoiseModel, rng: np.random.Generator) -> None:
+        self.model = model
+        self.rng = rng
+        self._log_rate = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Current execution-rate multiplier (1.0 = nominal speed)."""
+        return float(np.exp(self._log_rate))
+
+    def perturb_duration(self, duration: float) -> float:
+        """Jitter one move's duration and advance the rate walk."""
+        model = self.model
+        if duration <= 0 or model.is_silent:
+            return duration
+        if model.rate_walk_std > 0:
+            self._log_rate += model.rate_walk_std * self.rng.standard_normal()
+            limit = model.rate_walk_limit
+            self._log_rate = float(np.clip(self._log_rate, -limit, limit))
+        stretched = duration * self.rate
+        if model.duration_jitter > 0:
+            factor = 1.0 + model.duration_jitter * self.rng.standard_normal()
+            stretched *= max(factor, 0.1)
+        return stretched
+
+    def sample_gap(self) -> float:
+        """Random pause after one instruction (seconds, >= 0)."""
+        model = self.model
+        gap = 0.0
+        if model.gap_mean > 0 or model.gap_std > 0:
+            gap = max(
+                0.0, model.gap_mean + model.gap_std * self.rng.standard_normal()
+            )
+        if model.stall_probability > 0 and self.rng.random() < model.stall_probability:
+            gap += model.stall_duration
+        return gap
+
+
+#: A model that leaves timing untouched — for controlled experiments that
+#: isolate the effect of time noise (e.g. the Fig. 2 ablation).
+NO_TIME_NOISE = TimeNoiseModel(
+    rate_walk_std=0.0,
+    duration_jitter=0.0,
+    gap_mean=0.0,
+    gap_std=0.0,
+    stall_probability=0.0,
+    stall_duration=0.0,
+)

@@ -1,0 +1,22 @@
+"""Simulated side-channel sensors and the data-acquisition system."""
+
+from .base import Sensor, SensorConfig, resample_track
+from .motion_sensors import Accelerometer, Magnetometer
+from .acoustic import ElectricPotentialProbe, Microphone
+from .thermal_power import DieThermometer, PowerSensor
+from .daq import DataAcquisition, PAPER_CHANNELS, default_daq
+
+__all__ = [
+    "Sensor",
+    "SensorConfig",
+    "resample_track",
+    "Accelerometer",
+    "Magnetometer",
+    "ElectricPotentialProbe",
+    "Microphone",
+    "DieThermometer",
+    "PowerSensor",
+    "DataAcquisition",
+    "PAPER_CHANNELS",
+    "default_daq",
+]

@@ -1,0 +1,127 @@
+"""Acoustic sensors: the microphone (AUD) and the "capless microphone" (EPT).
+
+**AUD** — stepper motors whine at a frequency proportional to their step
+rate (itself proportional to joint speed), with amplitude growing with
+speed; the part-cooling fan contributes broadband noise.  Two microphone
+channels hear the same sources with different mixing weights (stereo AKG170
+in the paper).
+
+**EPT** — the paper collects quasi-static electric potentials by removing
+the cap of a second AKG170 (after Han et al. [14]).  The raw signal is
+dominated by 50/60 Hz mains hum, so the raw channel is nearly useless for
+synchronization (the paper drops it), but its *spectrogram* separates the
+hum into one bin and exposes the motor PWM content in others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..printer.firmware import MachineTrace
+from .base import Sensor, SensorConfig, resample_track
+
+__all__ = ["Microphone", "ElectricPotentialProbe"]
+
+
+class Microphone(Sensor):
+    """2-channel microphone hearing motor whine + fan noise.
+
+    Tones are synthesized by integrating instantaneous step frequency, so
+    speed changes produce the authentic chirps of a real printer.  The
+    ``steps_per_mm`` constant is scaled so tones stay below the (scaled)
+    Nyquist rate.
+    """
+
+    channel_id = "AUD"
+
+    def __init__(
+        self,
+        config: SensorConfig,
+        steps_per_mm: float = 8.0,
+        e_steps_per_mm: float = 40.0,
+        motor_gain: float = 1.0,
+        extruder_gain: float = 0.6,
+        fan_gain: float = 0.3,
+    ) -> None:
+        super().__init__(config)
+        self.steps_per_mm = steps_per_mm
+        self.e_steps_per_mm = e_steps_per_mm
+        self.motor_gain = motor_gain
+        self.extruder_gain = extruder_gain
+        self.fan_gain = fan_gain
+
+    def physical_track(
+        self, trace: MachineTrace, rng: np.random.Generator
+    ) -> np.ndarray:
+        fs = self.config.sample_rate
+        joint_vel = resample_track(trace.joint_velocity, trace, fs)  # (n, J)
+        extrusion = resample_track(trace.extrusion_rate, trace, fs)
+        fan = resample_track(trace.fan, trace, fs)
+        n, n_joints = joint_vel.shape
+        nyquist = fs / 2.0
+
+        left = np.zeros(n)
+        right = np.zeros(n)
+
+        def add_motor(speed: np.ndarray, steps: float, gain: float, k: int) -> None:
+            freq = np.clip(steps * speed, 0.0, 0.9 * nyquist)
+            phase = 2.0 * np.pi * np.cumsum(freq) / fs
+            tone = gain * np.sqrt(speed) * np.sin(phase + 0.5 * k)
+            # Each motor sits at a different distance from each capsule.
+            left[:] += tone * (0.6 + 0.4 * np.cos(1.1 * k))
+            right[:] += tone * (0.6 + 0.4 * np.sin(0.9 * k + 0.4))
+
+        for k in range(n_joints):
+            add_motor(np.abs(joint_vel[:, k]), self.steps_per_mm,
+                      self.motor_gain, k)
+        # The extruder motor whines too — at a rate set by the volumetric
+        # flow, which is what distinguishes a 0.3 mm layer from a 0.2 mm one.
+        add_motor(np.abs(extrusion), self.e_steps_per_mm,
+                  self.extruder_gain, n_joints)
+
+        fan_noise = self.fan_gain * fan * rng.standard_normal(n)
+        return np.column_stack([left + fan_noise, right + 0.8 * fan_noise])
+
+
+class ElectricPotentialProbe(Sensor):
+    """1-channel electric-potential probe: mains hum + weak PWM coupling.
+
+    The hum amplitude dwarfs the motor-coupled component by design
+    (``hum_gain`` is an order of magnitude above ``pwm_gain``), reproducing
+    the paper's finding that raw EPT is unusable while its spectrogram works.
+    """
+
+    channel_id = "EPT"
+
+    def __init__(
+        self,
+        config: SensorConfig,
+        mains_freq: float = 60.0,
+        hum_gain: float = 60.0,
+        pwm_gain: float = 0.1,
+        pwm_freq: float = 31.0,
+    ) -> None:
+        super().__init__(config)
+        self.mains_freq = mains_freq
+        self.hum_gain = hum_gain
+        self.pwm_gain = pwm_gain
+        self.pwm_freq = pwm_freq
+
+    def physical_track(
+        self, trace: MachineTrace, rng: np.random.Generator
+    ) -> np.ndarray:
+        fs = self.config.sample_rate
+        joint_vel = resample_track(trace.joint_velocity, trace, fs)
+        n = joint_vel.shape[0]
+        t = np.arange(n) / fs
+
+        hum_phase = rng.uniform(0.0, 2.0 * np.pi)
+        hum = self.hum_gain * np.sin(2.0 * np.pi * self.mains_freq * t + hum_phase)
+        # Weak second harmonic, as real mains pickup has.
+        hum += 0.15 * self.hum_gain * np.sin(
+            4.0 * np.pi * self.mains_freq * t + 2.0 * hum_phase
+        )
+
+        activity = np.abs(joint_vel).sum(axis=1)
+        pwm = self.pwm_gain * activity * np.sin(2.0 * np.pi * self.pwm_freq * t)
+        return (hum + pwm)[:, np.newaxis]

@@ -1,0 +1,131 @@
+"""Sensor base machinery.
+
+Every simulated sensor turns a :class:`~repro.printer.firmware.MachineTrace`
+into a :class:`~repro.signals.signal.Signal` at the sensor's own sampling
+rate, by (1) deriving a physical quantity from the machine state, (2) adding
+transducer noise, and (3) passing the result through the DAQ model (gain
+drift + quantization).  Because all sensors read the same trace, all side
+channels of one run share one noisy timeline — the property behind the
+paper's Fig. 10 consistency result.
+
+Sample rates are scaled down from Table II (the paper records audio at
+48 kHz; simulating minutes of that would dominate runtime without changing
+any algorithmic behaviour).  The scaling is uniform and documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..printer.firmware import MachineTrace
+from ..signals.signal import Signal
+
+__all__ = ["SensorConfig", "Sensor", "resample_track"]
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """Acquisition parameters shared by all sensors.
+
+    ``sample_rate`` (Hz) and ``bits`` mirror Table II (scaled);
+    ``noise_level`` is the additive transducer noise as a fraction of the
+    signal's RMS; ``gain_sigma`` is the log-std of the per-run gain drift
+    (the reason NSYNC avoids gain-sensitive distance metrics).
+    """
+
+    sample_rate: float
+    bits: int = 16
+    noise_level: float = 0.02
+    gain_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {self.sample_rate}")
+        if not 2 <= self.bits <= 32:
+            raise ValueError(f"bits must be in [2, 32], got {self.bits}")
+        if self.noise_level < 0:
+            raise ValueError(f"noise_level must be non-negative, got {self.noise_level}")
+        if self.gain_sigma < 0:
+            raise ValueError(f"gain_sigma must be non-negative, got {self.gain_sigma}")
+
+
+def resample_track(
+    values: np.ndarray, trace: MachineTrace, target_rate: float
+) -> np.ndarray:
+    """Linearly resample a per-trace-sample track onto a sensor's grid.
+
+    ``values`` is ``(n,)`` or ``(n, c)`` aligned with ``trace.times``.
+    Returns the same track sampled at ``target_rate`` over the trace's
+    duration.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    squeeze = values.ndim == 1
+    if squeeze:
+        values = values[:, np.newaxis]
+    n_out = max(2, int(np.floor(trace.duration * target_rate)))
+    t_out = np.arange(n_out) / target_rate
+    out = np.column_stack(
+        [
+            np.interp(t_out, trace.times, values[:, c])
+            for c in range(values.shape[1])
+        ]
+    )
+    return out[:, 0] if squeeze else out
+
+
+class Sensor(abc.ABC):
+    """Base class: derive a physical track, then add noise and digitize."""
+
+    #: Side-channel ID matching Table II (e.g. ``"ACC"``).
+    channel_id: str = "?"
+
+    def __init__(self, config: SensorConfig) -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def physical_track(
+        self, trace: MachineTrace, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The noiseless sensor output, ``(n, channels)`` at the sensor rate."""
+
+    def sense(self, trace: MachineTrace, rng: np.random.Generator) -> Signal:
+        """Full acquisition chain: physics -> noise -> gain -> quantization.
+
+        Noise and quantization are scaled *per channel* (each channel of a
+        real DAQ has its own range and gain), so a large DC offset on one
+        channel — gravity on the Z accelerometer, the earth field on the
+        magnetometer — does not drown the information on quiet channels.
+        """
+        clean = np.atleast_2d(self.physical_track(trace, rng))
+        if clean.shape[0] == 1 and clean.shape[1] > 4:
+            clean = clean.T
+
+        cfg = self.config
+        # Per-channel AC amplitude (mean-removed std), floored so an
+        # all-constant channel still gets a tiny noise floor.
+        std = clean.std(axis=0, keepdims=True)
+        std = np.maximum(std, 1e-3 * np.maximum(np.abs(clean).max(), 1.0))
+        noisy = clean + cfg.noise_level * std * rng.standard_normal(clean.shape)
+
+        # Per-run multiplicative gain drift (microphone distance, ADC gain).
+        gain = float(np.exp(cfg.gain_sigma * rng.standard_normal()))
+        noisy = noisy * gain
+
+        digitized = self._quantize(noisy, gain * std[0])
+        return Signal(digitized, cfg.sample_rate)
+
+    def _quantize(self, values: np.ndarray, channel_std: np.ndarray) -> np.ndarray:
+        """Mid-rise quantization to the configured bit depth.
+
+        Each channel's full scale is 4x its AC amplitude around its mean (a
+        headroom a technician would configure per channel), so quantization
+        noise tracks the channel's dynamics.
+        """
+        levels = 2 ** (self.config.bits - 1)
+        step = 4.0 * channel_std / levels  # (channels,)
+        mean = values.mean(axis=0, keepdims=True)
+        return mean + np.round((values - mean) / step) * step

@@ -1,0 +1,121 @@
+"""The data-acquisition system: all six side channels from one trace.
+
+The paper built a DAQ capable of collecting six side-channel types
+(Table II).  :class:`DataAcquisition` mirrors it: point it at a machine
+trace and it returns one :class:`~repro.signals.signal.Signal` per channel
+ID.  Rates/bit depths follow Table II, uniformly scaled down (documented in
+DESIGN.md) so simulated prints stay laptop-sized; pass ``rate_scale=1.0``
+to run at full paper rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..printer.firmware import MachineTrace
+from ..signals.signal import Signal
+from .acoustic import ElectricPotentialProbe, Microphone
+from .base import Sensor, SensorConfig
+from .motion_sensors import Accelerometer, Magnetometer
+from .thermal_power import DieThermometer, PowerSensor
+
+__all__ = ["PAPER_CHANNELS", "DataAcquisition", "default_daq"]
+
+#: Table II of the paper: (sample rate Hz, channels, bits).
+PAPER_CHANNELS = {
+    "ACC": (4000.0, 6, 16),
+    "TMP": (4000.0, 1, 16),
+    "MAG": (100.0, 3, 16),
+    "AUD": (48000.0, 2, 24),
+    "EPT": (96000.0, 1, 24),
+    "PWR": (12000.0, 1, 24),
+}
+
+#: Default down-scaling of the Table II rates for simulation.  MAG is
+#: already slow and stays at its native 100 Hz.
+_SCALED_RATES = {
+    "ACC": 400.0,
+    "TMP": 100.0,
+    "MAG": 100.0,
+    "AUD": 2000.0,
+    "EPT": 2000.0,
+    "PWR": 500.0,
+}
+
+
+@dataclass
+class DataAcquisition:
+    """A configured set of sensors observing the same printing process."""
+
+    sensors: Dict[str, Sensor]
+
+    @property
+    def channel_ids(self) -> tuple:
+        return tuple(self.sensors)
+
+    def acquire(
+        self,
+        trace: MachineTrace,
+        rng: Optional[np.random.Generator] = None,
+        channels: Optional[Iterable[str]] = None,
+    ) -> Dict[str, Signal]:
+        """Record every (or the selected) side channel of one run.
+
+        Each channel gets an independent generator derived from ``rng`` and
+        the channel name, so the recorded data for channel X is identical
+        whether or not other channels were acquired alongside it.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        base_seed = int(rng.integers(0, 2**63 - 1))
+        wanted = tuple(channels) if channels is not None else self.channel_ids
+        out: Dict[str, Signal] = {}
+        for channel_id in wanted:
+            try:
+                sensor = self.sensors[channel_id]
+            except KeyError:
+                raise KeyError(
+                    f"no sensor for channel {channel_id!r}; "
+                    f"available: {sorted(self.sensors)}"
+                ) from None
+            channel_tag = sum(ord(c) * 257**i for i, c in enumerate(channel_id))
+            channel_rng = np.random.default_rng([base_seed, channel_tag])
+            out[channel_id] = sensor.sense(trace, channel_rng)
+        return out
+
+
+def default_daq(
+    rate_scale: Optional[float] = None,
+    rates: Optional[Dict[str, float]] = None,
+) -> DataAcquisition:
+    """Build the six-sensor DAQ of Table II.
+
+    By default the scaled simulation rates are used.  ``rate_scale=1.0``
+    restores the paper's native rates; ``rates`` overrides individual
+    channels.
+    """
+    if rates is None:
+        if rate_scale is None:
+            rates = dict(_SCALED_RATES)
+        else:
+            rates = {
+                cid: spec[0] * rate_scale for cid, spec in PAPER_CHANNELS.items()
+            }
+    bits = {cid: spec[2] for cid, spec in PAPER_CHANNELS.items()}
+
+    def cfg(cid: str, **overrides) -> SensorConfig:
+        params = dict(sample_rate=rates[cid], bits=bits[cid])
+        params.update(overrides)
+        return SensorConfig(**params)
+
+    sensors: Dict[str, Sensor] = {
+        "ACC": Accelerometer(cfg("ACC", noise_level=0.02)),
+        "TMP": DieThermometer(cfg("TMP", noise_level=0.01)),
+        "MAG": Magnetometer(cfg("MAG", noise_level=0.25)),
+        "AUD": Microphone(cfg("AUD", noise_level=0.05)),
+        "EPT": ElectricPotentialProbe(cfg("EPT", noise_level=0.05)),
+        "PWR": PowerSensor(cfg("PWR", noise_level=0.03)),
+    }
+    return DataAcquisition(sensors)

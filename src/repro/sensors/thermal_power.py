@@ -1,0 +1,109 @@
+"""Weakly-correlated sensors: die temperature (TMP) and AC power (PWR).
+
+The paper measures the IMU's die temperature and the printer's total AC
+current, and finds both *weakly correlated with the printer state*: their
+``h_disp`` comes out noise-like, and both channels are dropped after
+Fig. 10.  Our models reproduce that weakness on purpose:
+
+* TMP follows ambient warming plus a random thermal drift — almost no
+  motion signature.
+* PWR is dominated by the heater's thermostat (bang-bang) duty cycle whose
+  phase is independent of the toolpath; the motor contribution is small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..printer.firmware import MachineTrace
+from .base import Sensor, SensorConfig, resample_track
+
+__all__ = ["DieThermometer", "PowerSensor"]
+
+
+class DieThermometer(Sensor):
+    """1-channel IMU die temperature: slow drift + faint hotend coupling."""
+
+    channel_id = "TMP"
+
+    def __init__(
+        self,
+        config: SensorConfig,
+        hotend_coupling: float = 0.02,
+        self_heating: float = 3.0,
+        drift_scale: float = 0.5,
+    ) -> None:
+        super().__init__(config)
+        self.hotend_coupling = hotend_coupling
+        self.self_heating = self_heating
+        self.drift_scale = drift_scale
+
+    def physical_track(
+        self, trace: MachineTrace, rng: np.random.Generator
+    ) -> np.ndarray:
+        fs = self.config.sample_rate
+        hotend = resample_track(trace.hotend_temp, trace, fs)
+        n = hotend.shape[0]
+        t = np.arange(n) / fs
+
+        # Electronics warm up over the first minute of a run.
+        warmup = self.self_heating * (1.0 - np.exp(-t / 60.0))
+        # Slow random thermal drift (integrated noise, lightly damped).
+        steps = rng.standard_normal(n) / np.sqrt(fs)
+        drift = self.drift_scale * np.cumsum(steps) * np.exp(-t / (t[-1] + 1.0))
+        temp = 25.0 + warmup + self.hotend_coupling * hotend + drift
+        return temp[:, np.newaxis]
+
+
+class PowerSensor(Sensor):
+    """1-channel AC current clamp (SCT013) on the printer's supply cord.
+
+    Total current = baseline electronics + thermostat-driven heater current
+    (a bang-bang cycle whose period/phase is randomized per run, making it
+    useless for synchronization) + a small motion-correlated motor term +
+    fan.
+    """
+
+    channel_id = "PWR"
+
+    def __init__(
+        self,
+        config: SensorConfig,
+        base_current: float = 0.2,
+        heater_current: float = 2.5,
+        motor_gain: float = 0.002,
+        fan_current: float = 0.1,
+        thermostat_period: float = 8.0,
+    ) -> None:
+        super().__init__(config)
+        self.base_current = base_current
+        self.heater_current = heater_current
+        self.motor_gain = motor_gain
+        self.fan_current = fan_current
+        self.thermostat_period = thermostat_period
+
+    def physical_track(
+        self, trace: MachineTrace, rng: np.random.Generator
+    ) -> np.ndarray:
+        fs = self.config.sample_rate
+        joint_vel = resample_track(trace.joint_velocity, trace, fs)
+        extrusion = resample_track(trace.extrusion_rate, trace, fs)
+        hotend = resample_track(trace.hotend_temp, trace, fs)
+        fan = resample_track(trace.fan, trace, fs)
+        n = joint_vel.shape[0]
+        t = np.arange(n) / fs
+
+        # Bang-bang heater: on-fraction follows heating demand, but the
+        # cycle phase and period drift randomly per run.
+        demand = np.clip((210.0 - hotend) / 185.0, 0.05, 1.0)
+        period = self.thermostat_period * (1.0 + 0.2 * rng.standard_normal())
+        period = max(period, 1.0)
+        phase = rng.uniform(0.0, 1.0)
+        cycle = ((t / period + phase) % 1.0) < demand
+        heater = self.heater_current * cycle.astype(np.float64)
+
+        motors = self.motor_gain * (
+            np.abs(joint_vel).sum(axis=1) + np.abs(extrusion)
+        )
+        current = self.base_current + heater + motors + self.fan_current * fan
+        return current[:, np.newaxis]

@@ -1,0 +1,53 @@
+"""Signal substrate: containers, metrics, windows, filters, spectrograms."""
+
+from .signal import Signal, Window
+from .metrics import (
+    DISTANCE_METRICS,
+    SIMILARITY_FUNCTIONS,
+    correlation_distance,
+    correlation_similarity,
+    cosine_distance,
+    cosine_similarity,
+    euclidean_distance,
+    manhattan_distance,
+    mean_absolute_error,
+)
+from .windows import (
+    blackman_harris_window,
+    boxcar_window,
+    gaussian_window,
+    get_window,
+)
+from .filters import decimate, moving_average, resample_linear, trailing_min_filter
+from .spectrogram import (
+    PAPER_SPECTROGRAMS,
+    SpectrogramConfig,
+    scaled_spectrogram_config,
+    spectrogram,
+)
+
+__all__ = [
+    "Signal",
+    "Window",
+    "DISTANCE_METRICS",
+    "SIMILARITY_FUNCTIONS",
+    "correlation_distance",
+    "correlation_similarity",
+    "cosine_distance",
+    "cosine_similarity",
+    "euclidean_distance",
+    "manhattan_distance",
+    "mean_absolute_error",
+    "blackman_harris_window",
+    "boxcar_window",
+    "gaussian_window",
+    "get_window",
+    "decimate",
+    "moving_average",
+    "resample_linear",
+    "trailing_min_filter",
+    "PAPER_SPECTROGRAMS",
+    "SpectrogramConfig",
+    "scaled_spectrogram_config",
+    "spectrogram",
+]

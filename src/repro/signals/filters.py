@@ -1,0 +1,87 @@
+"""Array filters used by the discriminator and the evaluation pipeline.
+
+The discriminator suppresses spikes in the horizontal/vertical distance
+arrays with a trailing minimum filter (Eq. 21-22); Belikovetsky's IDS uses a
+moving average.  Both are implemented here over plain 1-D numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["trailing_min_filter", "moving_average", "decimate", "resample_linear"]
+
+
+def trailing_min_filter(values: np.ndarray, window: int = 3) -> np.ndarray:
+    """Trailing minimum over the last ``window`` samples (Eq. 21-22).
+
+    ``out[i] = min(values[max(0, i - window + 1) : i + 1])``.  The first
+    ``window - 1`` outputs use however many samples are available, matching
+    a real-time filter that has not yet seen a full window.  A spike must
+    persist for ``window`` consecutive samples to survive, which is what
+    suppresses the isolated false-positive spikes caused by time noise.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {values.shape}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    out = np.empty_like(values)
+    for i in range(values.size):
+        out[i] = values[max(0, i - window + 1) : i + 1].min()
+    return out
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing moving average with a ramp-up for the first samples."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {values.shape}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if values.size == 0:
+        return values.copy()
+    csum = np.concatenate([[0.0], np.cumsum(values)])
+    out = np.empty_like(values)
+    for i in range(values.size):
+        lo = max(0, i - window + 1)
+        out[i] = (csum[i + 1] - csum[lo]) / (i + 1 - lo)
+    return out
+
+
+def decimate(values: np.ndarray, factor: int) -> np.ndarray:
+    """Keep every ``factor``-th sample (no anti-alias filter).
+
+    Used by the DAQ model to derive low-rate channels (e.g. MAG at 100 Hz)
+    from the high-rate simulation grid where the spectral content is known
+    to be band-limited already.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return values[::factor].copy()
+
+
+def resample_linear(values: np.ndarray, n_out: int) -> np.ndarray:
+    """Linearly resample a 1-D or 2-D ``(n, c)`` array to ``n_out`` samples."""
+    values = np.asarray(values, dtype=np.float64)
+    if n_out < 1:
+        raise ValueError(f"n_out must be >= 1, got {n_out}")
+    if values.ndim == 1:
+        values = values[:, np.newaxis]
+        squeeze = True
+    elif values.ndim == 2:
+        squeeze = False
+    else:
+        raise ValueError(f"expected 1-D or 2-D array, got shape {values.shape}")
+    n_in = values.shape[0]
+    if n_in == 0:
+        raise ValueError("cannot resample an empty array")
+    x_in = np.linspace(0.0, 1.0, n_in)
+    x_out = np.linspace(0.0, 1.0, n_out)
+    out = np.column_stack(
+        [np.interp(x_out, x_in, values[:, c]) for c in range(values.shape[1])]
+    )
+    return out[:, 0] if squeeze else out

@@ -1,0 +1,226 @@
+"""Multi-channel sampled-signal container.
+
+The paper's signal notation (Section V-A) treats a side-channel signal as a
+sequence ``x[n]`` of vectors: ``n`` is the time index, and each sample has one
+or more *channels*.  :class:`Signal` stores that as a 2-D ``numpy`` array of
+shape ``(n_samples, n_channels)`` together with the sampling rate, and
+provides the slicing and windowing primitives that the synchronizers
+(``repro.sync``) and the comparator (``repro.core``) are written against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["Signal", "Window"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One analysis window of a signal.
+
+    ``index`` is the window index ``i`` of Eq. (6)-(7); ``start`` is the
+    sample offset of the window's first sample in the parent signal.
+    """
+
+    index: int
+    start: int
+    data: np.ndarray
+
+    @property
+    def length(self) -> int:
+        """Number of samples in the window."""
+        return self.data.shape[0]
+
+
+class Signal:
+    """A uniformly-sampled, multi-channel signal.
+
+    Parameters
+    ----------
+    data:
+        Array of shape ``(n_samples,)`` or ``(n_samples, n_channels)``.
+        A 1-D array is promoted to a single-channel 2-D array.
+    sample_rate:
+        Sampling frequency ``f_s`` in Hz.  Must be positive.
+    channel_names:
+        Optional human-readable channel labels (e.g. ``["ax", "ay", "az"]``).
+
+    The underlying array is stored as ``float64`` and is never mutated by
+    :class:`Signal` methods; slicing returns views where numpy allows it.
+    """
+
+    __slots__ = ("_data", "_sample_rate", "_channel_names")
+
+    def __init__(
+        self,
+        data: Union[np.ndarray, Sequence[float]],
+        sample_rate: float,
+        channel_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        array = np.asarray(data, dtype=np.float64)
+        if array.ndim == 1:
+            array = array[:, np.newaxis]
+        if array.ndim != 2:
+            raise ValueError(
+                f"signal data must be 1-D or 2-D, got shape {array.shape}"
+            )
+        if sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+        if channel_names is not None:
+            channel_names = tuple(channel_names)
+            if len(channel_names) != array.shape[1]:
+                raise ValueError(
+                    f"{len(channel_names)} channel names given for "
+                    f"{array.shape[1]} channels"
+                )
+        self._data = array
+        self._sample_rate = float(sample_rate)
+        self._channel_names = channel_names
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The raw ``(n_samples, n_channels)`` array."""
+        return self._data
+
+    @property
+    def sample_rate(self) -> float:
+        """Sampling frequency ``f_s`` in Hz."""
+        return self._sample_rate
+
+    @property
+    def n_samples(self) -> int:
+        """Number of time samples ``N``."""
+        return self._data.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels ``C``."""
+        return self._data.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Signal duration in seconds."""
+        return self.n_samples / self._sample_rate
+
+    @property
+    def channel_names(self) -> Optional[tuple]:
+        """Channel labels, or ``None`` when unnamed."""
+        return self._channel_names
+
+    @property
+    def times(self) -> np.ndarray:
+        """Time axis in seconds: ``t = n / f_s``."""
+        return np.arange(self.n_samples) / self._sample_rate
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self) -> str:
+        return (
+            f"Signal(n_samples={self.n_samples}, n_channels={self.n_channels},"
+            f" sample_rate={self._sample_rate:g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signal):
+            return NotImplemented
+        return (
+            self._sample_rate == other._sample_rate
+            and self._data.shape == other._data.shape
+            and bool(np.array_equal(self._data, other._data))
+        )
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "Signal":
+        """Return ``x[start:stop]`` (paper notation ``x[n1:n2]``).
+
+        Out-of-range indexes are clipped to the valid range, matching how a
+        real-time consumer sees a signal that has not fully arrived yet.
+        """
+        start = max(0, start)
+        stop = min(self.n_samples, max(start, stop))
+        return Signal(
+            self._data[start:stop], self._sample_rate, self._channel_names
+        )
+
+    def channel(self, c: int) -> np.ndarray:
+        """Return all samples of channel ``c`` (paper notation ``x[:, c]``)."""
+        return self._data[:, c]
+
+    def slice_seconds(self, t_start: float, t_stop: float) -> "Signal":
+        """Slice by time in seconds rather than sample index."""
+        return self.slice(
+            int(round(t_start * self._sample_rate)),
+            int(round(t_stop * self._sample_rate)),
+        )
+
+    # ------------------------------------------------------------------
+    # Windowing (Eq. 6-7)
+    # ------------------------------------------------------------------
+    def window(self, index: int, n_win: int, n_hop: int, offset: int = 0) -> Window:
+        """Return the ``index``-th analysis window with ``offset`` samples.
+
+        With ``offset == 0`` this is ``a{i}`` of Eq. (6); a nonzero offset
+        gives ``b{i; offset}`` of Eq. (8).  Windows that extend past either
+        end of the signal are truncated.
+        """
+        start = index * n_hop + offset
+        return Window(index, start, self.slice(start, start + n_win).data)
+
+    def n_windows(self, n_win: int, n_hop: int) -> int:
+        """Number of complete windows of width ``n_win`` and hop ``n_hop``."""
+        if self.n_samples < n_win:
+            return 0
+        return 1 + (self.n_samples - n_win) // n_hop
+
+    def iter_windows(self, n_win: int, n_hop: int) -> Iterator[Window]:
+        """Iterate over all complete analysis windows."""
+        for i in range(self.n_windows(n_win, n_hop)):
+            yield self.window(i, n_win, n_hop)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concatenate(signals: Sequence["Signal"]) -> "Signal":
+        """Concatenate signals in time.  Rates and channel counts must match."""
+        if not signals:
+            raise ValueError("cannot concatenate zero signals")
+        rate = signals[0].sample_rate
+        channels = signals[0].n_channels
+        for s in signals[1:]:
+            if s.sample_rate != rate:
+                raise ValueError("sample rates differ")
+            if s.n_channels != channels:
+                raise ValueError("channel counts differ")
+        return Signal(
+            np.concatenate([s.data for s in signals], axis=0),
+            rate,
+            signals[0].channel_names,
+        )
+
+    def with_data(self, data: np.ndarray) -> "Signal":
+        """Return a new signal with the same rate but different samples."""
+        names = self._channel_names
+        array = np.asarray(data, dtype=np.float64)
+        if array.ndim == 1:
+            array = array[:, np.newaxis]
+        if names is not None and array.shape[1] != len(names):
+            names = None
+        return Signal(array, self._sample_rate, names)
+
+    def pad_to(self, n_samples: int) -> "Signal":
+        """Zero-pad (or return unchanged) so the signal has ``n_samples``."""
+        if self.n_samples >= n_samples:
+            return self
+        pad = np.zeros((n_samples - self.n_samples, self.n_channels))
+        return self.with_data(np.concatenate([self._data, pad], axis=0))

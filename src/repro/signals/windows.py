@@ -1,0 +1,68 @@
+"""Tapering windows used by TDEB and the STFT front-end.
+
+Only the three windows the paper uses are provided: the Gaussian window that
+biases TDE (Fig. 5), and the Blackman-Harris / boxcar windows of the
+spectrogram configurations (Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_window", "blackman_harris_window", "boxcar_window", "get_window"]
+
+
+def gaussian_window(length: int, sigma: float) -> np.ndarray:
+    """Gaussian window of ``length`` samples centred at ``(length - 1) / 2``.
+
+    ``sigma`` is the standard deviation in samples (the paper's
+    ``n_sigma``).  The peak value is 1.
+    """
+    if length <= 0:
+        raise ValueError(f"window length must be positive, got {length}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    n = np.arange(length, dtype=np.float64)
+    centre = (length - 1) / 2.0
+    return np.exp(-0.5 * ((n - centre) / sigma) ** 2)
+
+
+# Coefficients of the 4-term minimum-sidelobe Blackman-Harris window.
+_BH_COEFFS = (0.35875, 0.48829, 0.14128, 0.01168)
+
+
+def blackman_harris_window(length: int) -> np.ndarray:
+    """4-term Blackman-Harris window (the "BH" window of Table III)."""
+    if length <= 0:
+        raise ValueError(f"window length must be positive, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length, dtype=np.float64)
+    a0, a1, a2, a3 = _BH_COEFFS
+    x = 2.0 * np.pi * n / (length - 1)
+    return a0 - a1 * np.cos(x) + a2 * np.cos(2 * x) - a3 * np.cos(3 * x)
+
+
+def boxcar_window(length: int) -> np.ndarray:
+    """Rectangular window (used for the PWR spectrogram in Table III)."""
+    if length <= 0:
+        raise ValueError(f"window length must be positive, got {length}")
+    return np.ones(length, dtype=np.float64)
+
+
+_WINDOWS = {
+    "blackman-harris": blackman_harris_window,
+    "bh": blackman_harris_window,
+    "boxcar": boxcar_window,
+}
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Look up a taper by the name used in Table III (``BH`` or ``Boxcar``)."""
+    try:
+        factory = _WINDOWS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown window {name!r}; expected one of {sorted(_WINDOWS)}"
+        ) from None
+    return factory(length)

@@ -1,0 +1,52 @@
+"""Slicer substrate: geometry, part models, infill, G-code generation."""
+
+from .geometry import (
+    bounding_box,
+    clip_segments,
+    point_in_polygon,
+    polygon_area,
+    polygon_centroid,
+    polygon_perimeter,
+    scale_polygon,
+    translate_polygon,
+)
+from .models import PAPER_GEAR, circle_outline, gear_outline, square_outline
+from .infill import (
+    INFILL_PATTERNS,
+    concentric_infill,
+    grid_infill,
+    infill_for_layer,
+    line_infill,
+    triangle_infill,
+)
+from .slicer import Slicer, SlicerConfig, slice_model
+from .mesh import extrude_outline, load_stl, mesh_bounds, save_stl, slice_mesh
+
+__all__ = [
+    "bounding_box",
+    "clip_segments",
+    "point_in_polygon",
+    "polygon_area",
+    "polygon_centroid",
+    "polygon_perimeter",
+    "scale_polygon",
+    "translate_polygon",
+    "PAPER_GEAR",
+    "circle_outline",
+    "gear_outline",
+    "square_outline",
+    "INFILL_PATTERNS",
+    "concentric_infill",
+    "grid_infill",
+    "infill_for_layer",
+    "line_infill",
+    "triangle_infill",
+    "Slicer",
+    "SlicerConfig",
+    "slice_model",
+    "extrude_outline",
+    "load_stl",
+    "mesh_bounds",
+    "save_stl",
+    "slice_mesh",
+]

@@ -1,0 +1,143 @@
+"""Minimal 2-D polygon geometry for the slicer.
+
+Polygons are ``(n, 2)`` float arrays of vertices in counter-clockwise order,
+implicitly closed.  The slicer only needs area/perimeter, affine transforms,
+point containment (for sanity checks), and the clipping of straight infill
+lines against a polygon boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "polygon_area",
+    "polygon_perimeter",
+    "polygon_centroid",
+    "scale_polygon",
+    "translate_polygon",
+    "point_in_polygon",
+    "clip_segments",
+    "bounding_box",
+]
+
+
+def _as_polygon(poly: np.ndarray) -> np.ndarray:
+    poly = np.asarray(poly, dtype=np.float64)
+    if poly.ndim != 2 or poly.shape[1] != 2 or poly.shape[0] < 3:
+        raise ValueError(f"a polygon needs shape (n>=3, 2), got {poly.shape}")
+    return poly
+
+
+def polygon_area(poly: np.ndarray) -> float:
+    """Signed shoelace area (positive for counter-clockwise winding)."""
+    poly = _as_polygon(poly)
+    x, y = poly[:, 0], poly[:, 1]
+    return 0.5 * float(
+        np.sum(x * np.roll(y, -1)) - np.sum(y * np.roll(x, -1))
+    )
+
+
+def polygon_perimeter(poly: np.ndarray) -> float:
+    """Total boundary length, including the closing edge."""
+    poly = _as_polygon(poly)
+    edges = np.roll(poly, -1, axis=0) - poly
+    return float(np.linalg.norm(edges, axis=1).sum())
+
+
+def polygon_centroid(poly: np.ndarray) -> np.ndarray:
+    """Area centroid of a simple polygon."""
+    poly = _as_polygon(poly)
+    x, y = poly[:, 0], poly[:, 1]
+    xn, yn = np.roll(x, -1), np.roll(y, -1)
+    cross = x * yn - xn * y
+    area = cross.sum() / 2.0
+    if abs(area) < 1e-12:
+        return poly.mean(axis=0)
+    cx = np.sum((x + xn) * cross) / (6.0 * area)
+    cy = np.sum((y + yn) * cross) / (6.0 * area)
+    return np.array([cx, cy])
+
+
+def scale_polygon(poly: np.ndarray, factor: float) -> np.ndarray:
+    """Scale about the centroid (the Scale0.95 attack uses this)."""
+    poly = _as_polygon(poly)
+    centre = polygon_centroid(poly)
+    return centre + factor * (poly - centre)
+
+
+def translate_polygon(poly: np.ndarray, offset) -> np.ndarray:
+    """Translate by a 2-vector."""
+    return _as_polygon(poly) + np.asarray(offset, dtype=np.float64)
+
+
+def point_in_polygon(poly: np.ndarray, point) -> bool:
+    """Even-odd-rule containment test."""
+    poly = _as_polygon(poly)
+    px, py = float(point[0]), float(point[1])
+    inside = False
+    n = poly.shape[0]
+    for i in range(n):
+        x1, y1 = poly[i]
+        x2, y2 = poly[(i + 1) % n]
+        if (y1 > py) != (y2 > py):
+            x_cross = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
+            if px < x_cross:
+                inside = not inside
+    return inside
+
+
+def bounding_box(poly: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(min_xy, max_xy)`` corners of the axis-aligned bounding box."""
+    poly = _as_polygon(poly)
+    return poly.min(axis=0), poly.max(axis=0)
+
+
+def clip_segments(
+    poly: np.ndarray, p0: np.ndarray, p1: np.ndarray
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Clip the infinite-line segment ``p0 -> p1`` against a polygon.
+
+    Returns the sub-segments of ``p0..p1`` that lie inside the polygon, as
+    ``(start, end)`` pairs ordered along the segment.  Uses even-odd
+    crossing parity, so it also behaves sensibly for polygons with
+    concavities (e.g. gear teeth).
+    """
+    poly = _as_polygon(poly)
+    p0 = np.asarray(p0, dtype=np.float64)
+    p1 = np.asarray(p1, dtype=np.float64)
+    d = p1 - p0
+    length = np.linalg.norm(d)
+    if length < 1e-12:
+        return []
+
+    # Parametric intersections t in [0, 1] with every polygon edge.
+    ts: List[float] = []
+    n = poly.shape[0]
+    for i in range(n):
+        a = poly[i]
+        b = poly[(i + 1) % n]
+        e = b - a
+        denom = d[0] * e[1] - d[1] * e[0]
+        if abs(denom) < 1e-12:
+            continue  # parallel
+        diff = a - p0
+        t = (diff[0] * e[1] - diff[1] * e[0]) / denom
+        u = (diff[0] * d[1] - diff[1] * d[0]) / denom
+        if 0.0 <= t <= 1.0 and 0.0 <= u < 1.0:
+            ts.append(t)
+    ts.sort()
+
+    # Walk crossings; midpoint containment decides inside/outside of each
+    # span, which is robust to tangential grazing.
+    boundaries = [0.0] + ts + [1.0]
+    segments: List[Tuple[np.ndarray, np.ndarray]] = []
+    for t0, t1 in zip(boundaries[:-1], boundaries[1:]):
+        if t1 - t0 < 1e-9:
+            continue
+        mid = p0 + d * ((t0 + t1) / 2.0)
+        if point_in_polygon(poly, mid):
+            segments.append((p0 + d * t0, p0 + d * t1))
+    return segments

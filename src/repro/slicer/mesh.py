@@ -1,0 +1,224 @@
+"""Triangle meshes and STL: slicing real design models.
+
+AM "makes objects directly from design models" (paper §II-A), and the
+attacks of Sturm et al. [25] — the source of Void and Scale0.95 — operate
+on the STL file.  This module closes that loop: load (ASCII or binary) STL,
+slice the mesh at a Z plane into closed polygons, and feed those outlines
+to :class:`~repro.slicer.slicer.Slicer`.
+
+A mesh is ``(n_triangles, 3, 3)`` float array of vertices.  Helpers build
+extruded prisms from 2-D outlines so parts defined either way (outline or
+mesh) flow through the same pipeline.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+__all__ = [
+    "extrude_outline",
+    "load_stl",
+    "save_stl",
+    "slice_mesh",
+    "mesh_bounds",
+]
+
+PathLike = Union[str, Path]
+_EPS = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+def extrude_outline(outline: np.ndarray, height: float) -> np.ndarray:
+    """Extrude a 2-D polygon into a closed triangular prism mesh.
+
+    Side walls are two triangles per edge; top and bottom caps are triangle
+    fans around the centroid (valid for the star-shaped outlines our part
+    models produce, gears included).
+    """
+    outline = np.asarray(outline, dtype=np.float64)
+    if outline.ndim != 2 or outline.shape[1] != 2 or outline.shape[0] < 3:
+        raise ValueError(f"outline must be (n>=3, 2), got {outline.shape}")
+    if height <= 0:
+        raise ValueError(f"height must be positive, got {height}")
+
+    n = outline.shape[0]
+    centroid = outline.mean(axis=0)
+    bottom = np.column_stack([outline, np.zeros(n)])
+    top = np.column_stack([outline, np.full(n, height)])
+    c_bottom = np.array([centroid[0], centroid[1], 0.0])
+    c_top = np.array([centroid[0], centroid[1], height])
+
+    triangles: List[np.ndarray] = []
+    for i in range(n):
+        j = (i + 1) % n
+        # side quad -> two triangles (outward winding)
+        triangles.append(np.stack([bottom[i], bottom[j], top[j]]))
+        triangles.append(np.stack([bottom[i], top[j], top[i]]))
+        # caps
+        triangles.append(np.stack([c_bottom, bottom[j], bottom[i]]))
+        triangles.append(np.stack([c_top, top[i], top[j]]))
+    return np.stack(triangles)
+
+
+def mesh_bounds(mesh: np.ndarray) -> tuple:
+    """``(min_xyz, max_xyz)`` of the mesh."""
+    mesh = np.asarray(mesh, dtype=np.float64)
+    flat = mesh.reshape(-1, 3)
+    return flat.min(axis=0), flat.max(axis=0)
+
+
+# ---------------------------------------------------------------------------
+# STL I/O
+# ---------------------------------------------------------------------------
+def save_stl(mesh: np.ndarray, path: PathLike, name: str = "repro") -> None:
+    """Write a binary STL (the compact, unambiguous variant)."""
+    mesh = np.asarray(mesh, dtype=np.float64)
+    if mesh.ndim != 3 or mesh.shape[1:] != (3, 3):
+        raise ValueError(f"mesh must be (n, 3, 3), got {mesh.shape}")
+    with open(path, "wb") as fh:
+        header = name.encode("ascii", "replace")[:80]
+        fh.write(header.ljust(80, b"\0"))
+        fh.write(struct.pack("<I", mesh.shape[0]))
+        for tri in mesh:
+            edge1, edge2 = tri[1] - tri[0], tri[2] - tri[0]
+            normal = np.cross(edge1, edge2)
+            norm = np.linalg.norm(normal)
+            normal = normal / norm if norm > _EPS else np.zeros(3)
+            fh.write(struct.pack("<3f", *normal))
+            for vertex in tri:
+                fh.write(struct.pack("<3f", *vertex))
+            fh.write(struct.pack("<H", 0))
+
+
+def load_stl(path: PathLike) -> np.ndarray:
+    """Read an STL file (binary or ASCII) into an ``(n, 3, 3)`` array."""
+    raw = Path(path).read_bytes()
+    if raw[:5] == b"solid" and b"facet" in raw[:1024]:
+        return _parse_ascii_stl(raw.decode("ascii", "replace"))
+    return _parse_binary_stl(raw)
+
+
+def _parse_binary_stl(raw: bytes) -> np.ndarray:
+    if len(raw) < 84:
+        raise ValueError("binary STL truncated (no header)")
+    (count,) = struct.unpack_from("<I", raw, 80)
+    expected = 84 + count * 50
+    if len(raw) < expected:
+        raise ValueError(
+            f"binary STL truncated: {count} triangles need {expected} bytes"
+        )
+    triangles = np.empty((count, 3, 3))
+    offset = 84
+    for t in range(count):
+        values = struct.unpack_from("<12f", raw, offset)
+        triangles[t] = np.asarray(values[3:]).reshape(3, 3)
+        offset += 50
+    return triangles
+
+
+def _parse_ascii_stl(text: str) -> np.ndarray:
+    triangles: List[List[List[float]]] = []
+    current: List[List[float]] = []
+    for line in text.splitlines():
+        parts = line.split()
+        if not parts:
+            continue
+        if parts[0] == "vertex":
+            if len(parts) != 4:
+                raise ValueError(f"malformed vertex line: {line!r}")
+            current.append([float(parts[1]), float(parts[2]), float(parts[3])])
+        elif parts[0] == "endfacet":
+            if len(current) != 3:
+                raise ValueError("facet without exactly 3 vertices")
+            triangles.append(current)
+            current = []
+    if not triangles:
+        raise ValueError("no facets found in ASCII STL")
+    return np.asarray(triangles, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Slicing
+# ---------------------------------------------------------------------------
+def slice_mesh(mesh: np.ndarray, z: float) -> List[np.ndarray]:
+    """Intersect the mesh with the plane ``Z = z``; return closed polygons.
+
+    Each triangle crossing the plane contributes one segment; segments are
+    stitched end-to-end into loops.  Returns one ``(n, 2)`` polygon per
+    closed contour (outer boundaries and holes alike).
+    """
+    mesh = np.asarray(mesh, dtype=np.float64)
+    if mesh.ndim != 3 or mesh.shape[1:] != (3, 3):
+        raise ValueError(f"mesh must be (n, 3, 3), got {mesh.shape}")
+
+    segments: List[tuple] = []
+    for tri in mesh:
+        points = _triangle_plane_intersection(tri, z)
+        if points is not None:
+            segments.append(points)
+    if not segments:
+        return []
+    return _stitch_segments(segments)
+
+
+def _triangle_plane_intersection(tri: np.ndarray, z: float):
+    """The segment where a triangle crosses Z = z, or None."""
+    heights = tri[:, 2] - z
+    below = heights < -_EPS
+    above = heights > _EPS
+    if below.all() or above.all():
+        return None
+    crossings: List[np.ndarray] = []
+    for i in range(3):
+        j = (i + 1) % 3
+        hi, hj = heights[i], heights[j]
+        if (hi < -_EPS and hj > _EPS) or (hi > _EPS and hj < -_EPS):
+            t = hi / (hi - hj)
+            p = tri[i] + t * (tri[j] - tri[i])
+            crossings.append(p[:2])
+        elif abs(hi) <= _EPS and abs(hj) > _EPS:
+            crossings.append(tri[i, :2])
+    # Deduplicate (a vertex exactly on the plane appears twice).
+    unique: List[np.ndarray] = []
+    for p in crossings:
+        if not any(np.linalg.norm(p - q) < 1e-7 for q in unique):
+            unique.append(p)
+    if len(unique) != 2:
+        return None  # touching at a point or coplanar face: no segment
+    return (unique[0], unique[1])
+
+
+def _stitch_segments(segments: List[tuple], tol: float = 1e-6) -> List[np.ndarray]:
+    """Chain segments that share endpoints into closed polygons."""
+    remaining = list(segments)
+    polygons: List[np.ndarray] = []
+    while remaining:
+        start, end = remaining.pop()
+        chain = [np.asarray(start), np.asarray(end)]
+        closed = False
+        progress = True
+        while progress and not closed:
+            progress = False
+            tail = chain[-1]
+            for k, (a, b) in enumerate(remaining):
+                a, b = np.asarray(a), np.asarray(b)
+                if np.linalg.norm(a - tail) < tol:
+                    chain.append(b)
+                elif np.linalg.norm(b - tail) < tol:
+                    chain.append(a)
+                else:
+                    continue
+                remaining.pop(k)
+                progress = True
+                if np.linalg.norm(chain[-1] - chain[0]) < tol:
+                    closed = True
+                break
+        if closed and len(chain) >= 4:
+            polygons.append(np.asarray(chain[:-1]))
+    return polygons

@@ -1,0 +1,81 @@
+"""Parametric 2-D part outlines to slice.
+
+The paper's workload is a 60 mm diameter, 7.5 mm thick gear.  We provide
+that gear (teeth as a trapezoidal radial modulation of the pitch circle — a
+visually and kinematically faithful stand-in for an involute profile) plus a
+few simpler shapes used in examples and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gear_outline", "circle_outline", "square_outline", "PAPER_GEAR"]
+
+
+def gear_outline(
+    n_teeth: int = 20,
+    outer_diameter: float = 60.0,
+    tooth_depth: float = 3.0,
+    points_per_tooth: int = 12,
+) -> np.ndarray:
+    """Outline of a spur gear centred at the origin.
+
+    The radius alternates between the root and tip circles with a
+    trapezoidal profile per tooth, giving the sliced perimeter the rich
+    direction-change structure that makes gear prints such distinctive
+    side-channel sources.
+    """
+    if n_teeth < 3:
+        raise ValueError(f"need at least 3 teeth, got {n_teeth}")
+    if outer_diameter <= 0:
+        raise ValueError(f"outer_diameter must be positive, got {outer_diameter}")
+    if not 0 < tooth_depth < outer_diameter / 2:
+        raise ValueError("tooth_depth must be in (0, outer radius)")
+    if points_per_tooth < 4:
+        raise ValueError(f"points_per_tooth must be >= 4, got {points_per_tooth}")
+
+    r_tip = outer_diameter / 2.0
+    r_root = r_tip - tooth_depth
+    n_points = n_teeth * points_per_tooth
+    theta = np.linspace(0.0, 2.0 * np.pi, n_points, endpoint=False)
+
+    # Trapezoid wave over one tooth period: root -> flank -> tip -> flank.
+    phase = (theta * n_teeth / (2.0 * np.pi)) % 1.0
+    radius = np.empty_like(phase)
+    rise, top, fall = 0.15, 0.35, 0.15  # fractions of the tooth period
+    for i, p in enumerate(phase):
+        if p < rise:
+            frac = p / rise
+        elif p < rise + top:
+            frac = 1.0
+        elif p < rise + top + fall:
+            frac = 1.0 - (p - rise - top) / fall
+        else:
+            frac = 0.0
+        radius[i] = r_root + frac * (r_tip - r_root)
+
+    return np.column_stack([radius * np.cos(theta), radius * np.sin(theta)])
+
+
+def circle_outline(diameter: float = 20.0, n_points: int = 64) -> np.ndarray:
+    """Regular polygon approximating a circle."""
+    if diameter <= 0:
+        raise ValueError(f"diameter must be positive, got {diameter}")
+    if n_points < 3:
+        raise ValueError(f"n_points must be >= 3, got {n_points}")
+    theta = np.linspace(0.0, 2.0 * np.pi, n_points, endpoint=False)
+    r = diameter / 2.0
+    return np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+
+
+def square_outline(side: float = 20.0) -> np.ndarray:
+    """Axis-aligned square centred at the origin."""
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    h = side / 2.0
+    return np.array([[-h, -h], [h, -h], [h, h], [-h, h]])
+
+
+#: The evaluation part: 60 mm gear (thickness is set by the slicer config).
+PAPER_GEAR = gear_outline(n_teeth=20, outer_diameter=60.0, tooth_depth=3.0)

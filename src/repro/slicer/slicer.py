@@ -1,0 +1,185 @@
+"""Slicer: 2-D outline + configuration -> G-code program.
+
+A deliberately small but real slicer: per layer it prints the perimeter
+loop, then the infill (lines or grid, with travel moves between segments),
+tracking the extruder axis ``E`` from the deposited path length.  The
+configuration exposes exactly the knobs the paper's five attacks manipulate:
+layer height, infill pattern, print speed, and object scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from ..printer.gcode import GcodeCommand, GcodeProgram
+from .geometry import polygon_perimeter, scale_polygon
+from .infill import infill_for_layer
+
+__all__ = ["SlicerConfig", "Slicer", "slice_model"]
+
+
+@dataclass(frozen=True)
+class SlicerConfig:
+    """Print settings (defaults loosely follow Cura's 0.2 mm profile).
+
+    ``object_height`` (mm) and ``layer_height`` (mm) determine the layer
+    count; ``print_speed`` / ``travel_speed`` are mm/s; ``infill_spacing``
+    is the line-to-line distance in mm; ``extrusion_per_mm`` converts
+    deposited path length to filament E-axis millimetres.
+    """
+
+    layer_height: float = 0.2
+    object_height: float = 7.5
+    print_speed: float = 40.0
+    travel_speed: float = 120.0
+    infill_spacing: float = 4.0
+    infill_pattern: str = "lines"
+    infill_base_angle: float = 45.0
+    extrusion_per_mm: float = 0.033
+    scale: float = 1.0
+    hotend_temp: float = 205.0
+    bed_temp: float = 60.0
+    fan_from_layer: int = 2
+
+    def __post_init__(self) -> None:
+        if self.layer_height <= 0:
+            raise ValueError(f"layer_height must be positive, got {self.layer_height}")
+        if self.object_height < self.layer_height:
+            raise ValueError("object_height must be at least one layer_height")
+        if self.print_speed <= 0 or self.travel_speed <= 0:
+            raise ValueError("speeds must be positive")
+        if self.infill_spacing <= 0:
+            raise ValueError(f"infill_spacing must be positive, got {self.infill_spacing}")
+        from .infill import INFILL_PATTERNS
+
+        if self.infill_pattern not in INFILL_PATTERNS:
+            raise ValueError(
+                f"unknown infill pattern {self.infill_pattern!r}; "
+                f"expected one of {INFILL_PATTERNS}"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def n_layers(self) -> int:
+        """Number of layers for the configured object height."""
+        return max(1, int(round(self.object_height / self.layer_height)))
+
+    def with_updates(self, **updates) -> "SlicerConfig":
+        """A copy with some settings replaced (attack helper)."""
+        return replace(self, **updates)
+
+
+class Slicer:
+    """Turns a 2-D outline into a printable G-code program."""
+
+    def __init__(self, config: Optional[SlicerConfig] = None) -> None:
+        self.config = config or SlicerConfig()
+
+    # ------------------------------------------------------------------
+    def slice(self, outline: np.ndarray, center=(110.0, 110.0)) -> GcodeProgram:
+        """Produce the full program: preamble, layers, shutdown."""
+        cfg = self.config
+        outline = scale_polygon(np.asarray(outline, dtype=np.float64), cfg.scale)
+        outline = outline + np.asarray(center, dtype=np.float64)
+
+        commands: List[GcodeCommand] = list(self._preamble())
+        e = 0.0
+        for layer in range(cfg.n_layers):
+            z = cfg.layer_height * (layer + 1)
+            commands.append(
+                GcodeCommand(
+                    "G1",
+                    {"Z": round(z, 5), "F": cfg.travel_speed * 60.0},
+                    comment=f"LAYER:{layer}",
+                )
+            )
+            if layer == cfg.fan_from_layer:
+                commands.append(GcodeCommand("M106", {"S": 255.0}))
+            e, layer_cmds = self._layer_commands(outline, layer, e)
+            commands.extend(layer_cmds)
+        commands.extend(self._shutdown())
+        return GcodeProgram(commands)
+
+    # ------------------------------------------------------------------
+    def _preamble(self) -> List[GcodeCommand]:
+        cfg = self.config
+        return [
+            GcodeCommand("M140", {"S": cfg.bed_temp}),
+            GcodeCommand("M104", {"S": cfg.hotend_temp}),
+            GcodeCommand("M190", {"S": cfg.bed_temp}),
+            GcodeCommand("M109", {"S": cfg.hotend_temp}),
+            GcodeCommand("G28", {}, comment="home"),
+            GcodeCommand("G92", {"E": 0.0}),
+        ]
+
+    def _shutdown(self) -> List[GcodeCommand]:
+        return [
+            GcodeCommand("M107", {}),
+            GcodeCommand("M104", {"S": 0.0}),
+            GcodeCommand("M140", {"S": 0.0}),
+            GcodeCommand("G28", {}, comment="park"),
+        ]
+
+    def _layer_commands(
+        self, outline: np.ndarray, layer: int, e: float
+    ) -> tuple:
+        cfg = self.config
+        commands: List[GcodeCommand] = []
+        print_f = cfg.print_speed * 60.0
+        travel_f = cfg.travel_speed * 60.0
+
+        def travel(point: np.ndarray) -> None:
+            commands.append(
+                GcodeCommand(
+                    "G0",
+                    {"X": round(point[0], 4), "Y": round(point[1], 4), "F": travel_f},
+                )
+            )
+
+        def extrude_to(point: np.ndarray, start: np.ndarray) -> None:
+            nonlocal e
+            e += float(np.linalg.norm(point - start)) * cfg.extrusion_per_mm
+            commands.append(
+                GcodeCommand(
+                    "G1",
+                    {
+                        "X": round(point[0], 4),
+                        "Y": round(point[1], 4),
+                        "E": round(e, 5),
+                        "F": print_f,
+                    },
+                )
+            )
+
+        # Perimeter loop.
+        travel(outline[0])
+        position = outline[0]
+        for vertex in list(outline[1:]) + [outline[0]]:
+            extrude_to(vertex, position)
+            position = vertex
+
+        # Infill.
+        segments = infill_for_layer(
+            outline,
+            cfg.infill_spacing,
+            layer,
+            pattern=cfg.infill_pattern,
+            base_angle=cfg.infill_base_angle,
+        )
+        for start, end in segments:
+            travel(start)
+            extrude_to(end, start)
+        return e, commands
+
+
+def slice_model(
+    outline: np.ndarray,
+    config: Optional[SlicerConfig] = None,
+    center=(110.0, 110.0),
+) -> GcodeProgram:
+    """Functional shortcut: slice ``outline`` with ``config``."""
+    return Slicer(config).slice(outline, center)

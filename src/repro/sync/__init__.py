@@ -1,0 +1,38 @@
+"""Dynamic synchronization (DSYNC): TDE/TDEB, DWM, DTW, FastDTW."""
+
+from .base import SyncResult, Synchronizer
+from .tde import TdeResult, similarity_profile, tde, tdeb
+from .dwm import (
+    DwmParams,
+    DwmSynchronizer,
+    RM3_DWM_PARAMS,
+    StreamingDwm,
+    UM3_DWM_PARAMS,
+)
+from .dtw import DtwSynchronizer, dtw_path, path_to_h_disp
+from .fastdtw import FastDtwSynchronizer, fastdtw_path
+from .fastdtw_reference import ReferenceFastDtwSynchronizer, fastdtw_reference_path
+from .online_dtw import OnlineDtw, OnlineDtwSynchronizer
+
+__all__ = [
+    "SyncResult",
+    "Synchronizer",
+    "TdeResult",
+    "similarity_profile",
+    "tde",
+    "tdeb",
+    "DwmParams",
+    "DwmSynchronizer",
+    "StreamingDwm",
+    "UM3_DWM_PARAMS",
+    "RM3_DWM_PARAMS",
+    "DtwSynchronizer",
+    "dtw_path",
+    "path_to_h_disp",
+    "FastDtwSynchronizer",
+    "fastdtw_path",
+    "ReferenceFastDtwSynchronizer",
+    "fastdtw_reference_path",
+    "OnlineDtw",
+    "OnlineDtwSynchronizer",
+]

@@ -1,0 +1,84 @@
+"""Common types for dynamic synchronizers (DSYNC, paper Section VI).
+
+A dynamic synchronizer continuously identifies corresponding points or
+windows between an observed signal ``a`` and a reference signal ``b``.  Both
+DWM (window-based) and DTW (point-based) reduce to the same artefact: a
+*horizontal displacement* array ``h_disp`` saying how far ``b`` is shifted
+relative to ``a`` at each index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..signals.signal import Signal
+
+__all__ = ["SyncResult", "Synchronizer"]
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """Output of a dynamic synchronizer.
+
+    Attributes
+    ----------
+    h_disp:
+        Horizontal displacement of ``b`` with respect to ``a``.  For a
+        window-based synchronizer this is indexed by window index ``i``; for
+        a point-based one, by sample index.  May be fractional for DTW
+        (Eq. 5 averages the matched indexes).
+    mode:
+        ``"window"`` or ``"point"`` — tells the comparator how to pair up
+        samples of ``a`` and ``b``.
+    n_win, n_hop:
+        Analysis-window geometry (window mode only; 1/1 in point mode).
+    scores:
+        Optional per-index match quality (unbiased similarity for DWM).
+    pairs:
+        Point mode only: the DTW warping path as ``(i, j)`` tuples.
+    """
+
+    h_disp: np.ndarray
+    mode: str
+    n_win: int = 1
+    n_hop: int = 1
+    scores: Optional[np.ndarray] = None
+    pairs: Optional[List[Tuple[int, int]]] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("window", "point"):
+            raise ValueError(f"mode must be 'window' or 'point', got {self.mode!r}")
+
+    @property
+    def h_dist(self) -> np.ndarray:
+        """Horizontal distance: the absolute value of ``h_disp``."""
+        return np.abs(self.h_disp)
+
+    @property
+    def n_indexes(self) -> int:
+        """Number of synchronized indexes (windows or points)."""
+        return int(self.h_disp.shape[0])
+
+    def cadhd(self) -> np.ndarray:
+        """Cumulative Absolute Difference of the Horizontal Displacement.
+
+        Eq. (17): ``c_disp[i] = sum_{j<=i} |h_disp[j] - h_disp[j-1]|`` with
+        ``h_disp[-1] = 0``.  A signature of how much the synchronizer had to
+        "work"; it explodes when DSYNC fails.
+        """
+        if self.h_disp.size == 0:
+            return np.zeros(0)
+        prev = np.concatenate([[0.0], self.h_disp[:-1]])
+        return np.cumsum(np.abs(self.h_disp - prev))
+
+
+@runtime_checkable
+class Synchronizer(Protocol):
+    """Anything that can dynamically synchronize two signals."""
+
+    def synchronize(self, a: Signal, b: Signal) -> SyncResult:
+        """Return the horizontal displacements of ``b`` relative to ``a``."""
+        ...

@@ -1,0 +1,147 @@
+"""Dynamic Time Warping (Sakoe & Chiba 1978) — the baseline synchronizer.
+
+Classic O(N·M) dynamic-programming DTW over two multi-channel signals, with
+optional window constraints (used by FastDTW's refinement step).  The
+warping path is converted into the horizontal-displacement array ``h_disp``
+via Eq. (5): when several reference indexes map to the same observed index,
+their displacements are averaged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..signals.signal import Signal
+from .base import SyncResult
+
+__all__ = ["DtwSynchronizer", "dtw_path", "path_to_h_disp", "euclidean_point_distance"]
+
+PointDistance = Callable[[np.ndarray, np.ndarray], float]
+
+
+def euclidean_point_distance(u: np.ndarray, v: np.ndarray) -> float:
+    """L2 distance between two per-sample channel vectors."""
+    return float(np.linalg.norm(u - v))
+
+
+def dtw_path(
+    a: np.ndarray,
+    b: np.ndarray,
+    window: Optional[Iterable[Tuple[int, int]]] = None,
+) -> Tuple[float, List[Tuple[int, int]]]:
+    """DTW between 2-D arrays ``a`` (N, C) and ``b`` (M, C).
+
+    Uses the squared-Euclidean local cost (computed vectorised).  If
+    ``window`` is given it is an iterable of admissible ``(i, j)`` cells;
+    cells outside it are never visited.  Returns ``(total_cost, path)``
+    where the path runs from ``(0, 0)`` to ``(N - 1, M - 1)``.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("a and b must be 2-D (n_samples, n_channels)")
+    n, m = a.shape[0], b.shape[0]
+    if n == 0 or m == 0:
+        raise ValueError("cannot warp empty signals")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"channel mismatch: a has {a.shape[1]}, b has {b.shape[1]}"
+        )
+
+    inf = np.inf
+    if window is None:
+        cells_by_i: List[Optional[np.ndarray]] = [None] * n  # full rows
+    else:
+        allowed: Dict[int, List[int]] = {}
+        for i, j in window:
+            allowed.setdefault(i, []).append(j)
+        cells_by_i = [np.asarray(sorted(allowed.get(i, [])), dtype=np.intp)
+                      for i in range(n)]
+
+    # Accumulated costs are stored per admissible cell only, so a narrow
+    # FastDTW band over a long signal stays O(n * band) in memory instead of
+    # O(n * m).
+    cost: Dict[Tuple[int, int], float] = {}
+    for i in range(n):
+        js = cells_by_i[i]
+        if js is None:
+            local = np.linalg.norm(b - a[i], axis=1)
+            j_iter = range(m)
+        else:
+            if js.size == 0:
+                continue
+            local = np.linalg.norm(b[js] - a[i], axis=1)
+            j_iter = js
+        for idx, j in enumerate(j_iter):
+            d = local[idx] if js is not None else local[j]
+            if i == 0 and j == 0:
+                cost[0, 0] = float(d)
+                continue
+            best = min(
+                cost.get((i - 1, j), inf),
+                cost.get((i - 1, j - 1), inf),
+                cost.get((i, j - 1), inf),
+            )
+            if best < inf:
+                cost[i, j] = float(d) + best
+
+    terminal = cost.get((n - 1, m - 1), inf)
+    if not np.isfinite(terminal):
+        raise RuntimeError("DTW window excludes the terminal cell")
+
+    # Backtrack greedily along the minimal predecessor.
+    path: List[Tuple[int, int]] = [(n - 1, m - 1)]
+    i, j = n - 1, m - 1
+    while (i, j) != (0, 0):
+        candidates = [
+            (cost[p], p)
+            for p in ((i - 1, j), (i, j - 1), (i - 1, j - 1))
+            if p in cost
+        ]
+        if not candidates:
+            raise RuntimeError("DTW backtrack hit a dead end")
+        _, (i, j) = min(candidates, key=lambda c: c[0])
+        path.append((i, j))
+    path.reverse()
+    return terminal, path
+
+
+def path_to_h_disp(path: List[Tuple[int, int]], n: int) -> np.ndarray:
+    """Convert a warping path to ``h_disp`` over observed indexes (Eq. 5).
+
+    ``n`` is the observed-signal length; indexes the path never reached
+    (possible with a constrained window) repeat the last known value.
+    """
+    sums = np.zeros(n)
+    counts = np.zeros(n)
+    for i, j in path:
+        if i < n:
+            sums[i] += j - i
+            counts[i] += 1
+    h_disp = np.zeros(n)
+    last = 0.0
+    for i in range(n):
+        if counts[i] > 0:
+            last = sums[i] / counts[i]
+        h_disp[i] = last
+    return h_disp
+
+
+class DtwSynchronizer:
+    """Point-based DSYNC via exact DTW.
+
+    Exact DTW is quadratic in signal length; the paper could only run it on
+    spectrograms, never on raw signals ("it took forever").  Use
+    :class:`~repro.sync.fastdtw.FastDtwSynchronizer` for anything long.
+    """
+
+    def synchronize(self, a: Signal, b: Signal) -> SyncResult:
+        if a.sample_rate != b.sample_rate:
+            raise ValueError(
+                f"sample rates differ: a={a.sample_rate}, b={b.sample_rate}"
+            )
+        _, path = dtw_path(a.data, b.data)
+        h_disp = path_to_h_disp(path, a.n_samples)
+        return SyncResult(h_disp=h_disp, mode="point", pairs=path)

@@ -1,0 +1,133 @@
+"""Reference (pure-Python) FastDTW — the implementation class the paper ran.
+
+The paper evaluates "FastDTW with the smallest radius for the fastest
+speed" using the standard implementation style of the ``fastdtw`` package:
+per-cell Python arithmetic, dictionaries for the cost matrix, and a
+per-cell distance function call.  That constant factor — hundreds of Python
+bytecodes per cell, times ~channels per distance call — is what makes DTW
+"consume an excessive amount of computational resources" in Fig. 11.
+
+:mod:`repro.sync.fastdtw` is our vectorized re-engineering of the same
+algorithm (identical output path, far faster); this module preserves the
+reference behaviour so the paper's DWM-vs-DTW cost comparison can be
+reproduced as published.  Use it through
+:class:`ReferenceFastDtwSynchronizer` or :func:`fastdtw_reference_path`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..signals.signal import Signal
+from .base import SyncResult
+from .dtw import path_to_h_disp
+
+__all__ = ["fastdtw_reference_path", "ReferenceFastDtwSynchronizer"]
+
+_MIN_EXACT_SIZE = 16
+
+
+def _dist(u, v) -> float:
+    """Per-cell Euclidean distance, computed in Python as the reference
+    implementation does (one function call and a loop per cell)."""
+    total = 0.0
+    for a, b in zip(u, v):
+        diff = a - b
+        total += diff * diff
+    return total ** 0.5
+
+
+def _reduce_by_half(x: List) -> List:
+    """Average adjacent pairs (pure-Python coarsening)."""
+    half = []
+    for i in range(0, len(x) - len(x) % 2, 2):
+        half.append([(p + q) / 2.0 for p, q in zip(x[i], x[i + 1])])
+    return half
+
+
+def _expand_window(
+    path: List[Tuple[int, int]], len_x: int, len_y: int, radius: int
+) -> Set[Tuple[int, int]]:
+    path_set = set(path)
+    for i, j in path:
+        for a in range(-radius, radius + 1):
+            for b in range(-radius, radius + 1):
+                path_set.add((i + a, j + b))
+    window: Set[Tuple[int, int]] = set()
+    for i, j in path_set:
+        for a, b in ((i * 2, j * 2), (i * 2, j * 2 + 1),
+                     (i * 2 + 1, j * 2), (i * 2 + 1, j * 2 + 1)):
+            if 0 <= a < len_x and 0 <= b < len_y:
+                window.add((a, b))
+    window.add((0, 0))
+    window.add((len_x - 1, len_y - 1))
+    return window
+
+
+def _dtw_windowed(
+    x: List, y: List, window: Optional[Set[Tuple[int, int]]]
+) -> Tuple[float, List[Tuple[int, int]]]:
+    len_x, len_y = len(x), len(y)
+    if window is None:
+        window = {(i, j) for i in range(len_x) for j in range(len_y)}
+    d: Dict[Tuple[int, int], Tuple[float, int, int]] = {}
+    d[0, -1] = (float("inf"), 0, 0)
+    d[-1, 0] = (float("inf"), 0, 0)
+    d[-1, -1] = (0.0, 0, 0)
+    for i, j in sorted(window):
+        dt = _dist(x[i], y[j])
+        options = []
+        for pi, pj in ((i - 1, j), (i, j - 1), (i - 1, j - 1)):
+            prev = d.get((pi, pj))
+            if prev is not None and prev[0] < float("inf"):
+                options.append((prev[0] + dt, pi, pj))
+        if (i, j) == (0, 0):
+            d[i, j] = (dt, -1, -1)
+        elif options:
+            d[i, j] = min(options)
+    if (len_x - 1, len_y - 1) not in d:
+        raise RuntimeError("window excludes the terminal cell")
+    path = []
+    i, j = len_x - 1, len_y - 1
+    while (i, j) != (-1, -1):
+        path.append((i, j))
+        _, i, j = d[i, j]
+    path.reverse()
+    return d[len_x - 1, len_y - 1][0], path
+
+
+def fastdtw_reference_path(
+    x: List, y: List, radius: int = 1
+) -> Tuple[float, List[Tuple[int, int]]]:
+    """Pure-Python FastDTW over lists of per-sample channel lists."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if min(len(x), len(y)) <= max(_MIN_EXACT_SIZE, radius + 2):
+        return _dtw_windowed(x, y, None)
+    shrunk_x = _reduce_by_half(x)
+    shrunk_y = _reduce_by_half(y)
+    _, low_res_path = fastdtw_reference_path(shrunk_x, shrunk_y, radius)
+    window = _expand_window(low_res_path, len(x), len(y), radius)
+    return _dtw_windowed(x, y, window)
+
+
+class ReferenceFastDtwSynchronizer:
+    """Point-based DSYNC via the reference pure-Python FastDTW."""
+
+    def __init__(self, radius: int = 1) -> None:
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self.radius = radius
+
+    def synchronize(self, a: Signal, b: Signal) -> SyncResult:
+        if a.sample_rate != b.sample_rate:
+            raise ValueError(
+                f"sample rates differ: a={a.sample_rate}, b={b.sample_rate}"
+            )
+        x = a.data.tolist()
+        y = b.data.tolist()
+        _, path = fastdtw_reference_path(x, y, self.radius)
+        h_disp = path_to_h_disp(path, a.n_samples)
+        return SyncResult(h_disp=h_disp, mode="point", pairs=path)

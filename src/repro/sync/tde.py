@@ -1,0 +1,156 @@
+"""Time Delay Estimation by the sliding method (paper Section V-B).
+
+TDE finds the best location of a short signal ``y`` inside a longer signal
+``x`` by sliding ``y`` across ``x`` and scoring each position with a
+similarity function (Eq. 1-2).  TDEB (Time Delay Estimation with Bias,
+Section VI-B and Fig. 5) multiplies the similarity array by a Gaussian
+window so that, when the content is periodic or noisy and several delays
+score equally well, the estimate stays near the centre — i.e. near the
+previous window's displacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..signals.metrics import correlation_similarity
+from ..signals.windows import gaussian_window
+
+__all__ = ["TdeResult", "tde", "tdeb", "similarity_profile", "correlation_profile"]
+
+SimilarityFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class TdeResult:
+    """Outcome of a TDE run.
+
+    ``delay`` is ``n_delay`` of Eq. (2): the sample offset in ``x`` at which
+    ``y`` matches best.  ``score`` is the (possibly biased) similarity at
+    that offset, and ``scores`` the full similarity array ``s[n]``.
+    """
+
+    delay: int
+    score: float
+    scores: np.ndarray
+
+
+def _as_2d(a: np.ndarray) -> np.ndarray:
+    a = np.asarray(a, dtype=np.float64)
+    return a[:, np.newaxis] if a.ndim == 1 else a
+
+
+def correlation_profile(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Vectorized sliding correlation coefficient, channel-averaged.
+
+    Computes ``s[n] = corr(x[n : n + N_y], y)`` for every admissible shift
+    using running sums and an FFT/direct cross-correlation (scipy picks the
+    faster method), instead of recomputing Eq. (3) per shift.  This is what
+    makes DWM run orders of magnitude faster than DTW in practice.
+    """
+    from scipy.signal import fftconvolve  # local import keeps start-up light
+
+    x2, y2 = _as_2d(x), _as_2d(y)
+    n_x, n_y, n_ch = x2.shape[0], y2.shape[0], x2.shape[1]
+    n_shifts = n_x - n_y + 1
+    eps = 1e-12
+
+    # Cross terms for every channel at once: correlation along the time
+    # axis is convolution with the time-reversed template.
+    cross = fftconvolve(x2, y2[::-1, :], mode="valid", axes=0)  # (shifts, C)
+
+    # Sliding window sums of x and x^2 via cumulative sums (O(n) each).
+    cs1 = np.cumsum(np.concatenate([np.zeros((1, n_ch)), x2]), axis=0)
+    cs2 = np.cumsum(np.concatenate([np.zeros((1, n_ch)), x2 * x2]), axis=0)
+    s1 = cs1[n_y:] - cs1[:-n_y]  # (shifts, C)
+    s2 = cs2[n_y:] - cs2[:-n_y]
+
+    y_mean = y2.mean(axis=0, keepdims=True)           # (1, C)
+    y_energy = np.sum((y2 - y_mean) ** 2, axis=0)     # (C,)
+
+    num = cross - s1 * y_mean
+    var_x = np.maximum(s2 - s1 * s1 / n_y, 0.0)
+    den = np.sqrt(var_x * y_energy[np.newaxis, :])
+    scores = np.where(den > eps, num / np.maximum(den, eps), 0.0)
+    return scores.mean(axis=1)
+
+
+def similarity_profile(
+    x: np.ndarray,
+    y: np.ndarray,
+    similarity: SimilarityFn = correlation_similarity,
+) -> np.ndarray:
+    """Similarity array ``s[n] = f(x[n : n + N_y], y)`` (Eq. 1).
+
+    ``x`` and ``y`` may be 1-D or ``(n, c)`` arrays with matching channel
+    counts; ``x`` must be at least as long as ``y``.  The default
+    correlation similarity takes a vectorized fast path; any custom
+    similarity function falls back to an explicit sliding loop.
+    """
+    x2, y2 = _as_2d(x), _as_2d(y)
+    if x2.shape[1] != y2.shape[1]:
+        raise ValueError(
+            f"channel mismatch: x has {x2.shape[1]}, y has {y2.shape[1]}"
+        )
+    n_x, n_y = x2.shape[0], y2.shape[0]
+    if n_y == 0:
+        raise ValueError("y must be non-empty")
+    if n_x < n_y:
+        raise ValueError(f"x (len {n_x}) is shorter than y (len {n_y})")
+    if similarity is correlation_similarity:
+        return correlation_profile(x2, y2)
+    scores = np.empty(n_x - n_y + 1)
+    for n in range(scores.size):
+        scores[n] = similarity(x2[n : n + n_y, :], y2)
+    return scores
+
+
+def tde(
+    x: np.ndarray,
+    y: np.ndarray,
+    similarity: SimilarityFn = correlation_similarity,
+) -> TdeResult:
+    """Plain sliding-method TDE: the argmax of the similarity array (Eq. 2)."""
+    scores = similarity_profile(x, y, similarity)
+    delay = int(np.argmax(scores))
+    return TdeResult(delay=delay, score=float(scores[delay]), scores=scores)
+
+
+def tdeb(
+    x: np.ndarray,
+    y: np.ndarray,
+    sigma: float,
+    similarity: SimilarityFn = correlation_similarity,
+    centre: Optional[int] = None,
+) -> TdeResult:
+    """TDE with a Gaussian bias towards the centre of the search range.
+
+    ``sigma`` is the Gaussian's standard deviation in samples (the paper's
+    ``n_sigma``).  By default the bias is centred on the middle of the
+    similarity array, which for DWM's symmetric extended window corresponds
+    to "no change from the previous displacement".
+
+    The returned ``score`` is the *unbiased* similarity at the biased argmax,
+    so callers can still reason about how well the windows actually matched;
+    ``scores`` is the biased array used for the argmax.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    raw = similarity_profile(x, y, similarity)
+    if centre is None:
+        centre_f = (raw.size - 1) / 2.0
+    else:
+        centre_f = float(centre)
+    n = np.arange(raw.size, dtype=np.float64)
+    bias = np.exp(-0.5 * ((n - centre_f) / sigma) ** 2)
+    # Shift scores to be non-negative before applying the multiplicative
+    # bias: the correlation similarity can be negative, and multiplying a
+    # negative score by a small Gaussian tail would *raise* it, inverting
+    # the intended bias direction.
+    shifted = raw - raw.min()
+    biased = shifted * bias
+    delay = int(np.argmax(biased))
+    return TdeResult(delay=delay, score=float(raw[delay]), scores=biased)

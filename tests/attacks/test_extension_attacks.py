@@ -1,0 +1,72 @@
+"""Tests for the extension attacks (fan / temperature sabotage)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FanAttack, PrintJob, TemperatureAttack
+from repro.printer import NO_TIME_NOISE, ULTIMAKER3, simulate_print
+from repro.slicer import SlicerConfig, square_outline
+
+
+@pytest.fixture(scope="module")
+def job():
+    return PrintJob.slice(
+        square_outline(20.0),
+        SlicerConfig(object_height=0.8, layer_height=0.2, infill_spacing=5.0,
+                     fan_from_layer=1),
+    )
+
+
+class TestFanAttack:
+    def test_fan_commands_zeroed(self, job):
+        attacked = FanAttack(factor=0.0).apply(job)
+        fans = [c.get("S") for c in attacked.program if c.code == "M106"]
+        assert fans and all(s == 0.0 for s in fans)
+
+    def test_partial_throttle(self, job):
+        attacked = FanAttack(factor=0.5).apply(job)
+        fans = [c.get("S") for c in attacked.program if c.code == "M106"]
+        assert all(s == pytest.approx(127.5) for s in fans)
+
+    def test_toolpath_untouched(self, job):
+        attacked = FanAttack().apply(job)
+        moves = lambda p: [c.to_line() for c in p if c.is_move]
+        assert moves(attacked.program) == moves(job.program)
+
+    def test_trace_fan_stays_off(self, job):
+        attacked = FanAttack().apply(job)
+        trace = simulate_print(attacked.program, ULTIMAKER3, NO_TIME_NOISE)
+        assert trace.fan.max() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FanAttack(factor=1.5)
+
+
+class TestTemperatureAttack:
+    def test_targets_lowered(self, job):
+        attacked = TemperatureAttack(offset=-25.0).apply(job)
+        original = [c.get("S") for c in job.program
+                    if c.code in ("M104", "M109") and c.get("S", 0) > 0]
+        modified = [c.get("S") for c in attacked.program
+                    if c.code in ("M104", "M109") and c.get("S", 0) > 0]
+        assert len(modified) == len(original)
+        for o, m in zip(original, modified):
+            assert m == pytest.approx(o - 25.0)
+
+    def test_shutdown_zero_untouched(self, job):
+        attacked = TemperatureAttack(offset=-25.0).apply(job)
+        zeros = [c for c in attacked.program
+                 if c.code == "M104" and c.get("S") == 0.0]
+        assert zeros, "the final cool-down command must stay at 0"
+
+    def test_trace_temperature_lower(self, job):
+        benign = simulate_print(job.program, ULTIMAKER3, NO_TIME_NOISE)
+        attacked_job = TemperatureAttack(offset=-25.0).apply(job)
+        attacked = simulate_print(attacked_job.program, ULTIMAKER3, NO_TIME_NOISE)
+        assert attacked.hotend_temp.max() < benign.hotend_temp.max()
+
+    def test_toolpath_untouched(self, job):
+        attacked = TemperatureAttack().apply(job)
+        moves = lambda p: [c.to_line() for c in p if c.is_move]
+        assert moves(attacked.program) == moves(job.program)

@@ -1,0 +1,75 @@
+"""Unit tests for firmware-level attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FirmwareSpeedAttack, FirmwareZShiftAttack
+from repro.printer import (
+    Firmware,
+    NO_TIME_NOISE,
+    ULTIMAKER3,
+    parse_gcode,
+    parse_line,
+)
+
+
+class TestFirmwareSpeedAttack:
+    def test_feedrate_scaled(self):
+        attack = FirmwareSpeedAttack(factor=0.9)
+        cmd = parse_line("G1 X10 F1000")
+        assert attack(cmd).get("F") == pytest.approx(900.0)
+
+    def test_non_moves_untouched(self):
+        attack = FirmwareSpeedAttack(factor=0.9)
+        cmd = parse_line("M104 S200")
+        assert attack(cmd) is cmd
+
+    def test_moves_without_f_untouched(self):
+        attack = FirmwareSpeedAttack(factor=0.9)
+        cmd = parse_line("G1 X10")
+        assert attack(cmd) is cmd
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            FirmwareSpeedAttack(factor=-1.0)
+
+    def test_slows_whole_print(self):
+        program = parse_gcode(["G1 X50 F3000", "G1 X0 F3000"])
+        benign = Firmware(ULTIMAKER3, NO_TIME_NOISE).run(program)
+        attacked = Firmware(
+            ULTIMAKER3, NO_TIME_NOISE, transformer=FirmwareSpeedAttack(0.5)
+        ).run(program)
+        assert attacked.duration > benign.duration * 1.5
+
+    def test_gcode_file_unchanged(self):
+        """The point of a firmware attack: the G-code itself stays benign."""
+        program = parse_gcode(["G1 X50 F3000"])
+        Firmware(
+            ULTIMAKER3, NO_TIME_NOISE, transformer=FirmwareSpeedAttack(0.5)
+        ).run(program)
+        assert program[0].get("F") == 3000.0
+
+
+class TestFirmwareZShiftAttack:
+    def test_shift_above_trigger(self):
+        attack = FirmwareZShiftAttack(z_trigger=3.0, z_offset=0.1)
+        assert attack(parse_line("G1 Z5.0")).get("Z") == pytest.approx(5.1)
+
+    def test_no_shift_below_trigger(self):
+        attack = FirmwareZShiftAttack(z_trigger=3.0, z_offset=0.1)
+        cmd = parse_line("G1 Z1.0")
+        assert attack(cmd) is cmd
+
+    def test_moves_without_z_untouched(self):
+        attack = FirmwareZShiftAttack()
+        cmd = parse_line("G1 X5 Y5")
+        assert attack(cmd) is cmd
+
+    def test_executed_z_shifted(self):
+        program = parse_gcode(["G1 Z5 F6000", "G1 X10 F3000"])
+        trace = Firmware(
+            ULTIMAKER3,
+            NO_TIME_NOISE,
+            transformer=FirmwareZShiftAttack(z_trigger=3.0, z_offset=0.2),
+        ).run(program)
+        assert trace.position[-1, 2] == pytest.approx(5.2)

@@ -1,0 +1,161 @@
+"""Unit tests for the Table I attack suite."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    InfillGridAttack,
+    LayerHeightAttack,
+    PrintJob,
+    ScaleAttack,
+    SpeedAttack,
+    TABLE_I_ATTACKS,
+    VoidAttack,
+)
+from repro.slicer import SlicerConfig, square_outline
+
+
+@pytest.fixture(scope="module")
+def job():
+    return PrintJob.slice(
+        square_outline(30.0),
+        SlicerConfig(object_height=0.6, layer_height=0.2, infill_spacing=4.0),
+    )
+
+
+def total_extrusion(program):
+    e_values = [c.get("E") for c in program if c.get("E") is not None]
+    return max(e_values) if e_values else 0.0
+
+
+class TestVoid:
+    def test_material_removed(self, job):
+        attacked = VoidAttack(radius=8.0).apply(job)
+        assert total_extrusion(attacked.program) < total_extrusion(job.program)
+
+    def test_voided_moves_marked_and_fast(self, job):
+        attacked = VoidAttack(radius=8.0).apply(job)
+        voided = [c for c in attacked.program if c.comment == "voided"]
+        assert voided, "some moves must be voided"
+        travel_f = job.config.travel_speed * 60.0
+        assert all(c.code == "G0" for c in voided)
+        assert all(c.get("E") is None for c in voided)
+        assert all(c.get("F") == travel_f for c in voided)
+
+    def test_only_middle_layers_affected(self, job):
+        attacked = VoidAttack(radius=8.0).apply(job)
+        z = None
+        voided_z = set()
+        for c in attacked.program:
+            if c.is_move and c.get("Z") is not None:
+                z = c.get("Z")
+            if c.comment == "voided":
+                voided_z.add(z)
+        # 3 layers at z = 0.2, 0.4, 0.6: the middle band is z = 0.4.
+        assert voided_z == {0.4}
+
+    def test_geometry_outside_disk_untouched(self, job):
+        attacked = VoidAttack(radius=2.0).apply(job)
+        originals = [c for c in job.program if c.get("E") is not None]
+        kept = [c for c in attacked.program if c.get("E") is not None]
+        # A tiny void removes few moves.
+        assert len(originals) - len(kept) <= 4
+
+    def test_benign_job_not_mutated(self, job):
+        before = len(job.program)
+        VoidAttack().apply(job)
+        assert len(job.program) == before
+
+
+class TestSpeed:
+    def test_all_feedrates_scaled(self, job):
+        attacked = SpeedAttack(factor=0.95).apply(job)
+        for orig, mal in zip(job.program, attacked.program):
+            f_orig, f_mal = orig.get("F"), mal.get("F")
+            if orig.is_move and f_orig is not None:
+                assert f_mal == pytest.approx(f_orig * 0.95)
+            else:
+                assert mal.params == orig.params
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            SpeedAttack(factor=0.0)
+
+    def test_geometry_unchanged(self, job):
+        attacked = SpeedAttack().apply(job)
+        xs = lambda p: [c.get("X") for c in p if c.get("X") is not None]
+        assert xs(attacked.program) == xs(job.program)
+
+
+class TestLayerHeight:
+    def test_fewer_layers(self, job):
+        attacked = LayerHeightAttack(layer_height=0.3).apply(job)
+        count = lambda p: sum(
+            1 for c in p if c.comment and c.comment.startswith("LAYER:")
+        )
+        assert count(attacked.program) == 2  # 0.6 / 0.3
+        assert count(job.program) == 3       # 0.6 / 0.2
+
+    def test_config_updated(self, job):
+        attacked = LayerHeightAttack(layer_height=0.3).apply(job)
+        assert attacked.config.layer_height == 0.3
+        assert job.config.layer_height == 0.2
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            LayerHeightAttack(layer_height=-0.1)
+
+
+class TestScale:
+    def test_object_shrunk(self, job):
+        attacked = ScaleAttack(factor=0.95).apply(job)
+
+        def span(p):
+            xs = [c.get("X") for c in p if c.is_move and c.get("X") is not None]
+            return max(xs) - min(xs)
+
+        assert span(attacked.program) == pytest.approx(
+            span(job.program) * 0.95, rel=0.02
+        )
+
+    def test_compounding_scale(self, job):
+        once = ScaleAttack(factor=0.95).apply(job)
+        twice = ScaleAttack(factor=0.95).apply(once)
+        assert twice.config.scale == pytest.approx(0.95**2)
+
+
+class TestInfillGrid:
+    def test_pattern_switched(self, job):
+        attacked = InfillGridAttack().apply(job)
+        assert attacked.config.infill_pattern == "grid"
+        assert job.config.infill_pattern == "lines"
+
+    def test_program_differs(self, job):
+        attacked = InfillGridAttack().apply(job)
+        assert attacked.program.to_text() != job.program.to_text()
+
+
+class TestSuite:
+    def test_five_attacks(self):
+        attacks = TABLE_I_ATTACKS()
+        assert [a.name for a in attacks] == [
+            "Void", "InfillGrid", "Speed0.95", "Layer0.3", "Scale0.95",
+        ]
+
+    def test_fresh_instances(self):
+        a, b = TABLE_I_ATTACKS(), TABLE_I_ATTACKS()
+        assert all(x is not y for x, y in zip(a, b))
+
+    def test_every_attack_changes_program(self, job):
+        for attack in TABLE_I_ATTACKS():
+            attacked = attack.apply(job)
+            assert attacked.program.to_text() != job.program.to_text(), attack.name
+
+    def test_center_preserved(self):
+        job_delta = PrintJob.slice(
+            square_outline(30.0),
+            SlicerConfig(object_height=0.6, layer_height=0.2),
+            center=(0.0, 0.0),
+        )
+        for attack in TABLE_I_ATTACKS():
+            assert attack.apply(job_delta).center == (0.0, 0.0), attack.name

@@ -1,0 +1,77 @@
+"""Tests for signal-based layer-change detection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LayerDetector, detect_layer_changes
+from repro.signals import Signal
+
+
+def bursty_signal(burst_times, duration=60.0, fs=200.0, seed=0, amplitude=8.0):
+    """Quiet noise with short strong bursts at the given times."""
+    rng = np.random.default_rng(seed)
+    n = int(duration * fs)
+    data = 0.1 * rng.standard_normal(n)
+    for t in burst_times:
+        start = int(t * fs)
+        data[start : start + int(0.3 * fs)] += amplitude
+    return Signal(data, fs)
+
+
+class TestLayerDetector:
+    def test_detects_planted_bursts(self):
+        sig = bursty_signal([20.0, 40.0])
+        events = LayerDetector(channel=0).detect(sig)
+        assert len(events) == 2
+        assert events[0] == pytest.approx(20.0, abs=0.5)
+        assert events[1] == pytest.approx(40.0, abs=0.5)
+
+    def test_trim_boundary_drops_edge_events(self):
+        sig = bursty_signal([2.0, 30.0, 58.0])
+        trimmed = LayerDetector(channel=0).detect(sig, trim_boundary=True)
+        untrimmed = LayerDetector(channel=0).detect(sig, trim_boundary=False)
+        assert len(untrimmed) == 3
+        assert len(trimmed) == 1
+        assert trimmed[0] == pytest.approx(30.0, abs=0.5)
+
+    def test_close_bursts_merge(self):
+        sig = bursty_signal([30.0, 30.5])
+        events = LayerDetector(channel=0, min_gap_seconds=2.0).detect(sig)
+        assert len(events) == 1
+
+    def test_quiet_signal_no_events(self):
+        rng = np.random.default_rng(1)
+        sig = Signal(0.1 * rng.standard_normal(5000), 100.0)
+        assert LayerDetector(channel=0).detect(sig) == []
+
+    def test_channel_fallback_to_mean(self):
+        sig = bursty_signal([30.0])
+        detector = LayerDetector(channel=99)  # out of range -> mean
+        events = detector.detect(sig)
+        assert len(events) == 1
+
+
+class TestExpectedCountTuning:
+    def test_returns_expected_count_when_achievable(self):
+        sig = bursty_signal([20.0, 30.0, 40.0])
+        events = detect_layer_changes(sig, channel=0, expected=3)
+        assert len(events) == 3
+
+    def test_best_effort_when_not_achievable(self):
+        sig = bursty_signal([30.0])
+        events = detect_layer_changes(sig, channel=0, expected=5)
+        assert len(events) >= 1
+
+
+class TestOnSimulatedPrint(object):
+    def test_recovers_true_layer_changes(self, noisy_trace):
+        from repro.sensors import default_daq
+
+        acc = default_daq().acquire(
+            noisy_trace, np.random.default_rng(0), channels=["ACC"]
+        )["ACC"]
+        true = list(noisy_trace.layer_change_times)
+        detected = detect_layer_changes(acc, expected=len(true))
+        assert len(detected) == len(true)
+        for t_true, t_det in zip(sorted(true), sorted(detected)):
+            assert t_det == pytest.approx(t_true, abs=0.6)

@@ -1,0 +1,116 @@
+"""Unit tests for the comparator (vertical-distance calculation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator, vertical_distances
+from repro.signals import Signal
+from repro.sync import SyncResult
+
+
+def make_signal(n=100, fs=10.0, seed=0, channels=1):
+    rng = np.random.default_rng(seed)
+    return Signal(rng.standard_normal((n, channels)), fs)
+
+
+def window_sync(n_indexes, n_win=10, n_hop=5, h_disp=None):
+    h = np.zeros(n_indexes) if h_disp is None else np.asarray(h_disp, float)
+    return SyncResult(h_disp=h, mode="window", n_win=n_win, n_hop=n_hop)
+
+
+class TestWindowMode:
+    def test_identical_signals_zero_distance(self):
+        s = make_signal()
+        v = vertical_distances(s, s, window_sync(10))
+        assert np.allclose(v, 0.0, atol=1e-12)
+
+    def test_gain_change_still_zero_with_correlation(self):
+        s = make_signal()
+        scaled = s.with_data(s.data * 7.5)
+        v = vertical_distances(scaled, s, window_sync(10))
+        assert np.allclose(v, 0.0, atol=1e-9)
+
+    def test_displacement_applied(self):
+        """With the correct h_disp, a shifted copy scores near zero."""
+        data = np.random.default_rng(1).standard_normal(200)
+        ref = Signal(data, 10.0)
+        obs = Signal(data[5:150], 10.0)  # obs[i] = ref[i + 5]
+        sync = window_sync(10, h_disp=np.full(10, 5.0))
+        v = vertical_distances(obs, ref, sync)
+        assert np.allclose(v, 0.0, atol=1e-12)
+
+        wrong = vertical_distances(obs, ref, window_sync(10))
+        assert wrong.mean() > 0.5
+
+    def test_unrelated_signals_high_distance(self):
+        v = vertical_distances(
+            make_signal(seed=1), make_signal(seed=2), window_sync(10)
+        )
+        assert v.mean() > 0.5
+
+    def test_boundary_window_reports_max_distance(self):
+        """A window pushed off the reference end must score 2.0 (worst)."""
+        obs = make_signal(100)
+        ref = make_signal(100)
+        sync = window_sync(1, h_disp=[99.0])  # only 1 overlapping sample
+        v = vertical_distances(obs, ref, sync)
+        assert v[0] == pytest.approx(2.0)
+
+    def test_custom_metric_by_name(self):
+        s = make_signal()
+        shifted = s.with_data(s.data + 1.0)
+        v = Comparator("mae").vertical_distances(s, shifted, window_sync(5))
+        assert np.allclose(v, 1.0)
+
+    def test_custom_metric_callable(self):
+        calls = []
+
+        def metric(u, v):
+            calls.append(1)
+            return 0.25
+
+        s = make_signal()
+        v = Comparator(metric).vertical_distances(s, s, window_sync(4))
+        assert np.allclose(v, 0.25)
+        assert len(calls) == 4
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown distance"):
+            Comparator("chebyshev")
+
+    def test_fractional_h_disp_rounded(self):
+        s = make_signal(200)
+        sync = window_sync(5, h_disp=[0.4, -0.4, 0.0, 0.49, -0.49])
+        v = vertical_distances(s, s, sync)
+        assert np.allclose(v, 0.0, atol=1e-12)
+
+
+class TestPointMode:
+    def test_point_mode_needs_pairs(self):
+        s = make_signal()
+        sync = SyncResult(h_disp=np.zeros(10), mode="point", pairs=None)
+        with pytest.raises(ValueError, match="warping path"):
+            vertical_distances(s, s, sync)
+
+    def test_identity_path_zero_distance(self):
+        s = make_signal(20, channels=3)
+        pairs = [(i, i) for i in range(20)]
+        sync = SyncResult(h_disp=np.zeros(20), mode="point", pairs=pairs)
+        v = vertical_distances(s, s, sync)
+        assert np.allclose(v, 0.0, atol=1e-9)
+
+    def test_duplicate_pairs_averaged_eq15(self):
+        obs = Signal(np.array([[1.0, 2.0]]), 1.0)
+        ref = Signal(np.array([[1.0, 2.0], [2.0, 1.0]]), 1.0)
+        pairs = [(0, 0), (0, 1)]
+        sync = SyncResult(h_disp=np.zeros(1), mode="point", pairs=pairs)
+        v = Comparator("mae").vertical_distances(obs, ref, sync)
+        # d(a0, b0) = 0; d(a0, b1) = mean(|1-2|, |2-1|) = 1 -> average 0.5
+        assert v[0] == pytest.approx(0.5)
+
+    def test_out_of_range_pairs_skipped(self):
+        s = make_signal(5)
+        pairs = [(0, 0), (10, 2), (1, 99)]
+        sync = SyncResult(h_disp=np.zeros(5), mode="point", pairs=pairs)
+        v = vertical_distances(s, s, sync)
+        assert v.shape == (5,)

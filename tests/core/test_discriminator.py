@@ -1,0 +1,107 @@
+"""Unit tests for the discriminator and its sub-modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import Detection, Discriminator, Thresholds, detection_features
+from repro.sync import SyncResult
+
+
+def sync_of(h_disp):
+    h = np.asarray(h_disp, dtype=np.float64)
+    return SyncResult(h_disp=h, mode="window", n_win=10, n_hop=5)
+
+
+class TestThresholds:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Thresholds(c_c=-1.0, h_c=0.0, v_c=0.0)
+        with pytest.raises(ValueError):
+            Thresholds(c_c=0.0, h_c=0.0, v_c=0.0, d_c=-0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Thresholds(c_c=float("nan"), h_c=1.0, v_c=1.0)
+
+    def test_inf_disables(self):
+        t = Thresholds(c_c=float("inf"), h_c=float("inf"), v_c=float("inf"))
+        assert t.d_c == float("inf")
+
+
+class TestDetectionFeatures:
+    def test_filters_applied(self):
+        sync = sync_of([0.0, 10.0, 0.0])  # h_dist spike at index 1
+        v = np.array([0.1, 9.0, 0.1])
+        f = detection_features(sync, v, filter_window=3)
+        assert f.h_dist_filtered.max() < 10.0
+        assert f.v_dist_filtered.max() < 9.0
+
+    def test_cadhd_passthrough(self):
+        sync = sync_of([1.0, 2.0])
+        f = detection_features(sync, np.zeros(2))
+        assert np.allclose(f.c_disp, sync.cadhd())
+
+    def test_duration_mismatch_recorded(self):
+        f = detection_features(sync_of([0.0]), np.zeros(1), duration_mismatch=4.0)
+        assert f.duration_mismatch == 4.0
+
+
+class TestDiscriminator:
+    THRESH = Thresholds(c_c=10.0, h_c=5.0, v_c=0.5, d_c=2.0)
+
+    def detect(self, h_disp, v_dist, mismatch=0.0):
+        disc = Discriminator(self.THRESH, filter_window=1)
+        return disc.detect(sync_of(h_disp), np.asarray(v_dist, float), mismatch)
+
+    def test_benign_process_passes(self):
+        d = self.detect([0.0, 1.0, 0.0], [0.1, 0.2, 0.1])
+        assert not d.is_intrusion
+        assert d.first_alarm_index is None
+        assert d.fired_submodules() == ()
+
+    def test_cadhd_fires_on_fluctuation(self):
+        # alternating +/-3 builds CADHD fast: 3, 9, 15 > 10
+        d = self.detect([3.0, -3.0, 3.0, -3.0], [0.1] * 4)
+        assert d.is_intrusion
+        assert d.cadhd_fired
+        assert "c_disp" in d.fired_submodules()
+
+    def test_h_dist_fires_on_large_displacement(self):
+        d = self.detect([0.0, 6.0, 6.0], [0.1] * 3)
+        assert d.h_dist_fired
+
+    def test_v_dist_fires_on_content_change(self):
+        d = self.detect([0.0, 0.0, 0.0], [0.1, 0.9, 0.9])
+        assert d.v_dist_fired
+        assert not d.cadhd_fired
+
+    def test_duration_fires_on_mismatch(self):
+        d = self.detect([0.0], [0.1], mismatch=5.0)
+        assert d.duration_fired
+        assert d.is_intrusion
+        assert d.first_alarm_index == 1  # after the last window
+
+    def test_first_alarm_index_is_earliest(self):
+        d = self.detect([0.0, 6.0, 0.0], [0.1, 0.1, 0.9])
+        assert d.first_alarm_index == 1
+
+    def test_spike_suppression_prevents_false_alarm(self):
+        disc = Discriminator(self.THRESH, filter_window=3)
+        # One-window v_dist spike at 0.9: the min-filter removes it.
+        sync = sync_of([0.0, 0.0, 0.0, 0.0])
+        d = disc.detect(sync, np.array([0.1, 0.9, 0.1, 0.1]))
+        assert not d.is_intrusion
+
+    def test_sustained_violation_survives_filter(self):
+        disc = Discriminator(self.THRESH, filter_window=3)
+        sync = sync_of([0.0] * 5)
+        d = disc.detect(sync, np.array([0.1, 0.9, 0.9, 0.9, 0.9]))
+        assert d.is_intrusion
+
+    def test_invalid_filter_window(self):
+        with pytest.raises(ValueError):
+            Discriminator(self.THRESH, filter_window=0)
+
+    def test_empty_features_benign(self):
+        d = self.detect([], [])
+        assert not d.is_intrusion

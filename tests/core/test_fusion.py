@@ -1,0 +1,111 @@
+"""Unit tests for multi-channel fusion."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiChannelNsyncIds
+from repro.core.fusion import _required_votes
+from repro.signals import Signal
+from repro.sync import DwmParams, DwmSynchronizer
+
+PARAMS = DwmParams(t_win=1.0, t_hop=0.5, t_ext=0.5, t_sigma=0.25, eta=0.2)
+FS = 100.0
+
+
+def textured(n=2500, seed=0):
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.standard_normal(n))
+    return base - np.linspace(0, base[-1], n)
+
+
+def benign_run(seed):
+    """Two channels observing the same process (different noise)."""
+    rng = np.random.default_rng(seed)
+    base = textured(seed=999)
+    return {
+        "A": Signal(base + 0.05 * rng.standard_normal(base.size), FS),
+        "B": Signal(2.0 * base + 0.1 * rng.standard_normal(base.size), FS),
+    }
+
+
+def malicious_run(seed):
+    rng = np.random.default_rng(seed)
+    walk = np.cumsum(rng.standard_normal(2500))
+    return {"A": Signal(walk, FS), "B": Signal(walk * 2.0, FS)}
+
+
+def build(policy="any"):
+    ids = MultiChannelNsyncIds(
+        benign_run(0),
+        synchronizer_factory=lambda: DwmSynchronizer(PARAMS),
+        policy=policy,
+    )
+    ids.fit([benign_run(s) for s in range(1, 7)], r=0.5)
+    return ids
+
+
+class TestPolicies:
+    def test_required_votes(self):
+        assert _required_votes("any", 6) == 1
+        assert _required_votes("majority", 6) == 4
+        assert _required_votes("majority", 5) == 3
+        assert _required_votes(2, 6) == 2
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            _required_votes("consensus", 3)
+        with pytest.raises(ValueError):
+            _required_votes(0, 3)
+        with pytest.raises(ValueError):
+            _required_votes(7, 3)
+
+
+class TestFusion:
+    def test_benign_passes(self):
+        ids = build("any")
+        verdict = ids.detect(benign_run(50))
+        assert not verdict.is_intrusion
+        assert verdict.votes == 0
+        assert verdict.n_channels == 2
+
+    def test_malicious_caught_on_all_channels(self):
+        ids = build("majority")
+        verdict = ids.detect(malicious_run(60))
+        assert verdict.is_intrusion
+        assert verdict.votes == 2
+        assert set(verdict.alarming_channels()) == {"A", "B"}
+
+    def test_single_channel_attack_any_vs_majority(self):
+        """An attack visible on one channel only: 'any' fires, 'majority'
+        (here 2-of-2) does not."""
+        run = benign_run(70)
+        corrupted = dict(run)
+        rng = np.random.default_rng(71)
+        corrupted["B"] = Signal(np.cumsum(rng.standard_normal(2500)), FS)
+
+        any_ids = build("any")
+        maj_ids = build("majority")
+        assert any_ids.detect(corrupted).is_intrusion
+        assert not maj_ids.detect(corrupted).is_intrusion
+
+    def test_missing_channel_rejected(self):
+        ids = build()
+        with pytest.raises(KeyError, match="'B'"):
+            ids.detect({"A": benign_run(0)["A"]})
+
+    def test_missing_channel_in_training_rejected(self):
+        ids = MultiChannelNsyncIds(
+            benign_run(0), lambda: DwmSynchronizer(PARAMS)
+        )
+        with pytest.raises(KeyError):
+            ids.fit([{"A": benign_run(1)["A"]}])
+
+    def test_empty_references_rejected(self):
+        with pytest.raises(ValueError):
+            MultiChannelNsyncIds({}, lambda: DwmSynchronizer(PARAMS))
+
+    def test_bad_policy_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            MultiChannelNsyncIds(
+                benign_run(0), lambda: DwmSynchronizer(PARAMS), policy=9
+            )

@@ -1,0 +1,109 @@
+"""Unit + property tests for One-Class Classification threshold learning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OneClassTrainer, occ_threshold
+from repro.core.discriminator import DetectionFeatures
+
+
+def features(c_max, h_max, v_max, mismatch=0.0):
+    return DetectionFeatures(
+        c_disp=np.array([0.0, c_max]),
+        h_dist_filtered=np.array([0.0, h_max]),
+        v_dist_filtered=np.array([0.0, v_max]),
+        duration_mismatch=mismatch,
+    )
+
+
+class TestOccThreshold:
+    def test_eq26_formula(self):
+        # max=10, min=4, r=0.5 -> 10 + 0.5 * 6 = 13
+        assert occ_threshold([4.0, 7.0, 10.0], r=0.5) == pytest.approx(13.0)
+
+    def test_r_zero_is_max(self):
+        assert occ_threshold([1.0, 5.0, 3.0], r=0.0) == pytest.approx(5.0)
+
+    def test_single_run(self):
+        assert occ_threshold([2.0], r=0.3) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            occ_threshold([], r=0.1)
+
+    def test_negative_r_rejected(self):
+        with pytest.raises(ValueError):
+            occ_threshold([1.0], r=-0.1)
+
+    @given(
+        values=st.lists(st.floats(0, 1e6, allow_nan=False, width=64), min_size=1, max_size=20),
+        r=st.floats(0, 2, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_covers_all_training_values(self, values, r):
+        """The defining OCC property: no training run is flagged."""
+        threshold = occ_threshold(values, r)
+        assert all(v <= threshold + 1e-9 for v in values)
+
+    @given(
+        values=st.lists(st.floats(0, 1e6, allow_nan=False, width=64), min_size=2, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_monotone_in_r(self, values):
+        assert occ_threshold(values, 0.1) <= occ_threshold(values, 0.5) + 1e-9
+
+
+class TestOneClassTrainer:
+    def test_thresholds_cover_training(self):
+        trainer = OneClassTrainer(r=0.3)
+        runs = [features(5.0, 1.0, 0.4), features(8.0, 2.0, 0.6), features(6.0, 1.5, 0.5)]
+        for f in runs:
+            trainer.add_run(f)
+        t = trainer.thresholds()
+        assert t.c_c >= 8.0
+        assert t.h_c >= 2.0
+        assert t.v_c >= 0.6
+        assert trainer.n_runs == 3
+
+    def test_r_zero_thresholds_equal_maxima(self):
+        trainer = OneClassTrainer(r=0.0)
+        trainer.add_run(features(5.0, 1.0, 0.4))
+        trainer.add_run(features(3.0, 2.0, 0.2))
+        t = trainer.thresholds()
+        assert t.c_c == pytest.approx(5.0)
+        assert t.h_c == pytest.approx(2.0)
+        assert t.v_c == pytest.approx(0.4)
+
+    def test_duration_threshold_has_slack(self):
+        trainer = OneClassTrainer(r=0.0)
+        trainer.add_run(features(1.0, 1.0, 0.1, mismatch=1.0))
+        t = trainer.thresholds()
+        assert t.d_c == pytest.approx(2.0)  # max + 1 window of slack
+
+    def test_no_runs_rejected(self):
+        with pytest.raises(ValueError):
+            OneClassTrainer().thresholds()
+
+    def test_negative_r_rejected(self):
+        with pytest.raises(ValueError):
+            OneClassTrainer(r=-0.5)
+
+    def test_r_override_at_threshold_time(self):
+        trainer = OneClassTrainer(r=0.0)
+        trainer.add_run(features(2.0, 1.0, 0.2))
+        trainer.add_run(features(4.0, 1.0, 0.2))
+        assert trainer.thresholds(r=1.0).c_c == pytest.approx(6.0)
+
+    def test_empty_feature_arrays_treated_as_zero(self):
+        trainer = OneClassTrainer()
+        trainer.add_run(
+            DetectionFeatures(
+                c_disp=np.zeros(0),
+                h_dist_filtered=np.zeros(0),
+                v_dist_filtered=np.zeros(0),
+            )
+        )
+        t = trainer.thresholds()
+        assert t.c_c == 0.0

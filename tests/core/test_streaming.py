@@ -1,0 +1,101 @@
+"""Unit tests for the real-time (streaming) NSYNC pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import NsyncIds, StreamingNsyncIds, Thresholds
+from repro.signals import Signal
+from repro.sync import DwmParams, DwmSynchronizer
+
+PARAMS = DwmParams(t_win=1.0, t_hop=0.5, t_ext=0.5, t_sigma=0.25, eta=0.2)
+FS = 100.0
+
+
+def textured(n=3000, seed=0):
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.standard_normal(n))
+    return base - np.linspace(0, base[-1], n)
+
+
+@pytest.fixture()
+def reference():
+    return Signal(textured(seed=1), FS)
+
+
+@pytest.fixture()
+def lenient():
+    return Thresholds(c_c=1e9, h_c=1e9, v_c=1e9)
+
+
+@pytest.fixture()
+def strict():
+    return Thresholds(c_c=50.0, h_c=20.0, v_c=0.5)
+
+
+class TestStreamingNsync:
+    def test_identical_stream_no_alerts(self, reference, strict):
+        ids = StreamingNsyncIds(reference, PARAMS, strict)
+        for start in range(0, reference.n_samples, 250):
+            ids.push(reference.data[start : start + 250])
+        assert not ids.intrusion_detected
+        assert ids.alerts == []
+
+    def test_corrupted_stream_alerts(self, reference, strict):
+        ids = StreamingNsyncIds(reference, PARAMS, strict)
+        rng = np.random.default_rng(9)
+        corrupted = np.cumsum(rng.standard_normal((reference.n_samples, 1)), axis=0)
+        alerts = ids.push(corrupted)
+        assert ids.intrusion_detected
+        assert alerts, "corrupted stream must raise at least one alert"
+        assert alerts[0].submodule in ("c_disp", "h_dist", "v_dist")
+        assert alerts[0].value > alerts[0].threshold
+
+    def test_alert_contains_window_index(self, reference, strict):
+        ids = StreamingNsyncIds(reference, PARAMS, strict)
+        rng = np.random.default_rng(10)
+        ids.push(np.cumsum(rng.standard_normal((2000, 1)), axis=0))
+        indexes = [a.window_index for a in ids.alerts]
+        assert indexes == sorted(indexes)
+
+    def test_evidence_snapshot(self, reference, lenient):
+        ids = StreamingNsyncIds(reference, PARAMS, lenient)
+        ids.push(reference.data[:1500])
+        ev = ids.evidence()
+        assert ev["h_disp"].size > 0
+        assert ev["h_dist_filtered"].size == ev["h_disp"].size
+        assert ev["v_dist_filtered"].size == ev["h_disp"].size
+        assert ev["c_disp"] >= 0.0
+
+    def test_streaming_matches_batch_evidence(self, reference, lenient):
+        """Chunked streaming must produce the same h_disp/v_dist as batch."""
+        obs = Signal(textured(seed=2), FS)
+
+        stream = StreamingNsyncIds(reference, PARAMS, lenient)
+        for start in range(0, obs.n_samples, 97):
+            stream.push(obs.data[start : start + 97])
+        ev = stream.evidence()
+
+        batch = NsyncIds(reference, DwmSynchronizer(PARAMS))
+        analysis = batch.analyze(obs)
+
+        n = min(ev["h_disp"].size, analysis.sync.n_indexes)
+        assert np.allclose(ev["h_disp"][:n], analysis.sync.h_disp[:n])
+        assert np.allclose(
+            ev["v_dist_filtered"][:n],
+            analysis.features.v_dist_filtered[:n],
+            atol=1e-9,
+        )
+
+    def test_invalid_filter_window(self, reference, lenient):
+        with pytest.raises(ValueError):
+            StreamingNsyncIds(reference, PARAMS, lenient, filter_window=0)
+
+    def test_first_alert_is_earliest_violation(self, reference):
+        """v_c violated from the start: the first alert is window 0."""
+        tight = Thresholds(c_c=1e9, h_c=1e9, v_c=1e-6)
+        ids = StreamingNsyncIds(reference, PARAMS, tight)
+        rng = np.random.default_rng(11)
+        noise = rng.standard_normal((reference.n_samples, 1))
+        ids.push(noise)
+        v_alerts = [a for a in ids.alerts if a.submodule == "v_dist"]
+        assert v_alerts and v_alerts[0].window_index == 0

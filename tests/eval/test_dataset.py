@@ -1,0 +1,123 @@
+"""Unit tests for campaign generation."""
+
+import numpy as np
+import pytest
+
+from repro.eval import default_setup, generate_campaign
+from repro.printer import ROSTOCK_MAX_V3, ULTIMAKER3
+
+
+class TestDefaultSetup:
+    def test_um3(self):
+        setup = default_setup("UM3")
+        assert setup.machine is ULTIMAKER3
+        assert setup.center == (110.0, 110.0)
+        assert setup.dwm_params.t_win == 4.0
+
+    def test_rm3(self):
+        setup = default_setup("RM3")
+        assert setup.machine is ROSTOCK_MAX_V3
+        assert setup.center == (0.0, 0.0)
+        assert setup.dwm_params.t_win == 1.0
+        # eta raised per the paper's convergence procedure (Section VI-C)
+        assert setup.dwm_params.eta == pytest.approx(0.3)
+
+    def test_unknown_printer(self):
+        with pytest.raises(ValueError, match="unknown printer"):
+            default_setup("Prusa")
+
+    def test_job_slices_gear(self):
+        job = default_setup("UM3", object_height=0.4).job()
+        assert len(job.program) > 10
+
+
+class TestCampaign(object):
+    def test_structure(self, mini_campaign):
+        assert mini_campaign.reference.label == "Reference"
+        assert len(mini_campaign.training) == 3
+        assert len(mini_campaign.benign_test) == 3
+        assert set(mini_campaign.malicious_test) == {
+            "Void", "InfillGrid", "Speed0.95", "Layer0.3", "Scale0.95",
+        }
+        assert mini_campaign.n_malicious_test == 5
+
+    def test_channels(self, mini_campaign):
+        assert mini_campaign.channels == ("ACC",)
+        for run in mini_campaign.training:
+            assert set(run.signals) == {"ACC"}
+
+    def test_labels(self, mini_campaign):
+        assert all(not r.is_malicious for r in mini_campaign.benign_test)
+        for name, runs in mini_campaign.malicious_test.items():
+            assert all(r.is_malicious for r in runs)
+            assert all(r.label == name for r in runs)
+
+    def test_all_malicious_flattens(self, mini_campaign):
+        assert len(mini_campaign.all_malicious()) == 5
+
+    def test_time_noise_varies_durations(self, mini_campaign):
+        durations = [r.duration for r in mini_campaign.training]
+        durations += [r.duration for r in mini_campaign.benign_test]
+        assert len(set(durations)) > 1
+
+    def test_layer_times_recorded(self, mini_campaign):
+        # 0.4 mm object at 0.2 mm layers -> 2 layers -> 1 layer change
+        assert len(mini_campaign.reference.layer_times) == 1
+
+    def test_reproducible_with_same_seed(self):
+        setup = default_setup("UM3", object_height=0.4)
+        kwargs = dict(
+            channels=("ACC",), n_train=1, n_benign_test=1, n_attack_runs=1,
+            seed=7,
+        )
+        a = generate_campaign(setup, **kwargs)
+        b = generate_campaign(setup, **kwargs)
+        assert np.allclose(
+            a.reference.signals["ACC"].data, b.reference.signals["ACC"].data
+        )
+
+    def test_different_seeds_differ(self):
+        setup = default_setup("UM3", object_height=0.4)
+        kwargs = dict(
+            channels=("ACC",), n_train=0, n_benign_test=0, n_attack_runs=0,
+        )
+        a = generate_campaign(setup, seed=1, **kwargs)
+        b = generate_campaign(setup, seed=2, **kwargs)
+        assert not np.allclose(
+            a.reference.signals["ACC"].data[:1000],
+            b.reference.signals["ACC"].data[:1000],
+        )
+
+
+class TestReferenceFromGcode:
+    def test_simulated_reference_usable_for_detection(self):
+        """Paper §IV: the reference may be simulated from the G-code file.
+        An IDS trained on physical (noisy) runs against that simulated
+        reference must still accept benign prints and catch an attack."""
+        import numpy as np
+
+        from repro.attacks import SpeedAttack
+        from repro.core import NsyncIds
+        from repro.eval import default_setup, reference_from_gcode, run_process
+        from repro.sync import DwmSynchronizer
+
+        setup = default_setup("UM3", object_height=0.4)
+        job = setup.job()
+        reference = reference_from_gcode(setup, job.program, "ACC")
+        assert reference.n_samples > 0
+
+        ids = NsyncIds(reference, DwmSynchronizer(setup.dwm_params))
+        training = [
+            run_process(setup, job, "Benign", False, seed, channels=["ACC"])
+            for seed in range(1, 7)
+        ]
+        ids.fit([run.signals["ACC"] for run in training], r=0.5)
+
+        benign = run_process(setup, job, "Benign", False, 50, channels=["ACC"])
+        assert not ids.detect(benign.signals["ACC"]).is_intrusion
+
+        attacked_job = SpeedAttack(factor=0.9).apply(job)
+        attacked = run_process(
+            setup, attacked_job, "Speed", True, 60, channels=["ACC"]
+        )
+        assert ids.detect(attacked.signals["ACC"]).is_intrusion

@@ -1,0 +1,72 @@
+"""Extra coverage for the figure drivers (fig6, fig12) and result objects."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    IdsResult,
+    fig6_parametric_analysis,
+    fig12_overall_accuracy,
+    nsync_results,
+)
+from repro.eval.metrics import DetectionStats
+
+
+class TestFig6Driver:
+    @pytest.fixture(scope="class")
+    def sweeps(self, mini_campaign):
+        return fig6_parametric_analysis(
+            mini_campaign,
+            channel="ACC",
+            t_sigma_values=(0.5, 1.0),
+            t_win_values=(2.0, 4.0),
+            eta_values=(0.1, 0.5),
+        )
+
+    def test_all_three_parameters_swept(self, sweeps):
+        assert set(sweeps) == {"t_sigma", "t_win", "eta"}
+        assert set(sweeps["t_sigma"]) == {0.5, 1.0}
+        assert set(sweeps["t_win"]) == {2.0, 4.0}
+        assert set(sweeps["eta"]) == {0.1, 0.5}
+
+    def test_smaller_window_higher_resolution(self, sweeps):
+        assert sweeps["t_win"][2.0].size > sweeps["t_win"][4.0].size
+
+    def test_h_disp_arrays_finite(self, sweeps):
+        for family in sweeps.values():
+            for h in family.values():
+                assert np.all(np.isfinite(h))
+
+
+class TestFig12Driver:
+    def test_all_seven_ids_on_single_channel(self, mini_campaign):
+        accuracies = fig12_overall_accuracy(mini_campaign, channels=("ACC",))
+        # Without AUD the audio-only IDSs are absent; the rest must report.
+        assert {"moore", "gao", "gatlin", "nsync_dwm", "nsync_dtw"} <= set(
+            accuracies
+        )
+        for name, acc in accuracies.items():
+            assert 0.0 <= acc <= 1.0, name
+
+    def test_nsync_wins_on_acc(self, mini_campaign):
+        accuracies = fig12_overall_accuracy(mini_campaign, channels=("ACC",))
+        assert accuracies["nsync_dwm"] >= accuracies["moore"]
+        assert accuracies["nsync_dwm"] >= accuracies["gao"]
+
+
+class TestIdsResult:
+    def test_cell_format(self, mini_campaign):
+        result = nsync_results(mini_campaign, "ACC", "Raw")
+        cell = result.cell()
+        assert "/" in cell
+        fpr, tpr = (float(x) for x in cell.split("/"))
+        assert fpr == pytest.approx(result.overall.fpr, abs=0.005)
+        assert tpr == pytest.approx(result.overall.tpr, abs=0.005)
+
+    def test_manual_construction(self):
+        stats = DetectionStats()
+        stats.record(True, True)
+        result = IdsResult(overall=stats)
+        assert result.overall.tpr == 1.0
+        assert result.submodules == {}
+        assert result.per_attack_tpr == {}

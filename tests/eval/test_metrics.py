@@ -1,0 +1,54 @@
+"""Unit tests for detection metrics."""
+
+import pytest
+
+from repro.eval import DetectionStats, accuracy_from_rates
+
+
+class TestAccuracy:
+    def test_paper_formula(self):
+        assert accuracy_from_rates(0.0, 1.0) == 1.0
+        assert accuracy_from_rates(1.0, 1.0) == 0.5
+        assert accuracy_from_rates(0.0, 0.0) == 0.5
+        assert accuracy_from_rates(0.5, 0.88) == pytest.approx(0.69)
+
+
+class TestDetectionStats:
+    def test_record_four_quadrants(self):
+        s = DetectionStats()
+        s.record(is_malicious=True, detected=True)    # TP
+        s.record(is_malicious=True, detected=False)   # FN
+        s.record(is_malicious=False, detected=True)   # FP
+        s.record(is_malicious=False, detected=False)  # TN
+        assert s.true_positives == 1
+        assert s.false_negatives == 1
+        assert s.false_positives == 1
+        assert s.true_negatives == 1
+        assert s.fpr == pytest.approx(0.5)
+        assert s.tpr == pytest.approx(0.5)
+        assert s.accuracy == pytest.approx(0.5)
+
+    def test_empty_rates_are_zero(self):
+        s = DetectionStats()
+        assert s.fpr == 0.0
+        assert s.tpr == 0.0
+
+    def test_record_all(self):
+        s = DetectionStats()
+        s.record_all([(True, True), (False, False), (True, True)])
+        assert s.tpr == 1.0
+        assert s.fpr == 0.0
+        assert s.accuracy == 1.0
+
+    def test_as_pair_format(self):
+        s = DetectionStats()
+        s.record(False, True)
+        s.record(True, True)
+        assert s.as_pair() == "1.00 / 1.00"
+
+    def test_str_contains_counts(self):
+        s = DetectionStats()
+        s.record(True, True)
+        text = str(s)
+        assert "malicious=1" in text
+        assert "TPR=1.00" in text

@@ -1,0 +1,129 @@
+"""Unit + property tests for G2/G3 arc interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.printer import (
+    NO_TIME_NOISE,
+    ULTIMAKER3,
+    arc_points,
+    parse_gcode,
+    segment_arcs,
+    simulate_print,
+)
+
+
+class TestArcPoints:
+    def test_quarter_circle_ccw(self):
+        start = np.array([10.0, 0.0])
+        end = np.array([0.0, 10.0])
+        points = arc_points(start, end, np.zeros(2), clockwise=False,
+                            max_segment=0.5)
+        radii = np.linalg.norm(points, axis=1)
+        assert np.allclose(radii, 10.0, atol=1e-6)
+        assert np.allclose(points[-1], end)
+        # CCW quarter circle stays in the first quadrant.
+        assert np.all(points[:, 0] >= -1e-9)
+        assert np.all(points[:, 1] >= -1e-9)
+
+    def test_quarter_circle_cw_takes_long_way(self):
+        start = np.array([10.0, 0.0])
+        end = np.array([0.0, 10.0])
+        cw = arc_points(start, end, np.zeros(2), clockwise=True, max_segment=0.5)
+        ccw = arc_points(start, end, np.zeros(2), clockwise=False, max_segment=0.5)
+        assert len(cw) > len(ccw)  # 3/4 turn vs 1/4 turn
+
+    def test_full_circle_when_endpoints_coincide(self):
+        start = np.array([5.0, 0.0])
+        points = arc_points(start, start, np.zeros(2), clockwise=True,
+                            max_segment=0.2)
+        total = np.linalg.norm(
+            np.diff(np.vstack([start, points]), axis=0), axis=1
+        ).sum()
+        assert total == pytest.approx(2 * np.pi * 5.0, rel=0.01)
+
+    def test_segment_length_respected(self):
+        start = np.array([10.0, 0.0])
+        end = np.array([-10.0, 0.0])
+        points = arc_points(start, end, np.zeros(2), clockwise=False,
+                            max_segment=0.3)
+        steps = np.linalg.norm(
+            np.diff(np.vstack([start, points]), axis=0), axis=1
+        )
+        assert steps.max() <= 0.32
+
+    def test_degenerate_centre_rejected(self):
+        with pytest.raises(ValueError, match="centre"):
+            arc_points(np.zeros(2), np.ones(2), np.zeros(2), True)
+
+    def test_invalid_max_segment(self):
+        with pytest.raises(ValueError):
+            arc_points(np.array([1.0, 0.0]), np.array([0.0, 1.0]),
+                       np.zeros(2), True, max_segment=0.0)
+
+    @given(
+        angle=st.floats(0.2, 6.0),
+        radius=st.floats(1.0, 50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arc_length_matches_theory(self, angle, radius):
+        start = np.array([radius, 0.0])
+        end = radius * np.array([np.cos(angle), np.sin(angle)])
+        points = arc_points(start, end, np.zeros(2), clockwise=False,
+                            max_segment=0.2)
+        total = np.linalg.norm(
+            np.diff(np.vstack([start, points]), axis=0), axis=1
+        ).sum()
+        assert total == pytest.approx(radius * angle, rel=0.02)
+
+
+class TestSegmentArcs:
+    def test_noop_without_arcs(self):
+        program = parse_gcode(["G1 X10 F3000", "G1 X0"])
+        assert segment_arcs(program) is program
+
+    def test_arc_replaced_by_lines(self):
+        program = parse_gcode(
+            ["G1 X10 Y0 F3000", "G3 X0 Y10 I-10 J0 E1.0"]
+        )
+        flat = segment_arcs(program, max_segment=0.5)
+        assert all(c.code in ("G1",) for c in flat)
+        assert len(flat) > 10
+
+    def test_extrusion_distributed_monotonically(self):
+        program = parse_gcode(
+            ["G92 E0", "G1 X10 Y0 F3000", "G3 X-10 Y0 I-10 J0 E2.0"]
+        )
+        flat = segment_arcs(program, max_segment=0.5)
+        e_values = [c.get("E") for c in flat if c.get("E") is not None]
+        assert e_values == sorted(e_values)
+        assert e_values[-1] == pytest.approx(2.0, abs=1e-5)
+
+    def test_r_form_arc(self):
+        program = parse_gcode(
+            ["G1 X10 Y0 F3000", "G2 X0 Y-10 R10"]
+        )
+        flat = segment_arcs(program, max_segment=0.5)
+        xs = [c.get("X") for c in flat if c.get("X") is not None]
+        ys = [c.get("Y") for c in flat if c.get("Y") is not None]
+        assert xs[-1] == pytest.approx(0.0, abs=1e-4)
+        assert ys[-1] == pytest.approx(-10.0, abs=1e-4)
+
+    def test_r_too_small_rejected(self):
+        program = parse_gcode(["G1 X10 Y0 F3000", "G2 X-10 Y0 R3"])
+        with pytest.raises(ValueError, match="radius"):
+            segment_arcs(program)
+
+    def test_firmware_executes_arcs(self):
+        program = parse_gcode(
+            ["G1 X10 Y0 F3000", "G2 X-10 Y0 I-10 J0 F3000"]
+        )
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE)
+        # During the arc, the head stays ~10 mm from the origin.
+        moving = np.linalg.norm(trace.velocity, axis=1) > 5.0
+        radii = np.linalg.norm(trace.position[moving, :2], axis=1)
+        arc_part = radii[len(radii) // 2 :]
+        assert np.median(arc_part) == pytest.approx(10.0, abs=0.2)
+        assert np.allclose(trace.position[-1, :2], [-10.0, 0.0], atol=0.05)

@@ -1,0 +1,207 @@
+"""Unit + integration tests for the firmware simulator."""
+
+import numpy as np
+import pytest
+
+from repro.printer import (
+    Firmware,
+    GcodeProgram,
+    NO_TIME_NOISE,
+    ROSTOCK_MAX_V3,
+    TimeNoiseModel,
+    ULTIMAKER3,
+    parse_gcode,
+    simulate_print,
+)
+from repro.printer.gcode import GcodeCommand
+
+
+def square_program(side=20.0, feed=3000.0):
+    lines = [
+        "G28",
+        "G92 E0",
+        f"G1 X{side} Y0 F{feed}",
+        f"G1 X{side} Y{side} F{feed}",
+        f"G1 X0 Y{side} F{feed}",
+        f"G1 X0 Y0 F{feed}",
+    ]
+    return parse_gcode(lines)
+
+
+class TestBasicExecution:
+    def test_trace_shapes_consistent(self):
+        trace = simulate_print(square_program(), ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        n = trace.n_samples
+        assert trace.position.shape == (n, 3)
+        assert trace.velocity.shape == (n, 3)
+        assert trace.acceleration.shape == (n, 3)
+        assert trace.joint_position.shape == (n, 3)
+        assert trace.extrusion_rate.shape == (n,)
+        assert trace.command_index.shape == (n,)
+
+    def test_final_position_is_last_target(self):
+        trace = simulate_print(square_program(), ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        assert np.allclose(trace.position[-1], [0.0, 0.0, 0.0], atol=1e-6)
+
+    def test_path_visits_corners(self):
+        trace = simulate_print(square_program(), ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        assert trace.position[:, 0].max() == pytest.approx(20.0, abs=0.1)
+        assert trace.position[:, 1].max() == pytest.approx(20.0, abs=0.1)
+
+    def test_duration_matches_planner(self):
+        # 4 moves of 20 mm at 50 mm/s with accel 3000:
+        # each: 2*(50/3000) + (20 - 2500/3000)/50
+        trace = simulate_print(square_program(), ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        per_move = 2 * (50 / 3000) + (20 - 2500 / 3000) / 50
+        assert trace.duration == pytest.approx(4 * per_move, rel=0.05)
+
+    def test_velocity_capped_by_machine(self):
+        program = parse_gcode(["G1 X100 F600000"])  # absurd feedrate
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        speed = np.linalg.norm(trace.velocity, axis=1)
+        assert speed.max() <= ULTIMAKER3.max_feedrate * 1.01
+
+    def test_deterministic_without_noise(self):
+        a = simulate_print(square_program(), ULTIMAKER3, NO_TIME_NOISE, seed=1)
+        b = simulate_print(square_program(), ULTIMAKER3, NO_TIME_NOISE, seed=2)
+        assert a.n_samples == b.n_samples
+        assert np.allclose(a.position, b.position)
+
+
+class TestGcodeSemantics:
+    def test_g92_resets_extruder(self):
+        program = parse_gcode(["G92 E5", "G1 X10 E6 F3000"])
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        # Extrusion delta is 1 mm over a 10 mm move.
+        total_e = np.trapezoid(trace.extrusion_rate, trace.times)
+        assert total_e == pytest.approx(1.0, rel=0.05)
+
+    def test_dwell_adds_time(self):
+        base = simulate_print(parse_gcode(["G1 X10 F3000"]), ULTIMAKER3, NO_TIME_NOISE)
+        dwelled = simulate_print(
+            parse_gcode(["G1 X10 F3000", "G4 P500"]), ULTIMAKER3, NO_TIME_NOISE
+        )
+        assert dwelled.duration - base.duration == pytest.approx(0.5, abs=0.02)
+
+    def test_m104_sets_target_without_wait(self):
+        program = parse_gcode(["M104 S200", "G1 X10 F3000"])
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        assert trace.hotend_temp[-1] > ULTIMAKER3.ambient_temp
+
+    def test_m109_blocks(self):
+        no_wait = simulate_print(parse_gcode(["M104 S200", "G1 X10 F3000"]),
+                                 ULTIMAKER3, NO_TIME_NOISE)
+        wait = simulate_print(parse_gcode(["M109 S200", "G1 X10 F3000"]),
+                              ULTIMAKER3, NO_TIME_NOISE)
+        assert wait.duration > no_wait.duration
+
+    def test_fan_control(self):
+        program = parse_gcode(["M106 S127.5", "G1 X10 F3000", "M107", "G1 X0 F3000"])
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        assert trace.fan.max() == pytest.approx(0.5, abs=0.01)
+        assert trace.fan[-1] == 0.0
+
+    def test_layer_changes_recorded(self):
+        program = parse_gcode(
+            ["G1 Z0.2 F6000", "G1 X10 F3000", "G1 Z0.4 F6000", "G1 X0 F3000"]
+        )
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        assert len(trace.layer_change_times) == 1
+        assert trace.layer_index.max() == 1
+
+    def test_unknown_codes_ignored(self):
+        program = parse_gcode(["M999 S1", "G1 X5 F3000"])
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        assert trace.position[-1, 0] == pytest.approx(5.0, abs=1e-6)
+
+    def test_thermal_first_order_rise(self):
+        program = parse_gcode(["M104 S205", "G4 S20"])
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        temp = trace.hotend_temp
+        assert temp[0] == pytest.approx(ULTIMAKER3.ambient_temp)
+        assert np.all(np.diff(temp) >= -1e-9)
+        assert temp[-1] < 205.0  # still rising
+
+
+class TestTimeNoise:
+    def test_noise_changes_duration(self):
+        durations = {
+            simulate_print(square_program(), ULTIMAKER3, TimeNoiseModel(), seed=s).duration
+            for s in range(4)
+        }
+        assert len(durations) == 4
+
+    def test_noise_preserves_geometry(self):
+        trace = simulate_print(square_program(), ULTIMAKER3, TimeNoiseModel(), seed=3)
+        assert trace.position[:, 0].max() == pytest.approx(20.0, abs=0.2)
+        assert np.allclose(trace.position[-1], [0, 0, 0], atol=1e-5)
+
+    def test_same_seed_same_trace(self):
+        a = simulate_print(square_program(), ULTIMAKER3, TimeNoiseModel(), seed=5)
+        b = simulate_print(square_program(), ULTIMAKER3, TimeNoiseModel(), seed=5)
+        assert a.n_samples == b.n_samples
+        assert np.allclose(a.position, b.position)
+
+
+class TestKinematicsIntegration:
+    def test_delta_joints_differ_from_cartesian(self):
+        program = square_program()
+        cart = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        delta = simulate_print(program, ROSTOCK_MAX_V3, NO_TIME_NOISE, seed=0)
+        assert np.allclose(cart.joint_position, cart.position)
+        assert not np.allclose(
+            delta.joint_position[:, 0], delta.position[:, 0]
+        )
+
+    def test_firmware_transformer_applied(self):
+        def double_feed(cmd: GcodeCommand) -> GcodeCommand:
+            f = cmd.get("F")
+            if cmd.is_move and f:
+                return cmd.with_params(F=f * 2.0)
+            return cmd
+
+        slow = simulate_print(square_program(feed=1500), ULTIMAKER3, NO_TIME_NOISE)
+        fast = Firmware(ULTIMAKER3, NO_TIME_NOISE, transformer=double_feed).run(
+            square_program(feed=1500)
+        )
+        assert fast.duration < slow.duration
+
+
+class TestPositioningModes:
+    def test_g91_relative_moves(self):
+        program = parse_gcode(
+            ["G91", "G1 X10 F3000", "G1 X10 F3000", "G1 Y5 F3000"]
+        )
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE)
+        assert np.allclose(trace.position[-1], [20.0, 5.0, 0.0], atol=1e-6)
+
+    def test_g90_restores_absolute(self):
+        program = parse_gcode(
+            ["G91", "G1 X10 F3000", "G90", "G1 X5 F3000"]
+        )
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE)
+        assert trace.position[-1, 0] == pytest.approx(5.0, abs=1e-6)
+
+    def test_m83_relative_extruder(self):
+        program = parse_gcode(
+            ["G92 E0", "M83", "G1 X10 E1 F3000", "G1 X20 E1 F3000"]
+        )
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE)
+        total_e = np.trapezoid(trace.extrusion_rate, trace.times)
+        assert total_e == pytest.approx(2.0, rel=0.05)
+
+    def test_m82_restores_absolute_extruder(self):
+        program = parse_gcode(
+            ["G92 E0", "M83", "G1 X10 E1 F3000", "M82", "G1 X20 E3 F3000"]
+        )
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE)
+        total_e = np.trapezoid(trace.extrusion_rate, trace.times)
+        assert total_e == pytest.approx(3.0, rel=0.05)
+
+    def test_g91_affects_e_too(self):
+        program = parse_gcode(
+            ["G92 E0", "G91", "G1 X10 E1 F3000", "G1 X10 E1 F3000"]
+        )
+        trace = simulate_print(program, ULTIMAKER3, NO_TIME_NOISE)
+        total_e = np.trapezoid(trace.extrusion_rate, trace.times)
+        assert total_e == pytest.approx(2.0, rel=0.05)

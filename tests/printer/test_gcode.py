@@ -1,0 +1,130 @@
+"""Unit tests for G-code parsing and serialization."""
+
+import pytest
+
+from repro.printer import GcodeCommand, GcodeProgram, parse_gcode, parse_line
+
+
+class TestParseLine:
+    def test_basic_move(self):
+        c = parse_line("G1 X10 Y20.5 E0.4 F1200")
+        assert c.code == "G1"
+        assert c.params == {"X": 10.0, "Y": 20.5, "E": 0.4, "F": 1200.0}
+
+    def test_comment_stripped_and_kept(self):
+        c = parse_line("G28 ; go home")
+        assert c.code == "G28"
+        assert c.comment == "go home"
+
+    def test_pure_comment_is_none(self):
+        assert parse_line("; just a comment") is None
+
+    def test_blank_is_none(self):
+        assert parse_line("   ") is None
+
+    def test_opcode_normalization(self):
+        assert parse_line("G01 X1").code == "G1"
+        assert parse_line("g1 x1").code == "G1"
+        assert parse_line("M104 S200").code == "M104"
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            parse_line("X10 Y20")
+        with pytest.raises(ValueError):
+            parse_line("Gfoo X1")
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(ValueError, match="parameter"):
+            parse_line("G1 Xabc")
+
+    def test_negative_values(self):
+        c = parse_line("G1 X-5.5 Z-0.1")
+        assert c.params["X"] == -5.5
+        assert c.params["Z"] == -0.1
+
+
+class TestGcodeCommand:
+    def test_is_move(self):
+        assert GcodeCommand("G0", {}).is_move
+        assert GcodeCommand("G1", {}).is_move
+        assert not GcodeCommand("G28", {}).is_move
+        assert not GcodeCommand("M104", {}).is_move
+
+    def test_get_default(self):
+        c = GcodeCommand("G1", {"X": 1.0})
+        assert c.get("X") == 1.0
+        assert c.get("Y") is None
+        assert c.get("Y", 9.0) == 9.0
+
+    def test_with_params_copies(self):
+        c = GcodeCommand("G1", {"X": 1.0, "F": 100.0})
+        d = c.with_params(F=200.0)
+        assert d.params["F"] == 200.0
+        assert c.params["F"] == 100.0
+
+    def test_to_line_roundtrip(self):
+        c = parse_line("G1 X10.5 Y-2 F1200 ; note")
+        rt = parse_line(c.to_line())
+        assert rt.code == c.code
+        assert rt.params == c.params
+        assert rt.comment == c.comment
+
+    def test_to_line_integer_formatting(self):
+        c = GcodeCommand("G1", {"X": 10.0})
+        assert "X10" in c.to_line()
+        assert "X10.0" not in c.to_line()
+
+
+class TestGcodeProgram:
+    SOURCE = """
+    ; header
+    M104 S200
+    G28
+    G1 Z0.2 F6000
+    G1 X10 Y10 E0.1 F1800
+    G1 Z0.4 F6000
+    G1 X20 Y20 E0.2 F1800
+    """.strip().splitlines()
+
+    def test_parse_program(self):
+        p = parse_gcode(self.SOURCE)
+        assert len(p) == 6
+        assert p[0].code == "M104"
+
+    def test_moves(self):
+        p = parse_gcode(self.SOURCE)
+        assert len(p.moves()) == 4
+
+    def test_layer_starts(self):
+        p = parse_gcode(self.SOURCE)
+        starts = p.layer_starts()
+        assert len(starts) == 2
+        assert p[starts[0]].get("Z") == 0.2
+        assert p[starts[1]].get("Z") == 0.4
+
+    def test_layer_starts_ignore_non_increasing_z(self):
+        p = GcodeProgram(
+            [
+                GcodeCommand("G1", {"Z": 0.4}),
+                GcodeCommand("G1", {"Z": 0.2}),  # z hop down: not a layer
+                GcodeCommand("G1", {"Z": 0.6}),
+            ]
+        )
+        assert len(p.layer_starts()) == 2
+
+    def test_text_roundtrip(self):
+        p = parse_gcode(self.SOURCE)
+        rt = GcodeProgram.from_text(p.to_text())
+        assert len(rt) == len(p)
+        assert all(a.code == b.code for a, b in zip(rt, p))
+
+    def test_copy_is_independent(self):
+        p = parse_gcode(self.SOURCE)
+        q = p.copy()
+        q.commands.pop()
+        assert len(p) == 6
+        assert len(q) == 5
+
+    def test_iteration(self):
+        p = parse_gcode(self.SOURCE)
+        assert [c.code for c in p][:2] == ["M104", "G28"]

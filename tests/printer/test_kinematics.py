@@ -1,0 +1,105 @@
+"""Unit + property tests for Cartesian and delta kinematics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.printer import CartesianKinematics, DeltaKinematics
+
+
+class TestCartesian:
+    def test_identity(self):
+        k = CartesianKinematics()
+        xyz = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert np.allclose(k.joint_positions(xyz), xyz)
+
+    def test_returns_copy(self):
+        k = CartesianKinematics()
+        xyz = np.array([[1.0, 2.0, 3.0]])
+        out = k.joint_positions(xyz)
+        out[0, 0] = 99.0
+        assert xyz[0, 0] == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CartesianKinematics().joint_positions(np.zeros((3, 2)))
+
+    def test_n_joints(self):
+        assert CartesianKinematics().n_joints == 3
+
+
+class TestDelta:
+    K = DeltaKinematics(arm_length=291.06, tower_radius=200.0)
+
+    def test_centre_symmetric(self):
+        """At the bed centre all three carriages sit at the same height."""
+        h = self.K.joint_positions(np.array([[0.0, 0.0, 10.0]]))[0]
+        assert h[0] == pytest.approx(h[1])
+        assert h[1] == pytest.approx(h[2])
+
+    def test_centre_height_formula(self):
+        h = self.K.joint_positions(np.array([[0.0, 0.0, 0.0]]))[0]
+        expected = np.sqrt(291.06**2 - 200.0**2)
+        assert h[0] == pytest.approx(expected)
+
+    def test_z_translation_adds_directly(self):
+        a = self.K.joint_positions(np.array([[5.0, -3.0, 0.0]]))[0]
+        b = self.K.joint_positions(np.array([[5.0, -3.0, 7.0]]))[0]
+        assert np.allclose(b - a, 7.0)
+
+    def test_moving_toward_tower_raises_its_carriage(self):
+        """Directly under a tower the arm is vertical, so that carriage sits
+        highest; the other two arms flatten out and their carriages drop."""
+        towers = self.K.tower_xy()
+        centre = self.K.joint_positions(np.array([[0.0, 0.0, 0.0]]))[0]
+        toward0 = towers[0] * 0.2
+        near = self.K.joint_positions(
+            np.array([[toward0[0], toward0[1], 0.0]])
+        )[0]
+        assert near[0] > centre[0]  # carriage 0 rises
+        assert near[1] < centre[1]  # others descend
+
+    def test_unreachable_rejected(self):
+        with pytest.raises(ValueError, match="reachable"):
+            self.K.joint_positions(np.array([[400.0, 0.0, 0.0]]))
+
+    def test_tower_layout(self):
+        towers = self.K.tower_xy()
+        assert towers.shape == (3, 2)
+        radii = np.linalg.norm(towers, axis=1)
+        assert np.allclose(radii, 200.0)
+        angles = np.sort(np.mod(np.degrees(np.arctan2(towers[:, 1], towers[:, 0])), 360))
+        assert np.allclose(np.diff(angles), 120.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeltaKinematics(arm_length=0.0)
+        with pytest.raises(ValueError):
+            DeltaKinematics(tower_radius=-1.0)
+        with pytest.raises(ValueError, match="arm_length must exceed"):
+            DeltaKinematics(arm_length=100.0, tower_radius=200.0)
+
+    @given(
+        x=st.floats(-60, 60),
+        y=st.floats(-60, 60),
+        z=st.floats(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_forward_inverse_consistency(self, x, y, z):
+        """Carriage heights must place the effector exactly at (x, y, z):
+        |carriage - effector| = arm length for every tower."""
+        h = self.K.joint_positions(np.array([[x, y, z]]))[0]
+        towers = self.K.tower_xy()
+        for k in range(3):
+            carriage = np.array([towers[k, 0], towers[k, 1], h[k]])
+            effector = np.array([x, y, z])
+            assert np.linalg.norm(carriage - effector) == pytest.approx(
+                self.K.arm_length, rel=1e-9
+            )
+
+    @given(x=st.floats(-60, 60), y=st.floats(-60, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_carriages_above_effector(self, x, y):
+        h = self.K.joint_positions(np.array([[x, y, 0.0]]))[0]
+        assert np.all(h > 0)

@@ -1,0 +1,194 @@
+"""Unit + property tests for the look-ahead motion planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.printer.lookahead import GeneralProfile, junction_speed, plan_chain
+
+
+def unit(angle):
+    return np.array([np.cos(angle), np.sin(angle), 0.0])
+
+
+class TestJunctionSpeed:
+    def test_collinear_full_speed(self):
+        v = junction_speed(unit(0), unit(0), feedrate=50.0, accel=3000.0)
+        assert v == pytest.approx(50.0)
+
+    def test_reversal_stops(self):
+        v = junction_speed(unit(0), unit(np.pi), feedrate=50.0, accel=3000.0)
+        assert v == pytest.approx(0.0)
+
+    def test_right_angle_intermediate(self):
+        v = junction_speed(unit(0), unit(np.pi / 2), feedrate=50.0, accel=3000.0)
+        assert 0.0 < v < 50.0
+
+    def test_sharper_turns_slower(self):
+        speeds = [
+            junction_speed(unit(0), unit(a), 50.0, 3000.0)
+            for a in (0.2, 0.8, 1.5, 2.5)
+        ]
+        assert speeds == sorted(speeds, reverse=True)
+
+    @given(angle=st.floats(0.0, np.pi), feedrate=st.floats(5.0, 200.0))
+    @settings(max_examples=40, deadline=None)
+    def test_never_exceeds_feedrate(self, angle, feedrate):
+        v = junction_speed(unit(0), unit(angle), feedrate, 3000.0)
+        assert 0.0 <= v <= feedrate + 1e-9
+
+
+class TestGeneralProfile:
+    def profile(self, **kw):
+        params = dict(distance=20.0, v_start=10.0, v_end=5.0, feedrate=40.0,
+                      accel=1000.0)
+        params.update(kw)
+        from repro.printer.lookahead import _profile_for
+
+        return _profile_for(
+            params["distance"], params["v_start"], params["v_end"],
+            params["feedrate"], params["accel"],
+        )
+
+    def test_covers_distance(self):
+        p = self.profile()
+        assert p.position(np.array([p.duration]))[0] == pytest.approx(20.0, rel=1e-6)
+
+    def test_boundary_velocities(self):
+        p = self.profile()
+        assert p.velocity(np.array([0.0]))[0] == pytest.approx(10.0)
+        assert p.velocity(np.array([p.duration - 1e-9]))[0] == pytest.approx(
+            5.0, abs=0.2
+        )
+
+    def test_peak_bounded_by_feedrate_when_reachable(self):
+        p = self.profile(distance=200.0)
+        assert p.v_peak == pytest.approx(40.0)
+
+    def test_velocity_is_position_derivative(self):
+        p = self.profile()
+        t = np.linspace(0, p.duration, 3000)
+        v_num = np.gradient(p.position(t), t)
+        assert np.allclose(p.velocity(t)[10:-10], v_num[10:-10], atol=0.5)
+
+    @given(
+        distance=st.floats(0.5, 100.0),
+        v_start=st.floats(0.0, 30.0),
+        v_end=st.floats(0.0, 30.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distance_always_covered(self, distance, v_start, v_end):
+        from repro.printer.lookahead import _profile_for
+
+        p = _profile_for(distance, v_start, v_end, feedrate=40.0, accel=2000.0)
+        end = p.position(np.array([p.duration]))[0]
+        assert end == pytest.approx(distance, rel=1e-4, abs=1e-4)
+
+
+class TestPlanChain:
+    def test_collinear_chain_keeps_speed(self):
+        """Three collinear moves glide: interior junction speeds = feedrate."""
+        profiles = plan_chain(
+            [unit(0)] * 3, [30.0, 30.0, 30.0], [50.0] * 3, accel=3000.0
+        )
+        assert profiles[0].v_end == pytest.approx(50.0, rel=1e-6)
+        assert profiles[1].v_start == pytest.approx(50.0, rel=1e-6)
+        assert profiles[1].v_end == pytest.approx(50.0, rel=1e-6)
+
+    def test_chain_faster_than_stop_to_stop(self):
+        from repro.printer.motion import plan_move
+
+        directions = [unit(a) for a in np.linspace(0, 0.5, 8)]
+        distances = [10.0] * 8
+        chain = plan_chain(directions, distances, [50.0] * 8, accel=3000.0)
+        chained_time = sum(p.duration for p in chain)
+        stop_time = sum(
+            plan_move(d, 50.0, 3000.0).duration for d in distances
+        )
+        assert chained_time < stop_time
+
+    def test_velocity_continuity(self):
+        rng = np.random.default_rng(0)
+        directions = [unit(a) for a in rng.uniform(0, 0.8, 10)]
+        profiles = plan_chain(
+            directions, [5.0] * 10, [60.0] * 10, accel=2000.0
+        )
+        for a, b in zip(profiles, profiles[1:]):
+            assert a.v_end == pytest.approx(b.v_start, rel=1e-9)
+
+    def test_starts_and_ends_at_rest(self):
+        profiles = plan_chain([unit(0)] * 4, [8.0] * 4, [40.0] * 4, 1500.0)
+        assert profiles[0].v_start == 0.0
+        assert profiles[-1].v_end == 0.0
+
+    def test_sharp_corner_forces_slowdown(self):
+        profiles = plan_chain(
+            [unit(0), unit(np.pi * 0.9)], [30.0, 30.0], [50.0, 50.0], 3000.0
+        )
+        assert profiles[0].v_end < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_chain([unit(0)], [1.0, 2.0], [10.0], 1000.0)
+        with pytest.raises(ValueError):
+            plan_chain([unit(0)], [1.0], [10.0], 0.0)
+        with pytest.raises(ValueError):
+            plan_chain([unit(0)], [0.0], [10.0], 1000.0)
+        assert plan_chain([], [], [], 1000.0) == []
+
+    @given(seed=st.integers(0, 30), n=st.integers(2, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_junction_speeds_feasible(self, seed, n):
+        """Every profile's boundary speeds stay within what acceleration can
+        achieve over its distance (the planner's core guarantee)."""
+        rng = np.random.default_rng(seed)
+        directions = [unit(a) for a in rng.uniform(0, 2 * np.pi, n)]
+        distances = list(rng.uniform(0.5, 40.0, n))
+        profiles = plan_chain(directions, distances, [60.0] * n, accel=2500.0)
+        for p in profiles:
+            dv2 = abs(p.v_end**2 - p.v_start**2)
+            assert dv2 <= 2.0 * 2500.0 * p.distance + 1e-6
+
+
+class TestFirmwareIntegration:
+    def test_lookahead_shortens_print(self):
+        from dataclasses import replace
+
+        from repro.attacks import PrintJob
+        from repro.printer import NO_TIME_NOISE, ULTIMAKER3, simulate_print
+        from repro.slicer import SlicerConfig, gear_outline
+
+        job = PrintJob.slice(
+            gear_outline(n_teeth=12, outer_diameter=30.0, tooth_depth=2.0),
+            SlicerConfig(object_height=0.4, layer_height=0.2, infill_spacing=6.0),
+        )
+        base = simulate_print(job.program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        smooth = simulate_print(
+            job.program, replace(ULTIMAKER3, lookahead=True),
+            NO_TIME_NOISE, seed=0,
+        )
+        assert smooth.duration < base.duration
+        # Geometry is untouched: same final position, same extremes.
+        assert np.allclose(smooth.position[-1], base.position[-1], atol=1e-6)
+        assert smooth.position[:, 0].max() == pytest.approx(
+            base.position[:, 0].max(), abs=0.2
+        )
+
+    def test_layer_changes_still_recorded(self):
+        from dataclasses import replace
+
+        from repro.attacks import PrintJob
+        from repro.printer import NO_TIME_NOISE, ULTIMAKER3, simulate_print
+        from repro.slicer import SlicerConfig, square_outline
+
+        job = PrintJob.slice(
+            square_outline(20.0),
+            SlicerConfig(object_height=0.6, layer_height=0.2, infill_spacing=5.0),
+        )
+        base = simulate_print(job.program, ULTIMAKER3, NO_TIME_NOISE, seed=0)
+        smooth = simulate_print(
+            job.program, replace(ULTIMAKER3, lookahead=True),
+            NO_TIME_NOISE, seed=0,
+        )
+        assert len(smooth.layer_change_times) == len(base.layer_change_times)

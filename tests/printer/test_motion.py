@@ -1,0 +1,105 @@
+"""Unit + property tests for trapezoidal motion planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.printer import plan_move
+
+
+class TestPlanMove:
+    def test_long_move_is_trapezoidal(self):
+        p = plan_move(distance=100.0, feedrate=50.0, accel=1000.0)
+        assert p.v_peak == pytest.approx(50.0)
+        assert p.t_cruise > 0.0
+        assert p.t_accel == pytest.approx(0.05)  # v / a
+
+    def test_short_move_is_triangular(self):
+        p = plan_move(distance=1.0, feedrate=100.0, accel=1000.0)
+        assert p.t_cruise == 0.0
+        assert p.v_peak < 100.0
+        assert p.v_peak == pytest.approx(np.sqrt(1.0 * 1000.0))
+
+    def test_zero_distance_degenerate(self):
+        p = plan_move(0.0, 50.0, 1000.0)
+        assert p.duration == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_move(-1.0, 50.0, 1000.0)
+        with pytest.raises(ValueError):
+            plan_move(10.0, 0.0, 1000.0)
+        with pytest.raises(ValueError):
+            plan_move(10.0, 50.0, 0.0)
+
+    def test_duration_formula_trapezoid(self):
+        p = plan_move(100.0, 50.0, 1000.0)
+        # t = 2 * v/a + (d - v^2/a) / v
+        expected = 2 * 0.05 + (100.0 - 2500.0 / 1000.0) / 50.0
+        assert p.duration == pytest.approx(expected)
+
+
+class TestKinematicConsistency:
+    def test_position_reaches_distance(self):
+        p = plan_move(42.0, 30.0, 800.0)
+        assert p.position(np.array([p.duration]))[0] == pytest.approx(42.0, abs=1e-9)
+
+    def test_position_monotone(self):
+        p = plan_move(42.0, 30.0, 800.0)
+        t = np.linspace(0, p.duration, 500)
+        s = p.position(t)
+        assert np.all(np.diff(s) >= -1e-12)
+
+    def test_velocity_is_position_derivative(self):
+        p = plan_move(42.0, 30.0, 800.0)
+        t = np.linspace(0, p.duration, 2000)
+        s = p.position(t)
+        v_numeric = np.gradient(s, t)
+        v = p.velocity(t)
+        assert np.allclose(v[5:-5], v_numeric[5:-5], atol=0.5)
+
+    def test_velocity_peaks_at_vpeak(self):
+        p = plan_move(100.0, 50.0, 1000.0)
+        t = np.linspace(0, p.duration, 1000)
+        assert p.velocity(t).max() == pytest.approx(p.v_peak, rel=1e-3)
+
+    def test_velocity_zero_at_ends(self):
+        p = plan_move(10.0, 20.0, 500.0)
+        assert p.velocity(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert p.velocity(np.array([p.duration]))[0] == pytest.approx(0.0, abs=0.1)
+
+    def test_acceleration_signs(self):
+        p = plan_move(100.0, 50.0, 1000.0)
+        t_acc = p.t_accel / 2
+        t_dec = p.t_accel + p.t_cruise + p.t_decel / 2
+        assert p.acceleration(np.array([t_acc]))[0] == pytest.approx(1000.0)
+        assert p.acceleration(np.array([t_dec]))[0] == pytest.approx(-1000.0)
+        t_mid = p.t_accel + p.t_cruise / 2
+        assert p.acceleration(np.array([t_mid]))[0] == pytest.approx(0.0)
+
+    def test_outside_move_zero(self):
+        p = plan_move(10.0, 20.0, 500.0)
+        assert p.velocity(np.array([-1.0, p.duration + 1.0])).tolist() == [0.0, 0.0]
+        assert p.acceleration(np.array([-1.0, p.duration + 1.0])).tolist() == [0.0, 0.0]
+
+    @given(
+        distance=st.floats(0.01, 500.0),
+        feedrate=st.floats(1.0, 300.0),
+        accel=st.floats(100.0, 10000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distance_always_covered(self, distance, feedrate, accel):
+        p = plan_move(distance, feedrate, accel)
+        end = p.position(np.array([p.duration]))[0]
+        assert end == pytest.approx(distance, rel=1e-6, abs=1e-6)
+
+    @given(
+        distance=st.floats(0.01, 500.0),
+        feedrate=st.floats(1.0, 300.0),
+        accel=st.floats(100.0, 10000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_peak_never_exceeds_feedrate(self, distance, feedrate, accel):
+        p = plan_move(distance, feedrate, accel)
+        assert p.v_peak <= feedrate + 1e-9

@@ -1,0 +1,97 @@
+"""Unit tests for the time-noise models."""
+
+import numpy as np
+import pytest
+
+from repro.printer import NO_TIME_NOISE, TimeNoiseModel
+
+
+class TestModelValidation:
+    def test_defaults_valid(self):
+        TimeNoiseModel()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_walk_std": -0.1},
+            {"rate_walk_limit": -0.1},
+            {"duration_jitter": -0.1},
+            {"gap_mean": -1.0},
+            {"gap_std": -1.0},
+            {"stall_probability": 1.5},
+            {"stall_probability": -0.1},
+            {"stall_duration": -1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TimeNoiseModel(**kwargs)
+
+    def test_silent_model(self):
+        assert NO_TIME_NOISE.is_silent
+        assert not TimeNoiseModel().is_silent
+
+
+class TestProcess:
+    def test_silent_process_identity(self):
+        process = NO_TIME_NOISE.start(np.random.default_rng(0))
+        assert process.perturb_duration(1.5) == 1.5
+        assert process.sample_gap() == 0.0
+        assert process.rate == 1.0
+
+    def test_durations_jittered(self):
+        process = TimeNoiseModel().start(np.random.default_rng(0))
+        outs = {process.perturb_duration(1.0) for _ in range(20)}
+        assert len(outs) > 1
+        assert all(0.05 < d < 2.0 for d in outs)
+
+    def test_gaps_nonnegative(self):
+        process = TimeNoiseModel(gap_mean=0.001, gap_std=0.01).start(
+            np.random.default_rng(1)
+        )
+        gaps = [process.sample_gap() for _ in range(200)]
+        assert all(g >= 0.0 for g in gaps)
+
+    def test_rate_walk_bounded(self):
+        model = TimeNoiseModel(rate_walk_std=0.1, rate_walk_limit=0.05)
+        process = model.start(np.random.default_rng(2))
+        for _ in range(500):
+            process.perturb_duration(0.1)
+        assert np.exp(-0.05) - 1e-9 <= process.rate <= np.exp(0.05) + 1e-9
+
+    def test_rate_walk_accumulates(self):
+        """The slow component: consecutive moves share nearly the same rate
+        while distant moves can differ (exactly Fig. 1's structure)."""
+        model = TimeNoiseModel(
+            rate_walk_std=0.01,
+            rate_walk_limit=0.5,
+            duration_jitter=0.0,
+            gap_mean=0.0,
+            gap_std=0.0,
+            stall_probability=0.0,
+        )
+        process = model.start(np.random.default_rng(3))
+        durations = [process.perturb_duration(1.0) for _ in range(400)]
+        near = abs(durations[1] - durations[0])
+        far = abs(durations[-1] - durations[0])
+        assert near < 0.05
+        assert far > near
+
+    def test_stalls_occur(self):
+        model = TimeNoiseModel(
+            gap_mean=0.0, gap_std=0.0, stall_probability=1.0, stall_duration=0.2
+        )
+        process = model.start(np.random.default_rng(4))
+        assert process.sample_gap() == pytest.approx(0.2)
+
+    def test_reproducible_with_same_seed(self):
+        def run(seed):
+            p = TimeNoiseModel().start(np.random.default_rng(seed))
+            return [p.perturb_duration(1.0) for _ in range(10)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_zero_duration_untouched(self):
+        process = TimeNoiseModel().start(np.random.default_rng(5))
+        assert process.perturb_duration(0.0) == 0.0

@@ -1,0 +1,82 @@
+"""Unit tests for the data-acquisition system."""
+
+import numpy as np
+import pytest
+
+from repro.sensors import DataAcquisition, PAPER_CHANNELS, default_daq
+
+
+class TestPaperChannels:
+    def test_table_ii_contents(self):
+        assert PAPER_CHANNELS["ACC"] == (4000.0, 6, 16)
+        assert PAPER_CHANNELS["TMP"] == (4000.0, 1, 16)
+        assert PAPER_CHANNELS["MAG"] == (100.0, 3, 16)
+        assert PAPER_CHANNELS["AUD"] == (48000.0, 2, 24)
+        assert PAPER_CHANNELS["EPT"] == (96000.0, 1, 24)
+        assert PAPER_CHANNELS["PWR"] == (12000.0, 1, 24)
+
+
+class TestDefaultDaq:
+    def test_six_sensors(self):
+        daq = default_daq()
+        assert set(daq.channel_ids) == set(PAPER_CHANNELS)
+
+    def test_acquire_all(self, tiny_trace):
+        daq = default_daq()
+        signals = daq.acquire(tiny_trace, np.random.default_rng(0))
+        assert set(signals) == set(PAPER_CHANNELS)
+        for cid, sig in signals.items():
+            assert sig.n_samples > 0, cid
+            assert sig.duration == pytest.approx(tiny_trace.duration, rel=0.05)
+
+    def test_channel_counts_match_table_ii(self, tiny_trace):
+        signals = default_daq().acquire(tiny_trace, np.random.default_rng(0))
+        for cid, (_, channels, _) in PAPER_CHANNELS.items():
+            assert signals[cid].n_channels == channels, cid
+
+    def test_acquire_subset(self, tiny_trace):
+        daq = default_daq()
+        signals = daq.acquire(
+            tiny_trace, np.random.default_rng(0), channels=["ACC", "MAG"]
+        )
+        assert set(signals) == {"ACC", "MAG"}
+
+    def test_unknown_channel_rejected(self, tiny_trace):
+        daq = default_daq()
+        with pytest.raises(KeyError, match="XYZ"):
+            daq.acquire(tiny_trace, channels=["XYZ"])
+
+    def test_rate_scale_full_paper_rates(self):
+        daq = default_daq(rate_scale=1.0)
+        assert daq.sensors["AUD"].config.sample_rate == 48000.0
+        assert daq.sensors["MAG"].config.sample_rate == 100.0
+
+    def test_rate_override(self):
+        daq = default_daq(rates={cid: 50.0 for cid in PAPER_CHANNELS})
+        assert all(
+            s.config.sample_rate == 50.0 for s in daq.sensors.values()
+        )
+
+    def test_same_rng_state_reproducible(self, tiny_trace):
+        a = default_daq().acquire(tiny_trace, np.random.default_rng(3))
+        b = default_daq().acquire(tiny_trace, np.random.default_rng(3))
+        for cid in a:
+            assert np.allclose(a[cid].data, b[cid].data), cid
+
+    def test_shared_timeline_across_channels(self, noisy_trace):
+        """All channels of one run must reflect the same (noisy) schedule —
+        the property behind Fig. 10."""
+        signals = default_daq().acquire(
+            noisy_trace, np.random.default_rng(1), channels=["ACC", "MAG"]
+        )
+        acc, mag = signals["ACC"], signals["MAG"]
+        # Per-second activity envelopes should correlate across channels.
+        n = min(int(acc.duration), int(mag.duration)) - 1
+        acc_env = np.array([
+            acc.slice_seconds(t, t + 1.0).data[:, 0].std() for t in range(n)
+        ])
+        mag_env = np.array([
+            mag.slice_seconds(t, t + 1.0).data[:, 1].std() for t in range(n)
+        ])
+        r = np.corrcoef(acc_env, mag_env)[0, 1]
+        assert r > 0.4

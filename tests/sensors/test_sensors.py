@@ -1,0 +1,184 @@
+"""Unit tests for the simulated side-channel sensors."""
+
+import numpy as np
+import pytest
+
+from repro.sensors import (
+    Accelerometer,
+    DieThermometer,
+    ElectricPotentialProbe,
+    Magnetometer,
+    Microphone,
+    PowerSensor,
+    SensorConfig,
+    resample_track,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSensorConfig:
+    def test_defaults_valid(self):
+        SensorConfig(sample_rate=100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_rate": 0.0},
+            {"sample_rate": 100.0, "bits": 1},
+            {"sample_rate": 100.0, "bits": 64},
+            {"sample_rate": 100.0, "noise_level": -0.1},
+            {"sample_rate": 100.0, "gain_sigma": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SensorConfig(**kwargs)
+
+
+class TestResampleTrack:
+    def test_length_matches_rate(self, tiny_trace):
+        out = resample_track(tiny_trace.hotend_temp, tiny_trace, 50.0)
+        assert out.shape[0] == int(np.floor(tiny_trace.duration * 50.0))
+
+    def test_2d_track(self, tiny_trace):
+        out = resample_track(tiny_trace.position, tiny_trace, 50.0)
+        assert out.shape[1] == 3
+
+    def test_values_interpolated_not_extrapolated(self, tiny_trace):
+        out = resample_track(tiny_trace.hotend_temp, tiny_trace, 1000.0)
+        assert out.min() >= tiny_trace.hotend_temp.min() - 1e-9
+        assert out.max() <= tiny_trace.hotend_temp.max() + 1e-9
+
+
+class TestAccelerometer:
+    def make(self, **kw):
+        return Accelerometer(SensorConfig(sample_rate=400.0, **kw))
+
+    def test_six_channels(self, tiny_trace, rng):
+        sig = self.make().sense(tiny_trace, rng)
+        assert sig.n_channels == 6
+        assert sig.sample_rate == 400.0
+
+    def test_gravity_offset_on_z(self, tiny_trace, rng):
+        sig = self.make().sense(tiny_trace, rng)
+        assert sig.data[:, 2].mean() > 5000.0  # mm/s^2
+
+    def test_motion_visible_on_xy(self, tiny_trace, rng):
+        sig = self.make().sense(tiny_trace, rng)
+        assert sig.data[:, 0].std() > 1.0
+        assert sig.data[:, 1].std() > 1.0
+
+    def test_repeatable_with_same_rng_seed(self, tiny_trace):
+        a = self.make().sense(tiny_trace, np.random.default_rng(5))
+        b = self.make().sense(tiny_trace, np.random.default_rng(5))
+        assert np.allclose(a.data, b.data)
+
+
+class TestMicrophone:
+    def test_two_channels(self, tiny_trace, rng):
+        sig = Microphone(SensorConfig(sample_rate=2000.0)).sense(tiny_trace, rng)
+        assert sig.n_channels == 2
+
+    def test_sound_follows_motion(self, tiny_trace, rng):
+        sig = Microphone(SensorConfig(sample_rate=2000.0, noise_level=0.0,
+                                      gain_sigma=0.0)).sense(tiny_trace, rng)
+        # Quiet at the very start (homing from origin = no move), loud later.
+        early = np.abs(sig.data[:100]).mean()
+        mid = np.abs(sig.data[len(sig) // 2 : len(sig) // 2 + 2000]).mean()
+        assert mid > early
+
+    def test_extruder_rate_changes_sound(self, tiny_trace, rng):
+        quiet = Microphone(
+            SensorConfig(2000.0, noise_level=0.0, gain_sigma=0.0),
+            extruder_gain=0.0,
+        ).sense(tiny_trace, np.random.default_rng(1))
+        loud = Microphone(
+            SensorConfig(2000.0, noise_level=0.0, gain_sigma=0.0),
+            extruder_gain=2.0,
+        ).sense(tiny_trace, np.random.default_rng(1))
+        assert not np.allclose(quiet.data, loud.data)
+
+
+class TestMagnetometer:
+    def test_three_channels_with_earth_field(self, tiny_trace, rng):
+        sig = Magnetometer(SensorConfig(sample_rate=100.0)).sense(tiny_trace, rng)
+        assert sig.n_channels == 3
+        assert abs(sig.data[:, 0].mean()) > 10.0  # earth field offset
+
+    def test_motion_modulates_field(self, tiny_trace, rng):
+        sig = Magnetometer(
+            SensorConfig(sample_rate=100.0, noise_level=0.0, gain_sigma=0.0)
+        ).sense(tiny_trace, rng)
+        assert sig.data[:, 1].std() > 0.01
+
+
+class TestWeakChannels:
+    def test_tmp_weakly_correlated_with_motion(self, tiny_trace, rng):
+        """The paper drops TMP: it must NOT track the toolpath."""
+        sig = DieThermometer(SensorConfig(sample_rate=100.0)).sense(tiny_trace, rng)
+        speed = np.linalg.norm(
+            resample_track(tiny_trace.velocity, tiny_trace, 100.0), axis=1
+        )
+        n = min(len(sig), speed.shape[0])
+        r = np.corrcoef(sig.data[:n, 0], speed[:n])[0, 1]
+        assert abs(r) < 0.4
+
+    def test_pwr_dominated_by_heater(self, tiny_trace, rng):
+        sensor = PowerSensor(SensorConfig(sample_rate=500.0, noise_level=0.0,
+                                          gain_sigma=0.0))
+        sig = sensor.sense(tiny_trace, rng)
+        motors = sensor.motor_gain * np.abs(
+            resample_track(tiny_trace.joint_velocity, tiny_trace, 500.0)
+        ).sum(axis=1)
+        # Heater swing (~heater_current) dwarfs the motor term.
+        assert sig.data[:, 0].std() > 5 * motors.std()
+
+    def test_pwr_thermostat_phase_varies_per_run(self, tiny_trace):
+        sensor = PowerSensor(SensorConfig(sample_rate=500.0))
+        a = sensor.sense(tiny_trace, np.random.default_rng(1))
+        b = sensor.sense(tiny_trace, np.random.default_rng(2))
+        assert not np.allclose(a.data, b.data)
+
+
+class TestEpt:
+    def test_hum_dominates_raw(self, tiny_trace, rng):
+        probe = ElectricPotentialProbe(
+            SensorConfig(sample_rate=2000.0, noise_level=0.0, gain_sigma=0.0)
+        )
+        sig = probe.sense(tiny_trace, rng)
+        spectrum = np.abs(np.fft.rfft(sig.data[:, 0]))
+        freqs = np.fft.rfftfreq(sig.n_samples, 1 / 2000.0)
+        hum_bin = np.argmin(np.abs(freqs - 60.0))
+        assert np.argmax(spectrum) == hum_bin
+
+    def test_pwm_component_present(self, tiny_trace, rng):
+        probe = ElectricPotentialProbe(
+            SensorConfig(sample_rate=2000.0, noise_level=0.0, gain_sigma=0.0),
+            pwm_gain=5.0,
+        )
+        sig = probe.sense(tiny_trace, rng)
+        spectrum = np.abs(np.fft.rfft(sig.data[:, 0]))
+        freqs = np.fft.rfftfreq(sig.n_samples, 1 / 2000.0)
+        pwm_band = (freqs > 25.0) & (freqs < 37.0) & (np.abs(freqs - 30) > 1)
+        base_band = (freqs > 200.0) & (freqs < 400.0)
+        assert spectrum[pwm_band].mean() > spectrum[base_band].mean()
+
+
+class TestAcquisitionChain:
+    def test_gain_drift_applied(self, tiny_trace):
+        cfg = SensorConfig(sample_rate=400.0, noise_level=0.0, gain_sigma=0.3)
+        a = Accelerometer(cfg).sense(tiny_trace, np.random.default_rng(1))
+        b = Accelerometer(cfg).sense(tiny_trace, np.random.default_rng(2))
+        ratio = a.data[:, 0].std() / b.data[:, 0].std()
+        assert ratio != pytest.approx(1.0, abs=0.01)
+
+    def test_quantization_applied(self, tiny_trace, rng):
+        cfg = SensorConfig(sample_rate=400.0, bits=4, noise_level=0.0,
+                           gain_sigma=0.0)
+        sig = Accelerometer(cfg).sense(tiny_trace, rng)
+        # 4-bit data has few distinct values per channel.
+        assert len(np.unique(sig.data[:, 0])) < 40

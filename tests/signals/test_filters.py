@@ -1,0 +1,138 @@
+"""Unit + property tests for the discriminator's array filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.signals import (
+    decimate,
+    moving_average,
+    resample_linear,
+    trailing_min_filter,
+)
+
+
+def float_arrays(min_n=1, max_n=40):
+    return arrays(
+        np.float64,
+        st.integers(min_n, max_n),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+    )
+
+
+class TestTrailingMinFilter:
+    def test_kills_isolated_spike(self):
+        """The paper's reason for the filter: one-sample spikes vanish."""
+        x = np.array([0.1, 0.1, 5.0, 0.1, 0.1])
+        f = trailing_min_filter(x, window=3)
+        assert f.max() < 5.0
+
+    def test_preserves_sustained_level(self):
+        x = np.array([0.1, 0.1, 5.0, 5.0, 5.0, 0.1])
+        f = trailing_min_filter(x, window=3)
+        assert f.max() == pytest.approx(5.0)
+
+    def test_exact_values(self):
+        x = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+        f = trailing_min_filter(x, window=3)
+        assert np.allclose(f, [3.0, 1.0, 1.0, 1.0, 2.0])
+
+    def test_window_one_is_identity(self):
+        x = np.array([4.0, 2.0, 9.0])
+        assert np.allclose(trailing_min_filter(x, window=1), x)
+
+    def test_rampup_uses_available_samples(self):
+        x = np.array([7.0, 3.0])
+        f = trailing_min_filter(x, window=5)
+        assert np.allclose(f, [7.0, 3.0])
+
+    def test_empty(self):
+        assert trailing_min_filter(np.zeros(0), 3).size == 0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            trailing_min_filter(np.ones(3), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            trailing_min_filter(np.ones((3, 2)), 2)
+
+    @given(x=float_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_input(self, x):
+        f = trailing_min_filter(x, window=3)
+        assert np.all(f <= x + 1e-12)
+
+    @given(x=float_arrays(), w=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_never_below_global_min(self, x, w):
+        f = trailing_min_filter(x, window=w)
+        assert np.all(f >= x.min() - 1e-12)
+
+
+class TestMovingAverage:
+    def test_constant_preserved(self):
+        x = np.full(10, 3.5)
+        assert np.allclose(moving_average(x, 4), x)
+
+    def test_exact_values(self):
+        x = np.array([2.0, 4.0, 6.0])
+        assert np.allclose(moving_average(x, 2), [2.0, 3.0, 5.0])
+
+    def test_empty(self):
+        assert moving_average(np.zeros(0), 3).size == 0
+
+    @given(x=float_arrays(), w=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_extremes(self, x, w):
+        f = moving_average(x, w)
+        tol = 1e-9 * (1.0 + np.abs(x).max())  # cumsum round-off scales with |x|
+        assert np.all(f <= x.max() + tol)
+        assert np.all(f >= x.min() - tol)
+
+
+class TestDecimate:
+    def test_every_other(self):
+        x = np.arange(10.0)
+        assert np.allclose(decimate(x, 2), [0, 2, 4, 6, 8])
+
+    def test_factor_one_identity(self):
+        x = np.arange(5.0)
+        assert np.allclose(decimate(x, 1), x)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            decimate(np.ones(3), 0)
+
+
+class TestResampleLinear:
+    def test_endpoint_preservation(self):
+        x = np.array([1.0, 5.0, 2.0])
+        y = resample_linear(x, 7)
+        assert y[0] == pytest.approx(1.0)
+        assert y[-1] == pytest.approx(2.0)
+
+    def test_linear_ramp_stays_linear(self):
+        x = np.linspace(0, 10, 11)
+        y = resample_linear(x, 21)
+        assert np.allclose(y, np.linspace(0, 10, 21))
+
+    def test_2d_resample(self):
+        x = np.column_stack([np.arange(5.0), np.arange(5.0) * 2])
+        y = resample_linear(x, 9)
+        assert y.shape == (9, 2)
+        assert np.allclose(y[:, 1], 2 * y[:, 0])
+
+    def test_upsample_then_identity_length(self):
+        x = np.array([3.0, 1.0, 4.0])
+        assert resample_linear(x, 3).shape == (3,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            resample_linear(np.zeros(0), 5)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            resample_linear(np.ones(4), 0)

@@ -1,0 +1,157 @@
+"""Unit + property tests for similarity functions and distance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.signals import (
+    DISTANCE_METRICS,
+    SIMILARITY_FUNCTIONS,
+    correlation_distance,
+    correlation_similarity,
+    cosine_distance,
+    cosine_similarity,
+    euclidean_distance,
+    manhattan_distance,
+    mean_absolute_error,
+)
+
+
+def vectors(n=16):
+    return arrays(
+        np.float64,
+        (n,),
+        elements=st.floats(-100, 100, allow_nan=False, width=64),
+    )
+
+
+class TestCorrelation:
+    def test_perfect_correlation(self):
+        u = np.array([1.0, 2.0, 3.0, 4.0])
+        assert correlation_similarity(u, u) == pytest.approx(1.0)
+        assert correlation_distance(u, u) == pytest.approx(0.0)
+
+    def test_anticorrelation(self):
+        u = np.array([1.0, 2.0, 3.0])
+        assert correlation_similarity(u, -u) == pytest.approx(-1.0)
+        assert correlation_distance(u, -u) == pytest.approx(2.0)
+
+    def test_gain_invariance(self):
+        """The property NSYNC relies on: gain changes don't affect it."""
+        rng = np.random.default_rng(0)
+        u = rng.standard_normal(50)
+        assert correlation_similarity(u, 3.7 * u + 11.0) == pytest.approx(1.0)
+
+    def test_constant_vector_gives_zero(self):
+        u = np.ones(10)
+        v = np.arange(10.0)
+        assert correlation_similarity(u, v) == 0.0
+
+    def test_multichannel_averages(self):
+        u = np.column_stack([np.arange(5.0), np.ones(5)])
+        v = np.column_stack([np.arange(5.0), np.arange(5.0)])
+        # channel 0 correlates perfectly (1.0); channel 1 is constant (0.0)
+        assert correlation_similarity(u, v) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            correlation_similarity(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_similarity(np.ones(0), np.ones(0))
+
+    @given(u=vectors(), v=vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, u, v):
+        r = correlation_similarity(u, v)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+    @given(u=vectors(), v=vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric(self, u, v):
+        assert correlation_similarity(u, v) == pytest.approx(
+            correlation_similarity(v, u)
+        )
+
+
+class TestCosine:
+    def test_identity(self):
+        u = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(u, u) == pytest.approx(1.0)
+        assert cosine_distance(u, u) == pytest.approx(0.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    def test_zero_vector_gives_zero(self):
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_scale_invariance(self):
+        u = np.array([3.0, -1.0, 2.0])
+        assert cosine_similarity(u, 5.0 * u) == pytest.approx(1.0)
+
+
+class TestGainSensitiveMetrics:
+    def test_mae(self):
+        assert mean_absolute_error(
+            np.array([1.0, 2.0]), np.array([2.0, 4.0])
+        ) == pytest.approx(1.5)
+
+    def test_euclidean(self):
+        assert euclidean_distance(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert manhattan_distance(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(7.0)
+
+    @pytest.mark.parametrize("metric", [mean_absolute_error, euclidean_distance, manhattan_distance])
+    def test_identity_is_zero(self, metric):
+        u = np.array([1.0, -2.0, 3.0])
+        assert metric(u, u) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("metric", [mean_absolute_error, euclidean_distance, manhattan_distance])
+    def test_gain_sensitivity(self, metric):
+        """Why the paper rejects these metrics: gain changes hurt them."""
+        u = np.array([1.0, 2.0, 3.0])
+        assert metric(u, 2.0 * u) > 0.0
+
+    @given(u=vectors(), v=vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_mae_nonnegative_and_symmetric(self, u, v):
+        assert mean_absolute_error(u, v) >= 0.0
+        assert mean_absolute_error(u, v) == pytest.approx(
+            mean_absolute_error(v, u)
+        )
+
+    @given(u=vectors(), v=vectors(), w=vectors())
+    @settings(max_examples=30, deadline=None)
+    def test_euclidean_triangle_inequality(self, u, v, w):
+        duv = euclidean_distance(u, v)
+        dvw = euclidean_distance(v, w)
+        duw = euclidean_distance(u, w)
+        assert duw <= duv + dvw + 1e-6
+
+
+class TestRegistries:
+    def test_all_distances_registered(self):
+        assert set(DISTANCE_METRICS) == {
+            "correlation", "cosine", "mae", "euclidean", "manhattan",
+        }
+
+    def test_all_similarities_registered(self):
+        assert set(SIMILARITY_FUNCTIONS) == {"correlation", "cosine"}
+
+    @pytest.mark.parametrize("name", sorted(DISTANCE_METRICS))
+    def test_registered_metrics_callable(self, name):
+        u = np.array([1.0, 2.0, 4.0])
+        v = np.array([1.5, 2.5, 3.5])
+        value = DISTANCE_METRICS[name](u, v)
+        assert np.isfinite(value)

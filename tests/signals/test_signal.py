@@ -1,0 +1,172 @@
+"""Unit tests for the Signal container."""
+
+import numpy as np
+import pytest
+
+from repro.signals import Signal
+
+
+class TestConstruction:
+    def test_1d_promoted_to_single_channel(self):
+        s = Signal([1.0, 2.0, 3.0], sample_rate=10.0)
+        assert s.data.shape == (3, 1)
+        assert s.n_channels == 1
+
+    def test_2d_kept(self):
+        s = Signal(np.zeros((5, 3)), sample_rate=10.0)
+        assert s.n_samples == 5
+        assert s.n_channels == 3
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            Signal(np.zeros((2, 2, 2)), sample_rate=10.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            Signal([1.0], sample_rate=0.0)
+        with pytest.raises(ValueError, match="sample_rate"):
+            Signal([1.0], sample_rate=-5.0)
+
+    def test_data_is_float64(self):
+        s = Signal(np.array([1, 2, 3], dtype=np.int32), sample_rate=1.0)
+        assert s.data.dtype == np.float64
+
+    def test_channel_names_checked(self):
+        Signal(np.zeros((4, 2)), 1.0, channel_names=["a", "b"])
+        with pytest.raises(ValueError, match="channel names"):
+            Signal(np.zeros((4, 2)), 1.0, channel_names=["a"])
+
+    def test_repr_mentions_shape(self):
+        s = Signal(np.zeros((7, 2)), sample_rate=50.0)
+        assert "n_samples=7" in repr(s)
+        assert "n_channels=2" in repr(s)
+
+
+class TestProperties:
+    def test_duration(self):
+        s = Signal(np.zeros(100), sample_rate=50.0)
+        assert s.duration == pytest.approx(2.0)
+
+    def test_times_axis(self):
+        s = Signal(np.zeros(4), sample_rate=2.0)
+        assert np.allclose(s.times, [0.0, 0.5, 1.0, 1.5])
+
+    def test_len(self):
+        assert len(Signal(np.zeros(9), 1.0)) == 9
+
+    def test_equality(self):
+        a = Signal([1.0, 2.0], 10.0)
+        b = Signal([1.0, 2.0], 10.0)
+        c = Signal([1.0, 3.0], 10.0)
+        d = Signal([1.0, 2.0], 20.0)
+        assert a == b
+        assert a != c
+        assert a != d
+        assert a != "not a signal"
+
+
+class TestSlicing:
+    def test_basic_slice(self):
+        s = Signal(np.arange(10.0), 1.0)
+        sl = s.slice(2, 5)
+        assert np.allclose(sl.data[:, 0], [2.0, 3.0, 4.0])
+
+    def test_slice_clips_out_of_range(self):
+        s = Signal(np.arange(10.0), 1.0)
+        assert s.slice(-5, 3).n_samples == 3
+        assert s.slice(8, 100).n_samples == 2
+        assert s.slice(20, 30).n_samples == 0
+
+    def test_slice_preserves_rate_and_names(self):
+        s = Signal(np.zeros((5, 2)), 7.0, channel_names=["p", "q"])
+        sl = s.slice(1, 4)
+        assert sl.sample_rate == 7.0
+        assert sl.channel_names == ("p", "q")
+
+    def test_slice_seconds(self):
+        s = Signal(np.arange(100.0), 10.0)
+        sl = s.slice_seconds(1.0, 2.0)
+        assert sl.n_samples == 10
+        assert sl.data[0, 0] == 10.0
+
+    def test_channel_accessor(self):
+        data = np.arange(12.0).reshape(4, 3)
+        s = Signal(data, 1.0)
+        assert np.allclose(s.channel(1), data[:, 1])
+
+
+class TestWindowing:
+    def test_n_windows(self):
+        s = Signal(np.zeros(10), 1.0)
+        assert s.n_windows(n_win=4, n_hop=2) == 4  # starts 0,2,4,6
+        assert s.n_windows(n_win=10, n_hop=1) == 1
+        assert s.n_windows(n_win=11, n_hop=1) == 0
+
+    def test_window_contents(self):
+        s = Signal(np.arange(10.0), 1.0)
+        w = s.window(2, n_win=3, n_hop=2)
+        assert w.index == 2
+        assert w.start == 4
+        assert np.allclose(w.data[:, 0], [4.0, 5.0, 6.0])
+
+    def test_window_with_offset_matches_eq8(self):
+        s = Signal(np.arange(20.0), 1.0)
+        w = s.window(1, n_win=4, n_hop=4, offset=3)
+        assert w.start == 7
+        assert np.allclose(w.data[:, 0], [7.0, 8.0, 9.0, 10.0])
+
+    def test_window_truncated_at_boundary(self):
+        s = Signal(np.arange(10.0), 1.0)
+        w = s.window(0, n_win=5, n_hop=1, offset=8)
+        assert w.length == 2
+
+    def test_iter_windows_covers_all(self):
+        s = Signal(np.arange(10.0), 1.0)
+        windows = list(s.iter_windows(n_win=4, n_hop=2))
+        assert len(windows) == s.n_windows(4, 2)
+        assert all(w.length == 4 for w in windows)
+        assert [w.index for w in windows] == list(range(len(windows)))
+
+
+class TestConstruction2:
+    def test_concatenate(self):
+        a = Signal(np.ones(3), 5.0)
+        b = Signal(np.zeros(2), 5.0)
+        c = Signal.concatenate([a, b])
+        assert c.n_samples == 5
+        assert np.allclose(c.data[:, 0], [1, 1, 1, 0, 0])
+
+    def test_concatenate_rejects_rate_mismatch(self):
+        with pytest.raises(ValueError, match="rates"):
+            Signal.concatenate([Signal(np.ones(2), 5.0), Signal(np.ones(2), 6.0)])
+
+    def test_concatenate_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channel"):
+            Signal.concatenate(
+                [Signal(np.ones((2, 1)), 5.0), Signal(np.ones((2, 2)), 5.0)]
+            )
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Signal.concatenate([])
+
+    def test_pad_to(self):
+        s = Signal(np.ones(3), 1.0)
+        padded = s.pad_to(5)
+        assert padded.n_samples == 5
+        assert np.allclose(padded.data[3:, 0], 0.0)
+
+    def test_pad_to_noop_when_long_enough(self):
+        s = Signal(np.ones(5), 1.0)
+        assert s.pad_to(3) is s
+
+    def test_with_data_keeps_rate(self):
+        s = Signal(np.ones(3), 9.0)
+        t = s.with_data(np.zeros(7))
+        assert t.sample_rate == 9.0
+        assert t.n_samples == 7
+
+    def test_with_data_drops_stale_names(self):
+        s = Signal(np.ones((3, 2)), 9.0, channel_names=["a", "b"])
+        t = s.with_data(np.zeros((3, 4)))
+        assert t.channel_names is None

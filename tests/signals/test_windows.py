@@ -1,0 +1,90 @@
+"""Unit tests for tapering windows."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    blackman_harris_window,
+    boxcar_window,
+    gaussian_window,
+    get_window,
+)
+
+
+class TestGaussian:
+    def test_peak_at_centre(self):
+        w = gaussian_window(101, sigma=10.0)
+        assert w[50] == pytest.approx(1.0)
+        assert np.argmax(w) == 50
+
+    def test_even_length_symmetric(self):
+        w = gaussian_window(100, sigma=20.0)
+        assert np.allclose(w, w[::-1])
+
+    def test_odd_length_symmetric(self):
+        w = gaussian_window(51, sigma=5.0)
+        assert np.allclose(w, w[::-1])
+
+    def test_sigma_controls_width(self):
+        narrow = gaussian_window(101, sigma=5.0)
+        wide = gaussian_window(101, sigma=50.0)
+        assert narrow[0] < wide[0]
+
+    def test_known_value(self):
+        w = gaussian_window(3, sigma=1.0)
+        assert w[0] == pytest.approx(np.exp(-0.5))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            gaussian_window(0, 1.0)
+        with pytest.raises(ValueError):
+            gaussian_window(10, 0.0)
+        with pytest.raises(ValueError):
+            gaussian_window(10, -1.0)
+
+
+class TestBlackmanHarris:
+    def test_endpoints_near_zero(self):
+        w = blackman_harris_window(64)
+        assert abs(w[0]) < 1e-4
+        assert abs(w[-1]) < 1e-4
+
+    def test_peak_near_centre(self):
+        w = blackman_harris_window(65)
+        assert np.argmax(w) == 32
+        assert w[32] == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetric(self):
+        w = blackman_harris_window(50)
+        assert np.allclose(w, w[::-1], atol=1e-12)
+
+    def test_length_one(self):
+        assert np.allclose(blackman_harris_window(1), [1.0])
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            blackman_harris_window(0)
+
+
+class TestBoxcar:
+    def test_all_ones(self):
+        assert np.allclose(boxcar_window(17), np.ones(17))
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            boxcar_window(-1)
+
+
+class TestGetWindow:
+    @pytest.mark.parametrize("name", ["BH", "bh", "blackman-harris"])
+    def test_bh_aliases(self, name):
+        assert np.allclose(
+            get_window(name, 32), blackman_harris_window(32)
+        )
+
+    def test_boxcar(self):
+        assert np.allclose(get_window("Boxcar", 8), np.ones(8))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown window"):
+            get_window("hann", 8)

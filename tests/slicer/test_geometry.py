@@ -1,0 +1,128 @@
+"""Unit + property tests for 2-D polygon geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.slicer import (
+    bounding_box,
+    clip_segments,
+    point_in_polygon,
+    polygon_area,
+    polygon_centroid,
+    polygon_perimeter,
+    scale_polygon,
+    translate_polygon,
+)
+
+SQUARE = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]])
+TRIANGLE = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 3.0]])
+
+
+class TestAreaPerimeter:
+    def test_square_area(self):
+        assert polygon_area(SQUARE) == pytest.approx(4.0)
+
+    def test_triangle_area(self):
+        assert polygon_area(TRIANGLE) == pytest.approx(6.0)
+
+    def test_clockwise_negative(self):
+        assert polygon_area(SQUARE[::-1]) == pytest.approx(-4.0)
+
+    def test_square_perimeter(self):
+        assert polygon_perimeter(SQUARE) == pytest.approx(8.0)
+
+    def test_triangle_perimeter(self):
+        assert polygon_perimeter(TRIANGLE) == pytest.approx(12.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            polygon_area(np.array([[0.0, 0.0], [1.0, 1.0]]))
+
+
+class TestCentroidTransforms:
+    def test_square_centroid(self):
+        assert np.allclose(polygon_centroid(SQUARE), [1.0, 1.0])
+
+    def test_translate(self):
+        moved = translate_polygon(SQUARE, [5.0, -1.0])
+        assert np.allclose(polygon_centroid(moved), [6.0, 0.0])
+
+    def test_scale_preserves_centroid(self):
+        scaled = scale_polygon(SQUARE, 0.5)
+        assert np.allclose(polygon_centroid(scaled), [1.0, 1.0])
+
+    def test_scale_area_quadratic(self):
+        scaled = scale_polygon(SQUARE, 0.95)
+        assert polygon_area(scaled) == pytest.approx(4.0 * 0.95**2)
+
+    @given(factor=st.floats(0.1, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_perimeter_linear(self, factor):
+        scaled = scale_polygon(TRIANGLE, factor)
+        assert polygon_perimeter(scaled) == pytest.approx(12.0 * factor)
+
+
+class TestContainment:
+    def test_inside(self):
+        assert point_in_polygon(SQUARE, (1.0, 1.0))
+
+    def test_outside(self):
+        assert not point_in_polygon(SQUARE, (3.0, 1.0))
+        assert not point_in_polygon(SQUARE, (-0.1, 1.0))
+
+    def test_concave_polygon(self):
+        # A "C" shape: inside the notch is outside the polygon.
+        c_shape = np.array(
+            [[0, 0], [3, 0], [3, 1], [1, 1], [1, 2], [3, 2], [3, 3], [0, 3]],
+            dtype=float,
+        )
+        assert point_in_polygon(c_shape, (0.5, 1.5))
+        assert not point_in_polygon(c_shape, (2.0, 1.5))
+
+    def test_bounding_box(self):
+        lo, hi = bounding_box(TRIANGLE)
+        assert np.allclose(lo, [0.0, 0.0])
+        assert np.allclose(hi, [4.0, 3.0])
+
+
+class TestClipSegments:
+    def test_line_through_square(self):
+        segs = clip_segments(SQUARE, np.array([-1.0, 1.0]), np.array([3.0, 1.0]))
+        assert len(segs) == 1
+        (a, b), = segs
+        assert np.allclose(a, [0.0, 1.0])
+        assert np.allclose(b, [2.0, 1.0])
+
+    def test_line_missing_square(self):
+        segs = clip_segments(SQUARE, np.array([-1.0, 5.0]), np.array([3.0, 5.0]))
+        assert segs == []
+
+    def test_line_inside_only(self):
+        segs = clip_segments(SQUARE, np.array([0.5, 0.5]), np.array([1.5, 1.5]))
+        assert len(segs) == 1
+        (a, b), = segs
+        assert np.allclose(a, [0.5, 0.5])
+        assert np.allclose(b, [1.5, 1.5])
+
+    def test_concave_produces_two_segments(self):
+        c_shape = np.array(
+            [[0, 0], [3, 0], [3, 1], [1, 1], [1, 2], [3, 2], [3, 3], [0, 3]],
+            dtype=float,
+        )
+        # A vertical line at x=2 crosses the two arms of the C.
+        segs = clip_segments(
+            c_shape, np.array([2.0, -1.0]), np.array([2.0, 4.0])
+        )
+        assert len(segs) == 2
+
+    def test_zero_length_segment(self):
+        assert clip_segments(SQUARE, np.array([1.0, 1.0]), np.array([1.0, 1.0])) == []
+
+    def test_clipped_total_length_bounded(self):
+        p0, p1 = np.array([-5.0, 1.0]), np.array([5.0, 1.0])
+        segs = clip_segments(SQUARE, p0, p1)
+        total = sum(np.linalg.norm(b - a) for a, b in segs)
+        assert total <= 10.0 + 1e-9
+        assert total == pytest.approx(2.0)

@@ -1,0 +1,138 @@
+"""Unit + property tests for the mesh/STL substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.slicer import (
+    extrude_outline,
+    gear_outline,
+    load_stl,
+    mesh_bounds,
+    polygon_area,
+    save_stl,
+    slice_mesh,
+    square_outline,
+)
+
+
+@pytest.fixture(scope="module")
+def gear_mesh():
+    return extrude_outline(gear_outline(n_teeth=8, outer_diameter=30.0), 5.0)
+
+
+class TestExtrude:
+    def test_triangle_count(self):
+        square = square_outline(10.0)
+        mesh = extrude_outline(square, 2.0)
+        # 4 edges x (2 side + 2 cap) triangles
+        assert mesh.shape == (16, 3, 3)
+
+    def test_bounds(self):
+        mesh = extrude_outline(square_outline(10.0), 2.0)
+        lo, hi = mesh_bounds(mesh)
+        assert np.allclose(lo, [-5.0, -5.0, 0.0])
+        assert np.allclose(hi, [5.0, 5.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extrude_outline(np.zeros((2, 2)), 1.0)
+        with pytest.raises(ValueError):
+            extrude_outline(square_outline(5.0), 0.0)
+
+
+class TestSliceMesh:
+    def test_mid_slice_recovers_outline(self, gear_mesh):
+        gear = gear_outline(n_teeth=8, outer_diameter=30.0)
+        polys = slice_mesh(gear_mesh, 2.5)
+        assert len(polys) == 1
+        assert abs(polygon_area(polys[0])) == pytest.approx(
+            abs(polygon_area(gear)), rel=1e-6
+        )
+
+    def test_slice_outside_mesh_empty(self, gear_mesh):
+        assert slice_mesh(gear_mesh, 7.0) == []
+        assert slice_mesh(gear_mesh, -1.0) == []
+
+    def test_square_slice_is_square(self):
+        mesh = extrude_outline(square_outline(10.0), 4.0)
+        polys = slice_mesh(mesh, 1.0)
+        assert len(polys) == 1
+        assert abs(polygon_area(polys[0])) == pytest.approx(100.0, rel=1e-6)
+
+    def test_bad_mesh_shape(self):
+        with pytest.raises(ValueError):
+            slice_mesh(np.zeros((4, 3)), 1.0)
+
+    @given(z=st.floats(0.3, 4.7))
+    @settings(max_examples=15, deadline=None)
+    def test_any_interior_height_same_area(self, z):
+        """A prism's cross-section is constant — the slicer invariant."""
+        mesh = extrude_outline(square_outline(8.0), 5.0)
+        polys = slice_mesh(mesh, z)
+        total = sum(abs(polygon_area(p)) for p in polys)
+        assert total == pytest.approx(64.0, rel=1e-5)
+
+
+class TestStlRoundtrip:
+    def test_binary_roundtrip(self, gear_mesh, tmp_path):
+        save_stl(gear_mesh, tmp_path / "gear.stl")
+        loaded = load_stl(tmp_path / "gear.stl")
+        assert loaded.shape == gear_mesh.shape
+        assert np.abs(loaded - gear_mesh).max() < 1e-5  # float32 storage
+
+    def test_ascii_parsing(self, tmp_path):
+        text = """solid demo
+facet normal 0 0 1
+  outer loop
+    vertex 0 0 0
+    vertex 1 0 0
+    vertex 0 1 0
+  endloop
+endfacet
+endsolid demo
+"""
+        (tmp_path / "tri.stl").write_text(text)
+        mesh = load_stl(tmp_path / "tri.stl")
+        assert mesh.shape == (1, 3, 3)
+        assert np.allclose(mesh[0][1], [1, 0, 0])
+
+    def test_truncated_binary_rejected(self, tmp_path):
+        (tmp_path / "bad.stl").write_bytes(b"\0" * 83)
+        with pytest.raises(ValueError, match="truncated"):
+            load_stl(tmp_path / "bad.stl")
+
+    def test_wrong_count_rejected(self, tmp_path):
+        import struct
+
+        raw = b"\0" * 80 + struct.pack("<I", 5) + b"\0" * 10
+        (tmp_path / "bad.stl").write_bytes(raw)
+        with pytest.raises(ValueError, match="truncated"):
+            load_stl(tmp_path / "bad.stl")
+
+    def test_empty_ascii_rejected(self, tmp_path):
+        (tmp_path / "empty.stl").write_text("solid nothing facet\nendsolid")
+        with pytest.raises(ValueError, match="no facets"):
+            load_stl(tmp_path / "empty.stl")
+
+    def test_save_validates_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_stl(np.zeros((3, 3)), tmp_path / "x.stl")
+
+
+class TestStlToGcodePipeline:
+    def test_stl_to_print_job(self, gear_mesh, tmp_path):
+        """The full design-model path: STL -> slice -> G-code."""
+        from repro.attacks import PrintJob
+        from repro.slicer import SlicerConfig
+
+        save_stl(gear_mesh, tmp_path / "part.stl")
+        mesh = load_stl(tmp_path / "part.stl")
+        outline = slice_mesh(mesh, 2.5)[0]
+        job = PrintJob.slice(
+            outline,
+            SlicerConfig(object_height=0.4, layer_height=0.2, infill_spacing=6.0),
+        )
+        assert len(job.program) > 10
+        assert any(c.is_move for c in job.program)

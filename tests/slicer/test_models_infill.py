@@ -1,0 +1,204 @@
+"""Unit tests for part models and infill generation."""
+
+import numpy as np
+import pytest
+
+from repro.slicer import (
+    PAPER_GEAR,
+    circle_outline,
+    gear_outline,
+    grid_infill,
+    infill_for_layer,
+    line_infill,
+    point_in_polygon,
+    polygon_area,
+    square_outline,
+)
+
+
+class TestGear:
+    def test_paper_gear_dimensions(self):
+        radii = np.linalg.norm(PAPER_GEAR, axis=1)
+        assert radii.max() == pytest.approx(30.0, abs=0.01)
+        assert radii.min() == pytest.approx(27.0, abs=0.01)
+
+    def test_tooth_count_via_radius_peaks(self):
+        gear = gear_outline(n_teeth=8, points_per_tooth=20)
+        radii = np.linalg.norm(gear, axis=1)
+        at_tip = radii > radii.max() - 1e-6
+        # Count contiguous runs of tip samples.
+        transitions = np.sum(np.diff(at_tip.astype(int)) == 1)
+        assert transitions == 8
+
+    def test_gear_is_closed_simple_polygon(self):
+        gear = gear_outline()
+        assert polygon_area(gear) > 0  # counter-clockwise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gear_outline(n_teeth=2)
+        with pytest.raises(ValueError):
+            gear_outline(outer_diameter=0)
+        with pytest.raises(ValueError):
+            gear_outline(tooth_depth=100.0)
+        with pytest.raises(ValueError):
+            gear_outline(points_per_tooth=2)
+
+
+class TestSimpleShapes:
+    def test_circle_area_approaches_pi_r2(self):
+        c = circle_outline(diameter=10.0, n_points=256)
+        assert polygon_area(c) == pytest.approx(np.pi * 25.0, rel=0.01)
+
+    def test_square(self):
+        s = square_outline(4.0)
+        assert polygon_area(s) == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            circle_outline(diameter=-1.0)
+        with pytest.raises(ValueError):
+            circle_outline(n_points=2)
+        with pytest.raises(ValueError):
+            square_outline(0.0)
+
+
+class TestInfill:
+    SQ = square_outline(10.0)
+
+    def test_lines_inside_outline(self):
+        for a, b in line_infill(self.SQ, spacing=2.0, angle_deg=0.0):
+            mid = (a + b) / 2
+            assert point_in_polygon(self.SQ, mid)
+
+    def test_horizontal_lines_have_constant_y(self):
+        for a, b in line_infill(self.SQ, spacing=2.0, angle_deg=0.0):
+            assert a[1] == pytest.approx(b[1])
+
+    def test_spacing_respected(self):
+        segs = line_infill(self.SQ, spacing=2.0, angle_deg=0.0)
+        ys = sorted({round(a[1], 6) for a, _ in segs})
+        diffs = np.diff(ys)
+        assert np.allclose(diffs, 2.0)
+
+    def test_boustrophedon_ordering(self):
+        segs = line_infill(self.SQ, spacing=2.0, angle_deg=0.0)
+        directions = [np.sign(b[0] - a[0]) for a, b in segs]
+        assert any(d > 0 for d in directions)
+        assert any(d < 0 for d in directions)
+
+    def test_angled_lines(self):
+        for a, b in line_infill(self.SQ, spacing=3.0, angle_deg=45.0):
+            d = b - a
+            angle = np.degrees(np.arctan2(d[1], d[0])) % 180
+            assert angle == pytest.approx(45.0, abs=1e-6)
+
+    def test_grid_has_two_directions(self):
+        segs = grid_infill(self.SQ, spacing=2.0, angle_deg=0.0)
+        angles = {
+            round(np.degrees(np.arctan2(*(b - a)[::-1])) % 180, 3)
+            for a, b in segs
+        }
+        assert angles == {0.0, 90.0}
+
+    def test_grid_total_length_comparable_to_lines(self):
+        lines = line_infill(self.SQ, spacing=2.0, angle_deg=0.0)
+        grid = grid_infill(self.SQ, spacing=2.0, angle_deg=0.0)
+        length = lambda segs: sum(np.linalg.norm(b - a) for a, b in segs)
+        assert length(grid) == pytest.approx(length(lines), rel=0.3)
+
+    def test_layer_dispatch_alternates_angle(self):
+        l0 = infill_for_layer(self.SQ, 2.0, layer=0, pattern="lines", base_angle=0.0)
+        l1 = infill_for_layer(self.SQ, 2.0, layer=1, pattern="lines", base_angle=0.0)
+        a0 = np.degrees(np.arctan2(*(l0[0][1] - l0[0][0])[::-1])) % 180
+        a1 = np.degrees(np.arctan2(*(l1[0][1] - l1[0][0])[::-1])) % 180
+        assert abs(a0 - a1) == pytest.approx(90.0)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown infill"):
+            infill_for_layer(self.SQ, 2.0, 0, pattern="honeycomb")
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            line_infill(self.SQ, spacing=0.0, angle_deg=0.0)
+
+    def test_gear_infill_nonempty(self):
+        segs = line_infill(PAPER_GEAR, spacing=4.0, angle_deg=45.0)
+        assert len(segs) >= 10
+
+
+class TestTriangleInfill:
+    SQ = square_outline(12.0)
+
+    def test_three_angle_families(self):
+        from repro.slicer import triangle_infill
+
+        segs = triangle_infill(self.SQ, spacing=2.0, angle_deg=0.0)
+        angles = {
+            round(np.degrees(np.arctan2(*(b - a)[::-1])) % 180, 1)
+            for a, b in segs
+        }
+        assert angles == {0.0, 60.0, 120.0}
+
+    def test_segments_inside(self):
+        from repro.slicer import point_in_polygon, triangle_infill
+
+        for a, b in triangle_infill(self.SQ, spacing=2.0):
+            assert point_in_polygon(self.SQ, (a + b) / 2)
+
+
+class TestConcentricInfill:
+    def test_rings_are_closed(self):
+        from repro.slicer import concentric_infill
+
+        segs = concentric_infill(square_outline(12.0), spacing=2.0)
+        assert segs
+        # Segments chain: each ring's ends meet (total endpoint mismatch 0).
+        starts = {tuple(np.round(a, 6)) for a, _ in segs}
+        ends = {tuple(np.round(b, 6)) for _, b in segs}
+        assert starts == ends
+
+    def test_rings_shrink_toward_centroid(self):
+        from repro.slicer import concentric_infill
+
+        segs = concentric_infill(square_outline(12.0), spacing=2.0)
+        radii = sorted({round(max(abs(a[0]), abs(a[1])), 4) for a, _ in segs})
+        assert len(radii) >= 2
+        assert radii[0] < radii[-1] < 6.0  # all strictly inside the outline
+
+    def test_invalid_spacing(self):
+        from repro.slicer import concentric_infill
+
+        with pytest.raises(ValueError):
+            concentric_infill(square_outline(10.0), spacing=0.0)
+
+    def test_slicer_accepts_new_patterns(self):
+        from repro.slicer import SlicerConfig, slice_model
+
+        for pattern in ("triangles", "concentric"):
+            program = slice_model(
+                square_outline(10.0),
+                SlicerConfig(object_height=0.4, layer_height=0.2,
+                             infill_pattern=pattern),
+            )
+            assert len(program) > 10, pattern
+
+
+class TestInfillDensityAttack:
+    def test_less_material(self):
+        from repro.attacks import InfillDensityAttack, PrintJob
+        from repro.slicer import SlicerConfig
+
+        job = PrintJob.slice(
+            square_outline(20.0),
+            SlicerConfig(object_height=0.4, layer_height=0.2, infill_spacing=3.0),
+        )
+        attacked = InfillDensityAttack(spacing_factor=2.0).apply(job)
+        e = lambda p: max(c.get("E") for c in p if c.get("E") is not None)
+        assert e(attacked.program) < e(job.program)
+
+    def test_validation(self):
+        from repro.attacks import InfillDensityAttack
+
+        with pytest.raises(ValueError):
+            InfillDensityAttack(spacing_factor=0.0)

@@ -1,0 +1,140 @@
+"""Unit tests for the slicer (outline -> G-code)."""
+
+import numpy as np
+import pytest
+
+from repro.slicer import Slicer, SlicerConfig, slice_model, square_outline
+
+
+def simple_config(**overrides):
+    params = dict(object_height=0.4, layer_height=0.2, infill_spacing=4.0)
+    params.update(overrides)
+    return SlicerConfig(**params)
+
+
+class TestConfig:
+    def test_n_layers(self):
+        assert simple_config().n_layers == 2
+        assert simple_config(object_height=7.5, layer_height=0.2).n_layers == 38
+        assert simple_config(object_height=7.5, layer_height=0.3).n_layers == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlicerConfig(layer_height=0.0)
+        with pytest.raises(ValueError):
+            SlicerConfig(object_height=0.1, layer_height=0.2)
+        with pytest.raises(ValueError):
+            SlicerConfig(print_speed=-1.0)
+        with pytest.raises(ValueError):
+            SlicerConfig(infill_spacing=0.0)
+        with pytest.raises(ValueError):
+            SlicerConfig(infill_pattern="gyroid")
+        with pytest.raises(ValueError):
+            SlicerConfig(scale=0.0)
+
+    def test_with_updates(self):
+        cfg = simple_config().with_updates(infill_pattern="grid")
+        assert cfg.infill_pattern == "grid"
+        assert cfg.layer_height == 0.2
+
+
+class TestSlicing:
+    OUTLINE = square_outline(20.0)
+
+    def slice(self, **overrides):
+        return slice_model(self.OUTLINE, simple_config(**overrides))
+
+    def test_has_preamble(self):
+        program = self.slice()
+        codes = [c.code for c in program][:6]
+        assert codes == ["M140", "M104", "M190", "M109", "G28", "G92"]
+
+    def test_has_shutdown(self):
+        program = self.slice()
+        tail = [c.code for c in program][-4:]
+        assert tail == ["M107", "M104", "M140", "G28"]
+
+    def test_layer_count_in_gcode(self):
+        program = self.slice()
+        layer_moves = [
+            c for c in program if c.comment and c.comment.startswith("LAYER:")
+        ]
+        assert len(layer_moves) == 2
+        assert layer_moves[0].get("Z") == pytest.approx(0.2)
+        assert layer_moves[1].get("Z") == pytest.approx(0.4)
+
+    def test_extrusion_monotone(self):
+        program = self.slice()
+        e_values = [c.get("E") for c in program if c.get("E") is not None]
+        # skip the G92 E0 reset at index 0
+        increasing = e_values[1:]
+        assert all(b >= a for a, b in zip(increasing, increasing[1:]))
+
+    def test_perimeter_before_infill(self):
+        """First extruding moves of a layer trace the outline vertices."""
+        program = self.slice()
+        moves = [c for c in program if c.code == "G1" and c.get("X") is not None]
+        first = moves[0]
+        corner = np.array([first.get("X"), first.get("Y")])
+        outline_pts = self.OUTLINE + np.array([110.0, 110.0])
+        distances = np.linalg.norm(outline_pts - corner, axis=1)
+        assert distances.min() < 1e-6
+
+    def test_travel_moves_do_not_extrude(self):
+        program = self.slice()
+        for c in program:
+            if c.code == "G0":
+                assert c.get("E") is None
+
+    def test_scale_applied(self):
+        small = slice_model(self.OUTLINE, simple_config(scale=0.5))
+        xs = [c.get("X") for c in small if c.is_move and c.get("X") is not None]
+        span = max(xs) - min(xs)
+        assert span == pytest.approx(10.0, abs=1.0)
+
+    def test_center_applied(self):
+        program = slice_model(self.OUTLINE, simple_config(), center=(0.0, 0.0))
+        xs = [c.get("X") for c in program if c.is_move and c.get("X") is not None]
+        assert abs(np.mean(xs)) < 2.0
+
+    def test_grid_pattern_mixes_angles_within_layer(self):
+        def layer0_angles(program):
+            angles = set()
+            prev = None
+            layer = -1
+            for c in program:
+                if c.comment and c.comment.startswith("LAYER:"):
+                    layer += 1
+                if layer != 0 or not c.is_move:
+                    continue
+                x, y = c.get("X"), c.get("Y")
+                if x is None or y is None:
+                    continue
+                point = np.array([x, y])
+                if prev is not None and c.code == "G1" and c.get("E") is not None:
+                    d = point - prev
+                    if np.linalg.norm(d) > 1e-9:
+                        angles.add(round(np.degrees(np.arctan2(d[1], d[0])) % 180, 1))
+                prev = point
+            return angles
+
+        lines_infill_angles = layer0_angles(self.slice(infill_pattern="lines")) - {0.0, 90.0}
+        grid_infill_angles = layer0_angles(self.slice(infill_pattern="grid")) - {0.0, 90.0}
+        # lines: one diagonal family in layer 0; grid: both diagonals.
+        assert lines_infill_angles == {45.0}
+        assert grid_infill_angles == {45.0, 135.0}
+
+    def test_fan_enabled_at_configured_layer(self):
+        program = slice_model(
+            square_outline(10.0),
+            SlicerConfig(object_height=1.0, layer_height=0.2, fan_from_layer=2),
+        )
+        codes = [c.code for c in program]
+        assert "M106" in codes
+
+    def test_feedrates_match_config(self):
+        program = self.slice(print_speed=33.0, travel_speed=99.0)
+        printing = {c.get("F") for c in program if c.code == "G1" and c.get("E") is not None}
+        travels = {c.get("F") for c in program if c.code == "G0"}
+        assert printing == {33.0 * 60.0}
+        assert travels == {99.0 * 60.0}

@@ -1,0 +1,52 @@
+"""Unit tests for SyncResult (CADHD, h_dist) and the Synchronizer protocol."""
+
+import numpy as np
+import pytest
+
+from repro.signals import Signal
+from repro.sync import DwmSynchronizer, FastDtwSynchronizer, SyncResult
+from repro.sync.base import Synchronizer
+
+
+class TestSyncResult:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            SyncResult(h_disp=np.zeros(3), mode="diagonal")
+
+    def test_h_dist_is_abs(self):
+        r = SyncResult(h_disp=np.array([-2.0, 0.0, 3.0]), mode="window")
+        assert np.allclose(r.h_dist, [2.0, 0.0, 3.0])
+
+    def test_n_indexes(self):
+        r = SyncResult(h_disp=np.zeros(7), mode="point")
+        assert r.n_indexes == 7
+
+    def test_cadhd_eq17(self):
+        """c_disp[i] = sum |h[j] - h[j-1]| with h[-1] = 0."""
+        r = SyncResult(h_disp=np.array([2.0, 5.0, 1.0]), mode="window")
+        # |2-0| + |5-2| + |1-5| = 2, 5, 9 cumulative
+        assert np.allclose(r.cadhd(), [2.0, 5.0, 9.0])
+
+    def test_cadhd_monotone(self):
+        rng = np.random.default_rng(0)
+        r = SyncResult(h_disp=rng.standard_normal(50), mode="window")
+        c = r.cadhd()
+        assert np.all(np.diff(c) >= 0)
+
+    def test_cadhd_empty(self):
+        r = SyncResult(h_disp=np.zeros(0), mode="window")
+        assert r.cadhd().size == 0
+
+    def test_cadhd_flat_displacement_counts_initial_jump(self):
+        r = SyncResult(h_disp=np.full(4, 3.0), mode="window")
+        assert np.allclose(r.cadhd(), [3.0, 3.0, 3.0, 3.0])
+
+
+class TestProtocol:
+    def test_dwm_satisfies_protocol(self):
+        from repro.sync import UM3_DWM_PARAMS
+
+        assert isinstance(DwmSynchronizer(UM3_DWM_PARAMS), Synchronizer)
+
+    def test_fastdtw_satisfies_protocol(self):
+        assert isinstance(FastDtwSynchronizer(), Synchronizer)

@@ -1,0 +1,207 @@
+"""Unit tests for exact DTW and FastDTW."""
+
+import numpy as np
+import pytest
+
+from repro.signals import Signal
+from repro.sync import (
+    DtwSynchronizer,
+    FastDtwSynchronizer,
+    dtw_path,
+    fastdtw_path,
+    path_to_h_disp,
+)
+
+
+def random_walk(n, seed=0, channels=1):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal((n, channels)), axis=0)
+
+
+class TestDtwPath:
+    def test_identical_signals_diagonal_path(self):
+        a = random_walk(30)
+        cost, path = dtw_path(a, a)
+        assert cost == pytest.approx(0.0)
+        assert path == [(i, i) for i in range(30)]
+
+    def test_path_endpoints(self):
+        a, b = random_walk(20, 1), random_walk(25, 2)
+        _, path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (19, 24)
+
+    def test_path_monotone_nondecreasing(self):
+        a, b = random_walk(20, 3), random_walk(25, 4)
+        _, path = dtw_path(a, b)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert 0 <= i2 - i1 <= 1
+            assert 0 <= j2 - j1 <= 1
+            assert (i2 - i1) + (j2 - j1) >= 1
+
+    def test_known_small_example(self):
+        a = np.array([[0.0], [1.0], [2.0]])
+        b = np.array([[0.0], [2.0]])
+        cost, path = dtw_path(a, b)
+        # Optimal: (0,0), (1,?) 1->0 or 1->2 costs 1, (2,1) -> total 1.
+        assert cost == pytest.approx(1.0)
+
+    def test_shifted_copy_low_cost(self):
+        base = random_walk(60, 5)
+        a, b = base[:50], base[5:55]
+        cost, _ = dtw_path(a, b)
+        direct = float(np.abs(a - b).sum())
+        assert cost < direct
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_path(np.zeros((0, 1)), np.zeros((5, 1)))
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="channel"):
+            dtw_path(np.zeros((5, 1)), np.zeros((5, 2)))
+
+    def test_window_constraint_respected(self):
+        a, b = random_walk(10, 6), random_walk(10, 7)
+        window = {(i, j) for i in range(10) for j in range(10) if abs(i - j) <= 1}
+        _, path = dtw_path(a, b, window=window)
+        assert all(abs(i - j) <= 1 for i, j in path)
+
+    def test_window_excluding_terminal_raises(self):
+        a, b = random_walk(5, 8), random_walk(5, 9)
+        window = {(0, 0)}  # cannot reach (4, 4)
+        with pytest.raises(RuntimeError, match="terminal"):
+            dtw_path(a, b, window=window)
+
+
+class TestPathToHdisp:
+    def test_diagonal_is_zero(self):
+        path = [(i, i) for i in range(5)]
+        assert np.allclose(path_to_h_disp(path, 5), 0.0)
+
+    def test_constant_offset(self):
+        path = [(i, i + 3) for i in range(5)]
+        assert np.allclose(path_to_h_disp(path, 5), 3.0)
+
+    def test_duplicate_i_averaged_eq5(self):
+        path = [(0, 0), (1, 1), (1, 2), (1, 3), (2, 4)]
+        h = path_to_h_disp(path, 3)
+        assert h[1] == pytest.approx((0 + 1 + 2) / 3)
+
+    def test_missing_i_repeats_last(self):
+        path = [(0, 2), (3, 5)]
+        h = path_to_h_disp(path, 4)
+        assert np.allclose(h, [2.0, 2.0, 2.0, 2.0])
+
+
+class TestFastDtw:
+    def test_small_inputs_exact(self):
+        a, b = random_walk(20, 10), random_walk(20, 11)
+        exact_cost, exact_path = dtw_path(a, b)
+        fast_cost, fast_path = fastdtw_path(a, b, radius=1)
+        assert fast_cost == pytest.approx(exact_cost)
+        assert fast_path == exact_path
+
+    def test_large_inputs_close_to_exact(self):
+        base = random_walk(300, 12)
+        a, b = base[:280], base[10:290]
+        exact_cost, _ = dtw_path(a, b)
+        fast_cost, _ = fastdtw_path(a, b, radius=2)
+        assert fast_cost <= exact_cost * 1.5 + 1e-9
+
+    def test_path_endpoints(self):
+        a, b = random_walk(200, 13), random_walk(190, 14)
+        _, path = fastdtw_path(a, b, radius=1)
+        assert path[0] == (0, 0)
+        assert path[-1] == (199, 189)
+
+    def test_identical_signals_zero_cost(self):
+        a = random_walk(256, 15)
+        cost, _ = fastdtw_path(a, a, radius=1)
+        assert cost == pytest.approx(0.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            fastdtw_path(np.zeros((10, 1)), np.zeros((10, 1)), radius=-1)
+
+
+class TestSynchronizers:
+    def test_dtw_synchronizer_result(self):
+        base = random_walk(80, 16)
+        a = Signal(base[:70], 10.0)
+        b = Signal(base[5:75], 10.0)
+        sync = DtwSynchronizer().synchronize(a, b)
+        assert sync.mode == "point"
+        assert sync.pairs is not None
+        assert sync.h_disp.shape == (70,)
+        # a[i] = base[i], b[j] = base[j+5]: a matches b 5 earlier -> -5.
+        assert np.median(sync.h_disp[20:60]) == pytest.approx(-5, abs=2)
+
+    def test_fastdtw_synchronizer_matches_mode(self):
+        a = Signal(random_walk(150, 17), 10.0)
+        sync = FastDtwSynchronizer(radius=1).synchronize(a, a)
+        assert sync.mode == "point"
+        assert np.allclose(sync.h_disp, 0.0)
+
+    def test_rate_mismatch_rejected(self):
+        a = Signal(np.zeros(10), 10.0)
+        b = Signal(np.zeros(10), 20.0)
+        with pytest.raises(ValueError):
+            DtwSynchronizer().synchronize(a, b)
+        with pytest.raises(ValueError):
+            FastDtwSynchronizer().synchronize(a, b)
+
+    def test_fastdtw_invalid_radius(self):
+        with pytest.raises(ValueError):
+            FastDtwSynchronizer(radius=-2)
+
+
+class TestReferenceFastDtw:
+    """The pure-Python reference implementation must agree with ours."""
+
+    def test_matches_vectorized_on_small_input(self):
+        from repro.sync import fastdtw_path, fastdtw_reference_path
+
+        base = random_walk(60, 20, channels=2)
+        a, b = base[:50], base[5:55]
+        cost_vec, path_vec = fastdtw_path(a, b, radius=1)
+        cost_ref, path_ref = fastdtw_reference_path(
+            a.tolist(), b.tolist(), radius=1
+        )
+        assert cost_ref == pytest.approx(cost_vec, rel=1e-9)
+        assert path_ref[0] == (0, 0)
+        assert path_ref[-1] == (49, 49)
+
+    def test_identical_signals_zero_cost(self):
+        from repro.sync import fastdtw_reference_path
+
+        a = random_walk(100, 21).tolist()
+        cost, path = fastdtw_reference_path(a, a, radius=1)
+        assert cost == pytest.approx(0.0)
+        assert path == [(i, i) for i in range(100)]
+
+    def test_synchronizer_wrapper(self):
+        from repro.sync import ReferenceFastDtwSynchronizer
+
+        base = random_walk(120, 22)
+        a = Signal(base[:100], 10.0)
+        b = Signal(base[5:105], 10.0)
+        sync = ReferenceFastDtwSynchronizer(radius=1).synchronize(a, b)
+        assert sync.mode == "point"
+        assert np.median(sync.h_disp[20:80]) == pytest.approx(-5, abs=2)
+
+    def test_invalid_radius(self):
+        from repro.sync import ReferenceFastDtwSynchronizer, fastdtw_reference_path
+
+        with pytest.raises(ValueError):
+            ReferenceFastDtwSynchronizer(radius=-1)
+        with pytest.raises(ValueError):
+            fastdtw_reference_path([[0.0]], [[0.0]], radius=-1)
+
+    def test_rate_mismatch_rejected(self):
+        from repro.sync import ReferenceFastDtwSynchronizer
+
+        a = Signal(np.zeros(10), 10.0)
+        b = Signal(np.zeros(10), 20.0)
+        with pytest.raises(ValueError):
+            ReferenceFastDtwSynchronizer().synchronize(a, b)

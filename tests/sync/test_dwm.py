@@ -1,0 +1,179 @@
+"""Unit tests for Dynamic Window Matching (batch and streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.signals import Signal
+from repro.sync import (
+    DwmParams,
+    DwmSynchronizer,
+    RM3_DWM_PARAMS,
+    StreamingDwm,
+    UM3_DWM_PARAMS,
+)
+
+
+def chirpy_signal(n=4000, fs=100.0, seed=0):
+    """A non-periodic broadband signal DWM can lock onto."""
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal(n)
+    kernel = np.exp(-np.arange(20) / 5.0)
+    return np.convolve(base, kernel, mode="same")
+
+
+def shifted_pair(shift=25, n=4000, fs=100.0):
+    """Reference and a copy delayed by a constant number of samples."""
+    data = chirpy_signal(n + abs(shift) + 10, fs)
+    ref = Signal(data[: n], fs)
+    obs = Signal(data[shift : n + shift], fs)  # obs[i] = ref[i + shift]
+    return obs, ref
+
+
+class TestDwmParams:
+    def test_table_iv_values(self):
+        assert UM3_DWM_PARAMS == DwmParams(4.0, 2.0, 2.0, 1.0, 0.1)
+        assert RM3_DWM_PARAMS == DwmParams(1.0, 0.5, 0.1, 0.05, 0.1)
+
+    def test_sample_conversion(self):
+        p = DwmParams(2.0, 1.0, 0.5, 0.25)
+        assert p.n_win(100.0) == 200
+        assert p.n_hop(100.0) == 100
+        assert p.n_ext(100.0) == 50
+        assert p.n_sigma(100.0) == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DwmParams(0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="t_hop"):
+            DwmParams(1.0, 2.0, 1.0, 1.0)  # hop > win
+        with pytest.raises(ValueError):
+            DwmParams(1.0, 0.5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            DwmParams(1.0, 0.5, 1.0, -1.0)
+        with pytest.raises(ValueError, match="eta"):
+            DwmParams(1.0, 0.5, 1.0, 1.0, eta=1.5)
+
+    def test_scaled(self):
+        p = DwmParams(4.0, 2.0, 2.0, 1.0, 0.1).scaled(0.5)
+        assert p == DwmParams(2.0, 1.0, 1.0, 0.5, 0.1)
+
+
+class TestDwmBatch:
+    PARAMS = DwmParams(t_win=1.0, t_hop=0.5, t_ext=0.5, t_sigma=0.25, eta=0.2)
+
+    def test_identical_signals_zero_displacement(self):
+        sig = Signal(chirpy_signal(), 100.0)
+        sync = DwmSynchronizer(self.PARAMS).synchronize(sig, sig)
+        assert sync.mode == "window"
+        assert np.allclose(sync.h_disp, 0.0)
+        assert np.allclose(sync.scores, 1.0, atol=1e-9)
+
+    def test_constant_shift_recovered(self):
+        obs, ref = shifted_pair(shift=25)
+        sync = DwmSynchronizer(self.PARAMS).synchronize(obs, ref)
+        # obs[i] = ref[i + 25] so windows of obs match ref 25 samples later.
+        assert np.median(sync.h_disp[2:]) == pytest.approx(25, abs=2)
+
+    def test_negative_shift_recovered(self):
+        data = chirpy_signal(4100)
+        ref = Signal(data[30:4030], 100.0)
+        obs = Signal(data[:4000], 100.0)
+        sync = DwmSynchronizer(self.PARAMS).synchronize(obs, ref)
+        assert np.median(sync.h_disp[2:]) == pytest.approx(-30, abs=2)
+
+    def test_growing_drift_tracked(self):
+        """A 2% rate difference — the Fig. 1 scenario."""
+        fs = 100.0
+        n = 6000
+        data = chirpy_signal(int(n * 1.05) + 10, fs)
+        ref = Signal(data[:n], fs)
+        # Observation runs 2% fast: obs(t) = ref(1.02 t).
+        t_obs = np.arange(int(n / 1.02)) * 1.02
+        obs = Signal(np.interp(t_obs, np.arange(n), data[:n]), fs)
+        sync = DwmSynchronizer(self.PARAMS).synchronize(obs, ref)
+        # By the last window, ref is ~2% of elapsed time ahead.
+        i_last = sync.n_indexes - 1
+        expected = 0.02 * (i_last * self.PARAMS.n_hop(fs))
+        assert sync.h_disp[i_last] == pytest.approx(expected, rel=0.3)
+
+    def test_rate_mismatch_rejected(self):
+        a = Signal(np.zeros(100), 10.0)
+        b = Signal(np.zeros(100), 20.0)
+        with pytest.raises(ValueError, match="rates"):
+            DwmSynchronizer(self.PARAMS).synchronize(a, b)
+
+    def test_short_reference_stops_early(self):
+        obs = Signal(chirpy_signal(4000), 100.0)
+        ref = Signal(chirpy_signal(2000), 100.0)
+        sync = DwmSynchronizer(self.PARAMS).synchronize(obs, ref)
+        assert sync.n_indexes < obs.n_windows(
+            self.PARAMS.n_win(100.0), self.PARAMS.n_hop(100.0)
+        )
+
+    def test_multichannel_signals(self):
+        data = chirpy_signal(4000)
+        two = np.column_stack([data, np.roll(data, 3)])
+        sig = Signal(two, 100.0)
+        sync = DwmSynchronizer(self.PARAMS).synchronize(sig, sig)
+        assert np.allclose(sync.h_disp, 0.0)
+
+    def test_cadhd_zero_for_identical(self):
+        sig = Signal(chirpy_signal(), 100.0)
+        sync = DwmSynchronizer(self.PARAMS).synchronize(sig, sig)
+        assert sync.cadhd()[-1] == pytest.approx(0.0)
+
+    def test_eta_zero_still_tracks_constant_shift(self):
+        params = DwmParams(1.0, 0.5, 0.5, 0.25, eta=0.0)
+        obs, ref = shifted_pair(shift=10)
+        sync = DwmSynchronizer(params).synchronize(obs, ref)
+        assert np.median(sync.h_disp[2:]) == pytest.approx(10, abs=2)
+
+
+class TestStreamingDwm:
+    PARAMS = DwmParams(t_win=1.0, t_hop=0.5, t_ext=0.5, t_sigma=0.25, eta=0.2)
+
+    def test_matches_batch_result(self):
+        obs, ref = shifted_pair(shift=15)
+        batch = DwmSynchronizer(self.PARAMS).synchronize(obs, ref)
+
+        stream = StreamingDwm(ref, self.PARAMS)
+        emitted = []
+        for start in range(0, obs.n_samples, 173):  # awkward chunk size
+            emitted.extend(stream.push(obs.data[start : start + 173]))
+        result = stream.result()
+
+        assert [i for i, _ in emitted] == list(range(batch.n_indexes))
+        assert np.allclose(result.h_disp, batch.h_disp)
+        assert np.allclose(result.scores, batch.scores)
+
+    def test_incremental_emission(self):
+        obs, ref = shifted_pair(shift=0)
+        stream = StreamingDwm(ref, self.PARAMS)
+        n_win = self.PARAMS.n_win(100.0)
+        # Not enough samples yet: nothing emitted.
+        assert stream.push(obs.data[: n_win - 1]) == []
+        # One more sample completes the first window.
+        out = stream.push(obs.data[n_win - 1 : n_win])
+        assert len(out) == 1
+        assert out[0][0] == 0
+
+    def test_channel_mismatch_rejected(self):
+        ref = Signal(np.zeros((100, 2)), 10.0)
+        stream = StreamingDwm(ref, DwmParams(1.0, 0.5, 0.5, 0.25))
+        with pytest.raises(ValueError, match="channels"):
+            stream.push(np.zeros((5, 3)))
+
+    def test_exhausted_reference_stops_emitting(self):
+        obs = Signal(chirpy_signal(4000), 100.0)
+        ref = Signal(chirpy_signal(1000), 100.0)
+        stream = StreamingDwm(ref, self.PARAMS)
+        stream.push(obs.data)
+        n_before = stream.n_windows_done
+        assert stream.push(np.zeros((500, 1))) == []
+        assert stream.n_windows_done == n_before
+
+    def test_1d_chunks_accepted(self):
+        ref = Signal(chirpy_signal(1000), 100.0)
+        stream = StreamingDwm(ref, self.PARAMS)
+        out = stream.push(chirpy_signal(1000))
+        assert len(out) > 0

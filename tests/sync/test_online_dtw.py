@@ -1,0 +1,105 @@
+"""Unit tests for the online (streaming) DTW synchronizer."""
+
+import numpy as np
+import pytest
+
+from repro.signals import Signal
+from repro.sync import OnlineDtw, OnlineDtwSynchronizer
+
+
+def random_walk(n, seed=0, channels=1):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal((n, channels)), axis=0)
+
+
+class TestOnlineDtw:
+    def test_identical_signals_zero_displacement(self):
+        base = random_walk(300, 0)
+        ref = Signal(base, 10.0)
+        online = OnlineDtw(ref, band=20)
+        out = online.push(base)
+        assert len(out) == 300
+        h = np.array([d for _, d in out])
+        assert np.abs(h).max() <= 1
+
+    def test_constant_shift_recovered(self):
+        base = random_walk(400, 1)
+        ref = Signal(base, 10.0)          # reference = full walk
+        obs = base[15:315]                # observation starts 15 samples in
+        online = OnlineDtw(ref, band=40)
+        online.push(obs)
+        h = online.result().h_disp
+        # steady state: obs[i] = ref[i + 15]
+        assert np.median(h[50:]) == pytest.approx(15, abs=2)
+
+    def test_incremental_matches_batch(self):
+        base = random_walk(300, 2)
+        ref = Signal(base, 10.0)
+        obs = base[5:205]
+        stream = OnlineDtw(ref, band=30)
+        for start in range(0, 200, 17):
+            stream.push(obs[start : start + 17])
+        batch = OnlineDtwSynchronizer(band=30).synchronize(
+            Signal(obs, 10.0), ref
+        )
+        assert np.allclose(stream.result().h_disp, batch.h_disp)
+
+    def test_emits_one_estimate_per_sample(self):
+        ref = Signal(random_walk(100, 3), 10.0)
+        online = OnlineDtw(ref, band=10)
+        assert len(online.push(random_walk(7, 4))) == 7
+        assert online.n_samples_done == 7
+
+    def test_monotone_reference_progress(self):
+        base = random_walk(300, 5)
+        ref = Signal(base, 10.0)
+        online = OnlineDtw(ref, band=25)
+        online.push(base[:250])
+        h = online.result().h_disp
+        match = h + np.arange(h.size)
+        assert np.all(np.diff(match) >= 0)
+
+    def test_exhausted_flag(self):
+        base = random_walk(50, 6)
+        ref = Signal(base, 10.0)
+        online = OnlineDtw(ref, band=60)
+        online.push(np.concatenate([base, base[-1:] * np.ones((30, 1))]))
+        assert online.exhausted
+
+    def test_channel_mismatch_rejected(self):
+        ref = Signal(np.zeros((50, 2)), 10.0)
+        with pytest.raises(ValueError, match="channels"):
+            OnlineDtw(ref).push(np.zeros((5, 3)))
+
+    def test_invalid_band(self):
+        ref = Signal(np.zeros(10), 10.0)
+        with pytest.raises(ValueError):
+            OnlineDtw(ref, band=0)
+        with pytest.raises(ValueError):
+            OnlineDtwSynchronizer(band=0)
+
+    def test_result_is_point_mode_with_pairs(self):
+        ref = Signal(random_walk(100, 7), 10.0)
+        online = OnlineDtw(ref, band=10)
+        online.push(random_walk(60, 7))
+        result = online.result()
+        assert result.mode == "point"
+        assert len(result.pairs) == 60
+
+
+class TestSynchronizerAdapter:
+    def test_rate_mismatch_rejected(self):
+        a = Signal(np.zeros(10), 10.0)
+        b = Signal(np.zeros(10), 20.0)
+        with pytest.raises(ValueError):
+            OnlineDtwSynchronizer().synchronize(a, b)
+
+    def test_usable_in_nsync_pipeline(self):
+        from repro.core import NsyncIds
+
+        base = random_walk(600, 8)
+        ref = Signal(base, 10.0)
+        ids = NsyncIds(ref, OnlineDtwSynchronizer(band=30))
+        ids.fit([Signal(base + 0.05 * random_walk(600, 9), 10.0)], r=0.5)
+        verdict = ids.detect(Signal(base + 0.05 * random_walk(600, 10), 10.0))
+        assert verdict is not None

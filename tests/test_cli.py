@@ -1,0 +1,112 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_slice_defaults(self):
+        args = build_parser().parse_args(["slice", "out.gcode"])
+        assert args.printer == "UM3"
+        assert args.attack is None
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "--printer", "RM3", "--transform", "Spectro."]
+        )
+        assert args.printer == "RM3"
+        assert args.transform == "Spectro."
+
+    def test_bad_printer_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["slice", "--printer", "Prusa", "x"])
+
+
+class TestSliceCommand:
+    def test_writes_gcode(self, tmp_path):
+        out = tmp_path / "gear.gcode"
+        assert main(["slice", str(out), "--height", "0.4"]) == 0
+        text = out.read_text()
+        assert "G28" in text
+        assert "G1" in text
+
+    def test_attack_changes_gcode(self, tmp_path):
+        benign = tmp_path / "benign.gcode"
+        attacked = tmp_path / "void.gcode"
+        main(["slice", str(benign), "--height", "0.4"])
+        main(["slice", str(attacked), "--height", "0.4", "--attack", "Void"])
+        assert benign.read_text() != attacked.read_text()
+
+    def test_unknown_attack_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown attack"):
+            main(["slice", str(tmp_path / "x.gcode"), "--attack", "Nuke"])
+
+
+class TestSimulateCommand:
+    def test_produces_npz(self, tmp_path):
+        gcode = tmp_path / "gear.gcode"
+        main(["slice", str(gcode), "--height", "0.4"])
+        run_dir = tmp_path / "run"
+        code = main(
+            ["simulate", str(gcode), str(run_dir), "--height", "0.4",
+             "--channels", "ACC,MAG", "--seed", "5"]
+        )
+        assert code == 0
+        assert (run_dir / "ACC.npz").exists()
+        assert (run_dir / "MAG.npz").exists()
+
+
+class TestTrainDetectRoundtrip:
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory):
+        """Train once per class; CLI training simulates several prints."""
+        root = tmp_path_factory.mktemp("cli")
+        gcode = root / "gear.gcode"
+        main(["slice", str(gcode), "--height", "0.4"])
+        main(["simulate", str(gcode), str(root / "benign"),
+              "--height", "0.4", "--seed", "91"])
+        attacked = root / "speed.gcode"
+        main(["slice", str(attacked), "--height", "0.4",
+              "--attack", "Speed0.95"])
+        main(["simulate", str(attacked), str(root / "malicious"),
+              "--height", "0.4", "--seed", "92"])
+        main(["train", str(root / "model"), "--height", "0.4",
+              "--runs", "6", "--r", "0.5"])
+        return root
+
+    def test_model_files_written(self, workspace):
+        model = workspace / "model"
+        assert (model / "reference.npz").exists()
+        assert (model / "thresholds.json").exists()
+        assert (model / "dwm_params.json").exists()
+
+    def test_benign_passes(self, workspace, capsys):
+        code = main(
+            ["detect", str(workspace / "model"),
+             str(workspace / "benign" / "ACC.npz")]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_attack_detected_with_nonzero_exit(self, workspace, capsys):
+        code = main(
+            ["detect", str(workspace / "model"),
+             str(workspace / "malicious" / "ACC.npz")]
+        )
+        assert code == 1
+        assert "INTRUSION" in capsys.readouterr().out
+
+
+class TestReportParser:
+    def test_report_options(self):
+        args = build_parser().parse_args(
+            ["report", "out.md", "--train", "3", "--test", "2"]
+        )
+        assert args.output == "out.md"
+        assert args.train == 3
+        assert args.func.__name__ == "cmd_report"

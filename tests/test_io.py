@@ -1,0 +1,108 @@
+"""Unit tests for persistence (signals, thresholds, DWM params)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Thresholds
+from repro.io import (
+    load_dwm_params,
+    load_signal,
+    load_signals,
+    load_thresholds,
+    save_dwm_params,
+    save_signal,
+    save_signals,
+    save_thresholds,
+)
+from repro.signals import Signal
+from repro.sync import UM3_DWM_PARAMS
+
+
+class TestSignalRoundtrip:
+    def test_basic_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        original = Signal(rng.standard_normal((100, 3)), 400.0)
+        save_signal(original, tmp_path / "sig.npz")
+        loaded = load_signal(tmp_path / "sig.npz")
+        assert loaded == original
+
+    def test_channel_names_preserved(self, tmp_path):
+        original = Signal(
+            np.zeros((10, 2)), 10.0, channel_names=["ax", "ay"]
+        )
+        save_signal(original, tmp_path / "sig.npz")
+        loaded = load_signal(tmp_path / "sig.npz")
+        assert loaded.channel_names == ("ax", "ay")
+
+    def test_no_channel_names(self, tmp_path):
+        original = Signal(np.zeros(5), 10.0)
+        save_signal(original, tmp_path / "sig.npz")
+        assert load_signal(tmp_path / "sig.npz").channel_names is None
+
+    def test_multi_signal_directory(self, tmp_path):
+        signals = {
+            "ACC": Signal(np.ones((20, 6)), 400.0),
+            "AUD": Signal(np.ones((50, 2)), 2000.0),
+        }
+        save_signals(signals, tmp_path / "run0")
+        loaded = load_signals(tmp_path / "run0")
+        assert set(loaded) == {"ACC", "AUD"}
+        assert loaded["AUD"].sample_rate == 2000.0
+
+    def test_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_signals(tmp_path / "empty")
+
+
+class TestThresholdsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        original = Thresholds(c_c=123.4, h_c=56.7, v_c=0.89, d_c=2.0)
+        save_thresholds(original, tmp_path / "t.json")
+        assert load_thresholds(tmp_path / "t.json") == original
+
+    def test_infinite_d_c(self, tmp_path):
+        original = Thresholds(c_c=1.0, h_c=1.0, v_c=1.0)
+        save_thresholds(original, tmp_path / "t.json")
+        assert load_thresholds(tmp_path / "t.json").d_c == float("inf")
+
+    def test_file_is_human_readable(self, tmp_path):
+        save_thresholds(Thresholds(1.0, 2.0, 3.0), tmp_path / "t.json")
+        text = (tmp_path / "t.json").read_text()
+        assert '"c_c"' in text
+        assert '"v_c"' in text
+
+
+class TestDwmParamsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        save_dwm_params(UM3_DWM_PARAMS, tmp_path / "p.json")
+        assert load_dwm_params(tmp_path / "p.json") == UM3_DWM_PARAMS
+
+    def test_default_eta_backfill(self, tmp_path):
+        (tmp_path / "p.json").write_text(
+            '{"t_win": 4.0, "t_hop": 2.0, "t_ext": 2.0, "t_sigma": 1.0}'
+        )
+        assert load_dwm_params(tmp_path / "p.json").eta == 0.1
+
+
+class TestDeploymentRoundtrip:
+    def test_train_save_reload_detect(self, tmp_path, acc_pair):
+        """The deployment loop: train, persist, reload into a fresh IDS."""
+        from repro.core import NsyncIds
+        from repro.sync import DwmSynchronizer
+
+        obs, ref = acc_pair
+        ids = NsyncIds(ref, DwmSynchronizer(UM3_DWM_PARAMS))
+        ids.fit([obs], r=0.5)
+
+        save_signal(ref, tmp_path / "reference.npz")
+        save_thresholds(ids.thresholds, tmp_path / "thresholds.json")
+        save_dwm_params(UM3_DWM_PARAMS, tmp_path / "params.json")
+
+        reloaded = NsyncIds(
+            load_signal(tmp_path / "reference.npz"),
+            DwmSynchronizer(load_dwm_params(tmp_path / "params.json")),
+        )
+        reloaded.thresholds = load_thresholds(tmp_path / "thresholds.json")
+        verdict = reloaded.detect(obs)
+        assert not verdict.is_intrusion  # its own training run must pass
