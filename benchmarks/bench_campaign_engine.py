@@ -1,0 +1,112 @@
+"""Campaign engine benchmarks: parallel fan-out + content-addressed cache.
+
+Measures the three execution regimes of the same small UM3 campaign:
+
+* ``cold serial``    — workers=0, no cache (the pre-engine baseline);
+* ``cold parallel``  — workers=4, no cache (pure fan-out speedup);
+* ``warm cache``     — workers=0, cache populated (zero simulations).
+
+All three produce bit-identical campaigns (asserted).  Timings and cache
+stats are appended to ``benchmarks/results/BENCH_campaign.json`` so the
+perf trajectory is tracked across PRs.  The parallel-scaling assertion is
+gated on the host actually having >= 4 cores; the cache assertion holds on
+any machine because a warm campaign does no simulation at all.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.attacks import TABLE_I_ATTACKS
+from repro.eval import CampaignEngine, default_setup, generate_campaign
+
+from conftest import record_campaign_stats
+
+CAMPAIGN_KW = dict(
+    channels=("ACC", "AUD"),
+    n_train=2,
+    n_benign_test=2,
+    n_attack_runs=1,
+    seed=11,
+)
+
+
+def _flat_runs(campaign):
+    return [
+        campaign.reference,
+        *campaign.training,
+        *campaign.benign_test,
+        *campaign.all_malicious(),
+    ]
+
+
+def _assert_identical(a, b):
+    for run_a, run_b in zip(_flat_runs(a), _flat_runs(b)):
+        assert run_a.label == run_b.label
+        assert run_a.layer_times == run_b.layer_times
+        for channel in run_a.signals:
+            assert np.array_equal(
+                run_a.signals[channel].data, run_b.signals[channel].data
+            )
+
+
+def test_engine_cache_and_parallel_speedup(tmp_path, report):
+    setup = default_setup("UM3", object_height=0.6)
+    attacks = TABLE_I_ATTACKS()
+
+    t0 = time.perf_counter()
+    serial = generate_campaign(setup, attacks=attacks, **CAMPAIGN_KW)
+    cold_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = generate_campaign(
+        setup, attacks=attacks, workers=4, **CAMPAIGN_KW
+    )
+    cold_parallel = time.perf_counter() - t0
+
+    cold_engine = CampaignEngine(workers=0, cache=tmp_path / "cache")
+    t0 = time.perf_counter()
+    populated = generate_campaign(
+        setup, attacks=attacks, engine=cold_engine, **CAMPAIGN_KW
+    )
+    cold_cached = time.perf_counter() - t0
+
+    warm_engine = CampaignEngine(workers=0, cache=tmp_path / "cache")
+    t0 = time.perf_counter()
+    warm = generate_campaign(
+        setup, attacks=attacks, engine=warm_engine, **CAMPAIGN_KW
+    )
+    warm_time = time.perf_counter() - t0
+
+    _assert_identical(serial, parallel)
+    _assert_identical(serial, populated)
+    _assert_identical(serial, warm)
+    assert warm_engine.stats.simulated == 0
+    assert warm_engine.stats.cache_hits == cold_engine.stats.cache_misses
+
+    warm_speedup = cold_serial / max(warm_time, 1e-9)
+    parallel_speedup = cold_serial / max(cold_parallel, 1e-9)
+    record = {
+        "cold_serial": cold_serial,
+        "cold_parallel_w4": cold_parallel,
+        "cold_cached": cold_cached,
+        "warm_cache": warm_time,
+        "warm_speedup": warm_speedup,
+        "parallel_speedup_w4": parallel_speedup,
+        "cpu_count": os.cpu_count(),
+    }
+    record_campaign_stats("engine_speedup", record)
+    report(
+        "BENCH_engine_speedup",
+        "\n".join(f"{k}: {v}" for k, v in record.items()),
+    )
+
+    # A warm cache skips every simulation; anything under 4x would mean the
+    # payload IO regressed to the same order as the simulator itself.
+    assert warm_speedup >= 4.0
+    # Fan-out scaling only holds when the cores exist to fan out onto.
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_speedup >= 2.0

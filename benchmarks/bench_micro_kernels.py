@@ -14,7 +14,12 @@ Rough expectations on commodity hardware:
 import numpy as np
 import pytest
 
+from repro.attacks import PrintJob
+from repro.printer import TimeNoiseModel, ULTIMAKER3
+from repro.printer.arcs import segment_arcs
+from repro.printer.firmware import Firmware
 from repro.signals import Signal, SpectrogramConfig, spectrogram
+from repro.slicer import SlicerConfig, gear_outline
 from repro.sync import DwmSynchronizer, UM3_DWM_PARAMS, fastdtw_path, tdeb
 from repro.sync.tde import correlation_profile
 
@@ -68,3 +73,55 @@ def test_kernel_fastdtw(benchmark):
     a, b = base[:760], base[20:780]
     cost, path = benchmark(fastdtw_path, a, b, 1)
     assert path[0] == (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Firmware sampling kernels: vectorized vs loop-reference regression
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def scheduled_print():
+    """Segments + events of one noisy gear print (the _sample workload)."""
+    job = PrintJob.slice(
+        gear_outline(),
+        SlicerConfig(object_height=0.6, infill_spacing=6.0),
+        center=(110.0, 110.0),
+    )
+    firmware = Firmware(ULTIMAKER3, TimeNoiseModel())
+    noise = TimeNoiseModel().start(np.random.default_rng(3))
+    segments, events = firmware._schedule(
+        segment_arcs(job.program), noise
+    )
+    return firmware, segments, events
+
+
+def test_kernel_sample_vectorized(benchmark, scheduled_print):
+    firmware, segments, events = scheduled_print
+    trace = benchmark(firmware._sample, segments, events)
+    reference = firmware._sample_loop(segments, events)
+    for name in (
+        "position", "velocity", "acceleration", "extrusion_rate",
+        "hotend_temp", "bed_temp", "fan",
+    ):
+        a = getattr(trace, name)
+        b = getattr(reference, name)
+        assert np.max(np.abs(a - b)) <= 1e-9
+    assert np.array_equal(trace.command_index, reference.command_index)
+    assert np.array_equal(trace.layer_index, reference.layer_index)
+
+
+def test_kernel_sample_loop_reference(benchmark, scheduled_print):
+    firmware, segments, events = scheduled_print
+    trace = benchmark(firmware._sample_loop, segments, events)
+    assert trace.n_samples > 1000
+
+
+def test_kernel_thermal_track(benchmark, scheduled_print):
+    firmware, segments, events = scheduled_print
+    times = np.arange(40_000) / ULTIMAKER3.sim_rate
+    hot = benchmark(
+        firmware._thermal_track, times, events["hotend"], ULTIMAKER3.hotend_tau
+    )
+    reference = firmware._thermal_track_loop(
+        times, events["hotend"], ULTIMAKER3.hotend_tau
+    )
+    assert np.max(np.abs(hot - reference)) <= 1e-9

@@ -2,25 +2,35 @@
 
 Each benchmark regenerates one table or figure of the paper's evaluation on
 a simulated campaign.  Campaigns are expensive (dozens of firmware + sensor
-simulations), so they are session-scoped and shared across benchmark files.
+simulations), so they are session-scoped, shared across benchmark files,
+and executed through the :class:`~repro.eval.engine.CampaignEngine`: runs
+fan out over ``REPRO_BENCH_WORKERS`` processes (default ``cpu_count - 1``)
+and are memoized in a content-addressed cache (``REPRO_CACHE_DIR``,
+default ``benchmarks/.cache``) so re-running any benchmark file hits the
+cache instead of re-simulating.
 
 Scale: the paper ran 151 benign + 100 malicious prints per printer; the
 benchmark campaigns keep the same structure at 1 reference + 8 training +
 8 benign-test + 2 runs of each of the 5 attacks per printer.  Regenerated
 rows are printed AND appended to ``benchmarks/results/*.txt`` so they
-survive pytest's output capture.
+survive pytest's output capture; campaign wall-clock and cache-hit stats
+accumulate in ``benchmarks/results/BENCH_campaign.json`` to track the perf
+trajectory across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
-from repro.eval import Campaign, default_setup, generate_campaign
+from repro.eval import Campaign, CampaignEngine, default_setup, generate_campaign
 
 RESULTS_DIR = Path(__file__).parent / "results"
+CAMPAIGN_STATS_PATH = RESULTS_DIR / "BENCH_campaign.json"
 
 N_TRAIN = 8
 N_BENIGN_TEST = 8
@@ -28,28 +38,63 @@ N_ATTACK_RUNS = 2
 CHANNELS = ("ACC", "MAG", "AUD", "EPT")
 
 
-@pytest.fixture(scope="session")
-def um3_campaign() -> Campaign:
-    return generate_campaign(
-        default_setup("UM3", object_height=0.6),
+def bench_cache_dir() -> str:
+    return os.environ.get(
+        "REPRO_CACHE_DIR", str(Path(__file__).parent / ".cache")
+    )
+
+
+def bench_workers() -> int:
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env is not None:
+        return int(env)
+    return max(0, (os.cpu_count() or 1) - 1)
+
+
+def record_campaign_stats(name: str, record: dict) -> None:
+    """Append one perf record to benchmarks/results/BENCH_campaign.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = []
+    if CAMPAIGN_STATS_PATH.exists():
+        try:
+            history = json.loads(CAMPAIGN_STATS_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+    history.append({"name": name, "time": time.time(), **record})
+    CAMPAIGN_STATS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _timed_campaign(printer: str, seed: int) -> Campaign:
+    engine = CampaignEngine(workers=bench_workers(), cache=bench_cache_dir())
+    t0 = time.perf_counter()
+    campaign = generate_campaign(
+        default_setup(printer, object_height=0.6),
         channels=CHANNELS,
         n_train=N_TRAIN,
         n_benign_test=N_BENIGN_TEST,
         n_attack_runs=N_ATTACK_RUNS,
-        seed=1,
+        seed=seed,
+        engine=engine,
     )
+    record_campaign_stats(
+        f"{printer.lower()}_campaign",
+        {
+            "wall_clock": time.perf_counter() - t0,
+            "workers": engine.workers,
+            **engine.stats.as_dict(),
+        },
+    )
+    return campaign
+
+
+@pytest.fixture(scope="session")
+def um3_campaign() -> Campaign:
+    return _timed_campaign("UM3", seed=1)
 
 
 @pytest.fixture(scope="session")
 def rm3_campaign() -> Campaign:
-    return generate_campaign(
-        default_setup("RM3", object_height=0.6),
-        channels=CHANNELS,
-        n_train=N_TRAIN,
-        n_benign_test=N_BENIGN_TEST,
-        n_attack_runs=N_ATTACK_RUNS,
-        seed=2,
-    )
+    return _timed_campaign("RM3", seed=2)
 
 
 @pytest.fixture(scope="session")

@@ -74,6 +74,7 @@ from .attacks import (
     VoidAttack,
 )
 from .sensors import DataAcquisition, default_daq
+from .cache import RunCache, run_cache_key
 
 __version__ = "1.0.0"
 
@@ -127,5 +128,7 @@ __all__ = [
     "VoidAttack",
     "DataAcquisition",
     "default_daq",
+    "RunCache",
+    "run_cache_key",
     "__version__",
 ]

@@ -14,6 +14,7 @@ Four workflows cover the life of a deployment:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -135,12 +136,33 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_for(args: argparse.Namespace):
+    """Build the campaign engine from the --workers/--cache-dir flags."""
+    from .eval import CampaignEngine
+
+    try:
+        return CampaignEngine(workers=args.workers, cache=args.cache_dir)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}") from None
+
+
+def _print_engine_stats(engine) -> None:
+    s = engine.stats
+    cache = f", cache {s.cache_hits} hits / {s.cache_misses} misses" \
+        if engine.cache is not None else ""
+    print(
+        f"executed {s.simulated} simulations in {s.elapsed:.1f} s "
+        f"({engine.workers} workers{cache})"
+    )
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .eval import format_ids_table, generate_campaign, nsync_results
 
     setup = _setup_for(args.printer, args.height)
     print(f"generating campaign ({args.printer}, {args.train} train, "
           f"{args.test} benign test, {args.attack_runs} runs/attack)...")
+    engine = _engine_for(args)
     campaign = generate_campaign(
         setup,
         channels=(args.channel,),
@@ -148,7 +170,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         n_benign_test=args.test,
         n_attack_runs=args.attack_runs,
         seed=args.seed,
+        engine=engine,
     )
+    _print_engine_stats(engine)
     result = nsync_results(campaign, args.channel, args.transform, r=args.r)
     label = f"{args.printer} {args.transform} {args.channel}"
     print(format_ids_table(
@@ -176,6 +200,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         f"generating campaign and running all seven IDSs "
         f"({args.printer}; this takes a few minutes)..."
     )
+    engine = _engine_for(args)
     campaign = generate_campaign(
         setup,
         channels=("ACC", "MAG", "AUD", "EPT"),
@@ -183,7 +208,9 @@ def cmd_report(args: argparse.Namespace) -> int:
         n_benign_test=args.test,
         n_attack_runs=args.attack_runs,
         seed=args.seed,
+        engine=engine,
     )
+    _print_engine_stats(engine)
 
     sections = ["# NSYNC evaluation report", ""]
     sections.append(
@@ -236,6 +263,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="object height in mm (default 0.6; paper: 7.5)")
         p.add_argument("--seed", type=int, default=0)
 
+    def engine_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int,
+            default=max(0, (os.cpu_count() or 1) - 1),
+            help="worker processes for campaign simulation "
+                 "(0 = serial; default: cpu_count - 1)",
+        )
+        p.add_argument(
+            "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+            help="content-addressed run cache directory "
+                 "(default: $REPRO_CACHE_DIR; unset disables caching)",
+        )
+
     p = sub.add_parser("slice", help="slice the gear into G-code")
     common(p)
     p.add_argument("--attack", default=None,
@@ -266,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="full evaluation -> markdown report")
     common(p)
+    engine_opts(p)
     p.add_argument("output", help="output .md path")
     p.add_argument("--train", type=int, default=6)
     p.add_argument("--test", type=int, default=6)
@@ -274,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("campaign", help="run a scaled evaluation campaign")
     common(p)
+    engine_opts(p)
     p.add_argument("--channel", default="ACC")
     p.add_argument("--transform", default="Raw", choices=["Raw", "Spectro."])
     p.add_argument("--train", type=int, default=8)

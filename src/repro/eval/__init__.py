@@ -9,6 +9,7 @@ from .dataset import (
     reference_from_gcode,
     run_process,
 )
+from .engine import CampaignEngine, EngineStats, RunRequest, default_workers
 from .metrics import DetectionStats, accuracy_from_rates
 from .experiments import (
     BASELINE_FACTORIES,
@@ -34,6 +35,10 @@ __all__ = [
     "generate_campaign",
     "reference_from_gcode",
     "run_process",
+    "CampaignEngine",
+    "EngineStats",
+    "RunRequest",
+    "default_workers",
     "DetectionStats",
     "accuracy_from_rates",
     "BASELINE_FACTORIES",

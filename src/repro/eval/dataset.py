@@ -189,13 +189,27 @@ def generate_campaign(
     n_attack_runs: int = 2,
     seed: int = 0,
     daq: Optional[DataAcquisition] = None,
+    workers: int = 0,
+    cache=None,
+    engine=None,
 ) -> Campaign:
     """Generate a full campaign (reference + training + test sets).
 
     The paper's full scale is ``n_train=50, n_benign_test=100,
     n_attack_runs=20`` per printer; the defaults here are a faithful but
     laptop-sized rendition of the same structure.
+
+    Execution goes through a :class:`~repro.eval.engine.CampaignEngine`:
+    ``workers`` fans the independent simulations out over processes (``0``
+    keeps the serial in-process path), and ``cache`` (a directory path or
+    :class:`~repro.cache.RunCache`) memoizes runs on disk.  Seeds are
+    assigned from the sequential ``seq`` stream *before* dispatch, so every
+    ``workers`` setting produces bit-identical signals.  Pass a
+    pre-configured ``engine`` to share a cache/pool and read back its
+    ``stats``; it overrides ``workers``/``cache``.
     """
+    from .engine import CampaignEngine, RunRequest
+
     setup = setup or default_setup()
     attacks = list(attacks) if attacks is not None else TABLE_I_ATTACKS()
     daq = daq or default_daq()
@@ -203,30 +217,37 @@ def generate_campaign(
 
     seq = iter(range(seed * 1_000_003, seed * 1_000_003 + 10_000))
 
-    def benign(label: str) -> ProcessRun:
-        return run_process(
-            setup, job, label, False, next(seq), daq=daq, channels=channels
-        )
-
-    reference = benign("Reference")
-    training = tuple(benign("Benign") for _ in range(n_train))
-    benign_test = tuple(benign("Benign") for _ in range(n_benign_test))
-
-    malicious: Dict[str, Tuple[ProcessRun, ...]] = {}
+    # Build the request list in the exact order the serial implementation
+    # consumed seeds: reference, training, benign test, then attack runs.
+    requests = [RunRequest(setup, job, "Reference", False, next(seq))]
+    requests += [
+        RunRequest(setup, job, "Benign", False, next(seq))
+        for _ in range(n_train)
+    ]
+    requests += [
+        RunRequest(setup, job, "Benign", False, next(seq))
+        for _ in range(n_benign_test)
+    ]
+    attack_names: List[str] = []
     for attack in attacks:
         attacked = attack.apply(job)
-        malicious[attack.name] = tuple(
-            run_process(
-                setup,
-                attacked,
-                attack.name,
-                True,
-                next(seq),
-                daq=daq,
-                channels=channels,
-            )
+        attack_names.append(attack.name)
+        requests += [
+            RunRequest(setup, attacked, attack.name, True, next(seq))
             for _ in range(n_attack_runs)
-        )
+        ]
+
+    engine = engine or CampaignEngine(workers=workers, cache=cache)
+    runs = engine.execute(requests, daq=daq, channels=channels)
+
+    reference = runs[0]
+    training = tuple(runs[1 : 1 + n_train])
+    benign_test = tuple(runs[1 + n_train : 1 + n_train + n_benign_test])
+    malicious: Dict[str, Tuple[ProcessRun, ...]] = {}
+    cursor = 1 + n_train + n_benign_test
+    for name in attack_names:
+        malicious[name] = tuple(runs[cursor : cursor + n_attack_runs])
+        cursor += n_attack_runs
     return Campaign(
         setup=setup,
         reference=reference,

@@ -1,0 +1,182 @@
+"""Campaign execution engine: parallel fan-out + content-addressed caching.
+
+A campaign is an embarrassingly parallel workload: every
+:func:`~repro.eval.dataset.run_process` call is a pure function of
+``(setup, job, seed, daq, channels)``.  The engine exploits that twice:
+
+* **Parallelism** — requests fan out over a ``ProcessPoolExecutor``.  Seeds
+  are drawn from the campaign's sequential ``seq`` stream *before* dispatch,
+  so a parallel campaign consumes exactly the seed assignment of the serial
+  one and produces bit-identical :class:`~repro.eval.dataset.ProcessRun`
+  signals regardless of worker count or completion order.  ``workers=0``
+  (the default) keeps a pure in-process serial path with no executor, no
+  pickling, and full visibility to ``monkeypatch``-style instrumentation.
+* **Memoization** — with a :class:`~repro.cache.RunCache` attached, each
+  request is first looked up by its content address
+  (:func:`~repro.cache.run_cache_key`); hits skip ``simulate_print``
+  entirely and misses are written back after simulation.  Labels are not
+  part of the key: the same physics is reusable under any label.
+
+The engine is the single chokepoint through which
+:func:`~repro.eval.dataset.generate_campaign`, the CLI ``campaign`` /
+``report`` commands, and the benchmark harness all execute runs, so cached
+campaigns are shared across every consumer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..attacks.base import PrintJob
+from ..cache import RunCache, resolve_cache, run_cache_key
+from ..sensors.daq import DataAcquisition, default_daq
+from .dataset import PrinterSetup, ProcessRun, run_process
+
+__all__ = ["RunRequest", "EngineStats", "CampaignEngine", "default_workers"]
+
+
+def default_workers() -> int:
+    """CPU count minus one (never negative): leave a core for the parent."""
+    return max(0, (os.cpu_count() or 1) - 1)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One process simulation to execute, with its seed already assigned."""
+
+    setup: PrinterSetup
+    job: PrintJob
+    label: str
+    is_malicious: bool
+    seed: int
+
+
+@dataclass
+class EngineStats:
+    """Observability counters for one engine lifetime."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulated: int = 0
+    elapsed: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated": self.simulated,
+            "elapsed": self.elapsed,
+        }
+
+
+def _execute_indexed(
+    args: Tuple[int, RunRequest, DataAcquisition, Optional[Tuple[str, ...]]]
+) -> Tuple[int, ProcessRun]:
+    """Worker entry point: simulate one request (picklable, order-tagged)."""
+    index, request, daq, channels = args
+    run = run_process(
+        request.setup,
+        request.job,
+        request.label,
+        request.is_malicious,
+        request.seed,
+        daq=daq,
+        channels=channels,
+    )
+    return index, run
+
+
+class CampaignEngine:
+    """Executes batches of :class:`RunRequest` with caching + parallelism.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``0`` (default) runs serially in the
+        calling process; ``>= 2`` fans out over a ``ProcessPoolExecutor``.
+        ``1`` behaves like ``0`` (a one-worker pool only adds overhead).
+    cache:
+        ``None`` (no caching), a directory path, or a ready
+        :class:`~repro.cache.RunCache`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: Union[RunCache, str, "os.PathLike", None] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = int(workers)
+        self.cache = resolve_cache(cache)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        requests: Sequence[RunRequest],
+        daq: Optional[DataAcquisition] = None,
+        channels: Optional[Sequence[str]] = None,
+    ) -> List[ProcessRun]:
+        """Run every request; results keep the order of ``requests``."""
+        t0 = time.perf_counter()
+        daq = daq or default_daq()
+        wanted = tuple(channels) if channels is not None else None
+        results: List[Optional[ProcessRun]] = [None] * len(requests)
+
+        # 1) Cache lookups (always in the parent: hits never reach a worker).
+        pending: List[Tuple[int, Optional[str]]] = []
+        for i, request in enumerate(requests):
+            key: Optional[str] = None
+            if self.cache is not None:
+                key = run_cache_key(
+                    request.job.program,
+                    request.setup.machine,
+                    request.setup.noise,
+                    daq,
+                    wanted,
+                    request.seed,
+                )
+                payload = self.cache.get(key)
+                if payload is not None:
+                    signals, layer_times, duration = payload
+                    results[i] = ProcessRun(
+                        label=request.label,
+                        is_malicious=request.is_malicious,
+                        signals=signals,
+                        layer_times=layer_times,
+                        duration=duration,
+                    )
+                    self.stats.cache_hits += 1
+                    continue
+                self.stats.cache_misses += 1
+            pending.append((i, key))
+
+        # 2) Simulate the misses — fanned out or serial.
+        if self.workers >= 2 and len(pending) > 1:
+            tasks = [
+                (i, requests[i], daq, wanted) for i, _ in pending
+            ]
+            max_workers = min(self.workers, len(tasks))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                for index, run in pool.map(_execute_indexed, tasks):
+                    results[index] = run
+        else:
+            for i, _ in pending:
+                _, run = _execute_indexed((i, requests[i], daq, wanted))
+                results[i] = run
+        self.stats.simulated += len(pending)
+
+        # 3) Write the fresh results back under their content addresses.
+        if self.cache is not None:
+            for i, key in pending:
+                run = results[i]
+                assert key is not None and run is not None
+                self.cache.put(key, run.signals, run.layer_times, run.duration)
+
+        self.stats.elapsed += time.perf_counter() - t0
+        return [r for r in results if r is not None]

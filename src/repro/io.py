@@ -24,6 +24,8 @@ __all__ = [
     "load_signal",
     "save_signals",
     "load_signals",
+    "save_run_payload",
+    "load_run_payload",
     "save_thresholds",
     "load_thresholds",
     "save_dwm_params",
@@ -78,6 +80,58 @@ def load_signals(directory: PathLike) -> Dict[str, Signal]:
     if not out:
         raise FileNotFoundError(f"no .npz signals under {directory}")
     return out
+
+
+# ---------------------------------------------------------------------------
+# Whole-run payloads (one .npz per simulated process; the cache's format)
+# ---------------------------------------------------------------------------
+def save_run_payload(
+    path: PathLike,
+    signals: Dict[str, Signal],
+    layer_times,
+    duration: float,
+) -> None:
+    """Write one simulated run (all channels + timing metadata) to ``.npz``.
+
+    Channel arrays are namespaced as ``<channel>::data`` / ``::rate`` /
+    ``::names`` so the whole run stays a single archive — the storage unit
+    of :class:`repro.cache.RunCache`.  Stored uncompressed: the sensor
+    tracks are near-incompressible noise, and zlib would dominate warm-hit
+    latency.
+    """
+    payload = {
+        "__channels": np.asarray(list(signals), dtype=str),
+        "__layer_times": np.asarray(list(layer_times), dtype=np.float64),
+        "__duration": np.asarray(float(duration)),
+    }
+    for channel_id, signal in signals.items():
+        payload[f"{channel_id}::data"] = signal.data
+        payload[f"{channel_id}::rate"] = np.asarray(signal.sample_rate)
+        if signal.channel_names is not None:
+            payload[f"{channel_id}::names"] = np.asarray(signal.channel_names)
+    np.savez(Path(path), **payload)
+
+
+def load_run_payload(path: PathLike):
+    """Read a run written by :func:`save_run_payload`.
+
+    Returns ``(signals, layer_times, duration)`` with ``signals`` a
+    ``{channel_id: Signal}`` dict in the order it was saved.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        signals: Dict[str, Signal] = {}
+        for channel_id in (str(c) for c in archive["__channels"]):
+            names = None
+            if f"{channel_id}::names" in archive:
+                names = [str(n) for n in archive[f"{channel_id}::names"]]
+            signals[channel_id] = Signal(
+                archive[f"{channel_id}::data"],
+                float(archive[f"{channel_id}::rate"]),
+                channel_names=names,
+            )
+        layer_times = tuple(float(t) for t in archive["__layer_times"])
+        duration = float(archive["__duration"])
+    return signals, layer_times, duration
 
 
 # ---------------------------------------------------------------------------

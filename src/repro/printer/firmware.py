@@ -31,6 +31,21 @@ __all__ = ["MachineTrace", "Firmware", "simulate_print"]
 
 CommandTransformer = Callable[[GcodeCommand], GcodeCommand]
 
+# Cached lazy import: the IIR thermal track uses scipy when available and
+# silently falls back to the recursive loop otherwise.
+_LFILTER = None
+
+
+def _get_lfilter():
+    global _LFILTER
+    if _LFILTER is None:
+        try:
+            from scipy.signal import lfilter
+        except ImportError:  # pragma: no cover - scipy is a hard dep in CI
+            lfilter = False
+        _LFILTER = lfilter
+    return _LFILTER
+
 
 @dataclass
 class MachineTrace:
@@ -366,13 +381,236 @@ class Firmware:
     # ------------------------------------------------------------------
     # Sampling: turn segments + events into uniform arrays.
     # ------------------------------------------------------------------
-    def _sample(self, segments: List[_MoveSegment], events: dict) -> MachineTrace:
+    def _sample(
+        self,
+        segments: List[_MoveSegment],
+        events: dict,
+        vectorized: bool = True,
+    ) -> MachineTrace:
         machine = self.machine
         fs = machine.sim_rate
         total = events["total_time"]
         n = max(2, int(np.ceil(total * fs)) + 1)
         times = np.arange(n) / fs
 
+        motion = (
+            self._motion_arrays(times, segments)
+            if vectorized
+            else self._motion_arrays_loop(times, segments)
+        )
+        position, velocity, acceleration, extrusion = motion[:4]
+        command_index, layer_index = motion[4:]
+
+        hotend = self._thermal_track(times, events["hotend"], machine.hotend_tau)
+        bed = self._thermal_track(times, events["bed"], machine.bed_tau)
+        fan = self._step_track(times, events["fan"])
+
+        joint_pos = machine.kinematics.joint_positions(position)
+        joint_vel = np.gradient(joint_pos, 1.0 / fs, axis=0)
+
+        return MachineTrace(
+            sim_rate=fs,
+            times=times,
+            position=position,
+            velocity=velocity,
+            acceleration=acceleration,
+            joint_position=joint_pos,
+            joint_velocity=joint_vel,
+            extrusion_rate=extrusion,
+            hotend_temp=hotend,
+            bed_temp=bed,
+            fan=fan,
+            command_index=command_index,
+            layer_index=layer_index,
+            layer_change_times=list(events["layer_changes"]),
+        )
+
+    def _sample_loop(
+        self, segments: List[_MoveSegment], events: dict
+    ) -> MachineTrace:
+        """Reference implementation sampling with the per-segment loop."""
+        return self._sample(segments, events, vectorized=False)
+
+    @staticmethod
+    def _segment_bounds(
+        times: np.ndarray, segments: List[_MoveSegment], fs: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched sample-index bounds ``[i0, i1)`` of every segment."""
+        n = times.shape[0]
+        starts = np.array([seg.t_start for seg in segments])
+        ends = starts + np.array([seg.duration for seg in segments])
+        i0s = np.minimum(np.ceil(starts * fs).astype(np.intp), n)
+        i1s = np.minimum(np.ceil(ends * fs).astype(np.intp), n)
+        return i0s, i1s
+
+    def _motion_arrays(
+        self, times: np.ndarray, segments: List[_MoveSegment]
+    ) -> Tuple[np.ndarray, ...]:
+        """Motion state on the sampling grid, batched over all segments.
+
+        Instead of evaluating each segment's trapezoidal profile in a
+        Python loop, every active sample of the whole print is gathered
+        into one flat batch: per-segment parameters are repeated per
+        sample, the piecewise closed form is evaluated once over the
+        batch, and idle holds between moves are filled with
+        ``searchsorted`` over the (monotone) segment boundaries.  The
+        arithmetic is element-for-element the same as the loop reference,
+        so outputs match it exactly.
+        """
+        n = times.shape[0]
+        position = np.zeros((n, 3))
+        velocity = np.zeros((n, 3))
+        acceleration = np.zeros((n, 3))
+        extrusion = np.zeros(n)
+        command_index = np.zeros(n, dtype=np.intp)
+        layer_index = np.zeros(n, dtype=np.intp)
+        if not segments:
+            return (
+                position, velocity, acceleration, extrusion,
+                command_index, layer_index,
+            )
+
+        fs = self.machine.sim_rate
+        i0s, i1s = self._segment_bounds(times, segments, fs)
+
+        # Per-segment parameter vectors.
+        t_starts = np.array([seg.t_start for seg in segments])
+        jit_durs = np.array([seg.duration for seg in segments])
+        p_dist = np.array([seg.profile.distance for seg in segments])
+        p_vpeak = np.array([seg.profile.v_peak for seg in segments])
+        p_accel = np.array([seg.profile.accel for seg in segments])
+        p_taccel = np.array([seg.profile.t_accel for seg in segments])
+        p_tcruise = np.array([seg.profile.t_cruise for seg in segments])
+        p_tdecel = np.array([seg.profile.t_decel for seg in segments])
+        p_dur = p_taccel + p_tcruise + p_tdecel
+        starts_xyz = np.stack([seg.start_xyz for seg in segments])
+        directions = np.stack([seg.direction for seg in segments])
+        e_deltas = np.array([seg.e_delta for seg in segments])
+        cmd_ids = np.array(
+            [seg.command_index for seg in segments], dtype=np.intp
+        )
+        layer_ids = np.array(
+            [seg.layer_index for seg in segments], dtype=np.intp
+        )
+        end_positions = starts_xyz + directions * p_dist[:, np.newaxis]
+
+        # Jitter stretches real time; the profile is defined over the
+        # nominal duration, so active times map through the stretch factor.
+        stretch = np.ones_like(jit_durs)
+        np.divide(p_dur, jit_durs, out=stretch, where=jit_durs > 0)
+        e_frac = np.zeros_like(e_deltas)
+        np.divide(e_deltas, p_dist, out=e_frac, where=p_dist > 0)
+
+        # Flatten every segment's [i0, i1) sample range into one batch.
+        counts = i1s - i0s
+        total = int(counts.sum())
+        if total:
+            offsets = np.cumsum(counts) - counts
+            within = np.arange(total) - np.repeat(offsets, counts)
+            active = np.repeat(i0s, counts) + within
+
+            rep = lambda a: np.repeat(a, counts)  # noqa: E731
+            tau = (times[active] - rep(t_starts)) * rep(stretch)
+            r_dur, r_dist = rep(p_dur), rep(p_dist)
+            r_vpeak, r_accel = rep(p_vpeak), rep(p_accel)
+            r_taccel, r_tcruise = rep(p_taccel), rep(p_tcruise)
+
+            # position(tau), clamped exactly as TrapezoidalProfile.position
+            tc = np.clip(tau, 0.0, r_dur)
+            d_accel = 0.5 * r_accel * r_taccel**2
+            d_cruise = r_vpeak * r_tcruise
+            in_accel = tc < r_taccel
+            in_cruise = (~in_accel) & (tc < r_taccel + r_tcruise)
+            in_decel = ~(in_accel | in_cruise)
+            s = np.empty_like(tc)
+            s[in_accel] = 0.5 * r_accel[in_accel] * tc[in_accel] ** 2
+            s[in_cruise] = d_accel[in_cruise] + r_vpeak[in_cruise] * (
+                tc[in_cruise] - r_taccel[in_cruise]
+            )
+            td = tc[in_decel] - r_taccel[in_decel] - r_tcruise[in_decel]
+            s[in_decel] = (
+                d_accel[in_decel]
+                + d_cruise[in_decel]
+                + r_vpeak[in_decel] * td
+                - 0.5 * r_accel[in_decel] * td**2
+            )
+            s = np.minimum(s, r_dist)
+
+            # velocity(tau) and acceleration(tau) on the *unclamped* tau,
+            # mirroring the profile methods' phase masks.
+            v = np.zeros_like(tau)
+            in_move = (tau >= 0.0) & (tau <= r_dur)
+            tm = tau[in_move]
+            vm = np.empty_like(tm)
+            m_taccel, m_tcruise = r_taccel[in_move], r_tcruise[in_move]
+            m_vpeak, m_accel = r_vpeak[in_move], r_accel[in_move]
+            accel_phase = tm < m_taccel
+            cruise_phase = (~accel_phase) & (tm < m_taccel + m_tcruise)
+            decel_phase = ~(accel_phase | cruise_phase)
+            vm[accel_phase] = m_accel[accel_phase] * tm[accel_phase]
+            vm[cruise_phase] = m_vpeak[cruise_phase]
+            tdv = (
+                tm[decel_phase]
+                - m_taccel[decel_phase]
+                - m_tcruise[decel_phase]
+            )
+            vm[decel_phase] = np.maximum(
+                m_vpeak[decel_phase] - m_accel[decel_phase] * tdv, 0.0
+            )
+            v[in_move] = vm
+
+            a = np.zeros_like(tau)
+            accel_sel = (tau >= 0.0) & (tau < r_taccel)
+            a[accel_sel] = r_accel[accel_sel]
+            lo = r_taccel + r_tcruise
+            decel_sel = (tau >= lo) & (tau <= r_dur)
+            a[decel_sel] = -r_accel[decel_sel]
+
+            r_stretch = rep(stretch)
+            # Python-pow squares to stay bit-exact with the loop reference
+            # (numpy's array ** 2 can differ from scalar ** 2 by one ulp).
+            stretch_sq = np.array([x**2 for x in stretch.tolist()])
+            seg_of = np.repeat(np.arange(len(segments)), counts)
+            r_dir = directions[seg_of]
+            v_scaled = v * r_stretch
+            position[active] = starts_xyz[seg_of] + s[:, np.newaxis] * r_dir
+            velocity[active] = v_scaled[:, np.newaxis] * r_dir
+            acceleration[active] = (
+                a * rep(stretch_sq)
+            )[:, np.newaxis] * r_dir
+            extrusion[active] = v_scaled * rep(e_frac)
+            command_index[active] = rep(cmd_ids)
+            layer_index[active] = rep(layer_ids)
+
+        # Idle samples: hold the end position of the last segment whose
+        # sampling window closed at or before them (zeros before the first
+        # move), and the most recent written command/layer value.
+        coverage = np.zeros(n + 1, dtype=np.intp)
+        np.add.at(coverage, i0s, 1)
+        np.add.at(coverage, i1s, -1)
+        written = np.cumsum(coverage[:-1]) > 0
+        idle = np.flatnonzero(~written)
+        if idle.size:
+            last_done = np.searchsorted(i1s, idle, side="right") - 1
+            has_prev = last_done >= 0
+            position[idle[has_prev]] = end_positions[last_done[has_prev]]
+            fill_from = np.maximum.accumulate(
+                np.where(written, np.arange(n), 0)
+            )
+            command_index[idle] = command_index[fill_from[idle]]
+            layer_index[idle] = layer_index[fill_from[idle]]
+
+        return (
+            position, velocity, acceleration, extrusion,
+            command_index, layer_index,
+        )
+
+    def _motion_arrays_loop(
+        self, times: np.ndarray, segments: List[_MoveSegment]
+    ) -> Tuple[np.ndarray, ...]:
+        """Original serial sampling loop, kept as the regression reference."""
+        n = times.shape[0]
+        fs = self.machine.sim_rate
         position = np.zeros((n, 3))
         velocity = np.zeros((n, 3))
         acceleration = np.zeros((n, 3))
@@ -421,35 +659,42 @@ class Firmware:
         if cursor > 0 and cursor < n:
             command_index[cursor:] = command_index[cursor - 1]
             layer_index[cursor:] = layer_index[cursor - 1]
-
-        hotend = self._thermal_track(times, events["hotend"], machine.hotend_tau)
-        bed = self._thermal_track(times, events["bed"], machine.bed_tau)
-        fan = self._step_track(times, events["fan"])
-
-        joint_pos = machine.kinematics.joint_positions(position)
-        joint_vel = np.gradient(joint_pos, 1.0 / fs, axis=0)
-
-        return MachineTrace(
-            sim_rate=fs,
-            times=times,
-            position=position,
-            velocity=velocity,
-            acceleration=acceleration,
-            joint_position=joint_pos,
-            joint_velocity=joint_vel,
-            extrusion_rate=extrusion,
-            hotend_temp=hotend,
-            bed_temp=bed,
-            fan=fan,
-            command_index=command_index,
-            layer_index=layer_index,
-            layer_change_times=list(events["layer_changes"]),
+        return (
+            position, velocity, acceleration, extrusion,
+            command_index, layer_index,
         )
 
     def _thermal_track(
         self, times: np.ndarray, events: List[Tuple[float, float]], tau: float
     ) -> np.ndarray:
-        """First-order response to a piecewise-constant target."""
+        """First-order response to a piecewise-constant target.
+
+        The recursion ``out[i] = out[i-1] + alpha * (target[i] - out[i-1])``
+        is a one-pole IIR filter, evaluated in C via ``scipy.signal.lfilter``
+        (with the ambient temperature as the initial condition).  Falls back
+        to the explicit loop when scipy is unavailable.
+        """
+        lfilter = _get_lfilter()
+        if lfilter is False:
+            return self._thermal_track_loop(times, events, tau)
+        target = self._step_track(times, events)
+        out = np.empty_like(target)
+        out[0] = self.machine.ambient_temp
+        alpha = (1.0 / self.machine.sim_rate) / max(tau, 1e-6)
+        alpha = min(alpha, 1.0)
+        if out.size > 1:
+            out[1:], _ = lfilter(
+                [alpha],
+                [1.0, alpha - 1.0],
+                target[1:],
+                zi=np.array([(1.0 - alpha) * out[0]]),
+            )
+        return out
+
+    def _thermal_track_loop(
+        self, times: np.ndarray, events: List[Tuple[float, float]], tau: float
+    ) -> np.ndarray:
+        """Loop-form thermal recursion, kept as the regression reference."""
         target = self._step_track(times, events)
         out = np.empty_like(target)
         out[0] = self.machine.ambient_temp

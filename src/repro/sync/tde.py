@@ -23,6 +23,20 @@ __all__ = ["TdeResult", "tde", "tdeb", "similarity_profile", "correlation_profil
 
 SimilarityFn = Callable[[np.ndarray, np.ndarray], float]
 
+# Cached lazy import: correlation_profile sits in DWM's inner loop, and
+# re-resolving the scipy import on every call costs a dict lookup chain
+# per window.  Resolve once, keep module start-up light.
+_FFTCONVOLVE = None
+
+
+def _get_fftconvolve():
+    global _FFTCONVOLVE
+    if _FFTCONVOLVE is None:
+        from scipy.signal import fftconvolve
+
+        _FFTCONVOLVE = fftconvolve
+    return _FFTCONVOLVE
+
 
 @dataclass(frozen=True)
 class TdeResult:
@@ -51,7 +65,7 @@ def correlation_profile(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     faster method), instead of recomputing Eq. (3) per shift.  This is what
     makes DWM run orders of magnitude faster than DTW in practice.
     """
-    from scipy.signal import fftconvolve  # local import keeps start-up light
+    fftconvolve = _get_fftconvolve()
 
     x2, y2 = _as_2d(x), _as_2d(y)
     n_x, n_y, n_ch = x2.shape[0], y2.shape[0], x2.shape[1]
@@ -102,9 +116,15 @@ def similarity_profile(
         raise ValueError(f"x (len {n_x}) is shorter than y (len {n_y})")
     if similarity is correlation_similarity:
         return correlation_profile(x2, y2)
+    # Custom similarity: one preallocated strided view over all shifts
+    # (shape (n_shifts, n_y, c), zero copies) instead of slicing x2 per
+    # shift — the O(n * window) slicing overhead dominated this fallback.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x2, n_y, axis=0
+    ).transpose(0, 2, 1)
     scores = np.empty(n_x - n_y + 1)
     for n in range(scores.size):
-        scores[n] = similarity(x2[n : n + n_y, :], y2)
+        scores[n] = similarity(windows[n], y2)
     return scores
 
 

@@ -1,0 +1,151 @@
+"""Tests for the parallel, cached campaign engine (repro.eval.engine)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.eval.dataset as dataset_mod
+from repro.attacks import TABLE_I_ATTACKS
+from repro.eval import (
+    CampaignEngine,
+    default_setup,
+    default_workers,
+    generate_campaign,
+)
+
+CAMPAIGN_KW = dict(
+    channels=("ACC",),
+    n_train=2,
+    n_benign_test=2,
+    n_attack_runs=1,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return default_setup("UM3", object_height=0.4)
+
+
+@pytest.fixture(scope="module")
+def attacks():
+    return TABLE_I_ATTACKS()[:2]
+
+
+def _flat_runs(campaign):
+    return [
+        campaign.reference,
+        *campaign.training,
+        *campaign.benign_test,
+        *campaign.all_malicious(),
+    ]
+
+
+def _assert_identical(a, b):
+    runs_a, runs_b = _flat_runs(a), _flat_runs(b)
+    assert len(runs_a) == len(runs_b)
+    for run_a, run_b in zip(runs_a, runs_b):
+        assert run_a.label == run_b.label
+        assert run_a.is_malicious == run_b.is_malicious
+        assert run_a.layer_times == run_b.layer_times
+        assert run_a.duration == run_b.duration
+        assert list(run_a.signals) == list(run_b.signals)
+        for channel in run_a.signals:
+            assert np.array_equal(
+                run_a.signals[channel].data, run_b.signals[channel].data
+            )
+
+
+@pytest.fixture(scope="module")
+def serial_campaign(setup, attacks):
+    return generate_campaign(setup, attacks=attacks, workers=0, **CAMPAIGN_KW)
+
+
+def test_parallel_bit_identical_to_serial(setup, attacks, serial_campaign):
+    """workers=4 must reproduce the serial seed stream bit-for-bit."""
+    parallel = generate_campaign(
+        setup, attacks=attacks, workers=4, **CAMPAIGN_KW
+    )
+    _assert_identical(serial_campaign, parallel)
+
+
+def test_cached_campaign_matches_and_counts(
+    setup, attacks, serial_campaign, tmp_path
+):
+    cold = CampaignEngine(workers=0, cache=tmp_path / "cache")
+    populated = generate_campaign(
+        setup, attacks=attacks, engine=cold, **CAMPAIGN_KW
+    )
+    _assert_identical(serial_campaign, populated)
+    n_runs = len(_flat_runs(serial_campaign))
+    assert cold.stats.simulated == n_runs
+    assert cold.stats.cache_misses == n_runs
+    assert cold.stats.cache_hits == 0
+
+
+def test_warm_cache_runs_zero_simulations(
+    setup, attacks, serial_campaign, tmp_path, monkeypatch
+):
+    """A fully warm cache must not invoke simulate_print at all."""
+    cache_dir = tmp_path / "cache"
+    cold = CampaignEngine(workers=0, cache=cache_dir)
+    generate_campaign(setup, attacks=attacks, engine=cold, **CAMPAIGN_KW)
+
+    calls = {"n": 0}
+    real = dataset_mod.simulate_print
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(dataset_mod, "simulate_print", counting)
+    warm = CampaignEngine(workers=0, cache=cache_dir)
+    campaign = generate_campaign(
+        setup, attacks=attacks, engine=warm, **CAMPAIGN_KW
+    )
+    assert calls["n"] == 0
+    assert warm.stats.simulated == 0
+    assert warm.stats.cache_hits == len(_flat_runs(serial_campaign))
+    _assert_identical(serial_campaign, campaign)
+
+
+def test_noise_change_invalidates_cache(setup, attacks, tmp_path):
+    """Different noise params must produce cache misses, not stale hits."""
+    cache_dir = tmp_path / "cache"
+    first = CampaignEngine(workers=0, cache=cache_dir)
+    generate_campaign(setup, attacks=attacks, engine=first, **CAMPAIGN_KW)
+
+    tweaked = replace(
+        setup, noise=replace(setup.noise, gap_mean=setup.noise.gap_mean + 0.01)
+    )
+    second = CampaignEngine(workers=0, cache=cache_dir)
+    generate_campaign(tweaked, attacks=attacks, engine=second, **CAMPAIGN_KW)
+    assert second.stats.cache_hits == 0
+    assert second.stats.cache_misses == first.stats.cache_misses
+
+
+def test_seed_change_invalidates_cache(setup, attacks, tmp_path):
+    cache_dir = tmp_path / "cache"
+    first = CampaignEngine(workers=0, cache=cache_dir)
+    kw = dict(CAMPAIGN_KW)
+    generate_campaign(setup, attacks=attacks, engine=first, **kw)
+
+    second = CampaignEngine(workers=0, cache=cache_dir)
+    kw["seed"] = CAMPAIGN_KW["seed"] + 1
+    generate_campaign(setup, attacks=attacks, engine=second, **kw)
+    assert second.stats.cache_hits == 0
+
+
+def test_default_workers_nonnegative():
+    assert default_workers() >= 0
+
+
+def test_workers_one_stays_serial(setup, attacks, serial_campaign):
+    """workers=1 short-circuits to in-process execution (no pool overhead)."""
+    campaign = generate_campaign(
+        setup, attacks=attacks, workers=1, **CAMPAIGN_KW
+    )
+    _assert_identical(serial_campaign, campaign)

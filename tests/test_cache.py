@@ -1,0 +1,177 @@
+"""Tests for the content-addressed run cache (repro.cache)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CACHE_ENV_VAR,
+    RunCache,
+    default_cache_dir,
+    describe,
+    resolve_cache,
+    run_cache_key,
+)
+from repro.printer import TimeNoiseModel, ULTIMAKER3, ROSTOCK_MAX_V3
+from repro.sensors import default_daq
+from repro.signals import Signal
+
+
+@pytest.fixture(scope="module")
+def daq():
+    return default_daq()
+
+
+class TestKey:
+    def test_stable_across_calls(self, tiny_job, daq):
+        key_a = run_cache_key(
+            tiny_job.program, ULTIMAKER3, TimeNoiseModel(), daq, ("ACC",), 3
+        )
+        key_b = run_cache_key(
+            tiny_job.program, ULTIMAKER3, TimeNoiseModel(), daq, ("ACC",), 3
+        )
+        assert key_a == key_b
+        assert len(key_a) == 64  # sha256 hex
+
+    def test_seed_changes_key(self, tiny_job, daq):
+        args = (tiny_job.program, ULTIMAKER3, TimeNoiseModel(), daq, ("ACC",))
+        assert run_cache_key(*args, 3) != run_cache_key(*args, 4)
+
+    def test_noise_params_change_key(self, tiny_job, daq):
+        base = TimeNoiseModel()
+        tweaked = replace(base, rate_walk_std=base.rate_walk_std * 2)
+        key_a = run_cache_key(
+            tiny_job.program, ULTIMAKER3, base, daq, ("ACC",), 3
+        )
+        key_b = run_cache_key(
+            tiny_job.program, ULTIMAKER3, tweaked, daq, ("ACC",), 3
+        )
+        assert key_a != key_b
+
+    def test_machine_and_channels_change_key(self, tiny_job, daq):
+        noise = TimeNoiseModel()
+        key = run_cache_key(
+            tiny_job.program, ULTIMAKER3, noise, daq, ("ACC",), 3
+        )
+        assert key != run_cache_key(
+            tiny_job.program, ROSTOCK_MAX_V3, noise, daq, ("ACC",), 3
+        )
+        assert key != run_cache_key(
+            tiny_job.program, ULTIMAKER3, noise, daq, ("ACC", "AUD"), 3
+        )
+
+    def test_program_text_changes_key(self, tiny_job, daq):
+        from repro.attacks import TABLE_I_ATTACKS
+
+        attacked = TABLE_I_ATTACKS()[0].apply(tiny_job)
+        noise = TimeNoiseModel()
+        assert run_cache_key(
+            tiny_job.program, ULTIMAKER3, noise, daq, ("ACC",), 3
+        ) != run_cache_key(
+            attacked.program, ULTIMAKER3, noise, daq, ("ACC",), 3
+        )
+
+
+class TestDescribe:
+    def test_dataclass_fields_surface(self):
+        doc = describe(TimeNoiseModel())
+        assert doc["__class__"] == "TimeNoiseModel"
+        assert doc["rate_walk_std"] == TimeNoiseModel().rate_walk_std
+
+    def test_nested_machine_includes_kinematics(self):
+        doc = describe(ROSTOCK_MAX_V3)
+        assert doc["kinematics"]["__class__"] == "DeltaKinematics"
+
+    def test_array_digest(self):
+        a = describe(np.arange(4.0))
+        b = describe(np.arange(4.0))
+        c = describe(np.arange(5.0))
+        assert a == b and a != c
+
+
+class TestRunCache:
+    def _payload(self):
+        rng = np.random.default_rng(0)
+        signals = {
+            "ACC": Signal(rng.standard_normal((50, 3)), 400.0,
+                          channel_names=["ax", "ay", "az"]),
+            "AUD": Signal(rng.standard_normal(80), 2000.0),
+        }
+        return signals, (0.5, 1.25), 2.0
+
+    def test_round_trip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        signals, layer_times, duration = self._payload()
+        key = "ab" + "0" * 62
+        cache.put(key, signals, layer_times, duration)
+        assert key in cache
+        got_signals, got_layers, got_duration = cache.get(key)
+        assert got_layers == layer_times
+        assert got_duration == duration
+        assert list(got_signals) == list(signals)
+        for cid in signals:
+            assert np.array_equal(got_signals[cid].data, signals[cid].data)
+            assert got_signals[cid].sample_rate == signals[cid].sample_rate
+        assert got_signals["ACC"].channel_names == ("ax", "ay", "az")
+        assert cache.stats == {"hits": 1, "misses": 0}
+
+    def test_miss_counts(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.stats == {"hits": 0, "misses": 1}
+
+    def test_corrupt_entry_behaves_like_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = "cd" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not an npz")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        signals, layers, duration = self._payload()
+        for i in range(3):
+            cache.put(f"{i:02d}" + "0" * 62, signals, layers, duration)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_evict_by_count(self, tmp_path):
+        cache = RunCache(tmp_path)
+        signals, layers, duration = self._payload()
+        for i in range(4):
+            cache.put(f"{i:02d}" + "0" * 62, signals, layers, duration)
+        removed = cache.evict(max_entries=2)
+        assert removed == 2
+        assert len(cache) == 2
+
+    def test_evict_by_bytes(self, tmp_path):
+        cache = RunCache(tmp_path)
+        signals, layers, duration = self._payload()
+        cache.put("aa" + "0" * 62, signals, layers, duration)
+        one_entry = cache.total_bytes()
+        cache.put("bb" + "0" * 62, signals, layers, duration)
+        assert cache.evict(max_bytes=one_entry) == 1
+        assert len(cache) == 1
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+        assert RunCache().directory == tmp_path / "env-cache"
+
+    def test_resolve(self, tmp_path):
+        assert resolve_cache(None) is None
+        cache = RunCache(tmp_path)
+        assert resolve_cache(cache) is cache
+        assert resolve_cache(str(tmp_path)).directory == tmp_path
+
+    def test_rejects_file_as_directory(self, tmp_path):
+        bogus = tmp_path / "notadir"
+        bogus.touch()
+        with pytest.raises(ValueError, match="not a directory"):
+            RunCache(bogus)
