@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.attacks import TABLE_I_ATTACKS
 from repro.eval import CampaignEngine, default_setup, generate_campaign
 
@@ -74,12 +75,23 @@ def test_engine_cache_and_parallel_speedup(tmp_path, report):
     )
     cold_cached = time.perf_counter() - t0
 
+    # The warm pass is additionally traced so the record carries the
+    # engine's span/counter snapshot next to its timing.
     warm_engine = CampaignEngine(workers=0, cache=tmp_path / "cache")
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
     t0 = time.perf_counter()
-    warm = generate_campaign(
-        setup, attacks=attacks, engine=warm_engine, **CAMPAIGN_KW
-    )
-    warm_time = time.perf_counter() - t0
+    try:
+        warm = generate_campaign(
+            setup, attacks=attacks, engine=warm_engine, **CAMPAIGN_KW
+        )
+    finally:
+        warm_time = time.perf_counter() - t0
+        warm_metrics = obs.snapshot()
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
 
     _assert_identical(serial, parallel)
     _assert_identical(serial, populated)
@@ -98,7 +110,9 @@ def test_engine_cache_and_parallel_speedup(tmp_path, report):
         "parallel_speedup_w4": parallel_speedup,
         "cpu_count": os.cpu_count(),
     }
-    record_campaign_stats("engine_speedup", record)
+    record_campaign_stats(
+        "engine_speedup", {**record, "metrics": warm_metrics}
+    )
     report(
         "BENCH_engine_speedup",
         "\n".join(f"{k}: {v}" for k, v in record.items()),

@@ -27,6 +27,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.eval import Campaign, CampaignEngine, default_setup, generate_campaign
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -66,22 +67,38 @@ def record_campaign_stats(name: str, record: dict) -> None:
 
 def _timed_campaign(printer: str, seed: int) -> Campaign:
     engine = CampaignEngine(workers=bench_workers(), cache=bench_cache_dir())
+    # Trace the campaign so each record carries a per-stage span snapshot
+    # alongside the wall-clock numbers.  The registry is reset first so one
+    # campaign's spans don't bleed into the next record, and the previous
+    # enabled/disabled state is restored afterwards.
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
     t0 = time.perf_counter()
-    campaign = generate_campaign(
-        default_setup(printer, object_height=0.6),
-        channels=CHANNELS,
-        n_train=N_TRAIN,
-        n_benign_test=N_BENIGN_TEST,
-        n_attack_runs=N_ATTACK_RUNS,
-        seed=seed,
-        engine=engine,
-    )
+    try:
+        campaign = generate_campaign(
+            default_setup(printer, object_height=0.6),
+            channels=CHANNELS,
+            n_train=N_TRAIN,
+            n_benign_test=N_BENIGN_TEST,
+            n_attack_runs=N_ATTACK_RUNS,
+            seed=seed,
+            engine=engine,
+        )
+    finally:
+        wall_clock = time.perf_counter() - t0
+        metrics = obs.snapshot()
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
     record_campaign_stats(
         f"{printer.lower()}_campaign",
         {
-            "wall_clock": time.perf_counter() - t0,
+            "wall_clock": wall_clock,
             "workers": engine.workers,
+            "cpu_count": os.cpu_count(),
             **engine.stats.as_dict(),
+            "metrics": metrics,
         },
     )
     return campaign

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Fail CI when benchmark timings regress past a tolerance.
+
+``benchmarks/results/BENCH_campaign.json`` is an append-only history: the
+committed baseline records come first and every benchmark run appends fresh
+records (see ``benchmarks/conftest.py``).  This script compares, for each
+record ``name``, the **first** (committed baseline) against the **last**
+(just-measured) record and fails when a timing field slowed down by more
+than ``--tolerance`` (default 25%), or a ``*speedup*`` field dropped by
+more than the same tolerance.
+
+Two-file mode (``--baseline`` + ``--current``) compares the last record per
+name of each file instead — useful for comparing artifacts of two CI runs.
+
+Usage::
+
+    python scripts/check_bench_regression.py                      # CI gate
+    python scripts/check_bench_regression.py --tolerance 0.10
+    python scripts/check_bench_regression.py \
+        --baseline old.json --current new.json
+
+Exit status: 0 = ok (including "nothing to compare"), 1 = regression,
+2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+DEFAULT_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks" / "results" / "BENCH_campaign.json"
+)
+
+#: Bookkeeping fields that are not performance measurements.
+NON_TIMING_FIELDS = frozenset(
+    {"name", "time", "workers", "cpu_count",
+     "cache_hits", "cache_misses", "simulated"}
+)
+
+#: Baselines smaller than this are noise-level; ratios would be garbage.
+MIN_BASELINE = 1e-6
+
+
+def load_history(path: Path) -> List[Dict[str, object]]:
+    try:
+        history = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}")
+    if not isinstance(history, list):
+        raise SystemExit(f"{path}: expected a JSON list of records")
+    return [r for r in history if isinstance(r, dict) and "name" in r]
+
+
+def by_name(history: Sequence[Dict[str, object]]) -> Dict[str, List[dict]]:
+    grouped: Dict[str, List[dict]] = {}
+    for record in history:
+        grouped.setdefault(str(record["name"]), []).append(record)
+    return grouped
+
+
+def comparable_fields(baseline: dict, current: dict) -> List[str]:
+    """Shared numeric measurement fields of two records."""
+    fields = []
+    for key in baseline:
+        if key in NON_TIMING_FIELDS or key not in current:
+            continue
+        b, c = baseline[key], current[key]
+        if isinstance(b, (int, float)) and isinstance(c, (int, float)):
+            fields.append(key)
+    return sorted(fields)
+
+
+def check_pair(
+    name: str, baseline: dict, current: dict, tolerance: float
+) -> List[Tuple[str, str, float, float, float, str]]:
+    """Rows of (name, field, baseline, current, ratio, verdict).
+
+    When the two records report different ``cpu_count`` values they were
+    measured on differently shaped machines, so absolute wall-clock fields
+    are not comparable; only the machine-relative ``*speedup*`` ratios are
+    checked in that case.
+    """
+    same_machine = (
+        baseline.get("cpu_count") is not None
+        and baseline.get("cpu_count") == current.get("cpu_count")
+    )
+    rows = []
+    for field in comparable_fields(baseline, current):
+        if not same_machine and "speedup" not in field:
+            continue
+        b = float(baseline[field])
+        c = float(current[field])
+        if b < MIN_BASELINE:
+            continue
+        ratio = c / b
+        higher_is_better = "speedup" in field
+        if higher_is_better:
+            ok = ratio >= 1.0 - tolerance
+        else:
+            ok = ratio <= 1.0 + tolerance
+        rows.append((name, field, b, c, ratio, "ok" if ok else "FAIL"))
+    return rows
+
+
+def run(
+    path: Path,
+    tolerance: float,
+    baseline_path: Optional[Path] = None,
+    current_path: Optional[Path] = None,
+) -> int:
+    if (baseline_path is None) != (current_path is None):
+        print("--baseline and --current must be given together",
+              file=sys.stderr)
+        return 2
+
+    pairs: List[Tuple[str, dict, dict]] = []
+    if baseline_path is not None and current_path is not None:
+        base = by_name(load_history(baseline_path))
+        cur = by_name(load_history(current_path))
+        for name in sorted(set(base) & set(cur)):
+            pairs.append((name, base[name][-1], cur[name][-1]))
+        skipped = sorted(set(base) ^ set(cur))
+    else:
+        grouped = by_name(load_history(path))
+        for name in sorted(grouped):
+            records = grouped[name]
+            if len(records) >= 2:
+                pairs.append((name, records[0], records[-1]))
+        skipped = sorted(n for n, r in grouped.items() if len(r) < 2)
+
+    for name in skipped:
+        print(f"note: '{name}' has no baseline/current pair; skipped")
+    if not pairs:
+        print("nothing to compare (no record name appears in both "
+              "baseline and current) — passing")
+        return 0
+
+    rows: List[Tuple[str, str, float, float, float, str]] = []
+    for name, baseline, current in pairs:
+        rows.extend(check_pair(name, baseline, current, tolerance))
+
+    width = max(len(f"{n}.{f}") for n, f, *_ in rows) if rows else 10
+    print(f"{'metric'.ljust(width)}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}  verdict")
+    failed = False
+    for name, field, b, c, ratio, verdict in rows:
+        failed = failed or verdict == "FAIL"
+        print(f"{f'{name}.{field}'.ljust(width)}  {b:12.4f}  {c:12.4f}  "
+              f"{ratio:7.3f}  {verdict}")
+    if failed:
+        print(f"\nFAIL: regression beyond {tolerance:.0%} tolerance")
+        return 1
+    print(f"\nok: all benchmarks within {tolerance:.0%} tolerance")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare benchmark records against the committed "
+                    "baseline and fail on regression."
+    )
+    parser.add_argument(
+        "path", nargs="?", default=DEFAULT_PATH, type=Path,
+        help="append-only BENCH_*.json history "
+             "(default: benchmarks/results/BENCH_campaign.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline history file (two-file mode)")
+    parser.add_argument("--current", type=Path, default=None,
+                        help="current history file (two-file mode)")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error(f"tolerance must be >= 0, got {args.tolerance}")
+    return run(args.path, args.tolerance, args.baseline, args.current)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

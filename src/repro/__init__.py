@@ -75,6 +75,7 @@ from .attacks import (
 )
 from .sensors import DataAcquisition, default_daq
 from .cache import RunCache, run_cache_key
+from . import obs
 
 __version__ = "1.0.0"
 
@@ -130,5 +131,6 @@ __all__ = [
     "default_daq",
     "RunCache",
     "run_cache_key",
+    "obs",
     "__version__",
 ]

@@ -9,6 +9,14 @@ Four workflows cover the life of a deployment:
 * ``detect``   — screen a recorded run against a trained model;
 * ``campaign`` — run a scaled evaluation campaign and print the
   Table VIII-style row for one channel.
+
+Every command accepting ``--trace``/``--metrics-out`` can record tracing
+spans and pipeline metrics (see :mod:`repro.obs`): ``--trace`` turns the
+instrumentation on (equivalent to ``REPRO_TRACE=1``), and
+``--metrics-out PATH`` writes the metrics-registry snapshot as JSON when
+the command finishes (implies ``--trace``).  With ``--workers > 0`` the
+simulation-side spans stay in the worker processes; use ``--workers 0``
+for a complete single-process trace.
 """
 
 from __future__ import annotations
@@ -43,6 +51,22 @@ def _setup_for(printer: str, height: float):
     from .eval import default_setup
 
     return default_setup(printer, object_height=height)
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "trace", False) or getattr(args, "metrics_out", None)
+    )
+
+
+def _finish_obs(args: argparse.Namespace) -> None:
+    """Export the metrics registry if the command asked for it."""
+    from . import obs
+
+    path = getattr(args, "metrics_out", None)
+    if path:
+        out = obs.export_metrics(path)
+        print(f"metrics registry written to {out}")
 
 
 # ---------------------------------------------------------------------------
@@ -240,6 +264,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     sections.append(format_accuracy_ranking(accuracies))
     sections.append("```")
 
+    from . import obs
+
+    if obs.enabled():
+        from .eval import render_overhead_table
+
+        sections.append(
+            chr(10) + "## Processing-time overhead (Table X-style)" + chr(10)
+        )
+        sections.append("```")
+        sections.append(render_overhead_table(obs.snapshot()))
+        sections.append("```")
+
     text = chr(10).join(sections) + chr(10)
     Path(args.output).write_text(text)
     print(f"report written to {args.output}")
@@ -263,6 +299,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="object height in mm (default 0.6; paper: 7.5)")
         p.add_argument("--seed", type=int, default=0)
 
+    def obs_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", action="store_true",
+            help="record tracing spans + pipeline metrics "
+                 "(same as REPRO_TRACE=1)",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write the metrics-registry snapshot to PATH as JSON "
+                 "when the command finishes (implies --trace)",
+        )
+
     def engine_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--workers", type=int,
@@ -285,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="execute G-code, record side channels")
     common(p)
+    obs_opts(p)
     p.add_argument("gcode", help="input .gcode path")
     p.add_argument("output", help="output directory for channel .npz files")
     p.add_argument("--channels", default="ACC",
@@ -293,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("train", help="train an NSYNC model from benign runs")
     common(p)
+    obs_opts(p)
     p.add_argument("output", help="model output directory")
     p.add_argument("--channel", default="ACC")
     p.add_argument("--runs", type=int, default=8)
@@ -307,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="full evaluation -> markdown report")
     common(p)
     engine_opts(p)
+    obs_opts(p)
     p.add_argument("output", help="output .md path")
     p.add_argument("--train", type=int, default=6)
     p.add_argument("--test", type=int, default=6)
@@ -316,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("campaign", help="run a scaled evaluation campaign")
     common(p)
     engine_opts(p)
+    obs_opts(p)
     p.add_argument("--channel", default="ACC")
     p.add_argument("--transform", default="Raw", choices=["Raw", "Spectro."])
     p.add_argument("--train", type=int, default=8)
@@ -329,7 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if _obs_requested(args):
+        from . import obs
+
+        obs.enable()
+    code = args.func(args)
+    _finish_obs(args)
+    return code
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..signals.signal import Signal
 from ..sync.base import SyncResult, Synchronizer
 from .comparator import Comparator, DistanceFn
@@ -84,12 +85,19 @@ class NsyncIds:
     # ------------------------------------------------------------------
     def analyze(self, observed: Signal) -> AnalysisResult:
         """Synchronize, compare, and featurize one observed signal."""
-        sync = self.synchronizer.synchronize(observed, self.reference)
-        v_dist = self.comparator.vertical_distances(observed, self.reference, sync)
-        mismatch = self._duration_mismatch(observed, sync)
-        features = detection_features(
-            sync, v_dist, self.filter_window, duration_mismatch=mismatch
-        )
+        with obs.trace("repro.core.pipeline.analyze"):
+            with obs.trace("synchronize"):
+                sync = self.synchronizer.synchronize(observed, self.reference)
+            with obs.trace("compare"):
+                v_dist = self.comparator.vertical_distances(
+                    observed, self.reference, sync
+                )
+            with obs.trace("featurize"):
+                mismatch = self._duration_mismatch(observed, sync)
+                features = detection_features(
+                    sync, v_dist, self.filter_window,
+                    duration_mismatch=mismatch,
+                )
         return AnalysisResult(sync=sync, v_dist=v_dist, features=features)
 
     def _duration_mismatch(self, observed: Signal, sync: SyncResult) -> float:
@@ -126,7 +134,8 @@ class NsyncIds:
             raise RuntimeError("call fit() (or set thresholds) before detect()")
         analysis = self.analyze(observed)
         discriminator = Discriminator(self.thresholds, self.filter_window)
-        verdict = discriminator.detect_features(analysis.features)
+        with obs.trace("repro.core.pipeline.discriminate"):
+            verdict = discriminator.detect_features(analysis.features)
         if verdict.first_alarm_index is not None:
             if analysis.sync.mode == "window":
                 samples = verdict.first_alarm_index * analysis.sync.n_hop

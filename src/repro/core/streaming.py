@@ -15,6 +15,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..signals.signal import Signal
 from ..sync.dwm import DwmParams, StreamingDwm
 from .comparator import Comparator, DistanceFn
@@ -85,8 +86,14 @@ class StreamingNsyncIds:
         self._observed = np.concatenate([self._observed, samples], axis=0)
 
         new_alerts: List[Alert] = []
-        for i, disp in self._dwm.push(samples):
-            new_alerts.extend(self._evaluate_window(i, disp))
+        with obs.trace("repro.core.streaming.push"):
+            for i, disp in self._dwm.push(samples):
+                with obs.trace("evaluate_window"):
+                    new_alerts.extend(self._evaluate_window(i, disp))
+        if obs.enabled():
+            obs.counter("repro.core.streaming.samples").inc(samples.shape[0])
+            if new_alerts:
+                obs.counter("repro.core.streaming.alerts").inc(len(new_alerts))
         self._alerts.extend(new_alerts)
         return new_alerts
 

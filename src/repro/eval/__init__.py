@@ -24,7 +24,12 @@ from .experiments import (
     nsync_results,
     transform_signal,
 )
-from .reporting import format_accuracy_ranking, format_ids_table, format_table
+from .reporting import (
+    format_accuracy_ranking,
+    format_ids_table,
+    format_table,
+    render_overhead_table,
+)
 from .roc import RocCurve, RocPoint, auc, roc_sweep
 
 __all__ = [
@@ -55,6 +60,7 @@ __all__ = [
     "format_accuracy_ranking",
     "format_ids_table",
     "format_table",
+    "render_overhead_table",
     "RocCurve",
     "RocPoint",
     "auc",

@@ -28,9 +28,10 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..attacks.base import PrintJob
 from ..cache import RunCache, resolve_cache, run_cache_key
 from ..sensors.daq import DataAcquisition, default_daq
@@ -128,55 +129,81 @@ class CampaignEngine:
         wanted = tuple(channels) if channels is not None else None
         results: List[Optional[ProcessRun]] = [None] * len(requests)
 
-        # 1) Cache lookups (always in the parent: hits never reach a worker).
-        pending: List[Tuple[int, Optional[str]]] = []
-        for i, request in enumerate(requests):
-            key: Optional[str] = None
-            if self.cache is not None:
-                key = run_cache_key(
-                    request.job.program,
-                    request.setup.machine,
-                    request.setup.noise,
-                    daq,
-                    wanted,
-                    request.seed,
-                )
-                payload = self.cache.get(key)
-                if payload is not None:
-                    signals, layer_times, duration = payload
-                    results[i] = ProcessRun(
-                        label=request.label,
-                        is_malicious=request.is_malicious,
-                        signals=signals,
-                        layer_times=layer_times,
-                        duration=duration,
-                    )
-                    self.stats.cache_hits += 1
-                    continue
-                self.stats.cache_misses += 1
-            pending.append((i, key))
+        with obs.trace("repro.eval.engine.execute"):
+            # 1) Cache lookups (always in the parent: hits never reach a
+            #    worker).
+            pending: List[Tuple[int, Optional[str]]] = []
+            with obs.trace("cache_lookup"):
+                for i, request in enumerate(requests):
+                    key: Optional[str] = None
+                    if self.cache is not None:
+                        key = run_cache_key(
+                            request.job.program,
+                            request.setup.machine,
+                            request.setup.noise,
+                            daq,
+                            wanted,
+                            request.seed,
+                        )
+                        payload = self.cache.get(key)
+                        if payload is not None:
+                            signals, layer_times, duration = payload
+                            results[i] = ProcessRun(
+                                label=request.label,
+                                is_malicious=request.is_malicious,
+                                signals=signals,
+                                layer_times=layer_times,
+                                duration=duration,
+                            )
+                            self.stats.cache_hits += 1
+                            obs.counter(
+                                "repro.eval.engine.cache_hits"
+                            ).inc()
+                            continue
+                        self.stats.cache_misses += 1
+                        obs.counter("repro.eval.engine.cache_misses").inc()
+                    pending.append((i, key))
 
-        # 2) Simulate the misses — fanned out or serial.
-        if self.workers >= 2 and len(pending) > 1:
-            tasks = [
-                (i, requests[i], daq, wanted) for i, _ in pending
-            ]
-            max_workers = min(self.workers, len(tasks))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                for index, run in pool.map(_execute_indexed, tasks):
-                    results[index] = run
-        else:
-            for i, _ in pending:
-                _, run = _execute_indexed((i, requests[i], daq, wanted))
-                results[i] = run
-        self.stats.simulated += len(pending)
+            # 2) Simulate the misses — fanned out or serial.  The queue-wait
+            # histogram observes, per task, the time from dispatching the
+            # batch to that task's result arriving: a flat profile means
+            # workers drained the queue evenly, a long tail means stragglers.
+            record = obs.enabled()
+            with obs.trace("simulate"):
+                if self.workers >= 2 and len(pending) > 1:
+                    tasks = [
+                        (i, requests[i], daq, wanted) for i, _ in pending
+                    ]
+                    max_workers = min(self.workers, len(tasks))
+                    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                        t_dispatch = time.perf_counter()
+                        for index, run in pool.map(_execute_indexed, tasks):
+                            results[index] = run
+                            if record:
+                                obs.histogram(
+                                    "repro.eval.engine.queue_wait_s"
+                                ).observe(time.perf_counter() - t_dispatch)
+                else:
+                    for i, _ in pending:
+                        t_task = time.perf_counter()
+                        _, run = _execute_indexed((i, requests[i], daq, wanted))
+                        results[i] = run
+                        if record:
+                            obs.histogram(
+                                "repro.eval.engine.queue_wait_s"
+                            ).observe(time.perf_counter() - t_task)
+            self.stats.simulated += len(pending)
+            obs.counter("repro.eval.engine.simulated").inc(len(pending))
 
-        # 3) Write the fresh results back under their content addresses.
-        if self.cache is not None:
-            for i, key in pending:
-                run = results[i]
-                assert key is not None and run is not None
-                self.cache.put(key, run.signals, run.layer_times, run.duration)
+            # 3) Write the fresh results back under their content addresses.
+            with obs.trace("cache_write"):
+                if self.cache is not None:
+                    for i, key in pending:
+                        run = results[i]
+                        assert key is not None and run is not None
+                        self.cache.put(
+                            key, run.signals, run.layer_times, run.duration
+                        )
 
         self.stats.elapsed += time.perf_counter() - t0
         return [r for r in results if r is not None]

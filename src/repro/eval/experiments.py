@@ -35,7 +35,7 @@ from ..baselines.belikovetsky import BelikovetskyIds
 from ..baselines.gao import GaoIds
 from ..baselines.gatlin import GatlinIds
 from ..baselines.moore import MooreIds
-from ..core.discriminator import DetectionFeatures, Discriminator, Thresholds
+from ..core.discriminator import DetectionFeatures, Thresholds
 from ..core.occ import OneClassTrainer
 from ..core.pipeline import NsyncIds
 from ..signals.signal import Signal

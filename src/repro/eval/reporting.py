@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from .experiments import IdsResult
 
-__all__ = ["format_table", "format_ids_table", "format_accuracy_ranking"]
+__all__ = [
+    "format_table",
+    "format_ids_table",
+    "format_accuracy_ranking",
+    "render_overhead_table",
+]
 
 
 def format_table(
@@ -56,4 +61,52 @@ def format_accuracy_ranking(accuracies: Mapping[str, float]) -> str:
     return format_table(
         ["IDS", "Avg accuracy"],
         [[name, f"{acc:.3f}"] for name, acc in ordered],
+    )
+
+
+def render_overhead_table(
+    snapshot: Mapping[str, object], max_depth: int = 3
+) -> str:
+    """Table-10-style per-stage processing-time overhead from span stats.
+
+    The paper's Table 10 reports, per sensor, how much processing time the
+    IDS adds on top of acquisition.  This renders the reproduction's
+    equivalent from an :func:`repro.obs.snapshot` document: one row per
+    traced stage (indented by nesting depth), with call count, total and
+    mean wall-clock time, total CPU time, and each *top-level* stage's
+    share of the total top-level wall time.  ``max_depth`` trims the tree
+    so deep per-window spans don't drown the per-stage story.
+    """
+    spans = snapshot.get("spans", {})
+    if not isinstance(spans, Mapping) or not spans:
+        return "(no spans recorded — run with REPRO_TRACE=1 or --trace)"
+
+    names = [n for n in spans if n.count("/") < max_depth]
+    # Sort siblings under their parents by walking names depth-first.
+    names.sort()
+    top_total = sum(
+        spans[n]["wall_total_s"] for n in names if "/" not in n
+    )
+
+    rows: List[List[object]] = []
+    for name in names:
+        stats = spans[name]
+        depth = name.count("/")
+        label = "  " * depth + name.rsplit("/", 1)[-1]
+        count = int(stats["count"])
+        wall = float(stats["wall_total_s"])
+        cpu = float(stats["cpu_total_s"])
+        mean_ms = 1000.0 * wall / count if count else 0.0
+        share = (
+            f"{100.0 * wall / top_total:5.1f}%"
+            if "/" not in name and top_total > 0
+            else "-"
+        )
+        rows.append(
+            [label, count, f"{wall:.3f}", f"{mean_ms:.2f}",
+             f"{cpu:.3f}", share]
+        )
+    return format_table(
+        ["Stage", "Calls", "Wall (s)", "Mean (ms)", "CPU (s)", "Share"],
+        rows,
     )

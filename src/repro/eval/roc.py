@@ -13,7 +13,7 @@ done once, and each ``r`` only re-applies thresholds to cached features.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

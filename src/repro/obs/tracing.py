@@ -1,0 +1,107 @@
+"""Tracing spans: monotonic wall/CPU timing with nesting.
+
+A :class:`Span` is a context manager that measures one pipeline stage with
+``time.perf_counter`` (wall) and ``time.process_time`` (CPU) and records
+the aggregate into a :class:`~repro.obs.metrics.MetricsRegistry` on exit —
+including exits caused by an exception, which are counted separately in
+``errors``.
+
+Nesting is tracked per thread: a span opened inside another span gets the
+qualified name ``parent/child``, so the exported snapshot reads like a
+flattened call tree (``repro.printer.firmware.run/sample/thermal``).  Top
+level spans carry full ``repro.<module>.<name>`` names; children use short
+segment names.
+
+:data:`NULL_SPAN` is the disabled-path singleton: entering and exiting it
+does nothing and touches no clock, which is what keeps instrumentation
+effectively free when ``REPRO_TRACE=0``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Type
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "current_span_path"]
+
+_local = threading.local()
+
+
+def _stack() -> List[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_span_path() -> Optional[str]:
+    """Qualified name of the innermost open span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """Times one ``with`` block and records it into a registry on exit."""
+
+    __slots__ = ("name", "registry", "qualified", "wall", "cpu",
+                 "_t0_wall", "_t0_cpu")
+
+    def __init__(self, name: str, registry: MetricsRegistry) -> None:
+        self.name = name
+        self.registry = registry
+        self.qualified = name
+        self.wall = 0.0
+        self.cpu = 0.0
+        self._t0_wall = 0.0
+        self._t0_cpu = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            self.qualified = f"{stack[-1]}/{self.name}"
+        stack.append(self.qualified)
+        self._t0_cpu = time.process_time()
+        self._t0_wall = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> bool:
+        self.wall = time.perf_counter() - self._t0_wall
+        self.cpu = time.process_time() - self._t0_cpu
+        stack = _stack()
+        # Pop our own frame even if user code corrupted the stack.
+        if stack and stack[-1] == self.qualified:
+            stack.pop()
+        elif self.qualified in stack:  # pragma: no cover - defensive
+            stack.remove(self.qualified)
+        self.registry.record_span(
+            self.qualified, self.wall, self.cpu, error=exc_type is not None
+        )
+        return False  # never swallow exceptions
+
+
+class NullSpan:
+    """Do-nothing span for the disabled path; safe to reuse and re-enter."""
+
+    __slots__ = ()
+    name = ""
+    qualified = ""
+    wall = 0.0
+    cpu = 0.0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        return False
+
+
+#: Shared singleton handed out whenever tracing is disabled.
+NULL_SPAN = NullSpan()

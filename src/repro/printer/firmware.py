@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .gcode import GcodeCommand, GcodeProgram
 from .kinematics import Kinematics
 from .machine import MachineConfig
@@ -133,9 +134,20 @@ class Firmware:
         noise = self.time_noise.start(rng)
         from .arcs import segment_arcs
 
-        program = segment_arcs(program)  # no-op when there are no G2/G3
-        segments, events = self._schedule(program, noise)
-        return self._sample(segments, events)
+        with obs.trace("repro.printer.firmware.run"):
+            program = segment_arcs(program)  # no-op when there are no G2/G3
+            with obs.trace("schedule"):
+                segments, events = self._schedule(program, noise)
+            with obs.trace("sample") as span:
+                trace = self._sample(segments, events)
+        if obs.enabled():
+            obs.counter("repro.printer.firmware.runs").inc()
+            obs.counter("repro.printer.firmware.segments").inc(len(segments))
+            if span.wall > 0:
+                obs.gauge("repro.printer.firmware.samples_per_s").set(
+                    trace.n_samples / span.wall
+                )
+        return trace
 
     # ------------------------------------------------------------------
     # Scheduling: walk the program and lay segments on the timeline.
@@ -677,18 +689,19 @@ class Firmware:
         lfilter = _get_lfilter()
         if lfilter is False:
             return self._thermal_track_loop(times, events, tau)
-        target = self._step_track(times, events)
-        out = np.empty_like(target)
-        out[0] = self.machine.ambient_temp
-        alpha = (1.0 / self.machine.sim_rate) / max(tau, 1e-6)
-        alpha = min(alpha, 1.0)
-        if out.size > 1:
-            out[1:], _ = lfilter(
-                [alpha],
-                [1.0, alpha - 1.0],
-                target[1:],
-                zi=np.array([(1.0 - alpha) * out[0]]),
-            )
+        with obs.trace("thermal"):
+            target = self._step_track(times, events)
+            out = np.empty_like(target)
+            out[0] = self.machine.ambient_temp
+            alpha = (1.0 / self.machine.sim_rate) / max(tau, 1e-6)
+            alpha = min(alpha, 1.0)
+            if out.size > 1:
+                out[1:], _ = lfilter(
+                    [alpha],
+                    [1.0, alpha - 1.0],
+                    target[1:],
+                    zi=np.array([(1.0 - alpha) * out[0]]),
+                )
         return out
 
     def _thermal_track_loop(

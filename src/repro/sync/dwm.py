@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..signals.metrics import correlation_similarity
 from ..signals.signal import Signal
 from .base import SyncResult
@@ -144,10 +145,18 @@ def _dwm_step(
     # The bias must be centred where "no displacement change" lands in the
     # clipped segment: absolute sample i*n_hop + low, i.e. local index
     # (i*n_hop + low) - start.
-    centre = i * n_hop + low - start
-    centre = min(max(centre, 0), segment.shape[0] - n_win)
-    result = tdeb(segment, a_window, sigma=n_sigma, similarity=similarity,
-                  centre=centre)
+    raw_centre = i * n_hop + low - start
+    centre = min(max(raw_centre, 0), segment.shape[0] - n_win)
+    with obs.trace("repro.sync.dwm.window"):
+        result = tdeb(segment, a_window, sigma=n_sigma,
+                      similarity=similarity, centre=centre)
+    if obs.enabled():
+        obs.counter("repro.sync.dwm.windows").inc()
+        if centre != raw_centre:
+            # The displacement estimate drifted far enough that the bias
+            # centre had to be clamped into the clipped search segment —
+            # the precursor of the synchronizer walking off the reference.
+            obs.counter("repro.sync.dwm.centre_clamped").inc()
 
     # delta is (j - n_ext) of the paper, generalised for clipping: how far
     # the match moved from the expected position.

@@ -16,8 +16,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..signals.metrics import correlation_similarity
-from ..signals.windows import gaussian_window
 
 __all__ = ["TdeResult", "tde", "tdeb", "similarity_profile", "correlation_profile"]
 
@@ -159,7 +159,11 @@ def tdeb(
     """
     if sigma <= 0:
         raise ValueError(f"sigma must be positive, got {sigma}")
-    raw = similarity_profile(x, y, similarity)
+    with obs.trace("similarity_profile"):
+        raw = similarity_profile(x, y, similarity)
+    if obs.enabled():
+        obs.counter("repro.sync.tde.tdeb_calls").inc()
+        obs.histogram("repro.sync.tde.search_shifts").observe(raw.size)
     if centre is None:
         centre_f = (raw.size - 1) / 2.0
     else:

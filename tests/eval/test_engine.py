@@ -149,3 +149,61 @@ def test_workers_one_stays_serial(setup, attacks, serial_campaign):
         setup, attacks=attacks, workers=1, **CAMPAIGN_KW
     )
     _assert_identical(serial_campaign, campaign)
+
+
+def test_obs_counters_match_engine_stats_on_warm_cache(
+    setup, attacks, tmp_path
+):
+    """The observability counters must agree with EngineStats exactly."""
+    from repro import obs
+
+    cache_dir = tmp_path / "cache"
+    cold = CampaignEngine(workers=0, cache=cache_dir)
+    generate_campaign(setup, attacks=attacks, engine=cold, **CAMPAIGN_KW)
+
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        warm = CampaignEngine(workers=0, cache=cache_dir)
+        generate_campaign(setup, attacks=attacks, engine=warm, **CAMPAIGN_KW)
+        counters = obs.snapshot()["counters"]
+        spans = obs.snapshot()["spans"]
+    finally:
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
+
+    assert counters["repro.eval.engine.cache_hits"] == warm.stats.cache_hits
+    assert counters.get("repro.eval.engine.cache_misses", 0) == 0
+    assert warm.stats.cache_misses == 0
+    assert counters["repro.eval.engine.simulated"] == warm.stats.simulated == 0
+    assert spans["repro.eval.engine.execute"]["count"] == 1
+    # A warm cache never reaches the firmware, so no simulation spans exist.
+    assert not any("firmware" in name for name in spans)
+
+
+def test_obs_counters_track_cold_misses(setup, attacks, tmp_path):
+    """Cold engines must count one miss per executed request."""
+    from repro import obs
+
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        cold = CampaignEngine(workers=0, cache=tmp_path / "cache")
+        campaign = generate_campaign(
+            setup, attacks=attacks, engine=cold, **CAMPAIGN_KW
+        )
+        counters = obs.snapshot()["counters"]
+        histograms = obs.snapshot()["histograms"]
+    finally:
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
+
+    n_runs = len(_flat_runs(campaign))
+    assert counters["repro.eval.engine.cache_misses"] == n_runs
+    assert counters["repro.eval.engine.simulated"] == n_runs
+    assert counters.get("repro.eval.engine.cache_hits", 0) == 0
+    assert histograms["repro.eval.engine.queue_wait_s"]["count"] == n_runs

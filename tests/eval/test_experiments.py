@@ -121,3 +121,37 @@ class TestReporting:
     def test_format_accuracy_ranking(self):
         text = format_accuracy_ranking({"moore": 0.5, "nsync_dwm": 0.99})
         assert text.index("moore") < text.index("nsync_dwm")  # sorted ascending
+
+    def test_render_overhead_table(self):
+        from repro.eval import render_overhead_table
+
+        snapshot = {
+            "spans": {
+                "repro.eval.engine.execute": {
+                    "count": 1, "errors": 0, "wall_total_s": 3.0,
+                    "wall_min_s": 3.0, "wall_max_s": 3.0, "cpu_total_s": 2.5,
+                },
+                "repro.eval.engine.execute/simulate": {
+                    "count": 8, "errors": 0, "wall_total_s": 2.0,
+                    "wall_min_s": 0.1, "wall_max_s": 0.5, "cpu_total_s": 1.9,
+                },
+                "repro.core.pipeline.analyze": {
+                    "count": 4, "errors": 0, "wall_total_s": 1.0,
+                    "wall_min_s": 0.2, "wall_max_s": 0.3, "cpu_total_s": 0.9,
+                },
+            }
+        }
+        text = render_overhead_table(snapshot)
+        lines = text.splitlines()
+        # One row per span plus header + separator; children indented.
+        assert len(lines) == 5
+        assert "repro.eval.engine.execute" in text
+        assert "  simulate" in text
+        # Top-level shares: 3.0 of 4.0 and 1.0 of 4.0 total wall.
+        assert "75.0%" in text and "25.0%" in text
+
+    def test_render_overhead_table_empty(self):
+        from repro.eval import render_overhead_table
+
+        assert "no spans recorded" in render_overhead_table({"spans": {}})
+        assert "no spans recorded" in render_overhead_table({})

@@ -1,0 +1,18 @@
+"""Observability tests share one process-wide registry: isolate it."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset the registry and restore the enabled state around each test."""
+    was_enabled = obs.enabled()
+    obs.reset()
+    yield
+    obs.reset()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()

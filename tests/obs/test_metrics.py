@@ -1,0 +1,160 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("x")
+        g.set(4.0)
+        g.add(1.0)
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_summary_of_known_distribution(self):
+        h = Histogram("x")
+        for v in range(101):  # 0..100
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 101
+        assert s["min"] == 0.0
+        assert s["max"] == 100.0
+        assert s["mean"] == pytest.approx(50.0)
+        assert s["p50"] == pytest.approx(50.0)
+        assert s["p90"] == pytest.approx(90.0)
+        assert s["p99"] == pytest.approx(99.0)
+
+    def test_quantile_interpolates(self):
+        h = Histogram("x")
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 10.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram("x").quantile(1.5)
+
+    def test_empty_histogram_is_all_zero(self):
+        s = Histogram("x").summary()
+        assert s == {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                     "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_bounded_memory_keeps_recent_half(self):
+        h = Histogram("x", max_samples=10)
+        for v in range(100):
+            h.observe(float(v))
+        # Total count/mean track everything ever observed...
+        assert h.count == 100
+        # ...while the quantile window stays bounded and recent.
+        assert len(h._values) <= 10
+        assert h.quantile(0.0) >= 90.0
+
+
+class TestRegistry:
+    def test_return_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_json_round_trip_equals_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.test.hits").inc(3)
+        reg.gauge("repro.test.rate").set(1.25)
+        reg.histogram("repro.test.lat").observe(0.5)
+        reg.record_span("repro.test.span", wall=0.1, cpu=0.05)
+        assert json.loads(reg.to_json()) == reg.snapshot()
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.snapshot()
+        assert snap["version"] == obs.SNAPSHOT_VERSION
+        assert set(snap) == {
+            "version", "counters", "gauges", "histograms", "spans"
+        }
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.record_span("s", 0.1, 0.1)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["spans"] == {}
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("hits").inc()
+                reg.histogram("lat").observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits").value == 8000
+        assert reg.histogram("lat").count == 8000
+
+
+class TestModuleLevelApi:
+    def test_disabled_returns_null_singletons(self):
+        assert not obs.enabled()
+        assert obs.trace("x") is obs.NULL_SPAN
+        assert obs.counter("x") is obs.NULL_COUNTER
+        assert obs.gauge("x") is obs.NULL_GAUGE
+        assert obs.histogram("x") is obs.NULL_HISTOGRAM
+        obs.counter("x").inc()
+        obs.histogram("x").observe(1.0)
+        assert obs.snapshot()["counters"] == {}
+
+    def test_enable_records_into_registry(self):
+        obs.enable()
+        try:
+            obs.counter("repro.test.c").inc(2)
+            assert obs.snapshot()["counters"]["repro.test.c"] == 2
+        finally:
+            obs.disable()
+
+    def test_configure_from_env(self):
+        assert obs.configure_from_env({"REPRO_TRACE": "1"}) is True
+        assert obs.enabled()
+        assert obs.configure_from_env({"REPRO_TRACE": "0"}) is False
+        assert not obs.enabled()
+        assert obs.configure_from_env({}) is False
+        with pytest.raises(ValueError, match="REPRO_TRACE"):
+            obs.configure_from_env({"REPRO_TRACE": "maybe"})
+
+    def test_export_metrics_writes_json(self, tmp_path):
+        obs.enable()
+        try:
+            obs.counter("repro.test.c").inc()
+            out = obs.export_metrics(tmp_path / "sub" / "metrics.json")
+        finally:
+            obs.disable()
+        data = json.loads(out.read_text())
+        assert data["counters"]["repro.test.c"] == 1

@@ -1,0 +1,136 @@
+"""Unit tests for spans: nesting, exception safety, null-path overhead."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, Span
+from repro.obs.tracing import current_span_path
+
+
+@pytest.fixture
+def enabled():
+    obs.enable()
+    yield
+    obs.disable()
+
+
+class TestSpanNesting:
+    def test_child_gets_parent_qualified_name(self, enabled):
+        with obs.trace("repro.test.outer"):
+            with obs.trace("inner"):
+                with obs.trace("leaf"):
+                    pass
+        spans = obs.snapshot()["spans"]
+        assert set(spans) == {
+            "repro.test.outer",
+            "repro.test.outer/inner",
+            "repro.test.outer/inner/leaf",
+        }
+
+    def test_stack_unwinds_between_siblings(self, enabled):
+        with obs.trace("root"):
+            with obs.trace("a"):
+                pass
+            with obs.trace("b"):
+                pass
+        spans = obs.snapshot()["spans"]
+        assert "root/a" in spans and "root/b" in spans
+        assert current_span_path() is None
+
+    def test_parent_wall_covers_children(self, enabled):
+        with obs.trace("parent"):
+            with obs.trace("child"):
+                time.sleep(0.01)
+        spans = obs.snapshot()["spans"]
+        assert spans["parent"]["wall_total_s"] >= \
+            spans["parent/child"]["wall_total_s"]
+        assert spans["parent/child"]["wall_total_s"] >= 0.009
+
+    def test_repeated_spans_aggregate(self, enabled):
+        for _ in range(5):
+            with obs.trace("hot"):
+                pass
+        assert obs.snapshot()["spans"]["hot"]["count"] == 5
+
+
+class TestExceptionSafety:
+    def test_span_recorded_and_error_counted_on_raise(self, enabled):
+        with pytest.raises(RuntimeError):
+            with obs.trace("boom"):
+                raise RuntimeError("nope")
+        stats = obs.snapshot()["spans"]["boom"]
+        assert stats["count"] == 1
+        assert stats["errors"] == 1
+
+    def test_stack_unwinds_on_raise(self, enabled):
+        with pytest.raises(ValueError):
+            with obs.trace("outer"):
+                with obs.trace("inner"):
+                    raise ValueError
+        assert current_span_path() is None
+        # A fresh span after the exception is top-level again.
+        with obs.trace("after"):
+            pass
+        assert "after" in obs.snapshot()["spans"]
+
+    def test_exception_is_not_swallowed(self, enabled):
+        registry = MetricsRegistry()
+        span = Span("s", registry)
+        assert span.__enter__() is span
+        assert span.__exit__(ValueError, ValueError("x"), None) is False
+
+
+class TestNullPath:
+    def test_null_span_is_reused_and_inert(self):
+        assert not obs.enabled()
+        s1 = obs.trace("a")
+        s2 = obs.trace("b")
+        assert s1 is s2 is obs.NULL_SPAN
+        with s1:
+            with s2:
+                pass
+        assert obs.snapshot()["spans"] == {}
+        assert current_span_path() is None
+
+    def test_disabled_overhead_is_negligible(self):
+        """The null path must cost roughly a function call, not a clock.
+
+        Compared against an empty ``with`` on a do-nothing non-singleton
+        context manager: the null path allocates nothing, so it must not be
+        dramatically slower than the floor (generous 5x bound to keep the
+        test robust on loaded CI machines).
+        """
+        assert not obs.enabled()
+
+        class Bare:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with Bare():
+                pass
+        floor = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with obs.trace("repro.hot.loop"):
+                pass
+        null_path = time.perf_counter() - t0
+        assert null_path < floor * 5 + 1e-3
+
+    def test_enabled_and_disabled_runs_do_not_mix(self):
+        obs.enable()
+        with obs.trace("recorded"):
+            pass
+        obs.disable()
+        with obs.trace("dropped"):
+            pass
+        spans = obs.snapshot()["spans"]
+        assert "recorded" in spans and "dropped" not in spans

@@ -1,0 +1,131 @@
+"""Tests for the CI perf-regression gate (scripts/check_bench_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent
+    / "scripts" / "check_bench_regression.py"
+)
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def _record(name, **fields):
+    return {"name": name, "time": 0.0, **fields}
+
+
+def _write(path, records):
+    path.write_text(json.dumps(records))
+    return path
+
+
+class TestSingleFileMode:
+    def test_identical_first_and_last_pass(self, tmp_path, capsys):
+        base = _record("bench", wall_clock=2.0, cpu_count=4)
+        path = _write(tmp_path / "h.json", [base, dict(base)])
+        assert gate.main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_slowdown_beyond_tolerance_fails(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            _record("bench", wall_clock=2.0, cpu_count=4),
+            _record("bench", wall_clock=2.6, cpu_count=4),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_slowdown_within_tolerance_passes(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            _record("bench", wall_clock=2.0, cpu_count=4),
+            _record("bench", wall_clock=2.4, cpu_count=4),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 0
+
+    def test_speedup_drop_fails(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            _record("bench", warm_speedup=4.0, cpu_count=4),
+            _record("bench", warm_speedup=2.0, cpu_count=4),
+        ])
+        assert gate.main([str(path)]) == 1
+
+    def test_speedup_gain_passes(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            _record("bench", warm_speedup=4.0, cpu_count=4),
+            _record("bench", warm_speedup=8.0, cpu_count=4),
+        ])
+        assert gate.main([str(path)]) == 0
+
+    def test_single_record_is_skipped_and_passes(self, tmp_path, capsys):
+        path = _write(
+            tmp_path / "h.json", [_record("bench", wall_clock=2.0)]
+        )
+        assert gate.main([str(path)]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_cross_machine_compares_only_speedups(self, tmp_path):
+        """Absolute timings from different machine shapes are not gated."""
+        path = _write(tmp_path / "h.json", [
+            _record("bench", wall_clock=1.0, warm_speedup=4.0, cpu_count=1),
+            _record("bench", wall_clock=9.0, warm_speedup=4.1, cpu_count=8),
+        ])
+        assert gate.main([str(path)]) == 0
+
+    def test_metadata_and_dict_fields_ignored(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            _record("bench", wall_clock=1.0, cpu_count=4, cache_hits=0,
+                    metrics={"spans": {}}),
+            _record("bench", wall_clock=1.0, cpu_count=4, cache_hits=999,
+                    metrics={"spans": {"x": {}}}),
+        ])
+        assert gate.main([str(path)]) == 0
+
+
+class TestTwoFileMode:
+    def test_compares_last_records_across_files(self, tmp_path):
+        baseline = _write(tmp_path / "b.json", [
+            _record("bench", wall_clock=5.0, cpu_count=4),
+            _record("bench", wall_clock=2.0, cpu_count=4),
+        ])
+        current = _write(tmp_path / "c.json", [
+            _record("bench", wall_clock=2.1, cpu_count=4),
+        ])
+        assert gate.main([
+            "--baseline", str(baseline), "--current", str(current)
+        ]) == 0
+
+    def test_requires_both_flags(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "b.json", [])
+        assert gate.main(["--baseline", str(baseline)]) == 2
+
+
+class TestBadInput:
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            gate.main([str(tmp_path / "nope.json")])
+
+    def test_invalid_json_errors(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            gate.main([str(path)])
+
+    def test_non_list_errors(self, tmp_path):
+        path = _write(tmp_path / "h.json", [])
+        path.write_text('{"a": 1}')
+        with pytest.raises(SystemExit, match="JSON list"):
+            gate.main([str(path)])
+
+    def test_negative_tolerance_rejected(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [])
+        with pytest.raises(SystemExit):
+            gate.main([str(path), "--tolerance", "-1"])
+
+    def test_committed_baseline_parses(self):
+        """The gate must accept the repo's real committed history file."""
+        assert gate.main([str(gate.DEFAULT_PATH)]) == 0

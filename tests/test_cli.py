@@ -110,3 +110,71 @@ class TestReportParser:
         assert args.output == "out.md"
         assert args.train == 3
         assert args.func.__name__ == "cmd_report"
+
+    def test_obs_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["report", "out.md", "--trace", "--metrics-out", "m.json"]
+        )
+        assert args.trace is True
+        assert args.metrics_out == "m.json"
+
+
+class TestMetricsExport:
+    @pytest.fixture
+    def clean_obs(self):
+        """main() enables tracing globally; restore and wipe afterwards."""
+        from repro import obs
+
+        was_enabled = obs.enabled()
+        obs.reset()
+        yield obs
+        obs.reset()
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+
+    def test_report_metrics_out_schema(self, tmp_path, clean_obs):
+        """``repro report --metrics-out`` must emit per-stage span JSON."""
+        import json
+
+        out = tmp_path / "report.md"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["report", str(out), "--height", "0.4", "--train", "1",
+             "--test", "1", "--attack-runs", "1", "--workers", "0",
+             "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        doc = json.loads(metrics.read_text())
+
+        # Top-level schema of the exported registry.
+        assert set(doc) == {
+            "version", "counters", "gauges", "histograms", "spans"
+        }
+        assert doc["version"] == clean_obs.SNAPSHOT_VERSION
+        assert all(
+            isinstance(v, (int, float)) for v in doc["counters"].values()
+        )
+        for summary in doc["histograms"].values():
+            assert {"count", "mean", "min", "max", "p50", "p90", "p99"} \
+                <= set(summary)
+        for stats in doc["spans"].values():
+            assert {"count", "errors", "wall_total_s", "wall_min_s",
+                    "wall_max_s", "cpu_total_s"} <= set(stats)
+            assert stats["count"] >= 1
+
+        # Per-stage spans for every hot layer of the pipeline.
+        spans = doc["spans"]
+        for needle in (
+            "repro.eval.engine.execute",
+            "repro.printer.firmware.run",
+            "repro.sync.dwm.window",
+            "repro.core.pipeline.analyze",
+        ):
+            assert any(needle in name for name in spans), needle
+
+        # The engine counters made it out too, and the report gained the
+        # Table-10-style overhead section.
+        assert "repro.eval.engine.simulated" in doc["counters"]
+        assert "## Processing-time overhead" in out.read_text()
