@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Validate a decision-provenance event log (and optional Chrome trace).
+
+Used by CI after running ``repro detect --events-out events.jsonl
+--chrome-trace trace.json``: every JSONL record must satisfy event schema
+v1 (:mod:`repro.obs.events`) with strictly increasing ``seq``, and the
+Chrome trace must be a valid ``trace_event`` JSON document.
+
+Usage::
+
+    python scripts/validate_events.py events.jsonl
+    python scripts/validate_events.py events.jsonl \
+        --require-types window_evidence alarm run_summary \
+        --chrome-trace trace.json
+
+Exit status: 0 = valid, 1 = validation failure, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+# Runnable from a checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs import events  # noqa: E402
+
+
+def _check_chrome_trace(path: Path) -> List[str]:
+    """Structural checks on a Chrome/Perfetto trace_event JSON file."""
+    problems: List[str] = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable trace JSON: {exc}"]
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: missing 'traceEvents' key"]
+    trace_events = doc["traceEvents"]
+    if not isinstance(trace_events, list):
+        return [f"{path}: 'traceEvents' is not a list"]
+    for i, ev in enumerate(trace_events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(
+                    f"{path}: traceEvents[{i}] missing {key!r}"
+                )
+                break
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("events_jsonl", help="JSONL event log to validate")
+    parser.add_argument(
+        "--require-types", nargs="*", default=[],
+        help="event types that must appear at least once",
+    )
+    parser.add_argument(
+        "--chrome-trace", default=None,
+        help="also validate this Chrome trace_event JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        records = events.read_jsonl(args.events_jsonl, validate=True)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid event log: {exc}", file=sys.stderr)
+        return 1
+
+    counts = Counter(r["type"] for r in records)
+    missing = [t for t in args.require_types if counts[t] == 0]
+    if missing:
+        print(
+            f"invalid event log: required event types never emitted: "
+            f"{missing} (saw {dict(counts)})",
+            file=sys.stderr,
+        )
+        return 1
+
+    problems: List[str] = []
+    if args.chrome_trace:
+        problems = _check_chrome_trace(Path(args.chrome_trace))
+        for problem in problems:
+            print(f"invalid chrome trace: {problem}", file=sys.stderr)
+
+    if problems:
+        return 1
+    summary = ", ".join(f"{t}×{n}" for t, n in sorted(counts.items()))
+    print(f"ok: {len(records)} events valid (schema v1): {summary}")
+    if args.chrome_trace:
+        print(f"ok: {args.chrome_trace} is a valid trace_event document")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Attack suite: the five G-code attacks of Table I + firmware attacks."""
 
-from .base import Attack, PrintJob
+from .base import Attack, PrintJob, spans_from_indices
 from .gcode_attacks import (
     InfillGridAttack,
     LayerHeightAttack,
@@ -15,6 +15,7 @@ from .extension_attacks import FanAttack, InfillDensityAttack, TemperatureAttack
 __all__ = [
     "Attack",
     "PrintJob",
+    "spans_from_indices",
     "InfillGridAttack",
     "LayerHeightAttack",
     "ScaleAttack",

@@ -11,15 +11,32 @@ authors produced their malicious processes, Table I).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
 from ..printer.gcode import GcodeProgram
 from ..slicer.slicer import SlicerConfig, slice_model
 
-__all__ = ["Attack", "PrintJob"]
+__all__ = ["Attack", "PrintJob", "spans_from_indices"]
+
+
+def spans_from_indices(indices: Iterable[int]) -> Tuple[Tuple[int, int], ...]:
+    """Group instruction indices into half-open ``(start, stop)`` spans.
+
+    Consecutive indices merge into one span; the result is sorted.  This is
+    how attacks turn "I rewrote commands 17, 18, 19 and 42" into the
+    ground-truth ``tampered_spans`` forensics compares alarms against.
+    """
+    ordered = sorted(set(int(i) for i in indices))
+    spans: list = []
+    for i in ordered:
+        if spans and spans[-1][1] == i:
+            spans[-1][1] = i + 1
+        else:
+            spans.append([i, i + 1])
+    return tuple((lo, hi) for lo, hi in spans)
 
 
 @dataclass(frozen=True)
@@ -31,12 +48,26 @@ class PrintJob:
     attacks regenerate the program from sabotaged settings, exactly as an
     attacker with access to the design pipeline would.  ``center`` is
     ``(110, 110)`` for a Cartesian bed and ``(0, 0)`` for a delta.
+
+    ``tampered_spans`` is ground truth for forensics: the half-open
+    instruction-index ranges of ``program`` that an attack rewrote
+    (empty for a benign job).  Attacks that re-slice replace the whole
+    program, so their span is ``((0, len(program)),)``.
     """
 
     outline: np.ndarray
     config: SlicerConfig
     program: GcodeProgram
     center: tuple = (110.0, 110.0)
+    tampered_spans: Tuple[Tuple[int, int], ...] = ()
+
+    def with_tampered_spans(
+        self, spans: Iterable[Tuple[int, int]]
+    ) -> "PrintJob":
+        """Copy of this job annotated with attack ground truth."""
+        return replace(
+            self, tampered_spans=tuple((int(a), int(b)) for a, b in spans)
+        )
 
     @staticmethod
     def slice(

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List
 
 from ..printer.gcode import GcodeCommand, GcodeProgram
-from .base import Attack, PrintJob
+from .base import Attack, PrintJob, spans_from_indices
 
 __all__ = ["FanAttack", "TemperatureAttack", "InfillDensityAttack"]
 
@@ -38,13 +38,21 @@ class FanAttack(Attack):
 
     def apply(self, job: PrintJob) -> PrintJob:
         commands: List[GcodeCommand] = []
+        tampered: List[int] = []
         for command in job.program:
             if command.code == "M106":
                 speed = command.get("S", 255.0) * self.factor
+                tampered.append(len(commands))
                 commands.append(command.with_params(S=speed))
             else:
                 commands.append(command)
-        return PrintJob(job.outline, job.config, GcodeProgram(commands), job.center)
+        return PrintJob(
+            job.outline,
+            job.config,
+            GcodeProgram(commands),
+            job.center,
+            tampered_spans=spans_from_indices(tampered),
+        )
 
 
 @dataclass
@@ -67,11 +75,12 @@ class InfillDensityAttack(Attack):
             )
 
     def apply(self, job: PrintJob) -> PrintJob:
-        return job.reslice(
+        resliced = job.reslice(
             job.config.with_updates(
                 infill_spacing=job.config.infill_spacing * self.spacing_factor
             )
         )
+        return resliced.with_tampered_spans(((0, len(resliced.program)),))
 
 
 @dataclass
@@ -84,13 +93,21 @@ class TemperatureAttack(Attack):
 
     def apply(self, job: PrintJob) -> PrintJob:
         commands: List[GcodeCommand] = []
+        tampered: List[int] = []
         for command in job.program:
             if command.code in ("M104", "M109"):
                 target = command.get("S")
                 if target is not None and target > 0:
+                    tampered.append(len(commands))
                     commands.append(
                         command.with_params(S=max(target + self.offset, 0.0))
                     )
                     continue
             commands.append(command)
-        return PrintJob(job.outline, job.config, GcodeProgram(commands), job.center)
+        return PrintJob(
+            job.outline,
+            job.config,
+            GcodeProgram(commands),
+            job.center,
+            tampered_spans=spans_from_indices(tampered),
+        )

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..printer.gcode import GcodeCommand, GcodeProgram
 from ..slicer.geometry import polygon_centroid
-from .base import Attack, PrintJob
+from .base import Attack, PrintJob, spans_from_indices
 
 __all__ = [
     "VoidAttack",
@@ -31,6 +31,17 @@ __all__ = [
     "ScaleAttack",
     "TABLE_I_ATTACKS",
 ]
+
+
+def _reslice_tampered(job: PrintJob, config) -> PrintJob:
+    """Re-slice with sabotaged settings; every instruction is tampered.
+
+    A re-slicing attacker regenerates the whole program, so the ground
+    truth for forensics is the full instruction range of the *new*
+    program (there is no benign subset to localize against).
+    """
+    resliced = job.reslice(config)
+    return resliced.with_tampered_spans(((0, len(resliced.program)),))
 
 
 @dataclass
@@ -83,6 +94,7 @@ class VoidAttack(Attack):
         voided_z = set(z_levels[lo:hi])
 
         commands: List[GcodeCommand] = []
+        tampered: List[int] = []
         current_z: Optional[float] = None
         position = np.zeros(2)
         e_prev = 0.0
@@ -110,6 +122,7 @@ class VoidAttack(Attack):
                             k: v for k, v in command.params.items() if k != "E"
                         }
                         params["F"] = travel_f
+                        tampered.append(len(commands))
                         commands.append(
                             GcodeCommand("G0", params, comment="voided")
                         )
@@ -124,7 +137,13 @@ class VoidAttack(Attack):
                 e_prev = command.get("E")
                 e_removed = 0.0
             commands.append(command)
-        return PrintJob(job.outline, job.config, GcodeProgram(commands), job.center)
+        return PrintJob(
+            job.outline,
+            job.config,
+            GcodeProgram(commands),
+            job.center,
+            tampered_spans=spans_from_indices(tampered),
+        )
 
 
 @dataclass
@@ -134,7 +153,9 @@ class InfillGridAttack(Attack):
     name = "InfillGrid"
 
     def apply(self, job: PrintJob) -> PrintJob:
-        return job.reslice(job.config.with_updates(infill_pattern="grid"))
+        return _reslice_tampered(
+            job, job.config.with_updates(infill_pattern="grid")
+        )
 
 
 @dataclass
@@ -156,13 +177,21 @@ class SpeedAttack(Attack):
 
     def apply(self, job: PrintJob) -> PrintJob:
         commands = []
+        tampered: List[int] = []
         for command in job.program:
             f = command.get("F")
             if command.is_move and f is not None:
+                tampered.append(len(commands))
                 commands.append(command.with_params(F=f * self.factor))
             else:
                 commands.append(command)
-        return PrintJob(job.outline, job.config, GcodeProgram(commands), job.center)
+        return PrintJob(
+            job.outline,
+            job.config,
+            GcodeProgram(commands),
+            job.center,
+            tampered_spans=spans_from_indices(tampered),
+        )
 
 
 @dataclass
@@ -180,8 +209,8 @@ class LayerHeightAttack(Attack):
             )
 
     def apply(self, job: PrintJob) -> PrintJob:
-        return job.reslice(
-            job.config.with_updates(layer_height=self.layer_height)
+        return _reslice_tampered(
+            job, job.config.with_updates(layer_height=self.layer_height)
         )
 
 
@@ -198,8 +227,8 @@ class ScaleAttack(Attack):
             raise ValueError(f"factor must be positive, got {self.factor}")
 
     def apply(self, job: PrintJob) -> PrintJob:
-        return job.reslice(
-            job.config.with_updates(scale=job.config.scale * self.factor)
+        return _reslice_tampered(
+            job, job.config.with_updates(scale=job.config.scale * self.factor)
         )
 
 

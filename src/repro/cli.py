@@ -14,9 +14,18 @@ Every command accepting ``--trace``/``--metrics-out`` can record tracing
 spans and pipeline metrics (see :mod:`repro.obs`): ``--trace`` turns the
 instrumentation on (equivalent to ``REPRO_TRACE=1``), and
 ``--metrics-out PATH`` writes the metrics-registry snapshot as JSON when
-the command finishes (implies ``--trace``).  With ``--workers > 0`` the
-simulation-side spans stay in the worker processes; use ``--workers 0``
-for a complete single-process trace.
+the command finishes (implies ``--trace``).  ``--chrome-trace PATH``
+additionally captures every span as a Chrome/Perfetto ``trace_event`` and
+writes the trace JSON on exit (open it at https://ui.perfetto.dev).  With
+``--workers > 0`` the simulation-side spans stay in the worker processes;
+use ``--workers 0`` for a complete single-process trace.
+
+Forensics: ``detect --events-out events.jsonl`` records the structured
+event log (schema v1, see :mod:`repro.obs.events`) — per-window evidence,
+per-submodule alarms, and the run summary.  ``repro explain
+events.jsonl --attack Speed0.95`` then joins the log with the simulated
+machine trace to render a markdown incident report naming the implicated
+G-code instruction span.
 """
 
 from __future__ import annotations
@@ -55,18 +64,51 @@ def _setup_for(printer: str, height: float):
 
 def _obs_requested(args: argparse.Namespace) -> bool:
     return bool(
-        getattr(args, "trace", False) or getattr(args, "metrics_out", None)
+        getattr(args, "trace", False)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "chrome_trace", None)
     )
 
 
+def _start_obs(args: argparse.Namespace) -> None:
+    """Enable the observability layers the flags ask for."""
+    from . import obs
+
+    if _obs_requested(args):
+        obs.enable()
+    if getattr(args, "chrome_trace", None):
+        obs.enable_chrome_trace()
+    events_out = getattr(args, "events_out", None)
+    if events_out:
+        from .obs import events
+
+        events.enable(jsonl_path=events_out)
+
+
 def _finish_obs(args: argparse.Namespace) -> None:
-    """Export the metrics registry if the command asked for it."""
+    """Export the observability artifacts the command asked for.
+
+    Bookkeeping messages go to stderr so machine-readable stdout (e.g.
+    ``detect --json``) stays clean.
+    """
     from . import obs
 
     path = getattr(args, "metrics_out", None)
     if path:
         out = obs.export_metrics(path)
-        print(f"metrics registry written to {out}")
+        print(f"metrics registry written to {out}", file=sys.stderr)
+    chrome = getattr(args, "chrome_trace", None)
+    if chrome:
+        obs.export_chrome_trace(chrome)
+        obs.disable_chrome_trace()
+        print(f"chrome trace written to {chrome} "
+              "(open at https://ui.perfetto.dev)", file=sys.stderr)
+    if getattr(args, "events_out", None):
+        from .obs import events
+
+        n = events.log().seq
+        events.disable()
+        print(f"{n} events written to {args.events_out}", file=sys.stderr)
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +180,9 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
+    import json
+    import math
+
     from .core import NsyncIds
     from .io import load_dwm_params, load_signal, load_thresholds
     from .sync import DwmSynchronizer
@@ -151,12 +196,57 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
     observed = load_signal(args.signal)
     verdict = ids.detect(observed)
-    if verdict.is_intrusion:
+    if args.json:
+        t = ids.thresholds
+        doc = verdict.to_dict()
+        # inf (= sub-module disabled) is not valid strict JSON.
+        doc["thresholds"] = {
+            name: (v if math.isfinite(v) else None)
+            for name, v in (
+                ("c_c", t.c_c), ("h_c", t.h_c),
+                ("v_c", t.v_c), ("d_c", t.d_c),
+            )
+        }
+        print(json.dumps(doc, indent=2))
+    elif verdict.is_intrusion:
         fired = ", ".join(verdict.fired_submodules())
         print(f"INTRUSION (sub-modules: {fired}; "
               f"first alarm at window {verdict.first_alarm_index})")
-        return 1
-    print("ok — no intrusion detected")
+    else:
+        print("ok — no intrusion detected")
+    return 1 if verdict.is_intrusion else 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .eval import incident_from_events, render_incident_report
+    from .obs.events import read_jsonl
+    from .printer import GcodeProgram, simulate_print
+
+    setup = _setup_for(args.printer, args.height)
+    tampered = ()
+    if args.attack:
+        job = _attack_by_name(args.attack).apply(setup.job())
+        program = job.program
+        tampered = job.tampered_spans
+    elif args.gcode:
+        program = GcodeProgram.from_text(Path(args.gcode).read_text())
+    else:
+        raise SystemExit("repro explain: pass --attack NAME or --gcode PATH "
+                         "so the print can be re-simulated")
+
+    records = read_jsonl(args.events_jsonl)
+    # Re-run the same simulation 'detect' screened (same noise model and
+    # seed) to recover the sample -> instruction mapping.
+    trace = simulate_print(program, setup.machine, setup.noise, seed=args.seed)
+    incident = incident_from_events(records, trace=trace)
+    report = render_incident_report(
+        incident, program=program, tampered_spans=tampered
+    )
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"incident report written to {args.output}")
+    else:
+        print(report, end="")
     return 0
 
 
@@ -264,6 +354,28 @@ def cmd_report(args: argparse.Namespace) -> int:
     sections.append(format_accuracy_ranking(accuracies))
     sections.append("```")
 
+    from .eval import localization_rows, render_localization_table
+
+    rows = localization_rows(campaign, channel="ACC")
+    localized = [r for r in rows if r["localized"] is not None]
+    hits = sum(1 for r in localized if r["localized"])
+    sections.append(chr(10) + "## Alarm localization (forensics)" + chr(10))
+    sections.append(
+        "One probe per attack: the first alarm window is mapped back onto "
+        "the G-code instruction span executing at that time and checked "
+        "against the attack's ground-truth tampered span."
+    )
+    sections.append("")
+    sections.append("```")
+    sections.append(render_localization_table(rows))
+    sections.append("```")
+    if localized:
+        sections.append(
+            f"{chr(10)}Localization accuracy: {hits}/{len(localized)} "
+            "detected attacks implicated an instruction span overlapping "
+            "the tampered instructions."
+        )
+
     from . import obs
 
     if obs.enabled():
@@ -310,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the metrics-registry snapshot to PATH as JSON "
                  "when the command finishes (implies --trace)",
         )
+        p.add_argument(
+            "--chrome-trace", metavar="PATH", default=None,
+            help="capture spans as Chrome/Perfetto trace_events and write "
+                 "the trace JSON to PATH on exit (implies --trace; open "
+                 "at https://ui.perfetto.dev)",
+        )
 
     def engine_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -350,9 +468,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("detect", help="screen a recorded signal")
+    obs_opts(p)
     p.add_argument("model", help="model directory from 'train'")
     p.add_argument("signal", help=".npz signal from 'simulate'")
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the full verdict (evidence arrays included) as JSON",
+    )
+    p.add_argument(
+        "--events-out", metavar="PATH", default=None,
+        help="record the decision-provenance event log (schema v1 JSONL) "
+             "to PATH; feed it to 'repro explain'",
+    )
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "explain",
+        help="turn a detect --events-out log into an incident report",
+    )
+    common(p)
+    p.add_argument("events_jsonl", help="JSONL from 'detect --events-out'")
+    p.add_argument("--attack", default=None,
+                   help="Table I attack the screened run executed "
+                        "(enables the ground-truth localization check)")
+    p.add_argument("--gcode", default=None,
+                   help="G-code the screened run executed (no ground truth)")
+    p.add_argument("--output", default=None,
+                   help="write the markdown report here (default: stdout)")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("report", help="full evaluation -> markdown report")
     common(p)
@@ -381,10 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if _obs_requested(args):
-        from . import obs
-
-        obs.enable()
+    _start_obs(args)
     code = args.func(args)
     _finish_obs(args)
     return code

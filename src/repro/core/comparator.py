@@ -17,9 +17,16 @@ from ..signals.metrics import DISTANCE_METRICS, correlation_distance
 from ..signals.signal import Signal
 from ..sync.base import SyncResult
 
-__all__ = ["Comparator", "vertical_distances"]
+__all__ = ["Comparator", "vertical_distances", "MAX_CORRELATION_DISTANCE"]
 
 DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+#: Worst-case correlation distance (Eq. 14): ``1 - r`` with ``r in [-1, 1]``
+#: tops out at 2.0 (perfect anti-correlation).  Used as the pessimistic
+#: fallback whenever a window pair is too short to correlate (< 2 samples),
+#: which only happens when the synchronizer has walked off the reference —
+#: the discriminator must see the worst value, not a silent skip.
+MAX_CORRELATION_DISTANCE = 2.0
 
 
 def _resolve_metric(metric: Union[str, DistanceFn]) -> DistanceFn:
@@ -77,7 +84,7 @@ class Comparator:
                 # A vanishing window means the synchronizer walked off the
                 # reference; report the worst correlation distance so the
                 # discriminator sees it.
-                out[i] = 2.0
+                out[i] = MAX_CORRELATION_DISTANCE
                 continue
             out[i] = self.metric(wa[:n], wb[:n])
         return out

@@ -98,6 +98,37 @@ class Detection:
             names.append("duration")
         return tuple(names)
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict of the full verdict, evidence arrays included.
+
+        This is the payload of ``repro detect --json``: everything an
+        operator (or a downstream SIEM) needs to act on the verdict —
+        per-submodule outcomes, the first-alarm position in windows *and*
+        seconds, and the complete evidence trajectories.
+        """
+        f = self.features
+        return {
+            "is_intrusion": self.is_intrusion,
+            "fired_submodules": list(self.fired_submodules()),
+            "cadhd_fired": self.cadhd_fired,
+            "h_dist_fired": self.h_dist_fired,
+            "v_dist_fired": self.v_dist_fired,
+            "duration_fired": self.duration_fired,
+            "first_alarm_index": self.first_alarm_index,
+            "first_alarm_time": self.first_alarm_time,
+            "n_windows": int(f.c_disp.shape[0]),
+            "features": {
+                "c_disp": np.asarray(f.c_disp, dtype=float).tolist(),
+                "h_dist_filtered": np.asarray(
+                    f.h_dist_filtered, dtype=float
+                ).tolist(),
+                "v_dist_filtered": np.asarray(
+                    f.v_dist_filtered, dtype=float
+                ).tolist(),
+                "duration_mismatch": float(f.duration_mismatch),
+            },
+        }
+
 
 def detection_features(
     sync: SyncResult,

@@ -16,12 +16,14 @@ Typical usage::
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Union
 
 import numpy as np
 
 from .. import obs
+from ..obs import events
 from ..signals.signal import Signal
 from ..sync.base import SyncResult, Synchronizer
 from .comparator import Comparator, DistanceFn
@@ -35,6 +37,12 @@ from .discriminator import (
 from .occ import OneClassTrainer
 
 __all__ = ["AnalysisResult", "NsyncIds"]
+
+
+def _finite(value: float) -> Optional[float]:
+    """float(value), or None when it would not survive strict JSON."""
+    v = float(value)
+    return v if math.isfinite(v) else None
 
 
 @dataclass(frozen=True)
@@ -98,7 +106,30 @@ class NsyncIds:
                     sync, v_dist, self.filter_window,
                     duration_mismatch=mismatch,
                 )
+        if events.enabled():
+            self._emit_window_evidence(sync, features)
         return AnalysisResult(sync=sync, v_dist=v_dist, features=features)
+
+    @staticmethod
+    def _emit_window_evidence(
+        sync: SyncResult, features: DetectionFeatures
+    ) -> None:
+        """One ``window_evidence`` event per synchronized window.
+
+        The field names match :class:`StreamingNsyncIds`'s emission
+        exactly, so batch and streaming runs produce comparable streams
+        (asserted by the evidence-parity tests).
+        """
+        log = events.log()
+        for i in range(sync.n_indexes):
+            log.emit(
+                "window_evidence",
+                window=i,
+                h_disp=float(sync.h_disp[i]),
+                c_disp=float(features.c_disp[i]),
+                h_dist_f=float(features.h_dist_filtered[i]),
+                v_dist_f=float(features.v_dist_filtered[i]),
+            )
 
     def _duration_mismatch(self, observed: Signal, sync: SyncResult) -> float:
         """Deviation between the observed and reference process lengths.
@@ -147,4 +178,70 @@ class NsyncIds:
                 verdict,
                 first_alarm_time=samples / observed.sample_rate,
             )
+        if events.enabled():
+            self._emit_verdict(observed, analysis, verdict)
         return verdict
+
+    def _emit_verdict(
+        self,
+        observed: Signal,
+        analysis: AnalysisResult,
+        verdict: Detection,
+    ) -> None:
+        """Alarm provenance: one ``alarm`` per fired sub-module (at its
+        first offending window) plus the ``run_summary`` that carries the
+        window geometry ``repro explain`` needs to map windows to time."""
+        log = events.log()
+        t = self.thresholds
+        assert t is not None
+        f = verdict.features
+        sync = analysis.sync
+        checks = (
+            ("c_disp", f.c_disp, t.c_c),
+            ("h_dist", f.h_dist_filtered, t.h_c),
+            ("v_dist", f.v_dist_filtered, t.v_c),
+        )
+        for submodule, series, threshold in checks:
+            hits = np.flatnonzero(np.asarray(series) > threshold)
+            if hits.size:
+                i = int(hits[0])
+                time_s = (
+                    i * sync.n_hop / observed.sample_rate
+                    if sync.mode == "window"
+                    else i / observed.sample_rate
+                )
+                log.emit(
+                    "alarm",
+                    window=i,
+                    submodule=submodule,
+                    value=float(np.asarray(series)[i]),
+                    threshold=float(threshold),
+                    time_s=float(time_s),
+                )
+        if verdict.duration_fired:
+            log.emit(
+                "alarm",
+                window=int(f.c_disp.shape[0]),
+                submodule="duration",
+                value=float(f.duration_mismatch),
+                threshold=float(t.d_c),
+                time_s=float(observed.duration),
+            )
+        log.emit(
+            "run_summary",
+            is_intrusion=verdict.is_intrusion,
+            fired=list(verdict.fired_submodules()),
+            n_windows=int(sync.n_indexes),
+            first_alarm_index=verdict.first_alarm_index,
+            first_alarm_time=verdict.first_alarm_time,
+            # inf (= sub-module disabled) is not valid strict JSON: map to
+            # None so the JSONL sink stays loadable by non-Python tools.
+            thresholds={
+                "c_c": _finite(t.c_c), "h_c": _finite(t.h_c),
+                "v_c": _finite(t.v_c), "d_c": _finite(t.d_c),
+            },
+            mode=sync.mode,
+            n_win=int(sync.n_win),
+            n_hop=int(sync.n_hop),
+            sample_rate=float(observed.sample_rate),
+        )

@@ -16,22 +16,41 @@ from typing import List, Optional, Union
 import numpy as np
 
 from .. import obs
+from ..obs import events
 from ..signals.signal import Signal
 from ..sync.dwm import DwmParams, StreamingDwm
-from .comparator import Comparator, DistanceFn
+from .comparator import Comparator, DistanceFn, MAX_CORRELATION_DISTANCE
 from .discriminator import Thresholds
 
-__all__ = ["Alert", "StreamingNsyncIds"]
+__all__ = ["Alert", "StreamingNsyncIds", "TRUNCATED_WINDOW_DISTANCE"]
+
+#: Vertical distance reported for a window too short to correlate
+#: (fewer than 2 overlapping samples).  This only happens when the
+#: synchronizer's displacement estimate walks past the end of the
+#: reference; reporting the *maximum* correlation distance (2.0 — perfect
+#: anti-correlation, see
+#: :data:`~repro.core.comparator.MAX_CORRELATION_DISTANCE`) makes the
+#: v_dist sub-module treat it as worst-case evidence rather than silently
+#: skipping the window.  Each occurrence additionally emits a
+#: ``window_truncated`` event and bumps the
+#: ``repro.core.streaming.truncated_windows`` counter.
+TRUNCATED_WINDOW_DISTANCE = MAX_CORRELATION_DISTANCE
 
 
 @dataclass(frozen=True)
 class Alert:
-    """One threshold violation observed in real time."""
+    """One threshold violation observed in real time.
+
+    ``time_s`` is the alarm position in print seconds (window index ×
+    hop / sample rate) — the number an operator acts on without knowing
+    the DWM window geometry.
+    """
 
     window_index: int
     submodule: str  # "c_disp", "h_dist", or "v_dist"
     value: float
     threshold: float
+    time_s: float = 0.0
 
 
 class StreamingNsyncIds:
@@ -59,9 +78,11 @@ class StreamingNsyncIds:
         self._comparator = Comparator(metric)
         self._n_win = self._dwm._n_win
         self._n_hop = self._dwm._n_hop
+        self._sample_rate = reference.sample_rate
         self._observed = np.zeros((0, reference.n_channels))
         self._prev_disp = 0.0
         self._c_disp = 0.0
+        self._c_hist: List[float] = []
         self._h_hist: List[float] = []
         self._v_hist: List[float] = []
         self._alerts: List[Alert] = []
@@ -101,19 +122,21 @@ class StreamingNsyncIds:
     def _evaluate_window(self, i: int, disp: float) -> List[Alert]:
         alerts: List[Alert] = []
         t = self.thresholds
+        time_s = i * self._n_hop / self._sample_rate
 
         # Sub-module 1: CADHD, updated incrementally (Eq. 17).
         self._c_disp += abs(disp - self._prev_disp)
         self._prev_disp = disp
+        self._c_hist.append(self._c_disp)
         if self._c_disp > t.c_c:
-            alerts.append(Alert(i, "c_disp", self._c_disp, t.c_c))
+            alerts.append(Alert(i, "c_disp", self._c_disp, t.c_c, time_s))
 
         # Sub-module 2: filtered horizontal distance (Eq. 19, 21).
         self._h_hist.append(abs(disp))
         h_f = min(self._h_hist[-self.filter_window :])
         self._h_dist_f.append(h_f)
         if h_f > t.h_c:
-            alerts.append(Alert(i, "h_dist", h_f, t.h_c))
+            alerts.append(Alert(i, "h_dist", h_f, t.h_c, time_s))
 
         # Sub-module 3: filtered vertical distance (Eq. 20, 22).
         start = i * self._n_hop
@@ -123,20 +146,64 @@ class StreamingNsyncIds:
             start + offset, start + offset + self._n_win
         ).data
         n = min(wa.shape[0], wb.shape[0])
-        v = self._comparator.metric(wa[:n], wb[:n]) if n >= 2 else 2.0
+        if n >= 2:
+            v = self._comparator.metric(wa[:n], wb[:n])
+        else:
+            v = TRUNCATED_WINDOW_DISTANCE
+            if obs.enabled():
+                obs.counter("repro.core.streaming.truncated_windows").inc()
+            if events.enabled():
+                events.log().emit("window_truncated", window=i, n=int(n))
         self._v_hist.append(v)
         v_f = min(self._v_hist[-self.filter_window :])
         self._v_dist_f.append(v_f)
         if v_f > t.v_c:
-            alerts.append(Alert(i, "v_dist", v_f, t.v_c))
+            alerts.append(Alert(i, "v_dist", v_f, t.v_c, time_s))
+
+        if events.enabled():
+            log = events.log()
+            # Field names mirror NsyncIds._emit_window_evidence so batch
+            # and streaming runs produce comparable streams.
+            log.emit(
+                "window_evidence",
+                window=i,
+                h_disp=float(disp),
+                c_disp=float(self._c_disp),
+                h_dist_f=float(h_f),
+                v_dist_f=float(v_f),
+            )
+            for alert in alerts:
+                log.emit(
+                    "alarm",
+                    window=alert.window_index,
+                    submodule=alert.submodule,
+                    value=float(alert.value),
+                    threshold=float(alert.threshold),
+                    time_s=float(alert.time_s),
+                )
         return alerts
 
     # ------------------------------------------------------------------
     def evidence(self) -> dict:
-        """Snapshot of the evidence arrays accumulated so far."""
+        """Snapshot of the evidence arrays accumulated so far.
+
+        Returns a dict with one entry per completed window, matching the
+        batch pipeline window-for-window (asserted by the parity tests):
+
+        - ``h_disp`` — raw horizontal displacements from streaming DWM,
+          equal to ``SyncResult.h_disp``.
+        - ``c_disp`` — final CADHD scalar (kept for backwards
+          compatibility; equals ``c_disp_curve[-1]``).
+        - ``c_disp_curve`` — cumulative CADHD per window, equal to
+          ``SyncResult.cadhd()``.
+        - ``h_dist_filtered`` / ``v_dist_filtered`` — trailing-min
+          filtered distances, equal to the batch
+          :class:`~repro.core.discriminator.DetectionFeatures` arrays.
+        """
         return {
             "h_disp": self._dwm.result().h_disp,
             "c_disp": self._c_disp,
+            "c_disp_curve": np.asarray(self._c_hist),
             "h_dist_filtered": np.asarray(self._h_dist_f),
             "v_dist_filtered": np.asarray(self._v_dist_f),
         }

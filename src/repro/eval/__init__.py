@@ -10,6 +10,15 @@ from .dataset import (
     run_process,
 )
 from .engine import CampaignEngine, EngineStats, RunRequest, default_workers
+from .forensics import (
+    Incident,
+    alarm_time_span,
+    incident_from_events,
+    localization_rows,
+    render_incident_report,
+    render_localization_table,
+    spans_overlap,
+)
 from .metrics import DetectionStats, accuracy_from_rates
 from .experiments import (
     BASELINE_FACTORIES,
@@ -44,6 +53,13 @@ __all__ = [
     "EngineStats",
     "RunRequest",
     "default_workers",
+    "Incident",
+    "alarm_time_span",
+    "incident_from_events",
+    "localization_rows",
+    "render_incident_report",
+    "render_localization_table",
+    "spans_overlap",
     "DetectionStats",
     "accuracy_from_rates",
     "BASELINE_FACTORIES",

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
+from ..obs import events
 from ..attacks.base import PrintJob
 from ..cache import RunCache, resolve_cache, run_cache_key
 from ..sensors.daq import DataAcquisition, default_daq
@@ -128,6 +129,10 @@ class CampaignEngine:
         daq = daq or default_daq()
         wanted = tuple(channels) if channels is not None else None
         results: List[Optional[ProcessRun]] = [None] * len(requests)
+        emit = events.enabled()
+        if emit:
+            events.emit("engine_batch_start", n_requests=len(requests))
+        hits0, misses0 = self.stats.cache_hits, self.stats.cache_misses
 
         with obs.trace("repro.eval.engine.execute"):
             # 1) Cache lookups (always in the parent: hits never reach a
@@ -159,9 +164,27 @@ class CampaignEngine:
                             obs.counter(
                                 "repro.eval.engine.cache_hits"
                             ).inc()
+                            if emit:
+                                events.emit(
+                                    "engine_run",
+                                    index=i,
+                                    label=request.label,
+                                    source="cache",
+                                    key=key,
+                                    seed=request.seed,
+                                )
                             continue
                         self.stats.cache_misses += 1
                         obs.counter("repro.eval.engine.cache_misses").inc()
+                    if emit:
+                        events.emit(
+                            "engine_run",
+                            index=i,
+                            label=request.label,
+                            source="simulated",
+                            key=key,
+                            seed=request.seed,
+                        )
                     pending.append((i, key))
 
             # 2) Simulate the misses — fanned out or serial.  The queue-wait
@@ -205,5 +228,14 @@ class CampaignEngine:
                             key, run.signals, run.layer_times, run.duration
                         )
 
-        self.stats.elapsed += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self.stats.elapsed += elapsed
+        if emit:
+            events.emit(
+                "engine_batch_end",
+                simulated=len(pending),
+                cache_hits=self.stats.cache_hits - hits0,
+                cache_misses=self.stats.cache_misses - misses0,
+                elapsed=elapsed,
+            )
         return [r for r in results if r is not None]

@@ -1,0 +1,349 @@
+"""Forensics: from an event log to an incident report.
+
+``repro detect --events-out`` records the full decision provenance of one
+run — per-window evidence, per-submodule alarms, and a ``run_summary``
+carrying the window geometry.  This module joins that stream with the
+:class:`~repro.printer.firmware.MachineTrace` sample-index → instruction
+mapping to answer the question the paper's IDS leaves to the operator:
+*which part of the print was attacked?*
+
+The join is purely geometric: an alarm at window ``i`` covers print time
+``[i * n_hop / fs, (i * n_hop + n_win) / fs)``; the trace's
+``command_index`` says which G-code instructions executed in that
+interval.  When the attacked job carries ground-truth ``tampered_spans``
+(every :class:`~repro.attacks.base.Attack` annotates them), overlap of
+the implicated span with a tampered span is the *localization* metric
+reported by ``repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .reporting import format_table
+
+__all__ = [
+    "Incident",
+    "alarm_time_span",
+    "incident_from_events",
+    "localization_rows",
+    "render_incident_report",
+    "render_localization_table",
+    "spans_overlap",
+]
+
+Span = Tuple[int, int]
+
+
+def spans_overlap(a: Span, b: Span) -> bool:
+    """Whether two half-open ``[lo, hi)`` spans intersect."""
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def alarm_time_span(
+    index: int,
+    n_win: int,
+    n_hop: int,
+    sample_rate: float,
+    mode: str = "window",
+) -> Tuple[float, float]:
+    """Print-time interval covered by alarm ``index`` (seconds).
+
+    Window mode: window ``i`` spans samples ``[i * n_hop, i * n_hop +
+    n_win)``.  Point mode: one sample.
+    """
+    if mode == "window":
+        return (
+            index * n_hop / sample_rate,
+            (index * n_hop + n_win) / sample_rate,
+        )
+    return index / sample_rate, (index + 1) / sample_rate
+
+
+@dataclass(frozen=True)
+class Incident:
+    """The reconstructed story of one detection run."""
+
+    is_intrusion: bool
+    fired: Tuple[str, ...]
+    n_windows: int
+    first_alarm_index: Optional[int]
+    first_alarm_time: Optional[float]
+    #: Print-time interval of the first alarm window, seconds.
+    alarm_span_s: Optional[Tuple[float, float]]
+    #: Half-open G-code instruction span implicated by the first alarm
+    #: (requires a :class:`~repro.printer.firmware.MachineTrace`).
+    implicated_span: Optional[Span]
+    alarms: Tuple[Mapping, ...]
+    evidence: Tuple[Mapping, ...]
+    thresholds: Mapping[str, Optional[float]]
+
+
+def incident_from_events(
+    records: Sequence[Mapping], trace=None
+) -> Incident:
+    """Reconstruct an :class:`Incident` from an event stream.
+
+    ``records`` is a list of schema-v1 event dicts (e.g. from
+    :func:`repro.obs.events.read_jsonl`) containing at least one
+    ``run_summary``; the last one wins when several runs share a log.
+    With a ``trace`` (the :class:`~repro.printer.firmware.MachineTrace`
+    of the observed print), the first alarm window is mapped onto the
+    implicated instruction span.
+    """
+    summary: Optional[Mapping] = None
+    for record in records:
+        if record.get("type") == "run_summary":
+            summary = record
+    if summary is None:
+        raise ValueError(
+            "event stream has no run_summary — was it recorded by "
+            "'repro detect --events-out'?"
+        )
+    alarms = tuple(r for r in records if r.get("type") == "alarm")
+    evidence = tuple(
+        r for r in records if r.get("type") == "window_evidence"
+    )
+
+    first_index = summary.get("first_alarm_index")
+    alarm_span_s: Optional[Tuple[float, float]] = None
+    implicated: Optional[Span] = None
+    if first_index is not None:
+        alarm_span_s = alarm_time_span(
+            int(first_index),
+            int(summary["n_win"]),
+            int(summary["n_hop"]),
+            float(summary["sample_rate"]),
+            str(summary.get("mode", "window")),
+        )
+        if trace is not None:
+            implicated = trace.instruction_span(*alarm_span_s)
+
+    return Incident(
+        is_intrusion=bool(summary["is_intrusion"]),
+        fired=tuple(summary.get("fired", ())),
+        n_windows=int(summary["n_windows"]),
+        first_alarm_index=(
+            int(first_index) if first_index is not None else None
+        ),
+        first_alarm_time=summary.get("first_alarm_time"),
+        alarm_span_s=alarm_span_s,
+        implicated_span=implicated,
+        alarms=alarms,
+        evidence=evidence,
+        thresholds=dict(summary.get("thresholds", {})),
+    )
+
+
+def _format_span(span: Optional[Span]) -> str:
+    return f"[{span[0]}, {span[1]})" if span is not None else "-"
+
+
+def render_incident_report(
+    incident: Incident,
+    program=None,
+    tampered_spans: Sequence[Span] = (),
+    context_windows: int = 5,
+    max_gcode_lines: int = 8,
+) -> str:
+    """Render an :class:`Incident` as a markdown report.
+
+    ``program`` (a :class:`~repro.printer.gcode.GcodeProgram`) lets the
+    report quote the implicated G-code lines; ``tampered_spans`` (the
+    attack's ground truth) adds the localization verdict.
+    """
+    lines: List[str] = ["# Incident report", ""]
+    if not incident.is_intrusion:
+        lines.append("**Verdict: benign** — no sub-module fired over "
+                     f"{incident.n_windows} windows.")
+        return "\n".join(lines) + "\n"
+
+    fired = ", ".join(incident.fired) or "?"
+    lines.append(f"**Verdict: INTRUSION** (sub-modules: {fired})")
+    lines.append("")
+    if incident.first_alarm_index is not None:
+        when = (
+            f"{incident.first_alarm_time:.2f} s"
+            if incident.first_alarm_time is not None
+            else "unknown time"
+        )
+        lines.append(
+            f"First alarm at window {incident.first_alarm_index} "
+            f"({when} into the print)."
+        )
+    if incident.alarm_span_s is not None:
+        t0, t1 = incident.alarm_span_s
+        lines.append(
+            f"The alarm window covers print time "
+            f"[{t0:.2f} s, {t1:.2f} s)."
+        )
+    lines.append("")
+
+    if incident.alarms:
+        lines.append("## Alarms")
+        lines.append("")
+        lines.append("| window | sub-module | value | threshold | time (s) |")
+        lines.append("|---|---|---|---|---|")
+        for alarm in incident.alarms:
+            lines.append(
+                f"| {alarm['window']} | {alarm['submodule']} "
+                f"| {alarm['value']:.4g} | {alarm['threshold']:.4g} "
+                f"| {alarm.get('time_s', 0.0):.2f} |"
+            )
+        lines.append("")
+
+    if incident.implicated_span is not None:
+        lo, hi = incident.implicated_span
+        lines.append("## Implicated instructions")
+        lines.append("")
+        lines.append(
+            f"G-code instructions {_format_span(incident.implicated_span)} "
+            "were executing when the first alarm fired."
+        )
+        if program is not None:
+            lines.append("")
+            lines.append("```gcode")
+            shown = list(range(lo, min(hi, lo + max_gcode_lines)))
+            for i in shown:
+                if 0 <= i < len(program):
+                    lines.append(f"{i:5d}  {program[i].to_line()}")
+            if hi - lo > len(shown):
+                lines.append(f"       ... ({hi - lo - len(shown)} more)")
+            lines.append("```")
+        if tampered_spans:
+            localized = any(
+                spans_overlap(incident.implicated_span, s)
+                for s in tampered_spans
+            )
+            spans_text = ", ".join(_format_span(s) for s in tampered_spans)
+            verdict = (
+                "**overlaps** the tampered instructions — "
+                "localization correct"
+                if localized
+                else "does **not** overlap the tampered instructions"
+            )
+            lines.append("")
+            lines.append(
+                f"Ground truth: the attack tampered with instructions "
+                f"{spans_text}; the implicated span {verdict}."
+            )
+        lines.append("")
+
+    if incident.evidence and incident.first_alarm_index is not None:
+        center = incident.first_alarm_index
+        lo_w = max(0, center - context_windows)
+        hi_w = center + context_windows + 1
+        rows = [
+            e for e in incident.evidence if lo_w <= e["window"] < hi_w
+        ]
+        if rows:
+            lines.append("## Evidence trajectory")
+            lines.append("")
+            lines.append(
+                f"Windows {lo_w}..{hi_w - 1} around the first alarm "
+                "(thresholds: "
+                + ", ".join(
+                    f"{k}={v:.4g}" if v is not None else f"{k}=inf"
+                    for k, v in incident.thresholds.items()
+                )
+                + "):"
+            )
+            lines.append("")
+            lines.append("| window | h_disp | c_disp | h_dist_f | v_dist_f |")
+            lines.append("|---|---|---|---|---|")
+            for e in rows:
+                marker = " ←" if e["window"] == center else ""
+                lines.append(
+                    f"| {e['window']}{marker} | {e['h_disp']:.2f} "
+                    f"| {e['c_disp']:.2f} | {e['h_dist_f']:.2f} "
+                    f"| {e['v_dist_f']:.4f} |"
+                )
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def localization_rows(
+    campaign, channel: str = "ACC", seed: int = 997
+) -> List[Dict]:
+    """One localization probe per Table I attack.
+
+    Trains NSYNC from the campaign's reference/training runs, then for
+    each attack re-simulates a single attacked print *keeping the machine
+    trace*, detects, maps the first alarm window back onto an instruction
+    span, and checks it against the attack's ground-truth tampered spans.
+    """
+    from ..attacks import TABLE_I_ATTACKS
+    from ..core import NsyncIds
+    from ..printer.firmware import simulate_print
+    from ..sensors.daq import default_daq
+    from ..sync import DwmSynchronizer
+
+    setup = campaign.setup
+    ids = NsyncIds(
+        campaign.reference.signals[channel],
+        DwmSynchronizer(setup.dwm_params),
+    )
+    ids.fit(run.signals[channel] for run in campaign.training)
+
+    daq = default_daq()
+    job = setup.job()
+    rows: List[Dict] = []
+    for attack in TABLE_I_ATTACKS():
+        attacked = attack.apply(job)
+        trace = simulate_print(
+            attacked.program, setup.machine, setup.noise, seed=seed
+        )
+        observed = daq.acquire(
+            trace, np.random.default_rng(seed + 7_919), channels=[channel]
+        )[channel]
+        verdict = ids.detect(observed)
+
+        implicated: Optional[Span] = None
+        localized: Optional[bool] = None
+        if verdict.is_intrusion and verdict.first_alarm_time is not None:
+            t0 = verdict.first_alarm_time
+            implicated = trace.instruction_span(
+                t0, t0 + setup.dwm_params.t_win
+            )
+            if attacked.tampered_spans:
+                localized = any(
+                    spans_overlap(implicated, s)
+                    for s in attacked.tampered_spans
+                )
+        rows.append(
+            {
+                "attack": attack.name,
+                "detected": verdict.is_intrusion,
+                "implicated_span": implicated,
+                "tampered_spans": attacked.tampered_spans,
+                "localized": localized,
+            }
+        )
+    return rows
+
+
+def render_localization_table(rows: Sequence[Mapping]) -> str:
+    """Monospace table for :func:`localization_rows` output."""
+    body = []
+    for row in rows:
+        tampered = (
+            ", ".join(_format_span(s) for s in row["tampered_spans"])
+            or "-"
+        )
+        localized = row["localized"]
+        body.append(
+            [
+                row["attack"],
+                "yes" if row["detected"] else "no",
+                _format_span(row["implicated_span"]),
+                tampered,
+                "-" if localized is None else ("yes" if localized else "no"),
+            ]
+        )
+    return format_table(
+        ["Attack", "Detected", "Implicated", "Tampered", "Localized"],
+        body,
+    )

@@ -34,6 +34,13 @@ Usage::
 Naming convention: ``repro.<module>.<name>``; nested spans use short
 segment names joined with ``/`` (see :mod:`repro.obs.tracing`).
 
+Two further opt-in layers build on the same null-singleton discipline:
+:mod:`repro.obs.events` is the *decision-provenance* event log (per-window
+discriminator evidence, alarms, run summaries — ``events.enable(path)`` or
+``REPRO_EVENTS=path``), and :func:`enable_chrome_trace` /
+:func:`export_chrome_trace` capture spans as Chrome/Perfetto
+``trace_event`` JSON for ``ui.perfetto.dev``.
+
 Note on multiprocessing: metrics live in the recording process.  With
 ``CampaignEngine(workers>=2)`` the simulation spans land in the worker
 processes and are not merged back; run with ``workers=0`` when a complete
@@ -46,6 +53,7 @@ import os
 from pathlib import Path
 from typing import Dict, Union
 
+from . import events
 from .metrics import (
     SNAPSHOT_VERSION,
     Counter,
@@ -54,9 +62,25 @@ from .metrics import (
     MetricsRegistry,
     SpanStats,
 )
-from .tracing import NULL_SPAN, NullSpan, Span, current_span_path
+from .tracing import (
+    CHROME_TRACE_MAX_EVENTS,
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    chrome_trace_enabled,
+    current_span_path,
+    disable_chrome_trace,
+    enable_chrome_trace,
+    export_chrome_trace,
+)
 
 __all__ = [
+    "events",
+    "CHROME_TRACE_MAX_EVENTS",
+    "chrome_trace_enabled",
+    "disable_chrome_trace",
+    "enable_chrome_trace",
+    "export_chrome_trace",
     "Counter",
     "Gauge",
     "Histogram",

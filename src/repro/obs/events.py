@@ -1,0 +1,348 @@
+"""Structured decision-provenance event log (schema v1, zero deps).
+
+Where :mod:`repro.obs.metrics` answers "how fast / how many", this module
+answers "**why did this alarm fire, and where in the print?**".  The
+detection stack (:class:`~repro.core.pipeline.NsyncIds`,
+:class:`~repro.core.streaming.StreamingNsyncIds`) emits one
+``window_evidence`` event per analysis window — the paper's discriminator
+evidence: horizontal displacement, CADHD, and the filtered horizontal /
+vertical distances against their OCC thresholds — plus ``alarm`` and
+``run_summary`` events, and the campaign engine emits run-lifecycle events
+with cache keys.  ``repro explain`` joins the resulting log with the
+simulator's sample→instruction mapping to render an incident report.
+
+Design constraints mirror :mod:`repro.obs` (PR 2):
+
+1. **Disabled must cost ~nothing.**  Events are off by default; call sites
+   guard hot loops with :func:`enabled` (one module-level boolean) and
+   :func:`log` hands back the shared :data:`NULL_EVENT_LOG` whose ``emit``
+   is empty — no clock, no dict, no I/O.
+2. **Bounded memory when on.**  The in-memory view is a ring buffer
+   (``collections.deque(maxlen=...)``); the complete stream goes to an
+   append-only JSONL sink when a path is given.
+3. **Zero dependencies.**  ``threading`` + ``time`` + ``json`` only.
+
+Event record schema (version :data:`EVENT_SCHEMA_VERSION`)::
+
+    {"v": 1, "seq": <monotonic int>, "ts": <unix seconds>,
+     "type": "<event type>", ...payload fields...}
+
+``seq`` is strictly increasing per log; payload fields are JSON-safe
+scalars/lists.  :data:`EVENT_TYPES` names the required payload fields per
+type; :func:`validate_event` enforces the schema (used by tests and
+``scripts/validate_events.py``).
+
+Usage::
+
+    from repro.obs import events
+
+    events.enable(jsonl_path="run.jsonl")   # or REPRO_EVENTS=run.jsonl
+    verdict = ids.detect(observed)           # pipeline emits as it decides
+    events.tail(3, etype="alarm")            # in-memory ring
+    events.disable()                         # flush + close the sink
+
+Note on multiprocessing: like the metrics registry, the event log lives in
+the emitting process.  ``CampaignEngine(workers>=2)`` runs simulations in
+workers whose events are not merged back; detection always runs in the
+parent, so decision provenance is complete regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "ENV_VAR",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "enabled",
+    "enable",
+    "disable",
+    "log",
+    "emit",
+    "tail",
+    "validate_event",
+    "read_jsonl",
+    "configure_from_env",
+]
+
+#: Schema version stamped into every record's ``v`` field.
+EVENT_SCHEMA_VERSION = 1
+
+#: Environment variable: a JSONL sink path, or ``mem`` for ring-only.
+ENV_VAR = "REPRO_EVENTS"
+
+#: Required payload fields per event type (schema v1).  Emitters may add
+#: extra fields; validators only require these.
+EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
+    # One per analysis window: the discriminator's evidence at that window.
+    "window_evidence": ("window", "h_disp", "c_disp", "h_dist_f", "v_dist_f"),
+    # A sub-module crossed its threshold at a window.
+    "alarm": ("window", "submodule", "value", "threshold"),
+    # End-of-run verdict plus the window geometry `repro explain` needs.
+    "run_summary": ("is_intrusion", "fired", "n_windows"),
+    # The streaming v_dist fallback kicked in (window too short to compare).
+    "window_truncated": ("window", "n"),
+    # Campaign-engine run lifecycle.
+    "engine_batch_start": ("n_requests",),
+    "engine_run": ("index", "label", "source"),
+    "engine_batch_end": ("simulated", "cache_hits", "cache_misses"),
+}
+
+_REQUIRED_KEYS = ("v", "seq", "ts", "type")
+
+
+class EventLog:
+    """Thread-safe append-only event log: JSONL sink + in-memory ring.
+
+    Parameters
+    ----------
+    ring_size:
+        Capacity of the in-memory ring buffer (oldest events are dropped
+        first; the JSONL sink, when given, always keeps the full stream).
+    jsonl_path:
+        Optional path of an append-only JSON-Lines sink; parent
+        directories are created.  ``None`` keeps events in memory only.
+    """
+
+    def __init__(
+        self,
+        ring_size: int = 4096,
+        jsonl_path: Union[str, "os.PathLike", None] = None,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._ring: Deque[dict] = deque(maxlen=ring_size)
+        self._path: Optional[Path] = None
+        self._sink = None
+        if jsonl_path is not None:
+            self._path = Path(jsonl_path)
+            if self._path.parent != Path(""):
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = open(self._path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Optional[Path]:
+        """The JSONL sink path, or ``None`` for a memory-only log."""
+        return self._path
+
+    @property
+    def seq(self) -> int:
+        """Number of events emitted so far (next record's ``seq``)."""
+        return self._seq
+
+    def emit(self, etype: str, **fields: object) -> dict:
+        """Record one event; returns the full record (with ``seq``/``ts``)."""
+        with self._lock:
+            record = {
+                "v": EVENT_SCHEMA_VERSION,
+                "seq": self._seq,
+                "ts": time.time(),
+                "type": etype,
+            }
+            record.update(fields)
+            self._seq += 1
+            self._ring.append(record)
+            if self._sink is not None:
+                self._sink.write(json.dumps(record) + "\n")
+        return record
+
+    def tail(self, n: Optional[int] = None, etype: Optional[str] = None) -> List[dict]:
+        """The last ``n`` ring-buffered events (all when ``n`` is None),
+        optionally filtered by type."""
+        with self._lock:
+            records = list(self._ring)
+        if etype is not None:
+            records = [r for r in records if r.get("type") == etype]
+        if n is not None:
+            records = records[-n:]
+        return records
+
+    def flush(self) -> None:
+        """Flush the JSONL sink (no-op for memory-only logs)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and close the sink; further emits stay in memory only."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+                self._sink.close()
+                self._sink = None
+
+
+class NullEventLog:
+    """Disabled-path log: accepts every call and drops it."""
+
+    __slots__ = ()
+    path = None
+    seq = 0
+
+    def emit(self, etype: str, **fields: object) -> None:
+        pass
+
+    def tail(self, n: Optional[int] = None, etype: Optional[str] = None) -> List[dict]:
+        return []
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared singleton handed out whenever event logging is disabled.
+NULL_EVENT_LOG = NullEventLog()
+
+_log: Optional[EventLog] = None
+
+
+def enabled() -> bool:
+    """Is decision-provenance event logging currently recording?"""
+    return _log is not None
+
+
+def enable(
+    jsonl_path: Union[str, "os.PathLike", None] = None,
+    ring_size: int = 4096,
+) -> EventLog:
+    """Install a fresh process-wide :class:`EventLog` and return it.
+
+    Replaces (and closes) any previously active log.
+    """
+    global _log
+    if _log is not None:
+        _log.close()
+    _log = EventLog(ring_size=ring_size, jsonl_path=jsonl_path)
+    return _log
+
+
+def disable() -> None:
+    """Close and drop the active log (idempotent)."""
+    global _log
+    if _log is not None:
+        _log.close()
+        _log = None
+
+
+def log() -> Union[EventLog, NullEventLog]:
+    """The active log, or the shared null log while disabled.
+
+    Hot per-window call sites should additionally guard with
+    :func:`enabled` so the disabled path never builds a kwargs dict.
+    """
+    return _log if _log is not None else NULL_EVENT_LOG
+
+
+def emit(etype: str, **fields: object) -> Optional[dict]:
+    """Module-level shortcut for ``log().emit(...)``; None while disabled."""
+    if _log is None:
+        return None
+    return _log.emit(etype, **fields)
+
+
+def tail(n: Optional[int] = None, etype: Optional[str] = None) -> List[dict]:
+    """Module-level shortcut for ``log().tail(...)``."""
+    return log().tail(n, etype)
+
+
+def validate_event(record: object) -> dict:
+    """Validate one record against schema v1; returns it or raises.
+
+    Checks the envelope (``v``/``seq``/``ts``/``type``), the schema
+    version, and — for the known :data:`EVENT_TYPES` — the per-type
+    required payload fields.  Unknown types pass with a valid envelope so
+    consumers stay forward-compatible.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"event must be a JSON object, got {type(record).__name__}")
+    for key in _REQUIRED_KEYS:
+        if key not in record:
+            raise ValueError(f"event missing required key {key!r}: {record}")
+    if record["v"] != EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported event schema version {record['v']!r} "
+            f"(expected {EVENT_SCHEMA_VERSION})"
+        )
+    if not isinstance(record["seq"], int) or record["seq"] < 0:
+        raise ValueError(f"event seq must be a non-negative int: {record}")
+    if not isinstance(record["ts"], (int, float)):
+        raise ValueError(f"event ts must be a number: {record}")
+    etype = record["type"]
+    if not isinstance(etype, str) or not etype:
+        raise ValueError(f"event type must be a non-empty string: {record}")
+    required = EVENT_TYPES.get(etype)
+    if required is not None:
+        missing = [f for f in required if f not in record]
+        if missing:
+            raise ValueError(
+                f"event of type {etype!r} missing fields {missing}: {record}"
+            )
+    return record
+
+
+def read_jsonl(
+    path: Union[str, "os.PathLike"], validate: bool = True
+) -> List[dict]:
+    """Load an events JSONL file; optionally validate every record.
+
+    Also checks that ``seq`` is strictly increasing when validating —
+    a truncated or interleaved log fails loudly instead of producing a
+    silently wrong incident report.
+    """
+    records: List[dict] = []
+    last_seq = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from None
+            if validate:
+                try:
+                    validate_event(record)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+                if record["seq"] <= last_seq:
+                    raise ValueError(
+                        f"{path}:{lineno}: seq {record['seq']} not increasing "
+                        f"(previous {last_seq})"
+                    )
+                last_seq = record["seq"]
+            records.append(record)
+    return records
+
+
+def configure_from_env(environ: Dict[str, str] = os.environ) -> bool:
+    """Enable from ``REPRO_EVENTS`` (a JSONL path, or ``mem``/``1``)."""
+    raw = environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return enabled()
+    if raw.lower() in ("mem", "1", "true", "yes", "on"):
+        enable()
+    else:
+        enable(jsonl_path=raw)
+    return True
+
+
+# Honour REPRO_EVENTS at import time so any entry point can log events
+# without code changes (mirrors REPRO_TRACE in repro.obs).
+if os.environ.get(ENV_VAR):
+    configure_from_env()

@@ -15,19 +15,141 @@ segment names.
 :data:`NULL_SPAN` is the disabled-path singleton: entering and exiting it
 does nothing and touches no clock, which is what keeps instrumentation
 effectively free when ``REPRO_TRACE=0``.
+
+**Chrome/Perfetto export** is an opt-in second mode on top of the
+aggregating registry: :func:`enable_chrome_trace` starts capturing every
+span exit as one Chrome ``trace_event`` *complete* (``"ph": "X"``) record,
+and :func:`export_chrome_trace` dumps them as a ``{"traceEvents": [...]}``
+JSON document that loads directly in ``ui.perfetto.dev`` or
+``chrome://tracing``.  Capture is bounded (:data:`CHROME_TRACE_MAX_EVENTS`;
+overflow is counted, not grown) and costs one dict append per span, which
+is why it is separate from the always-cheap aggregation path.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
-from typing import List, Optional, Type
+from pathlib import Path
+from typing import Dict, List, Optional, Type, Union
 
 from .metrics import MetricsRegistry
 
-__all__ = ["Span", "NullSpan", "NULL_SPAN", "current_span_path"]
+__all__ = [
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "current_span_path",
+    "CHROME_TRACE_MAX_EVENTS",
+    "enable_chrome_trace",
+    "disable_chrome_trace",
+    "chrome_trace_enabled",
+    "export_chrome_trace",
+]
 
 _local = threading.local()
+
+#: Default cap on captured Chrome trace events; beyond it events are
+#: dropped (and counted in ``droppedEvents``) so a traced campaign cannot
+#: exhaust memory.
+CHROME_TRACE_MAX_EVENTS = 500_000
+
+
+class _ChromeCapture:
+    """Bounded buffer of Chrome ``trace_event`` records."""
+
+    __slots__ = ("events", "dropped", "max_events", "t0", "_lock")
+
+    def __init__(self, max_events: int) -> None:
+        self.events: List[dict] = []
+        self.dropped = 0
+        self.max_events = max_events
+        # perf_counter origin: ts fields are microseconds since enable().
+        self.t0 = time.perf_counter()
+        self._lock = threading.Lock()
+
+    def add(self, name: str, qualified: str, t_start: float, wall: float) -> None:
+        record = {
+            "name": name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (t_start - self.t0) * 1e6,
+            "dur": wall * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": {"path": qualified},
+        }
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+            else:
+                self.events.append(record)
+
+
+_capture: Optional[_ChromeCapture] = None
+
+
+def enable_chrome_trace(max_events: int = CHROME_TRACE_MAX_EVENTS) -> None:
+    """Start capturing span events for Chrome/Perfetto export.
+
+    Only spans that actually run are captured, so the process-wide switch
+    (``obs.enable()`` / ``REPRO_TRACE=1``) must also be on for anything to
+    appear.  Calling again restarts the capture with an empty buffer.
+    """
+    global _capture
+    if max_events < 1:
+        raise ValueError(f"max_events must be >= 1, got {max_events}")
+    _capture = _ChromeCapture(max_events)
+
+
+def disable_chrome_trace() -> None:
+    """Stop capturing and drop the buffer (idempotent)."""
+    global _capture
+    _capture = None
+
+
+def chrome_trace_enabled() -> bool:
+    """Is span capture for Chrome/Perfetto export active?"""
+    return _capture is not None
+
+
+def export_chrome_trace(
+    path: Union[str, "os.PathLike", None] = None,
+) -> Union[dict, Path]:
+    """The captured spans as a Chrome ``trace_event`` JSON document.
+
+    With ``path`` the document is written there (parents created) and the
+    path returned; without, the document dict is returned.  The document
+    shape is the stable Chrome trace-file format: ``traceEvents`` (a list
+    of ``"ph": "X"`` records with microsecond ``ts``/``dur``),
+    ``displayTimeUnit``, and ``otherData`` with capture bookkeeping.
+    """
+    capture = _capture
+    if capture is None:
+        raise RuntimeError(
+            "chrome trace capture is not enabled; call "
+            "obs.enable_chrome_trace() (or pass --chrome-trace) first"
+        )
+    with capture._lock:
+        events = list(capture.events)
+        dropped = capture.dropped
+    doc: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "droppedEvents": dropped,
+        },
+    }
+    if path is None:
+        return doc
+    out = Path(path)
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc) + "\n")
+    return out
 
 
 def _stack() -> List[str]:
@@ -84,6 +206,8 @@ class Span:
         self.registry.record_span(
             self.qualified, self.wall, self.cpu, error=exc_type is not None
         )
+        if _capture is not None:
+            _capture.add(self.name, self.qualified, self._t0_wall, self.wall)
         return False  # never swallow exceptions
 
 

@@ -84,6 +84,40 @@ class MachineTrace:
     def n_joints(self) -> int:
         return int(self.joint_position.shape[1])
 
+    # ------------------------------------------------------------------
+    # Forensics: sample index <-> (instruction, print time) mapping.
+    # ------------------------------------------------------------------
+    def sample_index_at(self, t: float) -> int:
+        """Sample index at print time ``t`` seconds (clamped into range)."""
+        return int(np.clip(round(t * self.sim_rate), 0, self.n_samples - 1))
+
+    def instruction_at(self, sample_index: int) -> int:
+        """Program command index executing at ``sample_index``."""
+        i = int(np.clip(sample_index, 0, self.n_samples - 1))
+        return int(self.command_index[i])
+
+    def time_of_sample(self, sample_index: int) -> float:
+        """Print time in seconds of ``sample_index``."""
+        i = int(np.clip(sample_index, 0, self.n_samples - 1))
+        return float(self.times[i])
+
+    def instruction_span(self, t_start: float, t_stop: float) -> Tuple[int, int]:
+        """Half-open program-command span executing in ``[t_start, t_stop)``.
+
+        This is the join an incident report needs: an alarm's analysis
+        window maps to a time interval, and this maps the interval onto
+        the G-code instructions that were executing then.  The interval is
+        clamped to the trace; a degenerate interval collapses to the
+        single instruction at ``t_start``.
+        """
+        lo = self.sample_index_at(min(t_start, t_stop))
+        hi = self.sample_index_at(max(t_start, t_stop))
+        window = self.command_index[lo : hi + 1]
+        if window.size == 0:  # pragma: no cover - clamping prevents this
+            cmd = self.instruction_at(lo)
+            return cmd, cmd + 1
+        return int(window.min()), int(window.max()) + 1
+
 
 @dataclass
 class _MoveSegment:

@@ -11,6 +11,7 @@ from repro.attacks import (
     SpeedAttack,
     TABLE_I_ATTACKS,
     VoidAttack,
+    spans_from_indices,
 )
 from repro.slicer import SlicerConfig, square_outline
 
@@ -159,3 +160,52 @@ class TestSuite:
         )
         for attack in TABLE_I_ATTACKS():
             assert attack.apply(job_delta).center == (0.0, 0.0), attack.name
+
+
+class TestTamperedSpans:
+    """Every attack must annotate its ground-truth tampered instructions."""
+
+    def test_benign_job_has_no_spans(self, job):
+        assert job.tampered_spans == ()
+
+    def test_every_attack_annotates_spans(self, job):
+        for attack in TABLE_I_ATTACKS():
+            attacked = attack.apply(job)
+            assert attacked.tampered_spans, attack.name
+            for lo, hi in attacked.tampered_spans:
+                assert 0 <= lo < hi <= len(attacked.program), attack.name
+
+    def test_resliced_attacks_own_whole_program(self, job):
+        attacked = ScaleAttack(factor=0.95).apply(job)
+        assert attacked.tampered_spans == ((0, len(attacked.program)),)
+
+    def test_void_spans_point_at_voided_moves(self, job):
+        attacked = VoidAttack().apply(job)
+        for lo, hi in attacked.tampered_spans:
+            for i in range(lo, hi):
+                command = attacked.program[i]
+                assert command.code == "G0", (i, command)
+
+    def test_speed_spans_cover_rescaled_feedrates(self, job):
+        attacked = SpeedAttack(0.95).apply(job)
+        tampered = set()
+        for lo, hi in attacked.tampered_spans:
+            tampered.update(range(lo, hi))
+        for i, (benign, rewritten) in enumerate(
+            zip(job.program, attacked.program)
+        ):
+            if benign.get("F") is not None and benign.is_move:
+                assert i in tampered
+
+
+class TestSpansFromIndices:
+    def test_empty(self):
+        assert spans_from_indices([]) == ()
+
+    def test_consecutive_runs_merge(self):
+        assert spans_from_indices([1, 2, 3, 7, 8, 12]) == (
+            (1, 4), (7, 9), (12, 13),
+        )
+
+    def test_unsorted_duplicates_normalized(self):
+        assert spans_from_indices([3, 1, 2, 2]) == ((1, 4),)

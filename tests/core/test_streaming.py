@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core import NsyncIds, StreamingNsyncIds, Thresholds
+from repro.core.comparator import MAX_CORRELATION_DISTANCE
+from repro.core.streaming import TRUNCATED_WINDOW_DISTANCE
+from repro.obs import events
 from repro.signals import Signal
 from repro.sync import DwmParams, DwmSynchronizer
 
@@ -99,3 +103,114 @@ class TestStreamingNsync:
         ids.push(noise)
         v_alerts = [a for a in ids.alerts if a.submodule == "v_dist"]
         assert v_alerts and v_alerts[0].window_index == 0
+
+    def test_alert_time_s_from_window_geometry(self, reference):
+        """time_s = window_index * hop / sample rate."""
+        tight = Thresholds(c_c=1e9, h_c=1e9, v_c=1e-6)
+        ids = StreamingNsyncIds(reference, PARAMS, tight)
+        rng = np.random.default_rng(12)
+        ids.push(rng.standard_normal((reference.n_samples, 1)))
+        n_hop = round(PARAMS.t_hop * FS)
+        for alert in ids.alerts:
+            assert alert.time_s == pytest.approx(
+                alert.window_index * n_hop / FS
+            )
+
+
+@pytest.fixture()
+def event_ring():
+    """Memory-only event log, torn down even on failure."""
+    events.enable()
+    yield
+    events.disable()
+
+
+class TestStreamingBatchParity:
+    """`evidence()` must match `NsyncIds.analyze` window-for-window."""
+
+    def _run_both(self, reference, lenient):
+        observed = Signal(textured(seed=2), FS)
+        stream = StreamingNsyncIds(reference, PARAMS, lenient)
+        for start in range(0, observed.n_samples, 97):
+            stream.push(observed.data[start : start + 97])
+        batch = NsyncIds(reference, DwmSynchronizer(PARAMS))
+        analysis = batch.analyze(observed)
+        return stream, batch, analysis, observed
+
+    def test_full_evidence_parity(self, reference, lenient):
+        stream, _, analysis, _ = self._run_both(reference, lenient)
+        ev = stream.evidence()
+        n = min(ev["h_disp"].size, analysis.sync.n_indexes)
+        assert n > 10
+        f = analysis.features
+        assert np.allclose(ev["h_disp"][:n], analysis.sync.h_disp[:n])
+        assert np.allclose(
+            ev["c_disp_curve"][:n], analysis.sync.cadhd()[:n]
+        )
+        assert ev["c_disp"] == ev["c_disp_curve"][-1]
+        assert np.allclose(
+            ev["h_dist_filtered"][:n], f.h_dist_filtered[:n]
+        )
+        assert np.allclose(
+            ev["v_dist_filtered"][:n], f.v_dist_filtered[:n], atol=1e-9
+        )
+
+    def test_event_streams_equivalent(self, reference, lenient, event_ring):
+        """Batch and streaming emit field-identical window_evidence."""
+        observed = Signal(textured(seed=2), FS)
+
+        stream = StreamingNsyncIds(reference, PARAMS, lenient)
+        for start in range(0, observed.n_samples, 97):
+            stream.push(observed.data[start : start + 97])
+        stream_events = events.tail(etype="window_evidence")
+
+        events.enable()  # fresh log for the batch run
+        NsyncIds(reference, DwmSynchronizer(PARAMS)).analyze(observed)
+        batch_events = events.tail(etype="window_evidence")
+
+        n = min(len(stream_events), len(batch_events))
+        assert n > 10
+        for got, want in zip(stream_events[:n], batch_events[:n]):
+            assert got["window"] == want["window"]
+            for field in ("h_disp", "c_disp", "h_dist_f", "v_dist_f"):
+                assert got[field] == pytest.approx(want[field], abs=1e-9)
+
+    def test_alarm_events_match_alerts(self, reference, event_ring):
+        strict = Thresholds(c_c=50.0, h_c=20.0, v_c=0.5)
+        ids = StreamingNsyncIds(reference, PARAMS, strict)
+        rng = np.random.default_rng(9)
+        ids.push(np.cumsum(rng.standard_normal((reference.n_samples, 1)),
+                           axis=0))
+        assert ids.intrusion_detected
+        alarm_events = events.tail(etype="alarm")
+        assert len(alarm_events) == len(ids.alerts)
+        for event, alert in zip(alarm_events, ids.alerts):
+            assert event["window"] == alert.window_index
+            assert event["submodule"] == alert.submodule
+            assert event["time_s"] == pytest.approx(alert.time_s)
+
+
+class TestTruncatedWindows:
+    def test_constant_is_max_correlation_distance(self):
+        assert TRUNCATED_WINDOW_DISTANCE == MAX_CORRELATION_DISTANCE == 2.0
+
+    def test_truncated_window_emits_event_and_counter(
+        self, reference, lenient, event_ring
+    ):
+        """A displacement beyond the reference end leaves no overlap: the
+        window reports the named worst-case distance and is accounted."""
+        ids = StreamingNsyncIds(reference, PARAMS, lenient)
+        ids.push(reference.data[:400])
+        obs.reset()
+        obs.enable()
+        try:
+            ids._evaluate_window(0, float(reference.n_samples + 1000))
+        finally:
+            snapshot = obs.snapshot()
+            obs.disable()
+        assert ids._v_hist[-1] == TRUNCATED_WINDOW_DISTANCE
+        truncated = events.tail(etype="window_truncated")
+        assert truncated and truncated[-1]["n"] < 2
+        assert snapshot["counters"][
+            "repro.core.streaming.truncated_windows"
+        ] == 1.0

@@ -1,0 +1,218 @@
+"""Tests for the forensics join: events -> incident -> localization."""
+
+import numpy as np
+import pytest
+
+from repro.eval.forensics import (
+    Incident,
+    alarm_time_span,
+    incident_from_events,
+    localization_rows,
+    render_incident_report,
+    render_localization_table,
+    spans_overlap,
+)
+from repro.printer.firmware import MachineTrace
+
+
+def make_trace(command_index, sim_rate=10.0):
+    """A minimal MachineTrace whose only meaningful array is the mapping."""
+    command_index = np.asarray(command_index, dtype=np.int64)
+    n = command_index.shape[0]
+    zeros3 = np.zeros((n, 3))
+    z = np.zeros(n)
+    return MachineTrace(
+        sim_rate=sim_rate,
+        times=np.arange(n) / sim_rate,
+        position=zeros3,
+        velocity=zeros3,
+        acceleration=zeros3,
+        joint_position=zeros3,
+        joint_velocity=zeros3,
+        extrusion_rate=z,
+        hotend_temp=z,
+        bed_temp=z,
+        fan=z,
+        command_index=command_index,
+        layer_index=np.zeros(n, dtype=np.int64),
+    )
+
+
+def make_events(
+    first_alarm_index=3,
+    n_windows=10,
+    n_win=20,
+    n_hop=10,
+    sample_rate=10.0,
+    is_intrusion=True,
+):
+    """A plausible schema-v1 stream for one detection run."""
+    records = []
+    seq = 0
+    for i in range(n_windows):
+        records.append(
+            {"v": 1, "seq": seq, "ts": float(seq), "type": "window_evidence",
+             "window": i, "h_disp": float(i), "c_disp": float(i),
+             "h_dist_f": float(i), "v_dist_f": 0.1 * i}
+        )
+        seq += 1
+    if is_intrusion:
+        records.append(
+            {"v": 1, "seq": seq, "ts": float(seq), "type": "alarm",
+             "window": first_alarm_index, "submodule": "v_dist",
+             "value": 0.9, "threshold": 0.5,
+             "time_s": first_alarm_index * n_hop / sample_rate}
+        )
+        seq += 1
+    records.append(
+        {"v": 1, "seq": seq, "ts": float(seq), "type": "run_summary",
+         "is_intrusion": is_intrusion,
+         "fired": ["v_dist"] if is_intrusion else [],
+         "n_windows": n_windows,
+         "first_alarm_index": first_alarm_index if is_intrusion else None,
+         "first_alarm_time": (
+             first_alarm_index * n_hop / sample_rate
+             if is_intrusion else None
+         ),
+         "thresholds": {"c_c": 1.0, "h_c": 2.0, "v_c": 0.5, "d_c": None},
+         "mode": "window", "n_win": n_win, "n_hop": n_hop,
+         "sample_rate": sample_rate}
+    )
+    return records
+
+
+class TestSpanHelpers:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ((0, 5), (4, 8), True),
+            ((0, 5), (5, 8), False),  # half-open: touching is disjoint
+            ((4, 8), (0, 5), True),
+            ((2, 3), (0, 10), True),
+            ((0, 1), (1, 2), False),
+        ],
+    )
+    def test_spans_overlap(self, a, b, expected):
+        assert spans_overlap(a, b) is expected
+
+    def test_alarm_time_span_window_mode(self):
+        t0, t1 = alarm_time_span(3, n_win=20, n_hop=10, sample_rate=10.0)
+        assert t0 == pytest.approx(3.0)
+        assert t1 == pytest.approx(5.0)
+
+    def test_alarm_time_span_point_mode(self):
+        t0, t1 = alarm_time_span(
+            7, n_win=0, n_hop=0, sample_rate=10.0, mode="point"
+        )
+        assert (t0, t1) == (0.7, 0.8)
+
+
+class TestMachineTraceMapping:
+    def test_instruction_span_covers_interval(self):
+        # 10 samples per instruction at 10 Hz -> instruction k runs
+        # during second k.
+        trace = make_trace(np.repeat(np.arange(6), 10))
+        assert trace.instruction_at(0) == 0
+        assert trace.instruction_at(59) == 5
+        assert trace.instruction_span(1.0, 3.0) == (1, 4)
+
+    def test_instruction_span_clamps(self):
+        trace = make_trace(np.repeat(np.arange(3), 10))
+        lo, hi = trace.instruction_span(-5.0, 100.0)
+        assert (lo, hi) == (0, 3)
+
+    def test_sample_time_round_trip(self):
+        trace = make_trace(np.zeros(50, dtype=np.int64))
+        i = trace.sample_index_at(2.0)
+        assert trace.time_of_sample(i) == pytest.approx(2.0)
+
+
+class TestIncidentFromEvents:
+    def test_reconstructs_intrusion(self):
+        incident = incident_from_events(make_events())
+        assert incident.is_intrusion
+        assert incident.fired == ("v_dist",)
+        assert incident.first_alarm_index == 3
+        assert incident.alarm_span_s == pytest.approx((3.0, 5.0))
+        assert incident.implicated_span is None  # no trace given
+        assert len(incident.evidence) == 10
+        assert len(incident.alarms) == 1
+
+    def test_joins_with_trace(self):
+        trace = make_trace(np.repeat(np.arange(10), 10))
+        incident = incident_from_events(make_events(), trace=trace)
+        # Alarm window covers [3 s, 5 s) -> instructions 3..5.
+        assert incident.implicated_span == (3, 6)
+
+    def test_benign_run(self):
+        incident = incident_from_events(
+            make_events(is_intrusion=False, first_alarm_index=None)
+        )
+        assert not incident.is_intrusion
+        assert incident.alarm_span_s is None
+
+    def test_missing_run_summary_raises(self):
+        with pytest.raises(ValueError, match="run_summary"):
+            incident_from_events(make_events()[:-1])
+
+    def test_last_run_summary_wins(self):
+        records = make_events() + make_events(first_alarm_index=7)
+        incident = incident_from_events(records)
+        assert incident.first_alarm_index == 7
+
+
+class TestRenderIncidentReport:
+    def test_benign_report(self):
+        incident = incident_from_events(
+            make_events(is_intrusion=False, first_alarm_index=None)
+        )
+        text = render_incident_report(incident)
+        assert "benign" in text
+
+    def test_intrusion_report_names_span_and_ground_truth(self):
+        trace = make_trace(np.repeat(np.arange(10), 10))
+        incident = incident_from_events(make_events(), trace=trace)
+        text = render_incident_report(incident, tampered_spans=((4, 8),))
+        assert "INTRUSION" in text
+        assert "[3, 6)" in text
+        assert "localization correct" in text
+        assert "Evidence trajectory" in text
+
+    def test_miss_reported(self):
+        trace = make_trace(np.repeat(np.arange(10), 10))
+        incident = incident_from_events(make_events(), trace=trace)
+        text = render_incident_report(incident, tampered_spans=((8, 9),))
+        assert "does **not** overlap" in text
+
+
+class TestLocalization:
+    def test_rows_on_mini_campaign(self, mini_campaign, monkeypatch):
+        from repro import attacks as attacks_module
+        from repro.attacks.gcode_attacks import SpeedAttack
+
+        monkeypatch.setattr(
+            attacks_module, "TABLE_I_ATTACKS",
+            lambda: [SpeedAttack(0.95)],
+        )
+        rows = localization_rows(mini_campaign, channel="ACC")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["attack"] == "Speed0.95"
+        assert row["detected"] is True
+        assert row["tampered_spans"]
+        lo, hi = row["implicated_span"]
+        assert 0 <= lo < hi
+        assert row["localized"] is True
+
+    def test_render_table(self):
+        rows = [
+            {"attack": "Void", "detected": True,
+             "implicated_span": (3, 6), "tampered_spans": ((4, 8),),
+             "localized": True},
+            {"attack": "Fan", "detected": False,
+             "implicated_span": None, "tampered_spans": ((0, 2),),
+             "localized": None},
+        ]
+        table = render_localization_table(rows)
+        assert "Void" in table and "[3, 6)" in table
+        assert "yes" in table and "-" in table

@@ -1,17 +1,22 @@
-"""Observability tests share one process-wide registry: isolate it."""
+"""Observability tests share process-wide state: isolate it."""
 
 import pytest
 
 from repro import obs
+from repro.obs import events
 
 
 @pytest.fixture(autouse=True)
 def clean_obs():
-    """Reset the registry and restore the enabled state around each test."""
+    """Reset registry/events/capture and restore enabled state per test."""
     was_enabled = obs.enabled()
     obs.reset()
+    events.disable()
+    obs.disable_chrome_trace()
     yield
     obs.reset()
+    events.disable()
+    obs.disable_chrome_trace()
     if was_enabled:
         obs.enable()
     else:

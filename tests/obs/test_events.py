@@ -1,0 +1,250 @@
+"""Unit tests for the structured event log and the Chrome trace export."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import events
+
+
+class TestEventLog:
+    def test_emit_stamps_envelope(self):
+        log = events.EventLog()
+        record = log.emit("alarm", window=3, submodule="v_dist",
+                          value=1.0, threshold=0.5)
+        assert record["v"] == events.EVENT_SCHEMA_VERSION
+        assert record["seq"] == 0
+        assert record["type"] == "alarm"
+        assert record["window"] == 3
+
+    def test_seq_is_monotonic(self):
+        log = events.EventLog()
+        seqs = [log.emit("x")["seq"] for _ in range(10)]
+        assert seqs == list(range(10))
+        assert log.seq == 10
+
+    def test_ring_buffer_bounds_memory(self):
+        log = events.EventLog(ring_size=4)
+        for i in range(10):
+            log.emit("x", i=i)
+        tail = log.tail()
+        assert len(tail) == 4
+        assert [r["i"] for r in tail] == [6, 7, 8, 9]
+
+    def test_tail_filters_by_type(self):
+        log = events.EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert [r["type"] for r in log.tail(etype="a")] == ["a", "a"]
+        assert len(log.tail(1, etype="a")) == 1
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            events.EventLog(ring_size=0)
+
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        log = events.EventLog(jsonl_path=path)
+        log.emit("window_evidence", window=0, h_disp=0.0, c_disp=0.0,
+                 h_dist_f=0.0, v_dist_f=0.1)
+        log.emit("run_summary", is_intrusion=False, fired=[], n_windows=1)
+        log.close()
+        records = events.read_jsonl(path)
+        assert [r["type"] for r in records] == [
+            "window_evidence", "run_summary"
+        ]
+        assert records[0]["seq"] == 0 and records[1]["seq"] == 1
+
+    def test_thread_safety_no_duplicate_seq(self, tmp_path):
+        log = events.EventLog(jsonl_path=tmp_path / "e.jsonl")
+
+        def worker():
+            for _ in range(200):
+                log.emit("x")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        records = events.read_jsonl(tmp_path / "e.jsonl", validate=False)
+        seqs = [r["seq"] for r in records]
+        assert len(seqs) == 800
+        assert sorted(seqs) == list(range(800))
+
+
+class TestModuleSwitch:
+    def test_disabled_by_default(self):
+        assert not events.enabled()
+        assert events.log() is events.NULL_EVENT_LOG
+        assert events.emit("x") is None
+        assert events.tail() == []
+
+    def test_enable_disable_round_trip(self, tmp_path):
+        log = events.enable(jsonl_path=tmp_path / "e.jsonl")
+        assert events.enabled()
+        assert events.log() is log
+        events.emit("x")
+        events.disable()
+        assert not events.enabled()
+        assert events.read_jsonl(tmp_path / "e.jsonl", validate=False)
+
+    def test_enable_replaces_and_closes_previous(self, tmp_path):
+        first = events.enable(jsonl_path=tmp_path / "a.jsonl")
+        events.enable(jsonl_path=tmp_path / "b.jsonl")
+        assert events.log() is not first
+        events.emit("x")
+        events.disable()
+        assert events.read_jsonl(tmp_path / "a.jsonl", validate=False) == []
+        assert len(events.read_jsonl(tmp_path / "b.jsonl",
+                                     validate=False)) == 1
+
+    def test_configure_from_env(self, tmp_path):
+        path = tmp_path / "env.jsonl"
+        assert events.configure_from_env({"REPRO_EVENTS": str(path)})
+        assert events.enabled()
+        assert events.log().path == path
+        events.disable()
+        assert events.configure_from_env({"REPRO_EVENTS": "mem"})
+        assert events.log().path is None
+        events.disable()
+        assert not events.configure_from_env({})
+
+    def test_disabled_overhead_is_negligible(self):
+        """The disabled path must cost ~a boolean check, not a dict/clock.
+
+        Mirrors the tracing null-path bound: compared against a bare
+        attribute-free loop calling a no-op function (generous 5x bound
+        for loaded CI machines).
+        """
+        assert not events.enabled()
+
+        def bare():
+            return None
+
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            bare()
+        floor = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(n):
+            if events.enabled():
+                events.emit("hot", window=0)
+        guarded = time.perf_counter() - t0
+        assert guarded < floor * 5 + 1e-3
+
+
+class TestValidation:
+    def _valid(self, **extra):
+        record = {"v": 1, "seq": 0, "ts": 0.0, "type": "alarm",
+                  "window": 1, "submodule": "v_dist",
+                  "value": 1.0, "threshold": 0.5}
+        record.update(extra)
+        return record
+
+    def test_valid_record_passes(self):
+        assert events.validate_event(self._valid()) == self._valid()
+
+    def test_unknown_type_passes_with_envelope(self):
+        record = {"v": 1, "seq": 0, "ts": 0.0, "type": "custom"}
+        assert events.validate_event(record) == record
+
+    @pytest.mark.parametrize("missing", ["v", "seq", "ts", "type"])
+    def test_missing_envelope_key_fails(self, missing):
+        record = self._valid()
+        del record[missing]
+        with pytest.raises(ValueError, match="missing required key"):
+            events.validate_event(record)
+
+    def test_wrong_version_fails(self):
+        with pytest.raises(ValueError, match="schema version"):
+            events.validate_event(self._valid(v=2))
+
+    def test_missing_payload_field_fails(self):
+        record = self._valid()
+        del record["threshold"]
+        with pytest.raises(ValueError, match="missing fields"):
+            events.validate_event(record)
+
+    def test_non_dict_fails(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            events.validate_event([1, 2, 3])
+
+    def test_read_jsonl_rejects_non_increasing_seq(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        a = {"v": 1, "seq": 1, "ts": 0.0, "type": "x"}
+        b = {"v": 1, "seq": 1, "ts": 0.0, "type": "x"}
+        path.write_text(json.dumps(a) + "\n" + json.dumps(b) + "\n")
+        with pytest.raises(ValueError, match="not increasing"):
+            events.read_jsonl(path)
+
+    def test_read_jsonl_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            events.read_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_capture_and_export(self, tmp_path):
+        obs.enable()
+        obs.enable_chrome_trace()
+        with obs.trace("repro.test.outer"):
+            with obs.trace("inner"):
+                pass
+        doc = obs.export_chrome_trace()
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names == ["inner", "repro.test.outer"]  # exit order
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert "pid" in event and "tid" in event
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_export_to_file_is_valid_json(self, tmp_path):
+        obs.enable()
+        obs.enable_chrome_trace()
+        with obs.trace("span"):
+            pass
+        path = tmp_path / "trace.json"
+        obs.export_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["name"] == "span"
+
+    def test_export_without_enable_raises(self):
+        with pytest.raises(RuntimeError):
+            obs.export_chrome_trace()
+
+    def test_qualified_path_in_args(self):
+        obs.enable()
+        obs.enable_chrome_trace()
+        with obs.trace("parent"):
+            with obs.trace("child"):
+                pass
+        doc = obs.export_chrome_trace()
+        child = next(e for e in doc["traceEvents"] if e["name"] == "child")
+        assert child["args"]["path"] == "parent/child"
+
+    def test_event_cap_counts_drops(self):
+        obs.enable()
+        obs.enable_chrome_trace(max_events=3)
+        for _ in range(5):
+            with obs.trace("hot"):
+                pass
+        doc = obs.export_chrome_trace()
+        assert len(doc["traceEvents"]) == 3
+        assert doc["otherData"]["droppedEvents"] == 2
+
+    def test_disabled_capture_records_nothing(self):
+        obs.enable()
+        with obs.trace("not.captured"):
+            pass
+        assert not obs.chrome_trace_enabled()
