@@ -48,6 +48,8 @@ from .core import (
     Discriminator,
     NsyncIds,
     OneClassTrainer,
+    SENSOR_FAULT,
+    SanitizePolicy,
     StreamingNsyncIds,
     Thresholds,
 )
@@ -103,6 +105,8 @@ __all__ = [
     "Discriminator",
     "NsyncIds",
     "OneClassTrainer",
+    "SENSOR_FAULT",
+    "SanitizePolicy",
     "StreamingNsyncIds",
     "Thresholds",
     "Firmware",

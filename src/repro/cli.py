@@ -8,7 +8,10 @@ Four workflows cover the life of a deployment:
 * ``train``    — build an NSYNC reference + thresholds from benign runs;
 * ``detect``   — screen a recorded run against a trained model;
 * ``campaign`` — run a scaled evaluation campaign and print the
-  Table VIII-style row for one channel.
+  Table VIII-style row for one channel;
+* ``faults``   — chaos-test the trained IDS by replaying the fault-injection
+  matrix (:mod:`repro.faults`) against the batch and streaming detectors
+  (exit status 1 when any graceful-degradation check fails).
 
 Every command accepting ``--trace``/``--metrics-out`` can record tracing
 spans and pipeline metrics (see :mod:`repro.obs`): ``--trace`` turns the
@@ -299,6 +302,42 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import SanitizePolicy
+    from .faults import render_fault_table, run_fault_campaign
+
+    setup = _setup_for(args.printer, args.height)
+    engine = _engine_for(args)
+    detectors = ("batch", "streaming") if args.detector == "both" \
+        else (args.detector,)
+    policy = SanitizePolicy(max_dark_s=args.max_dark_s)
+    if not args.json:
+        print(f"fault campaign ({args.printer}, {args.channel}, "
+              f"{args.train} train, detectors: {', '.join(detectors)})...")
+    result = run_fault_campaign(
+        setup=setup,
+        channel=args.channel,
+        n_train=args.train,
+        seed=args.seed,
+        engine=engine,
+        detectors=detectors,
+        chunk_s=args.chunk_s,
+        policy=policy,
+        r=args.r,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        _print_engine_stats(engine)
+        print(render_fault_table(result))
+        verdict = "all cases passed" if result.all_passed else \
+            f"{result.n_failed}/{len(result.results)} cases FAILED"
+        print(f"fault campaign: {verdict}")
+    return 0 if result.all_passed else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .eval import (
         baseline_results,
@@ -506,6 +545,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--test", type=int, default=6)
     p.add_argument("--attack-runs", type=int, default=1)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "faults",
+        help="chaos-test the IDS: replay the fault-injection matrix",
+    )
+    common(p)
+    engine_opts(p)
+    obs_opts(p)
+    p.add_argument("--channel", default="ACC")
+    p.add_argument("--train", type=int, default=4)
+    p.add_argument("--r", type=float, default=0.3)
+    p.add_argument(
+        "--detector", default="both", choices=["batch", "streaming", "both"],
+        help="which pipeline(s) to replay the matrix against (default both)",
+    )
+    p.add_argument(
+        "--chunk-s", type=float, default=0.25,
+        help="chunk size in seconds for the streaming detector",
+    )
+    p.add_argument(
+        "--max-dark-s", type=float, default=1.0,
+        help="SanitizePolicy dark-channel limit in seconds (default 1.0)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the per-case results as JSON instead of a table",
+    )
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("campaign", help="run a scaled evaluation campaign")
     common(p)

@@ -8,6 +8,14 @@ from .discriminator import (
     Thresholds,
     detection_features,
 )
+from .health import (
+    SENSOR_FAULT,
+    ChannelHealth,
+    Sanitized,
+    SanitizePolicy,
+    constant_runs,
+    sanitize_signal,
+)
 from .occ import OneClassTrainer, occ_threshold
 from .pipeline import AnalysisResult, NsyncIds
 from .streaming import Alert, StreamingNsyncIds
@@ -21,6 +29,12 @@ __all__ = [
     "Discriminator",
     "Thresholds",
     "detection_features",
+    "SENSOR_FAULT",
+    "ChannelHealth",
+    "Sanitized",
+    "SanitizePolicy",
+    "constant_runs",
+    "sanitize_signal",
     "OneClassTrainer",
     "occ_threshold",
     "AnalysisResult",

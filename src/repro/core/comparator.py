@@ -9,10 +9,13 @@ distance because it is insensitive to per-run gain changes.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Union
 
 import numpy as np
 
+from .. import obs
+from ..obs import events
 from ..signals.metrics import DISTANCE_METRICS, correlation_distance
 from ..signals.signal import Signal
 from ..sync.base import SyncResult
@@ -23,10 +26,21 @@ DistanceFn = Callable[[np.ndarray, np.ndarray], float]
 
 #: Worst-case correlation distance (Eq. 14): ``1 - r`` with ``r in [-1, 1]``
 #: tops out at 2.0 (perfect anti-correlation).  Used as the pessimistic
-#: fallback whenever a window pair is too short to correlate (< 2 samples),
-#: which only happens when the synchronizer has walked off the reference —
-#: the discriminator must see the worst value, not a silent skip.
+#: fallback whenever a window pair is too short to correlate (< 2 samples)
+#: or the synchronizer hands over a non-finite displacement — both mean it
+#: has walked off the reference — and the discriminator must see the worst
+#: value, not a silent skip (and never a NaN, which would compare as benign
+#: against every threshold).
 MAX_CORRELATION_DISTANCE = 2.0
+
+#: Amplitude spread below which a window counts as constant (zero-variance);
+#: matches the ``_EPS`` guard inside :mod:`repro.signals.metrics`.
+_CONSTANT_EPS = 1e-12
+
+
+def _is_constant(window: np.ndarray) -> bool:
+    """True when every channel of the window has zero amplitude spread."""
+    return bool(np.all(np.ptp(window, axis=0) <= _CONSTANT_EPS))
 
 
 def _resolve_metric(metric: Union[str, DistanceFn]) -> DistanceFn:
@@ -54,6 +68,11 @@ class Comparator:
 
     def __init__(self, metric: Union[str, DistanceFn] = "correlation") -> None:
         self.metric = _resolve_metric(metric)
+        # The zero-variance special cases below only make sense for the
+        # correlation distance (Pearson's r is undefined on a constant
+        # window); other metrics remain well-defined there and are left
+        # alone.
+        self._correlation_like = self.metric is correlation_distance
 
     def vertical_distances(
         self, a: Signal, b: Signal, sync: SyncResult
@@ -70,24 +89,68 @@ class Comparator:
         return self._point_distances(a, b, sync)
 
     # ------------------------------------------------------------------
+    def pair_distance(self, wa: np.ndarray, wb: np.ndarray) -> float:
+        """Distance between one already-truncated window pair, never NaN.
+
+        Adds two guard layers on top of the raw metric:
+
+        * **Zero-variance windows** (correlation metric only): Pearson's r
+          is undefined on a constant window.  A constant window matched
+          against a varying one means the observed content bears no
+          resemblance to the reference (e.g. a frozen printhead), so it
+          maps to :data:`MAX_CORRELATION_DISTANCE`; two constant windows
+          with identical values are indistinguishable and map to ``0.0``
+          (two *different* constants still map to the maximum).
+        * **Finiteness**: whatever the metric returns, a non-finite value
+          is clamped to :data:`MAX_CORRELATION_DISTANCE` — NaN compares
+          ``False`` against every threshold, which would make the IDS fail
+          open on degenerate input.
+        """
+        if self._correlation_like:
+            ca, cb = _is_constant(wa), _is_constant(wb)
+            if ca or cb:
+                if ca and cb and np.array_equal(wa[:1], wb[:1]):
+                    return 0.0
+                return MAX_CORRELATION_DISTANCE
+        value = float(self.metric(wa, wb))
+        return value if math.isfinite(value) else MAX_CORRELATION_DISTANCE
+
     def _window_distances(
         self, a: Signal, b: Signal, sync: SyncResult
     ) -> np.ndarray:
         n_win, n_hop = sync.n_win, sync.n_hop
         out = np.empty(sync.n_indexes)
         for i in range(sync.n_indexes):
-            disp = int(round(float(sync.h_disp[i])))
+            h = float(sync.h_disp[i])
+            if not math.isfinite(h):
+                # A non-finite displacement estimate is a synchronizer
+                # walk-off, not a crash: int(round(nan)) would raise
+                # mid-detection.  Score the window as worst-case instead.
+                self._note_walkoff(i, 0)
+                out[i] = MAX_CORRELATION_DISTANCE
+                continue
+            disp = int(round(h))
             wa = a.window(i, n_win, n_hop).data
             wb = b.window(i, n_win, n_hop, offset=disp).data
             n = min(wa.shape[0], wb.shape[0])
             if n < 2:
                 # A vanishing window means the synchronizer walked off the
-                # reference; report the worst correlation distance so the
-                # discriminator sees it.
+                # reference (overrun, or an offset so negative the window
+                # clamps to nothing); report the worst correlation distance
+                # so the discriminator sees it.
+                self._note_walkoff(i, n)
                 out[i] = MAX_CORRELATION_DISTANCE
                 continue
-            out[i] = self.metric(wa[:n], wb[:n])
+            out[i] = self.pair_distance(wa[:n], wb[:n])
         return out
+
+    @staticmethod
+    def _note_walkoff(window: int, n: int) -> None:
+        """Account one walked-off window (mirrors the streaming pipeline)."""
+        if obs.enabled():
+            obs.counter("repro.core.comparator.truncated_windows").inc()
+        if events.enabled():
+            events.log().emit("window_truncated", window=window, n=int(n))
 
     def _point_distances(self, a: Signal, b: Signal, sync: SyncResult) -> np.ndarray:
         if sync.pairs is None:

@@ -85,6 +85,15 @@ class Detection:
     #: Seconds into the print at which the first alarm fired (filled in by
     #: pipelines that know the window geometry; None for a benign verdict).
     first_alarm_time: Optional[float] = None
+    #: Fail-closed sensor verdict (reproduction extension): the input
+    #: sanitization stage found the channel dark or flooded with non-finite
+    #: samples — the IDS cannot vouch for the print and alarms rather than
+    #: staying silent.  See :mod:`repro.core.health`.
+    sensor_fault_fired: bool = False
+    #: JSON-safe channel-health report from the sanitization stage
+    #: (:meth:`repro.core.health.ChannelHealth.to_dict` plus the quarantined
+    #: window list); ``None`` for pipelines that skip sanitization.
+    health: Optional[dict] = None
 
     def fired_submodules(self) -> tuple:
         names = []
@@ -96,6 +105,8 @@ class Detection:
             names.append("v_dist")
         if self.duration_fired:
             names.append("duration")
+        if self.sensor_fault_fired:
+            names.append("sensor_fault")
         return tuple(names)
 
     def to_dict(self) -> dict:
@@ -114,8 +125,10 @@ class Detection:
             "h_dist_fired": self.h_dist_fired,
             "v_dist_fired": self.v_dist_fired,
             "duration_fired": self.duration_fired,
+            "sensor_fault_fired": self.sensor_fault_fired,
             "first_alarm_index": self.first_alarm_index,
             "first_alarm_time": self.first_alarm_time,
+            "health": self.health,
             "n_windows": int(f.c_disp.shape[0]),
             "features": {
                 "c_disp": np.asarray(f.c_disp, dtype=float).tolist(),

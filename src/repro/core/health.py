@@ -1,0 +1,250 @@
+"""Input sanitization and channel-health tracking (graceful degradation).
+
+The paper pitches NSYNC as *practical*: an IDS screening a live DAQ for the
+whole print.  Real acquisition paths misbehave in ways a simulator never
+does — frames drop, ADCs saturate, cables disconnect — and the resulting
+degenerate samples are poison for the detection math: a single NaN turns
+``correlation_distance`` into NaN, ``NaN > threshold`` is ``False``, and
+the IDS silently fails *open*.  This module is the input-sanitization stage
+both pipelines (:class:`~repro.core.pipeline.NsyncIds`,
+:class:`~repro.core.streaming.StreamingNsyncIds`) run before any detection
+math sees a sample:
+
+* **Non-finite samples** (NaN/inf) are replaced by holding the last finite
+  value per channel (0.0 when the signal *starts* broken) so downstream
+  arithmetic stays finite, and the affected sample positions are recorded
+  so the analysis windows that cover them can be flagged and quarantined
+  (``window_quarantined`` event + counter).
+* **Dark channels** — a stretch where a channel repeats the exact same
+  value (a dead sensor, an unplugged DAQ input, a gap of zeros) or emits
+  nothing but non-finite garbage — are detected by run length.  A channel
+  that stays dark longer than :attr:`SanitizePolicy.max_dark_s` trips a
+  **fail-closed** :data:`SENSOR_FAULT` alarm: an intrusion detector whose
+  sensor went away must scream, not stay silent.
+
+The thresholds live in :class:`SanitizePolicy`; the per-run findings in
+:class:`ChannelHealth`, which both pipelines surface through
+``Detection.to_dict()`` / ``repro detect --json``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..signals.signal import Signal
+
+__all__ = [
+    "SENSOR_FAULT",
+    "SanitizePolicy",
+    "ChannelHealth",
+    "Sanitized",
+    "sanitize_signal",
+    "constant_runs",
+]
+
+#: Sub-module name under which fail-closed sensor alarms are reported; sits
+#: alongside the paper's ``c_disp`` / ``h_dist`` / ``v_dist`` / ``duration``.
+SENSOR_FAULT = "sensor_fault"
+
+
+@dataclass(frozen=True)
+class SanitizePolicy:
+    """Thresholds for the input-sanitization stage.
+
+    Parameters
+    ----------
+    max_dark_s:
+        A channel repeating the exact same value (or emitting only
+        non-finite samples) for at least this long counts as *dark* and
+        trips a fail-closed :data:`SENSOR_FAULT`.  Any physical sensor
+        carries noise, so a perfectly constant second of samples means the
+        acquisition path died, not that the printer went quiet.
+    max_bad_fraction:
+        Fraction of non-finite samples above which the whole run is
+        declared faulty even if no single dark stretch is long enough.
+    dark_eps:
+        Two consecutive samples closer than this count as "the same value"
+        for dark-run purposes.  The default ``0.0`` requires exact
+        repetition, which is what dead ADCs produce and what quantized but
+        healthy channels do not sustain.
+    enabled:
+        ``False`` disables the fail-closed verdict: non-finite samples are
+        still repaired and health is still reported, but ``sensor_fault``
+        never trips.
+    """
+
+    max_dark_s: float = 1.0
+    max_bad_fraction: float = 0.25
+    dark_eps: float = 0.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_dark_s <= 0:
+            raise ValueError(f"max_dark_s must be positive, got {self.max_dark_s}")
+        if not 0 < self.max_bad_fraction <= 1:
+            raise ValueError(
+                f"max_bad_fraction must be in (0, 1], got {self.max_bad_fraction}"
+            )
+        if self.dark_eps < 0:
+            raise ValueError(f"dark_eps must be non-negative, got {self.dark_eps}")
+
+    def min_dark_samples(self, sample_rate: float) -> int:
+        """Run length (in samples) at which a constant stretch counts dark."""
+        return max(2, int(math.ceil(self.max_dark_s * sample_rate)))
+
+
+@dataclass(frozen=True)
+class ChannelHealth:
+    """What the sanitization stage found in one observed signal.
+
+    ``dark_spans`` are ``[start, stop)`` sample spans where some channel
+    stayed constant/non-finite past the policy's run-length threshold.
+    ``sensor_fault`` is the fail-closed verdict; ``reasons`` names which
+    rule(s) tripped it (``"dark_channel"``, ``"nonfinite_fraction"``).
+    """
+
+    n_samples: int
+    n_nonfinite: int
+    dark_spans: Tuple[Tuple[int, int], ...]
+    longest_dark_s: float
+    sensor_fault: bool
+    reasons: Tuple[str, ...]
+
+    @property
+    def bad_fraction(self) -> float:
+        """Fraction of samples with at least one non-finite channel."""
+        return self.n_nonfinite / self.n_samples if self.n_samples else 0.0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when nothing at all was flagged."""
+        return not self.n_nonfinite and not self.dark_spans
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendition for ``Detection.to_dict`` / ``--json``."""
+        return {
+            "n_samples": int(self.n_samples),
+            "n_nonfinite": int(self.n_nonfinite),
+            "bad_fraction": float(self.bad_fraction),
+            "dark_spans": [[int(a), int(b)] for a, b in self.dark_spans],
+            "longest_dark_s": float(self.longest_dark_s),
+            "sensor_fault": bool(self.sensor_fault),
+            "reasons": list(self.reasons),
+        }
+
+
+@dataclass(frozen=True)
+class Sanitized:
+    """Result of :func:`sanitize_signal`.
+
+    ``signal`` is safe for detection math (every sample finite);
+    ``bad_samples`` marks, per time index, whether any channel had to be
+    repaired — the pipelines map these onto analysis windows to quarantine
+    them.  When the input was already clean, ``signal`` *is* the input
+    (no copy).
+    """
+
+    signal: Signal
+    bad_samples: np.ndarray
+    health: ChannelHealth
+
+
+def _run_bounds(x: np.ndarray, eps: float) -> Tuple[np.ndarray, np.ndarray]:
+    """(starts, stops) of maximal constant-or-non-finite runs of 1-D ``x``."""
+    n = x.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    bad = ~np.isfinite(x)
+    same = np.zeros(n, dtype=bool)
+    if n > 1:
+        with np.errstate(invalid="ignore"):
+            same[1:] = np.abs(np.diff(x)) <= eps
+        same[1:] |= bad[1:] | bad[:-1]
+    starts = np.flatnonzero(~same)
+    stops = np.append(starts[1:], n)
+    return starts, stops
+
+
+def constant_runs(x: np.ndarray, eps: float = 0.0) -> List[Tuple[int, int]]:
+    """Maximal ``[start, stop)`` runs of a 1-D array holding one value.
+
+    Non-finite samples extend any run (a sensor emitting NaN is just as
+    dead as one repeating a constant).  Every sample belongs to exactly
+    one run; healthy data yields runs of length 1.
+    """
+    starts, stops = _run_bounds(np.asarray(x, dtype=np.float64), eps)
+    return list(zip(starts.tolist(), stops.tolist()))
+
+
+def _forward_fill(data: np.ndarray, bad: np.ndarray) -> np.ndarray:
+    """Replace flagged entries by the last finite value in their column.
+
+    Entries that are flagged before any finite value arrived become 0.0.
+    """
+    n = data.shape[0]
+    filled = data.copy()
+    idx = np.where(~bad, np.arange(n)[:, np.newaxis], 0)
+    np.maximum.accumulate(idx, axis=0, out=idx)
+    filled = np.take_along_axis(filled, idx, axis=0)
+    # Columns whose very first samples were bad still hold the (bad) row 0:
+    # zero whatever is left non-finite.
+    still_bad = ~np.isfinite(filled)
+    if still_bad.any():
+        filled[still_bad] = 0.0
+    return filled
+
+
+def sanitize_signal(
+    signal: Signal, policy: SanitizePolicy = SanitizePolicy()
+) -> Sanitized:
+    """Run the input-sanitization stage over one observed signal.
+
+    Returns the repaired signal (identical object when already clean), the
+    per-sample bad mask, and the :class:`ChannelHealth` verdict including
+    the fail-closed ``sensor_fault`` flag.
+    """
+    data = signal.data
+    n = data.shape[0]
+    bad = ~np.isfinite(data)
+    bad_samples = bad.any(axis=1)
+    n_nonfinite = int(np.count_nonzero(bad_samples))
+
+    # Dark-channel detection runs on the *raw* data: forward-filling first
+    # would turn every NaN burst into a constant run and double-count it.
+    min_run = policy.min_dark_samples(signal.sample_rate)
+    dark: List[Tuple[int, int]] = []
+    longest = 0
+    for c in range(data.shape[1]):
+        starts, stops = _run_bounds(data[:, c], policy.dark_eps)
+        if not starts.size:
+            continue
+        lengths = stops - starts
+        longest = max(longest, int(lengths.max()))
+        for k in np.flatnonzero(lengths >= min_run):
+            dark.append((int(starts[k]), int(stops[k])))
+    dark_spans = tuple(sorted(set(dark)))
+    longest_dark_s = longest / signal.sample_rate if n else 0.0
+
+    reasons: List[str] = []
+    if policy.enabled:
+        if dark_spans:
+            reasons.append("dark_channel")
+        if n and n_nonfinite / n > policy.max_bad_fraction:
+            reasons.append("nonfinite_fraction")
+    health = ChannelHealth(
+        n_samples=n,
+        n_nonfinite=n_nonfinite,
+        dark_spans=dark_spans,
+        longest_dark_s=longest_dark_s,
+        sensor_fault=bool(reasons),
+        reasons=tuple(reasons),
+    )
+
+    if not bad.any():
+        return Sanitized(signal=signal, bad_samples=bad_samples, health=health)
+    clean = signal.with_data(_forward_fill(data, bad))
+    return Sanitized(signal=clean, bad_samples=bad_samples, health=health)

@@ -15,7 +15,7 @@ anything seen in training.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -25,13 +25,27 @@ __all__ = ["occ_threshold", "OneClassTrainer"]
 
 
 def occ_threshold(per_run_maxima: Sequence[float], r: float) -> float:
-    """Apply Eq. (26)-(28) to the per-run maxima of one statistic."""
+    """Apply Eq. (26)-(28) to the per-run maxima of one statistic.
+
+    Raises :class:`ValueError` when any recorded maximum is non-finite: a
+    NaN here would become a NaN threshold, after which *no* comparison ever
+    fires — the IDS would silently fail open for the rest of its life.
+    """
     if len(per_run_maxima) == 0:
         raise ValueError("need at least one training run")
     if r < 0:
         raise ValueError(f"r must be non-negative, got {r}")
-    high = float(max(per_run_maxima))
-    low = float(min(per_run_maxima))
+    values = np.asarray(per_run_maxima, dtype=np.float64)
+    # Check every value, not just the extremes: Python's max() silently
+    # skips NaN (every comparison against it is False), so a poisoned
+    # middle value would otherwise pass through unnoticed.
+    if not np.isfinite(values).all():
+        raise ValueError(
+            f"training maxima contain non-finite values ({values.tolist()}); "
+            "a NaN/inf threshold never fires"
+        )
+    high = float(values.max())
+    low = float(values.min())
     return high + r * (high - low)
 
 
@@ -63,13 +77,30 @@ class OneClassTrainer:
 
         The horizontal/vertical arrays are assumed already filtered, which
         :func:`repro.core.discriminator.detection_features` guarantees.
+        Non-finite evidence is rejected outright: a single NaN sample that
+        survived into a training run would otherwise poison every learned
+        threshold (``NaN > threshold`` is always ``False`` — the IDS fails
+        open), so the poisoned run must fail loudly at ingestion time.
         """
+        for name, values in (
+            ("c_disp", features.c_disp),
+            ("h_dist_filtered", features.h_dist_filtered),
+            ("v_dist_filtered", features.v_dist_filtered),
+            ("duration_mismatch", features.duration_mismatch),
+        ):
+            arr = np.asarray(values, dtype=np.float64)
+            if arr.size and not np.isfinite(arr).all():
+                raise ValueError(
+                    f"training evidence {name!r} contains non-finite values; "
+                    "refusing to learn a threshold that can never fire "
+                    "(sanitize the run or drop it from the training set)"
+                )
         self._c_maxima.append(_safe_max(features.c_disp))
         self._h_maxima.append(_safe_max(features.h_dist_filtered))
         self._v_maxima.append(_safe_max(features.v_dist_filtered))
         self._d_values.append(float(features.duration_mismatch))
 
-    def thresholds(self, r: float = None) -> Thresholds:
+    def thresholds(self, r: Optional[float] = None) -> Thresholds:
         """Learn the critical values from all recorded runs."""
         if self.n_runs == 0:
             raise ValueError("no training runs recorded")

@@ -17,8 +17,8 @@ Typical usage::
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Union
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from .discriminator import (
     Thresholds,
     detection_features,
 )
+from .health import SENSOR_FAULT, ChannelHealth, SanitizePolicy, sanitize_signal
 from .occ import OneClassTrainer
 
 __all__ = ["AnalysisResult", "NsyncIds"]
@@ -52,6 +53,12 @@ class AnalysisResult:
     sync: SyncResult
     v_dist: np.ndarray
     features: DetectionFeatures
+    #: Channel-health verdict from the input-sanitization stage.
+    health: Optional[ChannelHealth] = None
+    #: Indexes of analysis windows whose input samples had to be repaired
+    #: (NaN/inf); their evidence comes from sanitized data and is flagged
+    #: via ``window_quarantined`` events.
+    quarantined_windows: Tuple[int, ...] = ()
 
     @property
     def duration_mismatch(self) -> float:
@@ -75,6 +82,12 @@ class NsyncIds:
         Vertical-distance metric (default the correlation distance).
     filter_window:
         Spike-suppression window for the discriminator (default 3).
+    policy:
+        Input-sanitization thresholds (see
+        :class:`~repro.core.health.SanitizePolicy`).  ``None`` uses the
+        defaults; pass ``SanitizePolicy(enabled=False)`` to disable the
+        fail-closed sensor-fault verdict (non-finite samples are still
+        repaired and health still reported).
     """
 
     def __init__(
@@ -83,32 +96,91 @@ class NsyncIds:
         synchronizer: Synchronizer,
         metric: Union[str, DistanceFn] = "correlation",
         filter_window: int = 3,
+        policy: Optional[SanitizePolicy] = None,
     ) -> None:
         self.reference = reference
         self.synchronizer = synchronizer
         self.comparator = Comparator(metric)
         self.filter_window = filter_window
+        self.policy = policy if policy is not None else SanitizePolicy()
         self.thresholds: Optional[Thresholds] = None
 
     # ------------------------------------------------------------------
     def analyze(self, observed: Signal) -> AnalysisResult:
-        """Synchronize, compare, and featurize one observed signal."""
+        """Sanitize, synchronize, compare, and featurize one signal.
+
+        Degenerate input (NaN/inf samples) is repaired before any
+        detection math runs, so the returned evidence arrays are always
+        finite; the affected windows are flagged as quarantined and the
+        channel-health verdict rides along on the result.
+        """
         with obs.trace("repro.core.pipeline.analyze"):
+            with obs.trace("sanitize"):
+                sanitized = sanitize_signal(observed, self.policy)
+                clean = sanitized.signal
             with obs.trace("synchronize"):
-                sync = self.synchronizer.synchronize(observed, self.reference)
+                sync = self.synchronizer.synchronize(clean, self.reference)
             with obs.trace("compare"):
                 v_dist = self.comparator.vertical_distances(
-                    observed, self.reference, sync
+                    clean, self.reference, sync
                 )
             with obs.trace("featurize"):
-                mismatch = self._duration_mismatch(observed, sync)
+                mismatch = self._duration_mismatch(clean, sync)
                 features = detection_features(
                     sync, v_dist, self.filter_window,
                     duration_mismatch=mismatch,
                 )
+            quarantined = self._quarantine_windows(
+                sanitized.bad_samples, sync
+            )
         if events.enabled():
             self._emit_window_evidence(sync, features)
-        return AnalysisResult(sync=sync, v_dist=v_dist, features=features)
+        return AnalysisResult(
+            sync=sync,
+            v_dist=v_dist,
+            features=features,
+            health=sanitized.health,
+            quarantined_windows=quarantined,
+        )
+
+    @staticmethod
+    def _quarantine_windows(
+        bad_samples: np.ndarray, sync: SyncResult
+    ) -> Tuple[int, ...]:
+        """Map repaired sample positions onto analysis-window indexes.
+
+        Each affected window gets a ``window_quarantined`` event and bumps
+        the ``repro.core.pipeline.quarantined_windows`` counter; the
+        evidence itself stays in place (finite, computed from sanitized
+        data) so the discriminator keeps its fail-closed bias.
+        """
+        if not bad_samples.any():
+            return ()
+        if sync.mode == "window":
+            n_win, n_hop = sync.n_win, sync.n_hop
+            quarantined = tuple(
+                i for i in range(sync.n_indexes)
+                if bad_samples[i * n_hop : i * n_hop + n_win].any()
+            )
+        else:
+            quarantined = tuple(
+                int(i)
+                for i in np.flatnonzero(bad_samples[: sync.n_indexes])
+            )
+        if quarantined and obs.enabled():
+            obs.counter("repro.core.pipeline.quarantined_windows").inc(
+                len(quarantined)
+            )
+        if quarantined and events.enabled():
+            log = events.log()
+            for i in quarantined:
+                if sync.mode == "window":
+                    span = bad_samples[i * sync.n_hop : i * sync.n_hop + sync.n_win]
+                    n_bad = int(np.count_nonzero(span))
+                else:
+                    n_bad = 1
+                log.emit("window_quarantined", window=int(i), n_bad=n_bad)
+        return quarantined
 
     @staticmethod
     def _emit_window_evidence(
@@ -148,10 +220,22 @@ class NsyncIds:
         return float(max(abs(n_obs - n_ref), n_obs - sync.n_indexes))
 
     def fit(self, benign_signals: Iterable[Signal], r: float = 0.3) -> Thresholds:
-        """Learn the discriminator thresholds from benign runs (Eq. 23-28)."""
+        """Learn the discriminator thresholds from benign runs (Eq. 23-28).
+
+        A training run that trips the sanitization stage's sensor-fault
+        verdict is rejected outright — thresholds learned from a dark or
+        NaN-flooded channel would be meaningless and silently permissive.
+        """
         trainer = OneClassTrainer(r=r)
-        for signal in benign_signals:
-            trainer.add_run(self.analyze(signal).features)
+        for k, signal in enumerate(benign_signals):
+            analysis = self.analyze(signal)
+            if analysis.health is not None and analysis.health.sensor_fault:
+                raise ValueError(
+                    f"training run {k} failed input sanitization "
+                    f"({', '.join(analysis.health.reasons)}); refusing to "
+                    "learn thresholds from a faulty channel"
+                )
+            trainer.add_run(analysis.features)
         self.thresholds = trainer.thresholds()
         return self.thresholds
 
@@ -159,7 +243,10 @@ class NsyncIds:
         """Full pipeline: analyze the signal and apply the discriminator.
 
         The returned verdict carries ``first_alarm_time`` (seconds into the
-        print), derived from the synchronizer's window geometry.
+        print), derived from the synchronizer's window geometry, plus the
+        channel-health report of the sanitization stage.  A sensor-fault
+        verdict is **fail-closed**: it raises the intrusion flag even when
+        no content sub-module fired.
         """
         if self.thresholds is None:
             raise RuntimeError("call fit() (or set thresholds) before detect()")
@@ -172,15 +259,80 @@ class NsyncIds:
                 samples = verdict.first_alarm_index * analysis.sync.n_hop
             else:
                 samples = verdict.first_alarm_index
-            from dataclasses import replace as _replace
-
-            verdict = _replace(
+            verdict = replace(
                 verdict,
                 first_alarm_time=samples / observed.sample_rate,
+            )
+        health = analysis.health
+        if health is not None:
+            if health.sensor_fault:
+                verdict = self._apply_sensor_fault(observed, analysis, verdict)
+            verdict = replace(
+                verdict,
+                health={
+                    **health.to_dict(),
+                    "quarantined_windows": [
+                        int(i) for i in analysis.quarantined_windows
+                    ],
+                },
             )
         if events.enabled():
             self._emit_verdict(observed, analysis, verdict)
         return verdict
+
+    def _apply_sensor_fault(
+        self,
+        observed: Signal,
+        analysis: AnalysisResult,
+        verdict: Detection,
+    ) -> Detection:
+        """Fail closed: raise the alarm because the *sensor* went away."""
+        health = analysis.health
+        assert health is not None
+        sync = analysis.sync
+        start = min((s for s, _ in health.dark_spans), default=None)
+        if start is None:
+            # Non-finite flood without a single long dark run: anchor the
+            # alarm at the first quarantined window instead.
+            index = min(analysis.quarantined_windows, default=0)
+        elif sync.mode == "window":
+            index = min(start // sync.n_hop, max(sync.n_indexes - 1, 0))
+        else:
+            index = min(start, max(sync.n_indexes - 1, 0))
+        samples = index * sync.n_hop if sync.mode == "window" else index
+        time_s = samples / observed.sample_rate
+        if obs.enabled():
+            obs.counter("repro.core.pipeline.sensor_faults").inc()
+        if events.enabled():
+            log = events.log()
+            log.emit(
+                "sensor_fault",
+                reason=",".join(health.reasons),
+                window=int(index),
+                time_s=float(time_s),
+                longest_dark_s=float(health.longest_dark_s),
+            )
+            log.emit(
+                "alarm",
+                window=int(index),
+                submodule=SENSOR_FAULT,
+                value=float(health.longest_dark_s),
+                threshold=float(self.policy.max_dark_s),
+                time_s=float(time_s),
+            )
+        first = verdict.first_alarm_index
+        first = index if first is None else min(first, index)
+        first_time = (
+            (first * sync.n_hop if sync.mode == "window" else first)
+            / observed.sample_rate
+        )
+        return replace(
+            verdict,
+            is_intrusion=True,
+            sensor_fault_fired=True,
+            first_alarm_index=int(first),
+            first_alarm_time=first_time,
+        )
 
     def _emit_verdict(
         self,

@@ -10,6 +10,7 @@ point at which a deployment would stop the printer.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -21,6 +22,7 @@ from ..signals.signal import Signal
 from ..sync.dwm import DwmParams, StreamingDwm
 from .comparator import Comparator, DistanceFn, MAX_CORRELATION_DISTANCE
 from .discriminator import Thresholds
+from .health import SENSOR_FAULT, SanitizePolicy
 
 __all__ = ["Alert", "StreamingNsyncIds", "TRUNCATED_WINDOW_DISTANCE"]
 
@@ -68,12 +70,14 @@ class StreamingNsyncIds:
         thresholds: Thresholds,
         metric: Union[str, DistanceFn] = "correlation",
         filter_window: int = 3,
+        policy: Optional[SanitizePolicy] = None,
     ) -> None:
         if filter_window < 1:
             raise ValueError(f"filter_window must be >= 1, got {filter_window}")
         self.reference = reference
         self.thresholds = thresholds
         self.filter_window = filter_window
+        self.policy = policy if policy is not None else SanitizePolicy()
         self._dwm = StreamingDwm(reference, params)
         self._comparator = Comparator(metric)
         self._n_win = self._dwm._n_win
@@ -88,6 +92,19 @@ class StreamingNsyncIds:
         self._alerts: List[Alert] = []
         self._h_dist_f: List[float] = []
         self._v_dist_f: List[float] = []
+        # --- input-sanitization state (see repro.core.health) ---
+        n_ch = reference.n_channels
+        self._bad = np.zeros(0, dtype=bool)
+        self._last_good = np.zeros(n_ch)
+        self._have_good = np.zeros(n_ch, dtype=bool)
+        self._n_nonfinite = 0
+        self._dark_run = np.zeros(n_ch, dtype=np.int64)
+        self._longest_dark = 0
+        self._prev_raw: Optional[np.ndarray] = None
+        self._min_dark = self.policy.min_dark_samples(self._sample_rate)
+        self._sensor_fault = False
+        self._fault_reasons: List[str] = []
+        self._quarantined: List[int] = []
 
     # ------------------------------------------------------------------
     @property
@@ -100,17 +117,30 @@ class StreamingNsyncIds:
         return bool(self._alerts)
 
     def push(self, samples: np.ndarray) -> List[Alert]:
-        """Feed observed samples; return alerts raised by this chunk."""
+        """Feed observed samples; return alerts raised by this chunk.
+
+        Each chunk passes through the input-sanitization stage first
+        (:mod:`repro.core.health` semantics, with cross-chunk carry):
+        non-finite samples are repaired by holding the last finite value
+        before any detection math sees them, and a channel staying dark
+        past :attr:`SanitizePolicy.max_dark_s` raises a fail-closed
+        :data:`~repro.core.health.SENSOR_FAULT` alert.
+        """
         samples = np.asarray(samples, dtype=np.float64)
         if samples.ndim == 1:
             samples = samples[:, np.newaxis]
-        self._observed = np.concatenate([self._observed, samples], axis=0)
+        clean, bad_rows = self._sanitize_chunk(samples)
+        self._observed = np.concatenate([self._observed, clean], axis=0)
+        self._bad = np.concatenate([self._bad, bad_rows])
 
         new_alerts: List[Alert] = []
         with obs.trace("repro.core.streaming.push"):
-            for i, disp in self._dwm.push(samples):
+            for i, disp in self._dwm.push(clean):
                 with obs.trace("evaluate_window"):
                     new_alerts.extend(self._evaluate_window(i, disp))
+        fault = self._check_sensor_fault()
+        if fault is not None:
+            new_alerts.append(fault)
         if obs.enabled():
             obs.counter("repro.core.streaming.samples").inc(samples.shape[0])
             if new_alerts:
@@ -119,10 +149,127 @@ class StreamingNsyncIds:
         return new_alerts
 
     # ------------------------------------------------------------------
+    def _sanitize_chunk(self, raw: np.ndarray) -> tuple:
+        """Repair one chunk; returns ``(clean, bad_rows)``.
+
+        Mirrors :func:`repro.core.health.sanitize_signal` but with state
+        carried across chunk boundaries: the last finite value per channel
+        seeds the forward fill, and dark-run lengths continue through
+        chunk edges so a disconnect spanning many small chunks is still
+        seen as one long run.
+        """
+        n = raw.shape[0]
+        if n == 0:
+            return raw, np.zeros(0, dtype=bool)
+        bad = ~np.isfinite(raw)
+        bad_rows = bad.any(axis=1)
+        self._n_nonfinite += int(np.count_nonzero(bad_rows))
+        self._update_dark_runs(raw, bad)
+
+        if not bad.any():
+            self._last_good = raw[-1].copy()
+            self._have_good[:] = True
+            return raw, bad_rows
+        # Forward fill, seeded by the last finite value seen in earlier
+        # chunks (0.0 when a channel has been broken since the start).
+        seed = np.where(self._have_good, self._last_good, 0.0)
+        ext = np.concatenate([seed[np.newaxis, :], raw], axis=0)
+        ext_bad = np.concatenate(
+            [np.zeros((1, raw.shape[1]), dtype=bool), bad], axis=0
+        )
+        idx = np.where(~ext_bad, np.arange(n + 1)[:, np.newaxis], 0)
+        np.maximum.accumulate(idx, axis=0, out=idx)
+        clean = np.take_along_axis(ext, idx, axis=0)[1:]
+        self._last_good = clean[-1].copy()
+        self._have_good |= (~bad).any(axis=0)
+        return clean, bad_rows
+
+    def _update_dark_runs(self, raw: np.ndarray, bad: np.ndarray) -> None:
+        """Continue per-channel constant/non-finite run lengths through
+        this chunk (raw data — see :func:`~repro.core.health.sanitize_signal`
+        for why dark detection must precede forward-filling)."""
+        n = raw.shape[0]
+        eps = self.policy.dark_eps
+        extend = np.zeros_like(bad)
+        if self._prev_raw is not None:
+            prev_bad = ~np.isfinite(self._prev_raw)
+            with np.errstate(invalid="ignore"):
+                extend[0] = np.abs(raw[0] - self._prev_raw) <= eps
+            extend[0] |= bad[0] | prev_bad
+        if n > 1:
+            with np.errstate(invalid="ignore"):
+                extend[1:] = np.abs(np.diff(raw, axis=0)) <= eps
+            extend[1:] |= bad[1:] | bad[:-1]
+        idx = np.arange(n)[:, np.newaxis]
+        reset = np.where(~extend, idx, -1)
+        np.maximum.accumulate(reset, axis=0, out=reset)
+        run = np.where(reset >= 0, idx - reset + 1, idx + 1 + self._dark_run)
+        self._dark_run = run[-1].astype(np.int64)
+        self._longest_dark = max(self._longest_dark, int(run.max()))
+        self._prev_raw = raw[-1].copy()
+
+    def _check_sensor_fault(self) -> Optional[Alert]:
+        """Fail-closed verdict: fire the SENSOR_FAULT alert (once) when a
+        channel stayed dark past the policy limit or non-finite samples
+        flood the stream."""
+        if self._sensor_fault or not self.policy.enabled:
+            return None
+        total = self._observed.shape[0]
+        reasons: List[str] = []
+        if self._longest_dark >= self._min_dark:
+            reasons.append("dark_channel")
+        # The fraction rule only kicks in once at least max_dark_s worth of
+        # samples arrived, so a short leading NaN burst cannot trip it on a
+        # nearly-empty denominator.
+        if (
+            total >= self._min_dark
+            and self._n_nonfinite / total > self.policy.max_bad_fraction
+        ):
+            reasons.append("nonfinite_fraction")
+        if not reasons:
+            return None
+        self._sensor_fault = True
+        self._fault_reasons = reasons
+        window = len(self._c_hist)
+        time_s = total / self._sample_rate
+        longest_s = self._longest_dark / self._sample_rate
+        alert = Alert(
+            window, SENSOR_FAULT, longest_s, self.policy.max_dark_s, time_s
+        )
+        if obs.enabled():
+            obs.counter("repro.core.streaming.sensor_faults").inc()
+        if events.enabled():
+            log = events.log()
+            log.emit(
+                "sensor_fault",
+                reason=",".join(reasons),
+                window=window,
+                time_s=float(time_s),
+                longest_dark_s=float(longest_s),
+            )
+            log.emit(
+                "alarm",
+                window=window,
+                submodule=SENSOR_FAULT,
+                value=float(longest_s),
+                threshold=float(self.policy.max_dark_s),
+                time_s=float(time_s),
+            )
+        return alert
+
+    # ------------------------------------------------------------------
     def _evaluate_window(self, i: int, disp: float) -> List[Alert]:
         alerts: List[Alert] = []
         t = self.thresholds
         time_s = i * self._n_hop / self._sample_rate
+
+        # A synchronizer emitting a non-finite displacement would poison
+        # the cumulative CADHD for the rest of the print; hold the previous
+        # estimate for the c/h sub-modules and report worst-case vertical
+        # evidence for this window instead.
+        degenerate_disp = not math.isfinite(disp)
+        if degenerate_disp:
+            disp = self._prev_disp
 
         # Sub-module 1: CADHD, updated incrementally (Eq. 17).
         self._c_disp += abs(disp - self._prev_disp)
@@ -146,14 +293,25 @@ class StreamingNsyncIds:
             start + offset, start + offset + self._n_win
         ).data
         n = min(wa.shape[0], wb.shape[0])
-        if n >= 2:
-            v = self._comparator.metric(wa[:n], wb[:n])
+        if n >= 2 and not degenerate_disp:
+            v = self._comparator.pair_distance(wa[:n], wb[:n])
         else:
             v = TRUNCATED_WINDOW_DISTANCE
             if obs.enabled():
                 obs.counter("repro.core.streaming.truncated_windows").inc()
             if events.enabled():
                 events.log().emit("window_truncated", window=i, n=int(n))
+        bad_window = self._bad[start : start + self._n_win]
+        if bad_window.any():
+            self._quarantined.append(i)
+            if obs.enabled():
+                obs.counter("repro.core.streaming.quarantined_windows").inc()
+            if events.enabled():
+                events.log().emit(
+                    "window_quarantined",
+                    window=i,
+                    n_bad=int(np.count_nonzero(bad_window)),
+                )
         self._v_hist.append(v)
         v_f = min(self._v_hist[-self.filter_window :])
         self._v_dist_f.append(v_f)
@@ -206,4 +364,24 @@ class StreamingNsyncIds:
             "c_disp_curve": np.asarray(self._c_hist),
             "h_dist_filtered": np.asarray(self._h_dist_f),
             "v_dist_filtered": np.asarray(self._v_dist_f),
+        }
+
+    def health(self) -> dict:
+        """Channel-health snapshot from the input-sanitization stage.
+
+        JSON-safe, mirroring the batch pipeline's ``Detection.health``
+        payload: sample/repair counts, the longest dark run seen so far,
+        the fail-closed ``sensor_fault`` verdict with its reasons, and the
+        indices of windows whose evidence was computed from repaired
+        samples.
+        """
+        total = self._observed.shape[0]
+        return {
+            "n_samples": int(total),
+            "n_nonfinite": int(self._n_nonfinite),
+            "bad_fraction": float(self._n_nonfinite / total) if total else 0.0,
+            "longest_dark_s": float(self._longest_dark / self._sample_rate),
+            "sensor_fault": bool(self._sensor_fault),
+            "reasons": list(self._fault_reasons),
+            "quarantined_windows": list(self._quarantined),
         }

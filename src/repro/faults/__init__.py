@@ -1,0 +1,55 @@
+"""Fault injection for the acquisition path (chaos testing the IDS).
+
+The paper's IDS watches a *physical* acquisition chain, and physical
+chains fail: sensors die, ADCs clip, drivers drop buffers, cables come
+loose mid-print.  This package makes those failures reproducible:
+
+* :mod:`repro.faults.models` — seeded, composable :class:`FaultModel`
+  perturbations for both a finished :class:`~repro.signals.signal.Signal`
+  and a streaming chunk sequence,
+* :mod:`repro.faults.campaign` — the fault-matrix harness that replays a
+  benign probe through every fault against both the batch and streaming
+  detectors and checks the graceful-degradation contract (no crash, no
+  non-finite evidence, fail-closed on dark channels).
+
+``repro faults`` runs the matrix from the command line; CI runs it as the
+chaos job.
+"""
+
+from .models import (
+    ChannelDropout,
+    ChunkDuplication,
+    ChunkTruncation,
+    DaqDisconnect,
+    FaultChain,
+    FaultModel,
+    NanBurst,
+    SampleRateSkew,
+    Saturation,
+)
+from .campaign import (
+    FaultCampaignResult,
+    FaultCase,
+    FaultCaseResult,
+    default_fault_matrix,
+    render_fault_table,
+    run_fault_campaign,
+)
+
+__all__ = [
+    "FaultModel",
+    "FaultChain",
+    "ChannelDropout",
+    "NanBurst",
+    "Saturation",
+    "SampleRateSkew",
+    "ChunkDuplication",
+    "ChunkTruncation",
+    "DaqDisconnect",
+    "FaultCase",
+    "FaultCaseResult",
+    "FaultCampaignResult",
+    "default_fault_matrix",
+    "run_fault_campaign",
+    "render_fault_table",
+]

@@ -1,0 +1,378 @@
+"""Seeded, composable fault models for side-channel signals.
+
+Where :mod:`repro.printer.noise` perturbs *timing* (the phenomenon the
+paper is built around), this module perturbs the *acquisition path*: the
+ways a real DAQ chain mangles samples before the IDS ever sees them.
+Each fault is an immutable dataclass with two entry points:
+
+* :meth:`FaultModel.apply` — perturb a finished :class:`Signal` (the batch
+  pipeline's view of a recording),
+* :meth:`FaultModel.apply_chunks` — perturb a chunk stream (the streaming
+  pipeline's view).  The base class provides a deterministic buffered
+  fallback that re-emits the original chunk sizes, so every fault works in
+  both modes; faults with genuinely chunk-level semantics can override it.
+
+All randomness flows through an explicit ``numpy.random.Generator`` so a
+fault campaign is reproducible from its seed.  Faults compose via
+:class:`FaultChain` (applied left to right).
+
+The models cover the failure classes the input-sanitization stage
+(:mod:`repro.core.health`) must survive: dark channels
+(:class:`ChannelDropout`), non-finite garbage (:class:`NanBurst`), ADC
+clipping (:class:`Saturation`), clock skew (:class:`SampleRateSkew`),
+DAQ buffer mishaps (:class:`ChunkDuplication`, :class:`ChunkTruncation`),
+and a mid-print disconnect/reconnect (:class:`DaqDisconnect`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..signals.signal import Signal
+
+__all__ = [
+    "FaultModel",
+    "FaultChain",
+    "ChannelDropout",
+    "NanBurst",
+    "Saturation",
+    "SampleRateSkew",
+    "ChunkDuplication",
+    "ChunkTruncation",
+    "DaqDisconnect",
+]
+
+
+def _as_chunk(samples: np.ndarray) -> np.ndarray:
+    """Normalize one stream chunk to ``(n, n_channels)`` float64."""
+    chunk = np.asarray(samples, dtype=np.float64)
+    if chunk.ndim == 1:
+        chunk = chunk[:, np.newaxis]
+    return chunk
+
+
+def _span(
+    n: int, sample_rate: float, start_s: float, duration_s: float
+) -> Tuple[int, int]:
+    """Clip a ``[start_s, start_s + duration_s)`` window to sample indexes."""
+    start = max(0, int(round(start_s * sample_rate)))
+    stop = min(n, start + int(round(duration_s * sample_rate)))
+    return start, max(start, stop)
+
+
+def _channel_index(channels: Optional[Tuple[int, ...]], n_ch: int) -> List[int]:
+    """Resolve a channel selection (``None`` means every channel)."""
+    if channels is None:
+        return list(range(n_ch))
+    return [c for c in channels if 0 <= c < n_ch]
+
+
+class FaultModel:
+    """Base class: one acquisition-path perturbation.
+
+    Subclasses implement :meth:`apply`; the chunk-stream interface comes
+    for free via a buffered fallback (the whole stream is collected,
+    perturbed as one signal, and re-emitted in the original chunk sizes —
+    plus one trailing chunk when the fault changed the stream length).
+    """
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        """Return the perturbed signal (the input is never mutated)."""
+        raise NotImplementedError
+
+    def apply_chunks(
+        self,
+        chunks: Iterable[np.ndarray],
+        sample_rate: float,
+        rng: np.random.Generator,
+    ) -> Iterator[np.ndarray]:
+        """Perturb a chunk stream; yields ``(n, n_channels)`` arrays."""
+        buffered = [_as_chunk(c) for c in chunks]
+        sizes = [c.shape[0] for c in buffered]
+        if not buffered:
+            return
+        whole = np.concatenate(buffered, axis=0)
+        faulted = self.apply(Signal(whole, sample_rate), rng).data
+        pos = 0
+        for size in sizes:
+            yield faulted[pos : pos + size]
+            pos += size
+        if pos < faulted.shape[0]:
+            yield faulted[pos:]
+
+
+@dataclass(frozen=True)
+class FaultChain(FaultModel):
+    """Apply several faults in sequence (left to right).
+
+    The empty chain is the identity — handy as the control case of a
+    fault matrix.
+    """
+
+    faults: Tuple[FaultModel, ...] = ()
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        for fault in self.faults:
+            signal = fault.apply(signal, rng)
+        return signal
+
+    def apply_chunks(
+        self,
+        chunks: Iterable[np.ndarray],
+        sample_rate: float,
+        rng: np.random.Generator,
+    ) -> Iterator[np.ndarray]:
+        stream: Iterable[np.ndarray] = (_as_chunk(c) for c in chunks)
+        for fault in self.faults:
+            stream = fault.apply_chunks(stream, sample_rate, rng)
+        return iter(stream)
+
+
+@dataclass(frozen=True)
+class ChannelDropout(FaultModel):
+    """A channel goes dark: the span is replaced by one constant value.
+
+    This is the dead-sensor / unplugged-input failure the fail-closed
+    :data:`~repro.core.health.SENSOR_FAULT` rule exists for (when the span
+    outlasts :attr:`~repro.core.health.SanitizePolicy.max_dark_s`).
+    """
+
+    start_s: float
+    duration_s: float
+    channels: Optional[Tuple[int, ...]] = None
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s < 0:
+            raise ValueError("start_s and duration_s must be non-negative")
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        start, stop = _span(
+            signal.n_samples, signal.sample_rate, self.start_s, self.duration_s
+        )
+        if start == stop:
+            return signal
+        data = signal.data.copy()
+        for c in _channel_index(self.channels, signal.n_channels):
+            data[start:stop, c] = self.value
+        return signal.with_data(data)
+
+
+@dataclass(frozen=True)
+class NanBurst(FaultModel):
+    """Non-finite garbage: samples in the span become NaN.
+
+    ``fraction`` < 1 scatters NaNs uniformly at random inside the span
+    (corrupt frames) instead of blanking it solid (a dead stretch).
+    """
+
+    start_s: float
+    duration_s: float
+    channels: Optional[Tuple[int, ...]] = None
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s < 0:
+            raise ValueError("start_s and duration_s must be non-negative")
+        if not 0 < self.fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        start, stop = _span(
+            signal.n_samples, signal.sample_rate, self.start_s, self.duration_s
+        )
+        if start == stop:
+            return signal
+        data = signal.data.copy()
+        rows: np.ndarray = np.arange(start, stop)
+        if self.fraction < 1.0:
+            keep = rng.random(rows.shape[0]) < self.fraction
+            rows = rows[keep]
+        for c in _channel_index(self.channels, signal.n_channels):
+            data[rows, c] = np.nan
+        return signal.with_data(data)
+
+
+@dataclass(frozen=True)
+class Saturation(FaultModel):
+    """ADC clipping: samples in the span are clamped to ``[-limit, limit]``.
+
+    Pick the limit from the reference amplitude (e.g. a high percentile of
+    ``|x|``) so only peaks clip; a limit below the signal floor turns the
+    channel constant and — correctly — reads as dark.
+    """
+
+    limit: float
+    start_s: float = 0.0
+    duration_s: float = float("inf")
+    channels: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.limit > 0:
+            raise ValueError(f"limit must be positive, got {self.limit}")
+        if self.start_s < 0 or self.duration_s < 0:
+            raise ValueError("start_s and duration_s must be non-negative")
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        n = signal.n_samples
+        if np.isinf(self.duration_s):
+            start = max(0, int(round(self.start_s * signal.sample_rate)))
+            stop = n
+        else:
+            start, stop = _span(
+                n, signal.sample_rate, self.start_s, self.duration_s
+            )
+        if start >= stop:
+            return signal
+        data = signal.data.copy()
+        for c in _channel_index(self.channels, signal.n_channels):
+            np.clip(
+                data[start:stop, c],
+                -self.limit,
+                self.limit,
+                out=data[start:stop, c],
+            )
+        return signal.with_data(data)
+
+
+@dataclass(frozen=True)
+class SampleRateSkew(FaultModel):
+    """DAQ clock skew: the stream is resampled by ``factor``.
+
+    ``factor > 1`` means the observed clock runs slow, so the same print
+    yields proportionally *more* samples (the signal appears stretched);
+    ``factor < 1`` compresses it.  Linear interpolation per channel.
+    """
+
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not self.factor > 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        n = signal.n_samples
+        if n < 2 or self.factor == 1.0:
+            return signal
+        new_n = max(2, int(round(n * self.factor)))
+        positions = np.arange(new_n) / self.factor
+        positions = np.clip(positions, 0.0, n - 1)
+        base = np.arange(n, dtype=np.float64)
+        resampled = np.empty((new_n, signal.n_channels))
+        for c in range(signal.n_channels):
+            resampled[:, c] = np.interp(positions, base, signal.data[:, c])
+        return signal.with_data(resampled)
+
+
+@dataclass(frozen=True)
+class ChunkDuplication(FaultModel):
+    """A DAQ buffer is delivered twice: the span is re-inserted after
+    itself, shifting the rest of the stream late."""
+
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("start_s must be >= 0 and duration_s positive")
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        start, stop = _span(
+            signal.n_samples, signal.sample_rate, self.start_s, self.duration_s
+        )
+        if start == stop:
+            return signal
+        data = signal.data
+        return signal.with_data(
+            np.concatenate([data[:stop], data[start:stop], data[stop:]], axis=0)
+        )
+
+
+@dataclass(frozen=True)
+class ChunkTruncation(FaultModel):
+    """A DAQ buffer is lost without trace: the span is deleted and the
+    rest of the stream arrives early (no gap marker, unlike a dropout)."""
+
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("start_s must be >= 0 and duration_s positive")
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        start, stop = _span(
+            signal.n_samples, signal.sample_rate, self.start_s, self.duration_s
+        )
+        if start == stop:
+            return signal
+        data = signal.data
+        return signal.with_data(
+            np.concatenate([data[:start], data[stop:]], axis=0)
+        )
+
+
+@dataclass(frozen=True)
+class DaqDisconnect(FaultModel):
+    """Mid-print disconnect/reconnect of the whole acquisition front-end.
+
+    ``mode`` selects what the IDS sees during the outage:
+
+    * ``"nan"`` — the driver keeps delivering frames full of NaN,
+    * ``"zeros"`` — the ADC reads a grounded input (all channels dark),
+    * ``"drop"`` — nothing is delivered at all; the stream resumes where
+      the printer is, so everything after the gap is early.
+    """
+
+    start_s: float
+    duration_s: float
+    mode: str = "nan"
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("start_s must be >= 0 and duration_s positive")
+        if self.mode not in ("nan", "zeros", "drop"):
+            raise ValueError(
+                f"mode must be 'nan', 'zeros', or 'drop', got {self.mode!r}"
+            )
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        if self.mode == "drop":
+            return ChunkTruncation(self.start_s, self.duration_s).apply(
+                signal, rng
+            )
+        if self.mode == "zeros":
+            return ChannelDropout(self.start_s, self.duration_s).apply(
+                signal, rng
+            )
+        return NanBurst(self.start_s, self.duration_s).apply(signal, rng)
+
+    def apply_chunks(
+        self,
+        chunks: Iterable[np.ndarray],
+        sample_rate: float,
+        rng: np.random.Generator,
+    ) -> Iterator[np.ndarray]:
+        """Streaming view: chunks overlapping the outage are blanked (or,
+        in ``"drop"`` mode, the affected samples never arrive)."""
+        pos = 0
+        for raw in chunks:
+            chunk = _as_chunk(raw)
+            n = chunk.shape[0]
+            start, stop = _span(
+                pos + n, sample_rate, self.start_s, self.duration_s
+            )
+            lo, hi = max(start - pos, 0), min(stop - pos, n)
+            pos += n
+            if lo >= hi:
+                yield chunk
+                continue
+            if self.mode == "drop":
+                yield np.concatenate([chunk[:lo], chunk[hi:]], axis=0)
+            else:
+                out = chunk.copy()
+                out[lo:hi] = np.nan if self.mode == "nan" else 0.0
+                yield out

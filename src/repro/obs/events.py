@@ -92,6 +92,12 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "run_summary": ("is_intrusion", "fired", "n_windows"),
     # The streaming v_dist fallback kicked in (window too short to compare).
     "window_truncated": ("window", "n"),
+    # The sanitization stage repaired non-finite samples inside a window;
+    # the window's evidence is computed from the repaired data and flagged.
+    "window_quarantined": ("window", "n_bad"),
+    # Fail-closed sensor verdict: the channel went dark / flooded with
+    # non-finite samples beyond the SanitizePolicy limits.
+    "sensor_fault": ("reason",),
     # Campaign-engine run lifecycle.
     "engine_batch_start": ("n_requests",),
     "engine_run": ("index", "label", "source"),

@@ -114,3 +114,70 @@ class TestPointMode:
         sync = SyncResult(h_disp=np.zeros(5), mode="point", pairs=pairs)
         v = vertical_distances(s, s, sync)
         assert v.shape == (5,)
+
+
+class TestDegenerateWindows:
+    """Regression tests: zero-variance / non-finite inputs must map to
+    explicit worst-case (or zero) distances, never NaN and never a crash."""
+
+    def test_constant_window_vs_varying_is_max_distance(self):
+        """Pre-fix: Pearson's r on a constant window degenerated and v_dist
+        could go NaN, which compares benign against every threshold."""
+        obs = make_signal(100)
+        frozen = obs.with_data(np.zeros_like(obs.data))
+        v = vertical_distances(frozen, obs, window_sync(10))
+        assert np.isfinite(v).all()
+        assert np.allclose(v, 2.0)
+
+    def test_identical_constant_windows_are_zero(self):
+        s = Signal(np.full(100, 3.25), 10.0)
+        v = vertical_distances(s, s, window_sync(10))
+        assert np.allclose(v, 0.0)
+
+    def test_different_constant_windows_are_max(self):
+        a = Signal(np.full(100, 1.0), 10.0)
+        b = Signal(np.full(100, -1.0), 10.0)
+        v = vertical_distances(a, b, window_sync(10))
+        assert np.allclose(v, 2.0)
+
+    def test_non_finite_h_disp_does_not_crash(self):
+        """Pre-fix: int(round(nan)) raised mid-detection."""
+        s = make_signal(200)
+        sync = window_sync(5, h_disp=[0.0, np.nan, np.inf, -np.inf, 0.0])
+        v = vertical_distances(s, s, sync)
+        assert np.isfinite(v).all()
+        assert v[1] == v[2] == v[3] == pytest.approx(2.0)
+        assert v[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_huge_negative_offset_is_max_distance(self):
+        """An offset so negative the reference window clamps to nothing
+        must score as a walk-off, like an overrun does."""
+        s = make_signal(200)
+        sync = window_sync(3, h_disp=[0.0, -1e6, -200.0])
+        v = vertical_distances(s, s, sync)
+        assert np.isfinite(v).all()
+        assert v[1] == pytest.approx(2.0)
+        assert v[2] == pytest.approx(2.0)
+
+    def test_nan_returning_metric_clamped(self):
+        """Whatever a custom metric emits, v_dist stays finite."""
+        s = make_signal()
+        v = Comparator(lambda u, w: float("nan")).vertical_distances(
+            s, s, window_sync(4)
+        )
+        assert np.allclose(v, 2.0)
+
+    def test_constant_special_case_is_correlation_only(self):
+        """Other metrics are well-defined on constants and stay untouched."""
+        a = Signal(np.full(100, 2.0), 10.0)
+        b = Signal(np.full(100, 5.0), 10.0)
+        v = Comparator("mae").vertical_distances(a, b, window_sync(5))
+        assert np.allclose(v, 3.0)
+
+    def test_pair_distance_public_contract(self):
+        comp = Comparator("correlation")
+        varying = np.random.default_rng(0).standard_normal((20, 1))
+        const = np.full((20, 1), 1.5)
+        assert comp.pair_distance(const, varying) == 2.0
+        assert comp.pair_distance(const, const.copy()) == 0.0
+        assert np.isfinite(comp.pair_distance(varying, varying))

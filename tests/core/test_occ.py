@@ -107,3 +107,41 @@ class TestOneClassTrainer:
         )
         t = trainer.thresholds()
         assert t.c_c == 0.0
+
+
+class TestNonFiniteEvidenceRejected:
+    """Regression tests: a NaN that sneaks into training evidence would
+    produce a NaN threshold that never fires (silent fail-open)."""
+
+    def test_occ_threshold_rejects_nan_maxima(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            occ_threshold([1.0, float("nan"), 3.0], r=0.3)
+
+    def test_occ_threshold_rejects_inf_maxima(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            occ_threshold([1.0, float("inf")], r=0.3)
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("c_disp", dict(c_max=float("nan"), h_max=1.0, v_max=0.5)),
+            ("h_dist_filtered", dict(c_max=1.0, h_max=float("nan"), v_max=0.5)),
+            ("v_dist_filtered", dict(c_max=1.0, h_max=1.0, v_max=float("inf"))),
+            (
+                "duration_mismatch",
+                dict(c_max=1.0, h_max=1.0, v_max=0.5, mismatch=float("nan")),
+            ),
+        ],
+    )
+    def test_add_run_rejects_each_poisoned_array(self, name, kwargs):
+        trainer = OneClassTrainer()
+        with pytest.raises(ValueError, match=name):
+            trainer.add_run(features(**kwargs))
+        assert trainer.n_runs == 0  # the poisoned run left no partial state
+
+    def test_clean_run_after_rejection_still_works(self):
+        trainer = OneClassTrainer(r=0.0)
+        with pytest.raises(ValueError):
+            trainer.add_run(features(float("nan"), 1.0, 0.5))
+        trainer.add_run(features(2.0, 1.0, 0.5))
+        assert trainer.thresholds().c_c == pytest.approx(2.0)

@@ -112,3 +112,103 @@ class TestAlarmTime:
         verdict = ids.detect(benign_run(91))
         if not verdict.is_intrusion:
             assert verdict.first_alarm_time is None
+
+
+class TestSanitization:
+    """Graceful degradation: degenerate input degrades the verdict, never
+    the process (see repro.core.health)."""
+
+    def _fitted(self, r=0.3):
+        ids = NsyncIds(benign_run(0), DwmSynchronizer(PARAMS))
+        ids.fit([benign_run(s) for s in range(1, 6)], r=r)
+        return ids
+
+    def test_nan_burst_detects_without_crash(self):
+        ids = self._fitted()
+        probe = benign_run(40)
+        data = probe.data.copy()
+        data[500:530] = np.nan  # 0.3 s burst, under the 1 s dark limit
+        verdict = ids.detect(Signal(data, probe.sample_rate))
+        f = verdict.features
+        assert np.isfinite(f.c_disp).all()
+        assert np.isfinite(f.h_dist_filtered).all()
+        assert np.isfinite(f.v_dist_filtered).all()
+        assert not verdict.sensor_fault_fired
+        assert verdict.health is not None
+        assert verdict.health["n_nonfinite"] == 30
+        assert verdict.health["quarantined_windows"]
+
+    def test_quarantined_windows_cover_the_burst(self):
+        ids = NsyncIds(benign_run(0), DwmSynchronizer(PARAMS))
+        probe = benign_run(41)
+        data = probe.data.copy()
+        data[1000:1030] = np.inf
+        analysis = ids.analyze(Signal(data, probe.sample_rate))
+        n_hop = PARAMS.n_hop(probe.sample_rate)
+        n_win = PARAMS.n_win(probe.sample_rate)
+        expected = [
+            i
+            for i in range(analysis.sync.n_indexes)
+            if i * n_hop < 1030 and i * n_hop + n_win > 1000
+        ]
+        assert list(analysis.quarantined_windows) == expected
+
+    def test_dark_channel_fails_closed(self):
+        """A dead sensor must alarm, not stay silent (fail-closed)."""
+        ids = self._fitted()
+        probe = benign_run(42)
+        data = probe.data.copy()
+        data[800:1100] = data[799]  # 3 s frozen at fs=100
+        verdict = ids.detect(Signal(data, probe.sample_rate))
+        assert verdict.sensor_fault_fired
+        assert verdict.is_intrusion
+        assert "sensor_fault" in verdict.fired_submodules()
+        assert verdict.first_alarm_index is not None
+        assert verdict.first_alarm_time is not None
+        assert verdict.health["sensor_fault"]
+        assert "dark_channel" in verdict.health["reasons"]
+
+    def test_to_dict_carries_health(self):
+        import json
+
+        ids = self._fitted()
+        probe = benign_run(43)
+        data = probe.data.copy()
+        data[200:500] = 0.0
+        doc = ids.detect(Signal(data, probe.sample_rate)).to_dict()
+        json.dumps(doc)
+        assert doc["sensor_fault_fired"]
+        assert doc["health"]["sensor_fault"]
+
+    def test_fit_rejects_dark_training_run(self):
+        ids = NsyncIds(benign_run(0), DwmSynchronizer(PARAMS))
+        poisoned = benign_run(2)
+        data = poisoned.data.copy()
+        data[100:400] = 7.0
+        with pytest.raises(ValueError, match="sanitization"):
+            ids.fit([benign_run(1), Signal(data, poisoned.sample_rate)])
+
+    def test_disabled_policy_reports_health_without_alarm(self):
+        from repro.core import SanitizePolicy
+
+        ids = NsyncIds(
+            benign_run(0),
+            DwmSynchronizer(PARAMS),
+            policy=SanitizePolicy(enabled=False),
+        )
+        ids.thresholds = Thresholds(c_c=1e9, h_c=1e9, v_c=1e9)
+        probe = benign_run(44)
+        data = probe.data.copy()
+        data[800:1100] = 0.0
+        verdict = ids.detect(Signal(data, probe.sample_rate))
+        assert not verdict.sensor_fault_fired
+        assert not verdict.is_intrusion
+        assert verdict.health is not None
+        assert not verdict.health["sensor_fault"]
+
+    def test_clean_run_health_is_clean(self):
+        ids = self._fitted()
+        verdict = ids.detect(benign_run(45))
+        assert verdict.health is not None
+        assert verdict.health["n_nonfinite"] == 0
+        assert verdict.health["quarantined_windows"] == []

@@ -214,3 +214,90 @@ class TestTruncatedWindows:
         assert snapshot["counters"][
             "repro.core.streaming.truncated_windows"
         ] == 1.0
+
+
+class TestStreamingSanitization:
+    """Degenerate chunks are repaired in-stream; dark channels fail closed."""
+
+    def test_nan_chunk_repaired_and_quarantined(self, reference, lenient):
+        ids = StreamingNsyncIds(reference, PARAMS, lenient)
+        data = textured(seed=5)
+        data[500:530] = np.nan  # 0.3 s burst, under the dark limit
+        for start in range(0, data.size, 250):
+            ids.push(data[start : start + 250])
+        ev = ids.evidence()
+        assert np.isfinite(ev["h_disp"]).all()
+        assert np.isfinite(ev["v_dist_filtered"]).all()
+        health = ids.health()
+        assert health["n_nonfinite"] == 30
+        assert health["quarantined_windows"]
+        assert not health["sensor_fault"]
+        assert not ids.intrusion_detected
+
+    def test_leading_nan_first_chunk(self, reference, lenient):
+        """NaNs before any good sample fall back to zeros, not a crash."""
+        ids = StreamingNsyncIds(reference, PARAMS, lenient)
+        data = textured(seed=6)
+        data[:10] = np.nan
+        for start in range(0, data.size, 97):
+            ids.push(data[start : start + 97])
+        assert np.isfinite(ids._observed).all()
+        assert np.all(ids._observed[:10, 0] == 0.0)
+
+    def test_dark_stream_fails_closed(self, reference, strict):
+        ids = StreamingNsyncIds(reference, PARAMS, strict)
+        data = textured(seed=7)
+        data[1000:1300] = data[999]  # 3 s frozen at fs=100
+        for start in range(0, data.size, 50):
+            ids.push(data[start : start + 50])
+        health = ids.health()
+        assert health["sensor_fault"]
+        assert "dark_channel" in health["reasons"]
+        assert ids.intrusion_detected
+        faults = [a for a in ids.alerts if a.submodule == "sensor_fault"]
+        assert len(faults) == 1, "SENSOR_FAULT must fire exactly once"
+
+    def test_dark_run_spans_chunk_boundaries(self, reference, strict):
+        """A constant run split across many tiny chunks must still trip."""
+        ids = StreamingNsyncIds(reference, PARAMS, strict)
+        data = textured(seed=8)
+        data[700:900] = -2.5  # 2 s dark, pushed 25 samples at a time
+        for start in range(0, data.size, 25):
+            ids.push(data[start : start + 25])
+        assert ids.health()["sensor_fault"]
+
+    def test_sensor_fault_event_emitted(self, reference, strict, event_ring):
+        ids = StreamingNsyncIds(reference, PARAMS, strict)
+        data = textured(seed=9)
+        data[500:800] = 0.0
+        ids.push(data.reshape(-1, 1))
+        assert events.tail(etype="sensor_fault")
+
+    def test_quarantine_event_emitted(self, reference, lenient, event_ring):
+        ids = StreamingNsyncIds(reference, PARAMS, lenient)
+        data = textured(seed=10)
+        data[400:420] = np.inf
+        ids.push(data.reshape(-1, 1))
+        quarantine = events.tail(etype="window_quarantined")
+        assert quarantine
+        assert all(e["n_bad"] > 0 for e in quarantine)
+
+    def test_disabled_policy_repairs_without_fault(self, reference, lenient):
+        from repro.core import SanitizePolicy
+
+        ids = StreamingNsyncIds(
+            reference, PARAMS, lenient, policy=SanitizePolicy(enabled=False)
+        )
+        data = textured(seed=11)
+        data[500:900] = 1.0
+        ids.push(data.reshape(-1, 1))
+        assert not ids.health()["sensor_fault"]
+        assert not ids.intrusion_detected
+
+    def test_clean_stream_health(self, reference, lenient):
+        ids = StreamingNsyncIds(reference, PARAMS, lenient)
+        ids.push(textured(seed=12).reshape(-1, 1))
+        health = ids.health()
+        assert health["n_nonfinite"] == 0
+        assert health["bad_fraction"] == 0.0
+        assert health["quarantined_windows"] == []

@@ -1,0 +1,104 @@
+"""Integration tests for the fault campaign harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.health import SanitizePolicy
+from repro.faults import (
+    ChannelDropout,
+    FaultCase,
+    FaultChain,
+    NanBurst,
+    default_fault_matrix,
+    render_fault_table,
+    run_fault_campaign,
+)
+from repro.eval.dataset import default_setup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    # A short print keeps the whole module's simulations cheap.
+    return default_setup(object_height=0.4)
+
+
+POLICY = SanitizePolicy(max_dark_s=1.0)
+
+SMALL_MATRIX = [
+    FaultCase("clean", FaultChain(())),
+    FaultCase("nan_burst", NanBurst(start_s=2.0, duration_s=0.4)),
+    FaultCase(
+        "dark",
+        ChannelDropout(start_s=2.0, duration_s=2.5),
+        expect_sensor_fault=True,
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def campaign(setup):
+    return run_fault_campaign(
+        setup=setup, n_train=2, seed=3, policy=POLICY, cases=SMALL_MATRIX
+    )
+
+
+class TestDefaultMatrix:
+    def test_covers_every_model(self):
+        cases = default_fault_matrix(duration_s=30.0)
+        names = {c.name for c in cases}
+        assert "clean" in names
+        assert len(names) == len(cases), "case names must be unique"
+        assert len(cases) >= 10
+
+    def test_dark_cases_expect_sensor_fault(self):
+        cases = default_fault_matrix(duration_s=30.0)
+        expecting = {c.name for c in cases if c.expect_sensor_fault}
+        assert "dropout_dark" in expecting
+        assert "disconnect_nan" in expecting
+
+
+class TestRunFaultCampaign:
+    def test_small_matrix_all_pass(self, campaign):
+        assert campaign.all_passed, render_fault_table(campaign)
+        assert campaign.n_failed == 0
+        # 3 cases x 2 detectors.
+        assert len(campaign.results) == 6
+
+    def test_dark_case_fails_closed_everywhere(self, campaign):
+        dark = [r for r in campaign.results if r.case.name == "dark"]
+        assert len(dark) == 2
+        assert all(r.sensor_fault for r in dark)
+
+    def test_clean_case_no_fault(self, campaign):
+        clean = [r for r in campaign.results if r.case.name == "clean"]
+        assert all(not r.sensor_fault for r in clean)
+        assert all(r.error is None for r in clean)
+
+    def test_to_dict_json_safe(self, campaign):
+        doc = campaign.to_dict()
+        json.dumps(doc)
+        assert doc["n_cases"] == 6
+        assert doc["all_passed"] is True
+        assert {r["detector"] for r in doc["results"]} == {"batch", "streaming"}
+
+    def test_render_table(self, campaign):
+        table = render_fault_table(campaign)
+        assert "dark" in table
+        assert "streaming" in table
+
+    def test_detector_selection(self, setup):
+        result = run_fault_campaign(
+            setup=setup,
+            n_train=2,
+            seed=3,
+            policy=POLICY,
+            cases=SMALL_MATRIX[:1],
+            detectors=("batch",),
+        )
+        assert {r.detector for r in result.results} == {"batch"}
+
+    def test_unknown_detector_rejected(self, setup):
+        with pytest.raises(ValueError, match="detector"):
+            run_fault_campaign(setup=setup, detectors=("quantum",))

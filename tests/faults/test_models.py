@@ -1,0 +1,247 @@
+"""Unit tests for the fault models (repro.faults.models)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ChannelDropout,
+    ChunkDuplication,
+    ChunkTruncation,
+    DaqDisconnect,
+    FaultChain,
+    FaultModel,
+    NanBurst,
+    SampleRateSkew,
+    Saturation,
+)
+from repro.signals import Signal
+
+FS = 100.0
+
+
+def textured(n=1000, seed=0, channels=1):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal((n, channels)), axis=0)
+
+
+def sig(n=1000, seed=0, channels=1):
+    return Signal(textured(n, seed, channels), FS)
+
+
+def chunked(data, size):
+    return [data[i : i + size] for i in range(0, data.shape[0], size)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            NanBurst(1.0, 0.5, fraction=0.3),
+            FaultChain((NanBurst(1.0, 0.5, fraction=0.5), SampleRateSkew(1.01))),
+        ],
+    )
+    def test_same_seed_same_output(self, fault):
+        s = sig()
+        a = fault.apply(s, np.random.default_rng(7)).data
+        b = fault.apply(s, np.random.default_rng(7)).data
+        assert np.array_equal(a, b, equal_nan=True)
+
+    def test_input_never_mutated(self):
+        s = sig()
+        before = s.data.copy()
+        for fault in (
+            ChannelDropout(1.0, 2.0),
+            NanBurst(1.0, 2.0),
+            Saturation(0.5),
+            SampleRateSkew(1.1),
+            ChunkDuplication(1.0, 1.0),
+            ChunkTruncation(1.0, 1.0),
+            DaqDisconnect(1.0, 1.0),
+        ):
+            fault.apply(s, np.random.default_rng(0))
+        assert np.array_equal(s.data, before)
+
+
+class TestChannelDropout:
+    def test_span_goes_constant(self):
+        out = ChannelDropout(2.0, 1.0, value=3.5).apply(sig(), None)
+        assert np.all(out.data[200:300, 0] == 3.5)
+        assert np.array_equal(out.data[:200], sig().data[:200])
+
+    def test_channel_selection(self):
+        out = ChannelDropout(0.0, 1.0, channels=(1,)).apply(
+            sig(channels=3), None
+        )
+        assert np.all(out.data[:100, 1] == 0.0)
+        assert np.array_equal(out.data[:, 0], sig(channels=3).data[:, 0])
+
+    def test_span_clipped_to_signal(self):
+        out = ChannelDropout(9.0, 100.0).apply(sig(), None)
+        assert np.all(out.data[900:, 0] == 0.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelDropout(-1.0, 1.0)
+
+
+class TestNanBurst:
+    def test_solid_burst(self):
+        out = NanBurst(1.0, 0.5).apply(sig(), None)
+        assert np.isnan(out.data[100:150, 0]).all()
+        assert np.isfinite(out.data[150:, 0]).all()
+
+    def test_scattered_fraction(self):
+        out = NanBurst(0.0, 10.0, fraction=0.25).apply(
+            sig(), np.random.default_rng(3)
+        )
+        frac = np.isnan(out.data[:, 0]).mean()
+        assert 0.15 < frac < 0.35
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            NanBurst(0.0, 1.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            NanBurst(0.0, 1.0, fraction=1.5)
+
+
+class TestSaturation:
+    def test_clamps_to_limit(self):
+        out = Saturation(limit=1.0).apply(sig(), None)
+        assert np.abs(out.data).max() <= 1.0
+
+    def test_windowed_clip(self):
+        s = sig()
+        out = Saturation(limit=0.5, start_s=2.0, duration_s=1.0).apply(s, None)
+        assert np.abs(out.data[200:300, 0]).max() <= 0.5
+        assert np.array_equal(out.data[:200], s.data[:200])
+        assert np.array_equal(out.data[300:], s.data[300:])
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            Saturation(limit=0.0)
+
+
+class TestSampleRateSkew:
+    def test_stretches_stream(self):
+        out = SampleRateSkew(1.05).apply(sig(), None)
+        assert out.n_samples == 1050
+
+    def test_compresses_stream(self):
+        out = SampleRateSkew(0.9).apply(sig(), None)
+        assert out.n_samples == 900
+
+    def test_identity_factor(self):
+        s = sig()
+        assert SampleRateSkew(1.0).apply(s, None) is s
+
+    def test_endpoints_preserved(self):
+        s = sig()
+        out = SampleRateSkew(1.1).apply(s, None)
+        assert out.data[0, 0] == pytest.approx(s.data[0, 0])
+        assert out.data[-1, 0] == pytest.approx(s.data[-1, 0])
+
+    def test_factor_validated(self):
+        with pytest.raises(ValueError):
+            SampleRateSkew(0.0)
+
+
+class TestChunkFaults:
+    def test_duplication_lengthens(self):
+        out = ChunkDuplication(1.0, 0.5).apply(sig(), None)
+        assert out.n_samples == 1050
+        assert np.array_equal(out.data[100:150], out.data[150:200])
+
+    def test_truncation_shortens(self):
+        s = sig()
+        out = ChunkTruncation(1.0, 0.5).apply(s, None)
+        assert out.n_samples == 950
+        assert np.array_equal(out.data[100:], s.data[150:])
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkDuplication(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ChunkTruncation(1.0, 0.0)
+
+
+class TestDaqDisconnect:
+    def test_nan_mode(self):
+        out = DaqDisconnect(1.0, 1.0, mode="nan").apply(sig(), None)
+        assert np.isnan(out.data[100:200, 0]).all()
+
+    def test_zeros_mode(self):
+        out = DaqDisconnect(1.0, 1.0, mode="zeros").apply(sig(), None)
+        assert np.all(out.data[100:200, 0] == 0.0)
+
+    def test_drop_mode_shortens(self):
+        out = DaqDisconnect(1.0, 1.0, mode="drop").apply(sig(), None)
+        assert out.n_samples == 900
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DaqDisconnect(1.0, 1.0, mode="ffff")
+
+    @pytest.mark.parametrize("mode", ["nan", "zeros", "drop"])
+    @pytest.mark.parametrize("size", [33, 100, 250])
+    def test_chunked_matches_batch(self, mode, size):
+        """The streaming override must agree with the batch transform."""
+        fault = DaqDisconnect(1.7, 2.3, mode=mode)
+        data = textured()
+        batch = fault.apply(Signal(data, FS), None).data
+        streamed = np.concatenate(
+            list(fault.apply_chunks(chunked(data, size), FS, None)), axis=0
+        )
+        assert np.array_equal(batch, streamed, equal_nan=True)
+
+
+class TestChunkStreamFallback:
+    def test_generic_fallback_matches_batch(self):
+        """The buffered fallback re-emits original chunk sizes."""
+        fault = Saturation(limit=0.8)
+        data = textured()
+        out = list(fault.apply_chunks(chunked(data, 64), FS, None))
+        assert [c.shape[0] for c in out[:-1]] == [64] * (len(out) - 1)
+        joined = np.concatenate(out, axis=0)
+        assert np.array_equal(joined, fault.apply(Signal(data, FS), None).data)
+
+    def test_length_changing_fault_emits_trailing_chunk(self):
+        fault = SampleRateSkew(1.1)
+        data = textured(500)
+        out = list(fault.apply_chunks(chunked(data, 100), FS, None))
+        assert sum(c.shape[0] for c in out) == 550
+
+    def test_empty_stream(self):
+        assert list(Saturation(1.0).apply_chunks([], FS, None)) == []
+
+    def test_one_d_chunks_normalized(self):
+        out = list(
+            Saturation(1.0).apply_chunks([np.zeros(10), np.ones(5)], FS, None)
+        )
+        assert all(c.ndim == 2 for c in out)
+
+
+class TestFaultChain:
+    def test_empty_chain_is_identity(self):
+        s = sig()
+        assert FaultChain().apply(s, None) is s
+
+    def test_applied_left_to_right(self):
+        # Dropout to 5.0 then saturate to 1.0: the dark span must end up
+        # at the clip limit, which only happens in that order.
+        chain = FaultChain((ChannelDropout(0.0, 1.0, value=5.0), Saturation(1.0)))
+        out = chain.apply(sig(), None)
+        assert np.all(out.data[:100, 0] == 1.0)
+
+    def test_chunked_chain(self):
+        chain = FaultChain((Saturation(0.9), ChannelDropout(1.0, 0.5)))
+        data = textured()
+        joined = np.concatenate(
+            list(chain.apply_chunks(chunked(data, 77), FS, None)), axis=0
+        )
+        assert np.array_equal(
+            joined, chain.apply(Signal(data, FS), None).data
+        )
+
+    def test_base_class_apply_abstract(self):
+        with pytest.raises(NotImplementedError):
+            FaultModel().apply(sig(), None)

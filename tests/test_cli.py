@@ -273,3 +273,38 @@ class TestForensicsWorkflow:
               str(workspace / "malicious" / "ACC.npz")])
         with pytest.raises(SystemExit, match="--attack NAME or --gcode"):
             main(["explain", str(events_path), "--height", "0.4"])
+
+
+class TestFaultsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.channel == "ACC"
+        assert args.detector == "both"
+        assert args.max_dark_s == 1.0
+        assert not args.json
+
+    def test_bad_detector_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--detector", "quantum"])
+
+    def test_full_matrix_passes(self, capsys):
+        rc = main(
+            ["faults", "--height", "0.4", "--train", "2", "--workers", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "PASS" in out or "passed" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "faults", "--height", "0.4", "--train", "2", "--workers", "0",
+                "--detector", "batch", "--json",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["all_passed"] is True
+        assert doc["detectors"] == ["batch"]

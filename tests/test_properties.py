@@ -200,3 +200,101 @@ class TestQuantizationProperties:
         floor = 1e-3 * max(float(np.abs(fine.data).max()), 1.0)
         step = 4.0 * np.maximum(std, floor) / 2 ** (bits - 1)
         assert np.all(err <= step * 0.51 + 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Graceful-degradation invariants (repro.core.health + repro.faults)
+# ---------------------------------------------------------------------------
+_ROBUSTNESS_IDS = None
+
+
+def _robustness_ids():
+    """A fitted IDS shared across examples (fitting dominates runtime)."""
+    global _ROBUSTNESS_IDS
+    if _ROBUSTNESS_IDS is None:
+        from repro.core import NsyncIds
+
+        params = DwmParams(t_win=1.0, t_hop=0.5, t_ext=0.5, t_sigma=0.25, eta=0.2)
+        ids = NsyncIds(
+            Signal(textured(3000, 900), 100.0), DwmSynchronizer(params)
+        )
+        ids.fit(
+            [Signal(textured(3000, 900 + s), 100.0) for s in range(1, 5)],
+            r=0.3,
+        )
+        _ROBUSTNESS_IDS = ids
+    return _ROBUSTNESS_IDS
+
+
+def _fault_strategy():
+    from repro.faults import (
+        ChannelDropout,
+        ChunkDuplication,
+        ChunkTruncation,
+        DaqDisconnect,
+        NanBurst,
+        SampleRateSkew,
+        Saturation,
+    )
+
+    start = st.floats(0.0, 20.0)
+    duration = st.floats(0.1, 8.0)
+    return st.one_of(
+        st.builds(ChannelDropout, start_s=start, duration_s=duration),
+        st.builds(
+            NanBurst,
+            start_s=start,
+            duration_s=duration,
+            fraction=st.floats(0.05, 1.0),
+        ),
+        st.builds(Saturation, limit=st.floats(0.1, 50.0)),
+        st.builds(SampleRateSkew, factor=st.floats(0.9, 1.1)),
+        st.builds(ChunkDuplication, start_s=start, duration_s=duration),
+        st.builds(ChunkTruncation, start_s=start, duration_s=duration),
+        st.builds(
+            DaqDisconnect,
+            start_s=start,
+            duration_s=duration,
+            mode=st.sampled_from(["nan", "zeros", "drop"]),
+        ),
+    )
+
+
+class TestGracefulDegradation:
+    @given(fault=_fault_strategy(), seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_detect_survives_any_fault(self, fault, seed):
+        """For ANY fault model, detect() neither raises nor leaks
+        non-finite evidence into the threshold comparisons."""
+        ids = _robustness_ids()
+        probe = Signal(textured(3000, 950), 100.0)
+        faulted = fault.apply(probe, np.random.default_rng(seed))
+        assume(faulted.n_samples >= 200)  # enough samples for one window
+        verdict = ids.detect(faulted)
+        f = verdict.features
+        assert np.isfinite(f.c_disp).all()
+        assert np.isfinite(f.h_dist_filtered).all()
+        assert np.isfinite(f.v_dist_filtered).all()
+        assert np.isfinite(f.duration_mismatch)
+
+    @given(fault=_fault_strategy(), seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_streaming_survives_any_fault(self, fault, seed):
+        """The streaming detector holds the same contract chunk-by-chunk."""
+        from repro.core import StreamingNsyncIds
+
+        ids = _robustness_ids()
+        params = DwmParams(t_win=1.0, t_hop=0.5, t_ext=0.5, t_sigma=0.25, eta=0.2)
+        stream = StreamingNsyncIds(
+            ids.reference, params, ids.thresholds
+        )
+        data = textured(3000, 950)
+        chunks = [data[i : i + 250] for i in range(0, data.size, 250)]
+        rng = np.random.default_rng(seed)
+        for chunk in fault.apply_chunks(chunks, 100.0, rng):
+            stream.push(chunk)
+        ev = stream.evidence()
+        assert np.isfinite(ev["h_disp"]).all()
+        assert np.isfinite(ev["h_dist_filtered"]).all()
+        assert np.isfinite(ev["v_dist_filtered"]).all()
+        assert np.isfinite(ev["c_disp"])

@@ -27,6 +27,7 @@ class TestTopLevelNamespace:
             "repro.sensors",
             "repro.baselines",
             "repro.eval",
+            "repro.faults",
             "repro.io",
             "repro.cli",
         ],
@@ -65,6 +66,9 @@ class TestTopLevelNamespace:
             "repro.sync.tde",
             "repro.core.pipeline",
             "repro.core.discriminator",
+            "repro.core.health",
+            "repro.faults.models",
+            "repro.faults.campaign",
             "repro.printer.firmware",
             "repro.slicer.slicer",
             "repro.sensors.daq",
