@@ -6,7 +6,10 @@ Four workflows cover the life of a deployment:
 * ``simulate`` — execute G-code on a simulated printer and record the
   side-channel signals to disk;
 * ``train``    — build an NSYNC reference + thresholds from benign runs;
-* ``detect``   — screen a recorded run against a trained model;
+* ``detect``   — screen a recorded run against a trained model
+  (``--stream --chunk-s S`` feeds the engine chunk by chunk instead of
+  one batch push — identical verdict by the chunking-invariance
+  property);
 * ``campaign`` — run a scaled evaluation campaign and print the
   Table VIII-style row for one channel;
 * ``faults``   — chaos-test the trained IDS by replaying the fault-injection
@@ -198,7 +201,16 @@ def cmd_detect(args: argparse.Namespace) -> int:
     ids.thresholds = load_thresholds(model / "thresholds.json")
 
     observed = load_signal(args.signal)
-    verdict = ids.detect(observed)
+    if args.stream:
+        # Same engine as the batch call, driven chunk by chunk.
+        engine = ids.engine()
+        hop = max(1, int(round(args.chunk_s * observed.sample_rate)))
+        for start in range(0, observed.n_samples, hop):
+            engine.push(observed.data[start : start + hop])
+        verdict = engine.finalize().detection
+        assert verdict is not None
+    else:
+        verdict = ids.detect(observed)
     if args.json:
         t = ids.thresholds
         doc = verdict.to_dict()
@@ -518,6 +530,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out", metavar="PATH", default=None,
         help="record the decision-provenance event log (schema v1 JSONL) "
              "to PATH; feed it to 'repro explain'",
+    )
+    p.add_argument(
+        "--stream", action="store_true",
+        help="feed the signal to the detection engine in chunks (as a live "
+             "DAQ would) instead of one batch call; the verdict is "
+             "identical — both paths run the same incremental core",
+    )
+    p.add_argument(
+        "--chunk-s", type=float, default=0.25, metavar="SECONDS",
+        help="chunk duration for --stream (default 0.25 s)",
     )
     p.set_defaults(func=cmd_detect)
 

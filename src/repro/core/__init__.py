@@ -8,6 +8,13 @@ from .discriminator import (
     Thresholds,
     detection_features,
 )
+from .engine import (
+    Alert,
+    DetectionEngine,
+    DetectorState,
+    EngineResult,
+    TRUNCATED_WINDOW_DISTANCE,
+)
 from .health import (
     SENSOR_FAULT,
     ChannelHealth,
@@ -18,12 +25,16 @@ from .health import (
 )
 from .occ import OneClassTrainer, occ_threshold
 from .pipeline import AnalysisResult, NsyncIds
-from .streaming import Alert, StreamingNsyncIds
+from .streaming import StreamingNsyncIds
 from .fusion import FusionDetection, MultiChannelNsyncIds
 
 __all__ = [
     "Comparator",
     "vertical_distances",
+    "DetectionEngine",
+    "DetectorState",
+    "EngineResult",
+    "TRUNCATED_WINDOW_DISTANCE",
     "Detection",
     "DetectionFeatures",
     "Discriminator",

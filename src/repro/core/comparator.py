@@ -15,7 +15,6 @@ from typing import Callable, Union
 import numpy as np
 
 from .. import obs
-from ..obs import events
 from ..signals.metrics import DISTANCE_METRICS, correlation_distance
 from ..signals.signal import Signal
 from ..sync.base import SyncResult
@@ -146,11 +145,15 @@ class Comparator:
 
     @staticmethod
     def _note_walkoff(window: int, n: int) -> None:
-        """Account one walked-off window (mirrors the streaming pipeline)."""
+        """Account one walked-off window.
+
+        Counter only: the ``window_truncated`` *event* is emitted solely by
+        the detection engine (:mod:`repro.core.engine`), which owns all
+        provenance emission; the standalone comparator API keeps the metric
+        so direct callers still see walk-offs in the metrics snapshot.
+        """
         if obs.enabled():
             obs.counter("repro.core.comparator.truncated_windows").inc()
-        if events.enabled():
-            events.log().emit("window_truncated", window=window, n=int(n))
 
     def _point_distances(self, a: Signal, b: Signal, sync: SyncResult) -> np.ndarray:
         if sync.pairs is None:

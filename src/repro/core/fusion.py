@@ -18,7 +18,7 @@ per-channel verdicts with a configurable policy:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, Mapping, Sequence, Tuple, Union
 
 from ..signals.signal import Signal
 from ..sync.base import Synchronizer
@@ -39,7 +39,8 @@ class FusionDetection:
     n_channels: int
     per_channel: Dict[str, Detection]
 
-    def alarming_channels(self) -> tuple:
+    def alarming_channels(self) -> Tuple[str, ...]:
+        """Channel ids whose individual verdict raised the intrusion flag."""
         return tuple(
             cid for cid, det in self.per_channel.items() if det.is_intrusion
         )
@@ -76,7 +77,7 @@ class MultiChannelNsyncIds:
     def __init__(
         self,
         references: Mapping[str, Signal],
-        synchronizer_factory,
+        synchronizer_factory: Callable[[], Synchronizer],
         policy: Policy = "any",
         metric: str = "correlation",
         filter_window: int = 3,
@@ -98,7 +99,8 @@ class MultiChannelNsyncIds:
 
     # ------------------------------------------------------------------
     @property
-    def channel_ids(self) -> tuple:
+    def channel_ids(self) -> Tuple[str, ...]:
+        """The configured channel ids, in construction order."""
         return tuple(self.channels)
 
     def fit(

@@ -1,9 +1,11 @@
-"""The NSYNC IDS pipeline (paper Section VII, Fig. 7).
+"""The NSYNC IDS pipeline (paper Section VII, Fig. 7) — batch facade.
 
-Wires the four components together: a dynamic synchronizer (DWM or DTW)
-produces ``h_disp``; the comparator produces ``v_dist``; the discriminator
-checks both against thresholds learned by one-class classification from
-benign runs.
+All detection math lives in :class:`repro.core.engine.DetectionEngine`;
+:class:`NsyncIds` is the batch calling convention over it: feed the whole
+observed signal as one chunk, finalize, return the result.  The streaming
+facade (:class:`repro.core.streaming.StreamingNsyncIds`) drives the same
+engine chunk by chunk, so batch/streaming parity is structural — there is
+only one implementation to agree with itself.
 
 Typical usage::
 
@@ -16,34 +18,21 @@ Typical usage::
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 
 from .. import obs
-from ..obs import events
 from ..signals.signal import Signal
 from ..sync.base import SyncResult, Synchronizer
 from .comparator import Comparator, DistanceFn
-from .discriminator import (
-    Detection,
-    DetectionFeatures,
-    Discriminator,
-    Thresholds,
-    detection_features,
-)
-from .health import SENSOR_FAULT, ChannelHealth, SanitizePolicy, sanitize_signal
+from .discriminator import Detection, DetectionFeatures, Thresholds
+from .engine import DetectionEngine, EngineResult, _finite  # noqa: F401  (re-export)
+from .health import ChannelHealth, SanitizePolicy
 from .occ import OneClassTrainer
 
 __all__ = ["AnalysisResult", "NsyncIds"]
-
-
-def _finite(value: float) -> Optional[float]:
-    """float(value), or None when it would not survive strict JSON."""
-    v = float(value)
-    return v if math.isfinite(v) else None
 
 
 @dataclass(frozen=True)
@@ -104,8 +93,38 @@ class NsyncIds:
         self.filter_window = filter_window
         self.policy = policy if policy is not None else SanitizePolicy()
         self.thresholds: Optional[Thresholds] = None
+        self._metric = metric
 
     # ------------------------------------------------------------------
+    def engine(self, armed: bool = True) -> DetectionEngine:
+        """Open a fresh :class:`~repro.core.engine.DetectionEngine`.
+
+        With ``armed=True`` (the default) the engine carries this IDS's
+        learned thresholds and raises alerts; this is the handle to use
+        for chunked ingestion (the CLI's ``detect --stream`` path) or for
+        checkpoint/resume via ``DetectorState``.
+        """
+        return DetectionEngine(
+            self.reference,
+            self.synchronizer,
+            thresholds=self.thresholds if armed else None,
+            metric=self._metric,
+            filter_window=self.filter_window,
+            policy=self.policy,
+        )
+
+    def _run(self, observed: Signal, armed: bool) -> EngineResult:
+        """Feed the whole signal as one chunk and finalize."""
+        if observed.sample_rate != self.reference.sample_rate:
+            raise ValueError(
+                f"sample rates differ: a={observed.sample_rate}, "
+                f"b={self.reference.sample_rate}"
+            )
+        eng = self.engine(armed=armed)
+        with obs.trace("repro.core.pipeline.analyze"):
+            eng.push(observed.data)
+            return eng.finalize()
+
     def analyze(self, observed: Signal) -> AnalysisResult:
         """Sanitize, synchronize, compare, and featurize one signal.
 
@@ -114,110 +133,14 @@ class NsyncIds:
         finite; the affected windows are flagged as quarantined and the
         channel-health verdict rides along on the result.
         """
-        with obs.trace("repro.core.pipeline.analyze"):
-            with obs.trace("sanitize"):
-                sanitized = sanitize_signal(observed, self.policy)
-                clean = sanitized.signal
-            with obs.trace("synchronize"):
-                sync = self.synchronizer.synchronize(clean, self.reference)
-            with obs.trace("compare"):
-                v_dist = self.comparator.vertical_distances(
-                    clean, self.reference, sync
-                )
-            with obs.trace("featurize"):
-                mismatch = self._duration_mismatch(clean, sync)
-                features = detection_features(
-                    sync, v_dist, self.filter_window,
-                    duration_mismatch=mismatch,
-                )
-            quarantined = self._quarantine_windows(
-                sanitized.bad_samples, sync
-            )
-        if events.enabled():
-            self._emit_window_evidence(sync, features)
+        result = self._run(observed, armed=False)
         return AnalysisResult(
-            sync=sync,
-            v_dist=v_dist,
-            features=features,
-            health=sanitized.health,
-            quarantined_windows=quarantined,
+            sync=result.sync,
+            v_dist=result.v_dist,
+            features=result.features,
+            health=result.health,
+            quarantined_windows=result.quarantined_windows,
         )
-
-    @staticmethod
-    def _quarantine_windows(
-        bad_samples: np.ndarray, sync: SyncResult
-    ) -> Tuple[int, ...]:
-        """Map repaired sample positions onto analysis-window indexes.
-
-        Each affected window gets a ``window_quarantined`` event and bumps
-        the ``repro.core.pipeline.quarantined_windows`` counter; the
-        evidence itself stays in place (finite, computed from sanitized
-        data) so the discriminator keeps its fail-closed bias.
-        """
-        if not bad_samples.any():
-            return ()
-        if sync.mode == "window":
-            n_win, n_hop = sync.n_win, sync.n_hop
-            quarantined = tuple(
-                i for i in range(sync.n_indexes)
-                if bad_samples[i * n_hop : i * n_hop + n_win].any()
-            )
-        else:
-            quarantined = tuple(
-                int(i)
-                for i in np.flatnonzero(bad_samples[: sync.n_indexes])
-            )
-        if quarantined and obs.enabled():
-            obs.counter("repro.core.pipeline.quarantined_windows").inc(
-                len(quarantined)
-            )
-        if quarantined and events.enabled():
-            log = events.log()
-            for i in quarantined:
-                if sync.mode == "window":
-                    span = bad_samples[i * sync.n_hop : i * sync.n_hop + sync.n_win]
-                    n_bad = int(np.count_nonzero(span))
-                else:
-                    n_bad = 1
-                log.emit("window_quarantined", window=int(i), n_bad=n_bad)
-        return quarantined
-
-    @staticmethod
-    def _emit_window_evidence(
-        sync: SyncResult, features: DetectionFeatures
-    ) -> None:
-        """One ``window_evidence`` event per synchronized window.
-
-        The field names match :class:`StreamingNsyncIds`'s emission
-        exactly, so batch and streaming runs produce comparable streams
-        (asserted by the evidence-parity tests).
-        """
-        log = events.log()
-        for i in range(sync.n_indexes):
-            log.emit(
-                "window_evidence",
-                window=i,
-                h_disp=float(sync.h_disp[i]),
-                c_disp=float(features.c_disp[i]),
-                h_dist_f=float(features.h_dist_filtered[i]),
-                v_dist_f=float(features.v_dist_filtered[i]),
-            )
-
-    def _duration_mismatch(self, observed: Signal, sync: SyncResult) -> float:
-        """Deviation between the observed and reference process lengths.
-
-        Measured in analysis windows.  Covers both directions: the observed
-        print ending early/late relative to the reference, and the
-        synchronizer walking off the reference before the observation ended
-        (both only happen under timing attacks or gross re-slicing).
-        """
-        if sync.mode == "window":
-            n_obs = observed.n_windows(sync.n_win, sync.n_hop)
-            n_ref = self.reference.n_windows(sync.n_win, sync.n_hop)
-        else:
-            n_obs = observed.n_samples
-            n_ref = self.reference.n_samples
-        return float(max(abs(n_obs - n_ref), n_obs - sync.n_indexes))
 
     def fit(self, benign_signals: Iterable[Signal], r: float = 0.3) -> Thresholds:
         """Learn the discriminator thresholds from benign runs (Eq. 23-28).
@@ -250,150 +173,7 @@ class NsyncIds:
         """
         if self.thresholds is None:
             raise RuntimeError("call fit() (or set thresholds) before detect()")
-        analysis = self.analyze(observed)
-        discriminator = Discriminator(self.thresholds, self.filter_window)
-        with obs.trace("repro.core.pipeline.discriminate"):
-            verdict = discriminator.detect_features(analysis.features)
-        if verdict.first_alarm_index is not None:
-            if analysis.sync.mode == "window":
-                samples = verdict.first_alarm_index * analysis.sync.n_hop
-            else:
-                samples = verdict.first_alarm_index
-            verdict = replace(
-                verdict,
-                first_alarm_time=samples / observed.sample_rate,
-            )
-        health = analysis.health
-        if health is not None:
-            if health.sensor_fault:
-                verdict = self._apply_sensor_fault(observed, analysis, verdict)
-            verdict = replace(
-                verdict,
-                health={
-                    **health.to_dict(),
-                    "quarantined_windows": [
-                        int(i) for i in analysis.quarantined_windows
-                    ],
-                },
-            )
-        if events.enabled():
-            self._emit_verdict(observed, analysis, verdict)
+        result = self._run(observed, armed=True)
+        verdict = result.detection
+        assert verdict is not None
         return verdict
-
-    def _apply_sensor_fault(
-        self,
-        observed: Signal,
-        analysis: AnalysisResult,
-        verdict: Detection,
-    ) -> Detection:
-        """Fail closed: raise the alarm because the *sensor* went away."""
-        health = analysis.health
-        assert health is not None
-        sync = analysis.sync
-        start = min((s for s, _ in health.dark_spans), default=None)
-        if start is None:
-            # Non-finite flood without a single long dark run: anchor the
-            # alarm at the first quarantined window instead.
-            index = min(analysis.quarantined_windows, default=0)
-        elif sync.mode == "window":
-            index = min(start // sync.n_hop, max(sync.n_indexes - 1, 0))
-        else:
-            index = min(start, max(sync.n_indexes - 1, 0))
-        samples = index * sync.n_hop if sync.mode == "window" else index
-        time_s = samples / observed.sample_rate
-        if obs.enabled():
-            obs.counter("repro.core.pipeline.sensor_faults").inc()
-        if events.enabled():
-            log = events.log()
-            log.emit(
-                "sensor_fault",
-                reason=",".join(health.reasons),
-                window=int(index),
-                time_s=float(time_s),
-                longest_dark_s=float(health.longest_dark_s),
-            )
-            log.emit(
-                "alarm",
-                window=int(index),
-                submodule=SENSOR_FAULT,
-                value=float(health.longest_dark_s),
-                threshold=float(self.policy.max_dark_s),
-                time_s=float(time_s),
-            )
-        first = verdict.first_alarm_index
-        first = index if first is None else min(first, index)
-        first_time = (
-            (first * sync.n_hop if sync.mode == "window" else first)
-            / observed.sample_rate
-        )
-        return replace(
-            verdict,
-            is_intrusion=True,
-            sensor_fault_fired=True,
-            first_alarm_index=int(first),
-            first_alarm_time=first_time,
-        )
-
-    def _emit_verdict(
-        self,
-        observed: Signal,
-        analysis: AnalysisResult,
-        verdict: Detection,
-    ) -> None:
-        """Alarm provenance: one ``alarm`` per fired sub-module (at its
-        first offending window) plus the ``run_summary`` that carries the
-        window geometry ``repro explain`` needs to map windows to time."""
-        log = events.log()
-        t = self.thresholds
-        assert t is not None
-        f = verdict.features
-        sync = analysis.sync
-        checks = (
-            ("c_disp", f.c_disp, t.c_c),
-            ("h_dist", f.h_dist_filtered, t.h_c),
-            ("v_dist", f.v_dist_filtered, t.v_c),
-        )
-        for submodule, series, threshold in checks:
-            hits = np.flatnonzero(np.asarray(series) > threshold)
-            if hits.size:
-                i = int(hits[0])
-                time_s = (
-                    i * sync.n_hop / observed.sample_rate
-                    if sync.mode == "window"
-                    else i / observed.sample_rate
-                )
-                log.emit(
-                    "alarm",
-                    window=i,
-                    submodule=submodule,
-                    value=float(np.asarray(series)[i]),
-                    threshold=float(threshold),
-                    time_s=float(time_s),
-                )
-        if verdict.duration_fired:
-            log.emit(
-                "alarm",
-                window=int(f.c_disp.shape[0]),
-                submodule="duration",
-                value=float(f.duration_mismatch),
-                threshold=float(t.d_c),
-                time_s=float(observed.duration),
-            )
-        log.emit(
-            "run_summary",
-            is_intrusion=verdict.is_intrusion,
-            fired=list(verdict.fired_submodules()),
-            n_windows=int(sync.n_indexes),
-            first_alarm_index=verdict.first_alarm_index,
-            first_alarm_time=verdict.first_alarm_time,
-            # inf (= sub-module disabled) is not valid strict JSON: map to
-            # None so the JSONL sink stays loadable by non-Python tools.
-            thresholds={
-                "c_c": _finite(t.c_c), "h_c": _finite(t.h_c),
-                "v_c": _finite(t.v_c), "d_c": _finite(t.d_c),
-            },
-            mode=sync.mode,
-            n_win=int(sync.n_win),
-            n_hop=int(sync.n_hop),
-            sample_rate=float(observed.sample_rate),
-        )

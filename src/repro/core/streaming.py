@@ -1,58 +1,35 @@
 """Real-time NSYNC: intrusion detection while the print is still running.
 
 The batch :class:`~repro.core.pipeline.NsyncIds` analyzes a finished
-recording.  :class:`StreamingNsyncIds` consumes the observed signal in
-chunks as the data-acquisition system delivers it, runs streaming DWM, and
-evaluates all three discriminator sub-modules incrementally, emitting an
-:class:`Alert` at the first window whose evidence crosses a threshold — the
-point at which a deployment would stop the printer.
+recording; :class:`StreamingNsyncIds` consumes the observed signal in
+chunks as the data-acquisition system delivers it.  Both are facades over
+the same :class:`~repro.core.engine.DetectionEngine`, which runs streaming
+DWM and evaluates all three discriminator sub-modules incrementally,
+raising an :class:`~repro.core.engine.Alert` at the first window whose
+evidence crosses a threshold — the point at which a deployment would stop
+the printer.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from .. import obs
-from ..obs import events
 from ..signals.signal import Signal
-from ..sync.dwm import DwmParams, StreamingDwm
-from .comparator import Comparator, DistanceFn, MAX_CORRELATION_DISTANCE
+from ..sync.dwm import DwmParams, DwmSynchronizer
+from .comparator import DistanceFn
 from .discriminator import Thresholds
-from .health import SENSOR_FAULT, SanitizePolicy
+from .engine import (  # noqa: F401  (Alert/TRUNCATED_WINDOW_DISTANCE re-export)
+    Alert,
+    DetectionEngine,
+    DetectorState,
+    EngineResult,
+    TRUNCATED_WINDOW_DISTANCE,
+)
+from .health import SanitizePolicy
 
 __all__ = ["Alert", "StreamingNsyncIds", "TRUNCATED_WINDOW_DISTANCE"]
-
-#: Vertical distance reported for a window too short to correlate
-#: (fewer than 2 overlapping samples).  This only happens when the
-#: synchronizer's displacement estimate walks past the end of the
-#: reference; reporting the *maximum* correlation distance (2.0 — perfect
-#: anti-correlation, see
-#: :data:`~repro.core.comparator.MAX_CORRELATION_DISTANCE`) makes the
-#: v_dist sub-module treat it as worst-case evidence rather than silently
-#: skipping the window.  Each occurrence additionally emits a
-#: ``window_truncated`` event and bumps the
-#: ``repro.core.streaming.truncated_windows`` counter.
-TRUNCATED_WINDOW_DISTANCE = MAX_CORRELATION_DISTANCE
-
-
-@dataclass(frozen=True)
-class Alert:
-    """One threshold violation observed in real time.
-
-    ``time_s`` is the alarm position in print seconds (window index ×
-    hop / sample rate) — the number an operator acts on without knowing
-    the DWM window geometry.
-    """
-
-    window_index: int
-    submodule: str  # "c_disp", "h_dist", or "v_dist"
-    value: float
-    threshold: float
-    time_s: float = 0.0
 
 
 class StreamingNsyncIds:
@@ -60,7 +37,9 @@ class StreamingNsyncIds:
 
     Parameters mirror :class:`~repro.core.pipeline.NsyncIds`, except the
     thresholds must already be known (learn them offline with the batch
-    pipeline, then deploy here).
+    pipeline, then deploy here).  This class is a thin push-API wrapper
+    around one armed :class:`~repro.core.engine.DetectionEngine`; the
+    engine itself is exposed as :attr:`engine` for checkpoint/resume.
     """
 
     def __init__(
@@ -72,49 +51,29 @@ class StreamingNsyncIds:
         filter_window: int = 3,
         policy: Optional[SanitizePolicy] = None,
     ) -> None:
-        if filter_window < 1:
-            raise ValueError(f"filter_window must be >= 1, got {filter_window}")
         self.reference = reference
         self.thresholds = thresholds
         self.filter_window = filter_window
         self.policy = policy if policy is not None else SanitizePolicy()
-        self._dwm = StreamingDwm(reference, params)
-        self._comparator = Comparator(metric)
-        self._n_win = self._dwm._n_win
-        self._n_hop = self._dwm._n_hop
-        self._sample_rate = reference.sample_rate
-        self._observed = np.zeros((0, reference.n_channels))
-        self._prev_disp = 0.0
-        self._c_disp = 0.0
-        self._c_hist: List[float] = []
-        self._h_hist: List[float] = []
-        self._v_hist: List[float] = []
-        self._alerts: List[Alert] = []
-        self._h_dist_f: List[float] = []
-        self._v_dist_f: List[float] = []
-        # --- input-sanitization state (see repro.core.health) ---
-        n_ch = reference.n_channels
-        self._bad = np.zeros(0, dtype=bool)
-        self._last_good = np.zeros(n_ch)
-        self._have_good = np.zeros(n_ch, dtype=bool)
-        self._n_nonfinite = 0
-        self._dark_run = np.zeros(n_ch, dtype=np.int64)
-        self._longest_dark = 0
-        self._prev_raw: Optional[np.ndarray] = None
-        self._min_dark = self.policy.min_dark_samples(self._sample_rate)
-        self._sensor_fault = False
-        self._fault_reasons: List[str] = []
-        self._quarantined: List[int] = []
+        self.engine = DetectionEngine(
+            reference,
+            DwmSynchronizer(params),
+            thresholds=thresholds,
+            metric=metric,
+            filter_window=filter_window,
+            policy=self.policy,
+        )
 
     # ------------------------------------------------------------------
     @property
     def alerts(self) -> List[Alert]:
         """All alerts raised so far (chronological)."""
-        return list(self._alerts)
+        return self.engine.alerts
 
     @property
     def intrusion_detected(self) -> bool:
-        return bool(self._alerts)
+        """True once any sub-module (or the sensor-fault rule) fired."""
+        return self.engine.intrusion_detected
 
     def push(self, samples: np.ndarray) -> List[Alert]:
         """Feed observed samples; return alerts raised by this chunk.
@@ -126,227 +85,21 @@ class StreamingNsyncIds:
         past :attr:`SanitizePolicy.max_dark_s` raises a fail-closed
         :data:`~repro.core.health.SENSOR_FAULT` alert.
         """
-        samples = np.asarray(samples, dtype=np.float64)
-        if samples.ndim == 1:
-            samples = samples[:, np.newaxis]
-        clean, bad_rows = self._sanitize_chunk(samples)
-        self._observed = np.concatenate([self._observed, clean], axis=0)
-        self._bad = np.concatenate([self._bad, bad_rows])
+        return self.engine.push(samples)
 
-        new_alerts: List[Alert] = []
-        with obs.trace("repro.core.streaming.push"):
-            for i, disp in self._dwm.push(clean):
-                with obs.trace("evaluate_window"):
-                    new_alerts.extend(self._evaluate_window(i, disp))
-        fault = self._check_sensor_fault()
-        if fault is not None:
-            new_alerts.append(fault)
-        if obs.enabled():
-            obs.counter("repro.core.streaming.samples").inc(samples.shape[0])
-            if new_alerts:
-                obs.counter("repro.core.streaming.alerts").inc(len(new_alerts))
-        self._alerts.extend(new_alerts)
-        return new_alerts
+    def finalize(self) -> EngineResult:
+        """End of stream: run the end-of-run checks and assemble the
+        final :class:`~repro.core.engine.EngineResult` (with the full
+        :class:`~repro.core.discriminator.Detection` verdict)."""
+        return self.engine.finalize()
 
     # ------------------------------------------------------------------
-    def _sanitize_chunk(self, raw: np.ndarray) -> tuple:
-        """Repair one chunk; returns ``(clean, bad_rows)``.
-
-        Mirrors :func:`repro.core.health.sanitize_signal` but with state
-        carried across chunk boundaries: the last finite value per channel
-        seeds the forward fill, and dark-run lengths continue through
-        chunk edges so a disconnect spanning many small chunks is still
-        seen as one long run.
-        """
-        n = raw.shape[0]
-        if n == 0:
-            return raw, np.zeros(0, dtype=bool)
-        bad = ~np.isfinite(raw)
-        bad_rows = bad.any(axis=1)
-        self._n_nonfinite += int(np.count_nonzero(bad_rows))
-        self._update_dark_runs(raw, bad)
-
-        if not bad.any():
-            self._last_good = raw[-1].copy()
-            self._have_good[:] = True
-            return raw, bad_rows
-        # Forward fill, seeded by the last finite value seen in earlier
-        # chunks (0.0 when a channel has been broken since the start).
-        seed = np.where(self._have_good, self._last_good, 0.0)
-        ext = np.concatenate([seed[np.newaxis, :], raw], axis=0)
-        ext_bad = np.concatenate(
-            [np.zeros((1, raw.shape[1]), dtype=bool), bad], axis=0
-        )
-        idx = np.where(~ext_bad, np.arange(n + 1)[:, np.newaxis], 0)
-        np.maximum.accumulate(idx, axis=0, out=idx)
-        clean = np.take_along_axis(ext, idx, axis=0)[1:]
-        self._last_good = clean[-1].copy()
-        self._have_good |= (~bad).any(axis=0)
-        return clean, bad_rows
-
-    def _update_dark_runs(self, raw: np.ndarray, bad: np.ndarray) -> None:
-        """Continue per-channel constant/non-finite run lengths through
-        this chunk (raw data — see :func:`~repro.core.health.sanitize_signal`
-        for why dark detection must precede forward-filling)."""
-        n = raw.shape[0]
-        eps = self.policy.dark_eps
-        extend = np.zeros_like(bad)
-        if self._prev_raw is not None:
-            prev_bad = ~np.isfinite(self._prev_raw)
-            with np.errstate(invalid="ignore"):
-                extend[0] = np.abs(raw[0] - self._prev_raw) <= eps
-            extend[0] |= bad[0] | prev_bad
-        if n > 1:
-            with np.errstate(invalid="ignore"):
-                extend[1:] = np.abs(np.diff(raw, axis=0)) <= eps
-            extend[1:] |= bad[1:] | bad[:-1]
-        idx = np.arange(n)[:, np.newaxis]
-        reset = np.where(~extend, idx, -1)
-        np.maximum.accumulate(reset, axis=0, out=reset)
-        run = np.where(reset >= 0, idx - reset + 1, idx + 1 + self._dark_run)
-        self._dark_run = run[-1].astype(np.int64)
-        self._longest_dark = max(self._longest_dark, int(run.max()))
-        self._prev_raw = raw[-1].copy()
-
-    def _check_sensor_fault(self) -> Optional[Alert]:
-        """Fail-closed verdict: fire the SENSOR_FAULT alert (once) when a
-        channel stayed dark past the policy limit or non-finite samples
-        flood the stream."""
-        if self._sensor_fault or not self.policy.enabled:
-            return None
-        total = self._observed.shape[0]
-        reasons: List[str] = []
-        if self._longest_dark >= self._min_dark:
-            reasons.append("dark_channel")
-        # The fraction rule only kicks in once at least max_dark_s worth of
-        # samples arrived, so a short leading NaN burst cannot trip it on a
-        # nearly-empty denominator.
-        if (
-            total >= self._min_dark
-            and self._n_nonfinite / total > self.policy.max_bad_fraction
-        ):
-            reasons.append("nonfinite_fraction")
-        if not reasons:
-            return None
-        self._sensor_fault = True
-        self._fault_reasons = reasons
-        window = len(self._c_hist)
-        time_s = total / self._sample_rate
-        longest_s = self._longest_dark / self._sample_rate
-        alert = Alert(
-            window, SENSOR_FAULT, longest_s, self.policy.max_dark_s, time_s
-        )
-        if obs.enabled():
-            obs.counter("repro.core.streaming.sensor_faults").inc()
-        if events.enabled():
-            log = events.log()
-            log.emit(
-                "sensor_fault",
-                reason=",".join(reasons),
-                window=window,
-                time_s=float(time_s),
-                longest_dark_s=float(longest_s),
-            )
-            log.emit(
-                "alarm",
-                window=window,
-                submodule=SENSOR_FAULT,
-                value=float(longest_s),
-                threshold=float(self.policy.max_dark_s),
-                time_s=float(time_s),
-            )
-        return alert
-
-    # ------------------------------------------------------------------
-    def _evaluate_window(self, i: int, disp: float) -> List[Alert]:
-        alerts: List[Alert] = []
-        t = self.thresholds
-        time_s = i * self._n_hop / self._sample_rate
-
-        # A synchronizer emitting a non-finite displacement would poison
-        # the cumulative CADHD for the rest of the print; hold the previous
-        # estimate for the c/h sub-modules and report worst-case vertical
-        # evidence for this window instead.
-        degenerate_disp = not math.isfinite(disp)
-        if degenerate_disp:
-            disp = self._prev_disp
-
-        # Sub-module 1: CADHD, updated incrementally (Eq. 17).
-        self._c_disp += abs(disp - self._prev_disp)
-        self._prev_disp = disp
-        self._c_hist.append(self._c_disp)
-        if self._c_disp > t.c_c:
-            alerts.append(Alert(i, "c_disp", self._c_disp, t.c_c, time_s))
-
-        # Sub-module 2: filtered horizontal distance (Eq. 19, 21).
-        self._h_hist.append(abs(disp))
-        h_f = min(self._h_hist[-self.filter_window :])
-        self._h_dist_f.append(h_f)
-        if h_f > t.h_c:
-            alerts.append(Alert(i, "h_dist", h_f, t.h_c, time_s))
-
-        # Sub-module 3: filtered vertical distance (Eq. 20, 22).
-        start = i * self._n_hop
-        wa = self._observed[start : start + self._n_win, :]
-        offset = int(round(disp))
-        wb = self.reference.slice(
-            start + offset, start + offset + self._n_win
-        ).data
-        n = min(wa.shape[0], wb.shape[0])
-        if n >= 2 and not degenerate_disp:
-            v = self._comparator.pair_distance(wa[:n], wb[:n])
-        else:
-            v = TRUNCATED_WINDOW_DISTANCE
-            if obs.enabled():
-                obs.counter("repro.core.streaming.truncated_windows").inc()
-            if events.enabled():
-                events.log().emit("window_truncated", window=i, n=int(n))
-        bad_window = self._bad[start : start + self._n_win]
-        if bad_window.any():
-            self._quarantined.append(i)
-            if obs.enabled():
-                obs.counter("repro.core.streaming.quarantined_windows").inc()
-            if events.enabled():
-                events.log().emit(
-                    "window_quarantined",
-                    window=i,
-                    n_bad=int(np.count_nonzero(bad_window)),
-                )
-        self._v_hist.append(v)
-        v_f = min(self._v_hist[-self.filter_window :])
-        self._v_dist_f.append(v_f)
-        if v_f > t.v_c:
-            alerts.append(Alert(i, "v_dist", v_f, t.v_c, time_s))
-
-        if events.enabled():
-            log = events.log()
-            # Field names mirror NsyncIds._emit_window_evidence so batch
-            # and streaming runs produce comparable streams.
-            log.emit(
-                "window_evidence",
-                window=i,
-                h_disp=float(disp),
-                c_disp=float(self._c_disp),
-                h_dist_f=float(h_f),
-                v_dist_f=float(v_f),
-            )
-            for alert in alerts:
-                log.emit(
-                    "alarm",
-                    window=alert.window_index,
-                    submodule=alert.submodule,
-                    value=float(alert.value),
-                    threshold=float(alert.threshold),
-                    time_s=float(alert.time_s),
-                )
-        return alerts
-
-    # ------------------------------------------------------------------
-    def evidence(self) -> dict:
+    def evidence(self) -> Dict[str, object]:
         """Snapshot of the evidence arrays accumulated so far.
 
         Returns a dict with one entry per completed window, matching the
-        batch pipeline window-for-window (asserted by the parity tests):
+        batch pipeline window-for-window (structurally — both facades run
+        the same engine):
 
         - ``h_disp`` — raw horizontal displacements from streaming DWM,
           equal to ``SyncResult.h_disp``.
@@ -358,30 +111,25 @@ class StreamingNsyncIds:
           filtered distances, equal to the batch
           :class:`~repro.core.discriminator.DetectionFeatures` arrays.
         """
-        return {
-            "h_disp": self._dwm.result().h_disp,
-            "c_disp": self._c_disp,
-            "c_disp_curve": np.asarray(self._c_hist),
-            "h_dist_filtered": np.asarray(self._h_dist_f),
-            "v_dist_filtered": np.asarray(self._v_dist_f),
-        }
+        return self.engine.evidence()
 
-    def health(self) -> dict:
+    def health(self) -> Dict[str, object]:
         """Channel-health snapshot from the input-sanitization stage.
 
         JSON-safe, mirroring the batch pipeline's ``Detection.health``
-        payload: sample/repair counts, the longest dark run seen so far,
-        the fail-closed ``sensor_fault`` verdict with its reasons, and the
-        indices of windows whose evidence was computed from repaired
-        samples.
+        payload: sample/repair counts, dark spans and the longest dark run
+        seen so far, the fail-closed ``sensor_fault`` verdict with its
+        reasons, and the indices of windows whose evidence was computed
+        from repaired samples.
         """
-        total = self._observed.shape[0]
-        return {
-            "n_samples": int(total),
-            "n_nonfinite": int(self._n_nonfinite),
-            "bad_fraction": float(self._n_nonfinite / total) if total else 0.0,
-            "longest_dark_s": float(self._longest_dark / self._sample_rate),
-            "sensor_fault": bool(self._sensor_fault),
-            "reasons": list(self._fault_reasons),
-            "quarantined_windows": list(self._quarantined),
-        }
+        return self.engine.health_dict()
+
+    # ------------------------------------------------------------------
+    def state(self) -> DetectorState:
+        """Serializable mid-stream checkpoint (see
+        :meth:`repro.core.engine.DetectionEngine.state`)."""
+        return self.engine.state()
+
+    def restore(self, state: DetectorState) -> None:
+        """Load a :meth:`state` checkpoint into this (fresh) detector."""
+        self.engine.restore(state)

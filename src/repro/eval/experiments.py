@@ -113,22 +113,43 @@ def nsync_results(
     transform: str = RAW,
     synchronizer: Optional[Synchronizer] = None,
     r: float = 0.3,
+    mode: str = "batch",
+    chunk_s: float = 0.25,
 ) -> IdsResult:
     """Evaluate NSYNC with the given synchronizer on one campaign cell.
 
     Default synchronizer: DWM with the campaign printer's Table IV
     parameters (Table VIII); pass ``FastDtwSynchronizer()`` for Table IX.
+
+    ``mode`` selects how the unified detection core is fed: ``"batch"``
+    hands each signal over in one call, ``"streaming"`` pushes ``chunk_s``
+    sized chunks as a live DAQ would.  Both run the same
+    :class:`~repro.core.engine.DetectionEngine`, so the scores are
+    identical — the streaming mode exists to evaluate (and regression-test)
+    the deployment path itself.
     """
     if synchronizer is None:
         synchronizer = DwmSynchronizer(campaign.setup.dwm_params)
+    if mode not in ("batch", "streaming"):
+        raise ValueError(f"mode must be 'batch' or 'streaming', got {mode!r}")
 
     def signal_of(run: ProcessRun) -> Signal:
         return transform_signal(run.signals[channel], channel, transform)
 
     ids = NsyncIds(signal_of(campaign.reference), synchronizer)
+
+    def features_of(signal: Signal):
+        if mode == "batch":
+            return ids.analyze(signal).features
+        engine = ids.engine(armed=False)
+        hop = max(1, int(round(chunk_s * signal.sample_rate)))
+        for start in range(0, signal.n_samples, hop):
+            engine.push(signal.data[start : start + hop])
+        return engine.finalize().features
+
     trainer = OneClassTrainer(r=r)
     for run in campaign.training:
-        trainer.add_run(ids.analyze(signal_of(run)).features)
+        trainer.add_run(features_of(signal_of(run)))
     thresholds = trainer.thresholds()
     ids.thresholds = thresholds
 
@@ -140,7 +161,7 @@ def nsync_results(
     per_attack: Dict[str, DetectionStats] = {}
 
     def classify(run: ProcessRun) -> None:
-        features = ids.analyze(signal_of(run)).features
+        features = features_of(signal_of(run))
         flags = _submodule_flags(features, thresholds)
         fired = any(flags.values())
         overall.record(run.is_malicious, fired)

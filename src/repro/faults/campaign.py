@@ -261,6 +261,10 @@ def _run_streaming_case(
         ]
         for chunk in case.fault.apply_chunks(chunks, probe.sample_rate, rng):
             detector.push(chunk)
+        # End of stream: run the engine's end-of-run checks (duration,
+        # non-finite fraction) so the streaming contract covers the same
+        # verdict surface as the batch one — both are the same core.
+        result = detector.finalize()
     except Exception as exc:  # noqa: BLE001 - the whole point of the harness
         return FaultCaseResult(
             case=case,
@@ -270,15 +274,18 @@ def _run_streaming_case(
             ok_sensor_fault=False,
             error=f"{type(exc).__name__}: {exc}",
         )
-    evidence = detector.evidence()
+    verdict = result.detection
+    assert verdict is not None  # streaming detectors are always armed
+    f = verdict.features
     finite = _finite_arrays(
         [
-            evidence["c_disp_curve"],
-            evidence["h_dist_filtered"],
-            evidence["v_dist_filtered"],
+            f.c_disp,
+            f.h_dist_filtered,
+            f.v_dist_filtered,
+            np.asarray([f.duration_mismatch]),
         ]
     )
-    sensor_fault = bool(detector.health()["sensor_fault"]) or any(
+    sensor_fault = verdict.sensor_fault_fired or any(
         a.submodule == SENSOR_FAULT for a in detector.alerts
     )
     fault_ok = sensor_fault or not case.expect_sensor_fault
@@ -289,7 +296,7 @@ def _run_streaming_case(
         ok_finite=finite,
         ok_sensor_fault=fault_ok,
         sensor_fault=sensor_fault,
-        is_intrusion=detector.intrusion_detected,
+        is_intrusion=verdict.is_intrusion,
     )
 
 

@@ -1,6 +1,12 @@
 """Dynamic synchronization (DSYNC): TDE/TDEB, DWM, DTW, FastDTW."""
 
-from .base import SyncResult, Synchronizer
+from .base import (
+    BatchSyncCursor,
+    IncrementalSynchronizer,
+    SyncCursor,
+    SyncResult,
+    Synchronizer,
+)
 from .tde import TdeResult, similarity_profile, tde, tdeb
 from .dwm import (
     DwmParams,
@@ -17,6 +23,9 @@ from .online_dtw import OnlineDtw, OnlineDtwSynchronizer
 __all__ = [
     "SyncResult",
     "Synchronizer",
+    "SyncCursor",
+    "IncrementalSynchronizer",
+    "BatchSyncCursor",
     "TdeResult",
     "similarity_profile",
     "tde",

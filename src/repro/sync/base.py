@@ -5,18 +5,38 @@ windows between an observed signal ``a`` and a reference signal ``b``.  Both
 DWM (window-based) and DTW (point-based) reduce to the same artefact: a
 *horizontal displacement* array ``h_disp`` saying how far ``b`` is shifted
 relative to ``a`` at each index.
+
+Two calling conventions cover every synchronizer:
+
+* :class:`Synchronizer` — the batch protocol: both signals are complete and
+  ``synchronize(a, b)`` returns the whole :class:`SyncResult` at once.
+* :class:`SyncCursor` — the incremental protocol the unified detection core
+  (:mod:`repro.core.engine`) drives: observed samples arrive in chunks via
+  :meth:`~SyncCursor.push`, displacements are emitted as soon as they are
+  computable, and :meth:`~SyncCursor.finalize` flushes whatever the cursor
+  had to hold back.  A synchronizer that can stream natively implements
+  :class:`IncrementalSynchronizer` and hands out cursors itself; any other
+  :class:`Synchronizer` is adapted by :class:`BatchSyncCursor`, which
+  buffers the stream and emits everything at finalization — the same
+  interface, just with all the latency at the end.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Tuple, runtime_checkable
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
 from ..signals.signal import Signal
 
-__all__ = ["SyncResult", "Synchronizer"]
+__all__ = [
+    "SyncResult",
+    "Synchronizer",
+    "SyncCursor",
+    "IncrementalSynchronizer",
+    "BatchSyncCursor",
+]
 
 
 @dataclass(frozen=True)
@@ -82,3 +102,126 @@ class Synchronizer(Protocol):
     def synchronize(self, a: Signal, b: Signal) -> SyncResult:
         """Return the horizontal displacements of ``b`` relative to ``a``."""
         ...
+
+
+@runtime_checkable
+class SyncCursor(Protocol):
+    """Incremental synchronizer session against one reference signal.
+
+    The cursor owns the per-run synchronization state; the detection engine
+    owns everything else.  ``mode``/``n_win``/``n_hop`` describe the index
+    geometry of the emitted ``(index, h_disp)`` pairs — for a batch-adapted
+    cursor they are only authoritative after :meth:`finalize`, which is also
+    the first point at which such a cursor emits anything.
+    """
+
+    mode: str
+    n_win: int
+    n_hop: int
+
+    def push(self, samples: np.ndarray) -> List[Tuple[int, float]]:
+        """Feed observed samples; return newly computed ``(i, h_disp)``."""
+        ...
+
+    def finalize(self) -> List[Tuple[int, float]]:
+        """Flush: return every ``(i, h_disp)`` not yet emitted by push."""
+        ...
+
+    def result(self) -> SyncResult:
+        """Snapshot of everything synchronized so far."""
+        ...
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe serialization of the per-run synchronization state."""
+        ...
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this cursor."""
+        ...
+
+
+@runtime_checkable
+class IncrementalSynchronizer(Protocol):
+    """A synchronizer that can stream natively (DWM)."""
+
+    def synchronize(self, a: Signal, b: Signal) -> SyncResult:
+        """Return the horizontal displacements of ``b`` relative to ``a``."""
+        ...
+
+    def cursor(self, reference: Signal) -> SyncCursor:
+        """Open an incremental synchronization session against a reference."""
+        ...
+
+
+class BatchSyncCursor:
+    """Adapt any batch :class:`Synchronizer` to the :class:`SyncCursor` API.
+
+    The observed stream is buffered; :meth:`finalize` runs the wrapped
+    ``synchronize`` over the complete buffer and emits every index at once.
+    This is how point-based synchronizers (DTW/FastDTW) ride the unified
+    detection engine: same stage pipeline, all the synchronization latency
+    concentrated at the end of the run.
+    """
+
+    def __init__(self, synchronizer: Synchronizer, reference: Signal) -> None:
+        self.synchronizer = synchronizer
+        self.reference = reference
+        # Geometry placeholders until finalize() reveals the real values;
+        # a batch cursor emits nothing before then, so nothing reads them.
+        self.mode = "window"
+        self.n_win = 1
+        self.n_hop = 1
+        self._buffer = np.zeros((0, reference.n_channels))
+        self._result: Optional[SyncResult] = None
+
+    def push(self, samples: np.ndarray) -> List[Tuple[int, float]]:
+        """Buffer observed samples; a batch cursor never emits early."""
+        if self._result is not None:
+            raise RuntimeError("cursor already finalized")
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim == 1:
+            samples = samples[:, np.newaxis]
+        if samples.shape[0]:
+            self._buffer = np.concatenate([self._buffer, samples], axis=0)
+        return []
+
+    def finalize(self) -> List[Tuple[int, float]]:
+        """Run the wrapped synchronizer over the full buffered stream."""
+        if self._result is not None:
+            raise RuntimeError("cursor already finalized")
+        if not self._buffer.shape[0]:
+            self._result = SyncResult(h_disp=np.zeros(0), mode=self.mode)
+            return []
+        observed = Signal(self._buffer, self.reference.sample_rate)
+        sync = self.synchronizer.synchronize(observed, self.reference)
+        self.mode = sync.mode
+        self.n_win = sync.n_win
+        self.n_hop = sync.n_hop
+        self._result = sync
+        return [(i, float(sync.h_disp[i])) for i in range(sync.n_indexes)]
+
+    def result(self) -> SyncResult:
+        """The finalized :class:`SyncResult` (empty before finalization)."""
+        if self._result is not None:
+            return self._result
+        return SyncResult(h_disp=np.zeros(0), mode=self.mode,
+                          n_win=self.n_win, n_hop=self.n_hop)
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot: the buffered observed stream."""
+        if self._result is not None:
+            raise RuntimeError("cannot snapshot a finalized cursor")
+        return {
+            "kind": "batch",
+            "buffer": [[float(v) for v in row] for row in self._buffer],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        if state.get("kind") != "batch":
+            raise ValueError(f"not a BatchSyncCursor state: {state.get('kind')!r}")
+        buffer = np.asarray(state["buffer"], dtype=np.float64)
+        if buffer.size == 0:
+            buffer = np.zeros((0, self.reference.n_channels))
+        self._buffer = buffer.reshape(-1, self.reference.n_channels)
+        self._result = None

@@ -20,7 +20,7 @@ detection, and the default parameter sets of Table IV.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -183,6 +183,15 @@ class DwmSynchronizer:
         self.params = params
         self.similarity = similarity
 
+    def cursor(self, reference: Signal) -> "StreamingDwm":
+        """Open an incremental DWM session against ``reference``.
+
+        This is the single DWM implementation: :meth:`synchronize` is
+        "push the whole signal through a cursor", so the batch and
+        streaming entry points cannot drift apart.
+        """
+        return StreamingDwm(reference, self.params, self.similarity)
+
     def synchronize(self, a: Signal, b: Signal) -> SyncResult:
         """Find ``h_disp[i]`` for every complete window of ``a``.
 
@@ -195,27 +204,10 @@ class DwmSynchronizer:
             raise ValueError(
                 f"sample rates differ: a={a.sample_rate}, b={b.sample_rate}"
             )
-        rate = a.sample_rate
-        n_win = self.params.n_win(rate)
-        n_hop = self.params.n_hop(rate)
-        n_ext = self.params.n_ext(rate)
-        n_sigma = self.params.n_sigma(rate)
-
-        state = _DwmState()
-        for i in range(a.n_windows(n_win, n_hop)):
-            a_window = a.data[i * n_hop : i * n_hop + n_win, :]
-            if not _dwm_step(
-                state, a_window, b, n_hop, n_ext, n_sigma,
-                self.params.eta, self.similarity,
-            ):
-                break
-        return SyncResult(
-            h_disp=np.asarray(state.h_disp, dtype=np.float64),
-            mode="window",
-            n_win=n_win,
-            n_hop=n_hop,
-            scores=np.asarray(state.scores, dtype=np.float64),
-        )
+        cursor = self.cursor(b)
+        cursor.push(a.data)
+        cursor.finalize()
+        return cursor.result()
 
 
 class StreamingDwm:
@@ -245,11 +237,16 @@ class StreamingDwm:
         self.params = params
         self.similarity = similarity
         rate = reference.sample_rate
-        self._n_win = params.n_win(rate)
-        self._n_hop = params.n_hop(rate)
+        self.mode = "window"
+        self.n_win = params.n_win(rate)
+        self.n_hop = params.n_hop(rate)
         self._n_ext = params.n_ext(rate)
         self._n_sigma = params.n_sigma(rate)
         self._buffer = np.zeros((0, reference.n_channels))
+        # Absolute sample index of _buffer[0]: the prefix every synchronized
+        # window already consumed is trimmed, so a cursor held open for a
+        # whole print stays O(window) in memory, not O(print).
+        self._buf_start = 0
         self._state = _DwmState()
         self._exhausted = False
 
@@ -258,35 +255,36 @@ class StreamingDwm:
         """How many windows have been synchronized so far."""
         return self._state.i
 
-    def push(self, samples: np.ndarray) -> List[tuple]:
+    def push(self, samples: np.ndarray) -> List[Tuple[int, float]]:
         """Feed new observed samples; return newly computed ``(i, h_disp)``.
 
         ``samples`` is ``(n, channels)`` or 1-D for single-channel signals.
         """
-        if self._exhausted:
-            return []
         samples = np.asarray(samples, dtype=np.float64)
         if samples.ndim == 1:
             samples = samples[:, np.newaxis]
-        if samples.shape[1] != self.reference.n_channels:
+        if samples.shape[0] and samples.shape[1] != self.reference.n_channels:
             raise ValueError(
                 f"expected {self.reference.n_channels} channels, "
                 f"got {samples.shape[1]}"
             )
-        self._buffer = np.concatenate([self._buffer, samples], axis=0)
+        if self._exhausted:
+            return []
+        if samples.shape[0]:
+            self._buffer = np.concatenate([self._buffer, samples], axis=0)
 
-        emitted: List[tuple] = []
+        emitted: List[Tuple[int, float]] = []
         while True:
             i = self._state.i
-            start = i * self._n_hop
-            stop = start + self._n_win
+            start = i * self.n_hop - self._buf_start
+            stop = start + self.n_win
             if stop > self._buffer.shape[0]:
                 break
             ok = _dwm_step(
                 self._state,
                 self._buffer[start:stop, :],
                 self.reference,
-                self._n_hop,
+                self.n_hop,
                 self._n_ext,
                 self._n_sigma,
                 self.params.eta,
@@ -295,15 +293,59 @@ class StreamingDwm:
             if not ok:
                 self._exhausted = True
                 break
-            emitted.append((i, self._state.h_disp[-1]))
+            emitted.append((i, float(self._state.h_disp[-1])))
+        cut = self._state.i * self.n_hop - self._buf_start
+        if cut > 0:
+            self._buffer = self._buffer[cut:]
+            self._buf_start += cut
         return emitted
+
+    def finalize(self) -> List[Tuple[int, float]]:
+        """Flush the stream: DWM emits eagerly, so nothing is pending."""
+        return []
 
     def result(self) -> SyncResult:
         """Snapshot of everything synchronized so far."""
         return SyncResult(
             h_disp=np.asarray(self._state.h_disp, dtype=np.float64),
             mode="window",
-            n_win=self._n_win,
-            n_hop=self._n_hop,
+            n_win=self.n_win,
+            n_hop=self.n_hop,
             scores=np.asarray(self._state.scores, dtype=np.float64),
         )
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe serialization of the per-run DWM state.
+
+        Everything a fresh :class:`StreamingDwm` built with the same
+        reference/params needs to continue this run bit-identically:
+        the displacement/score history, the low-frequency track, and the
+        untrimmed tail of the observed buffer.
+        """
+        return {
+            "kind": "dwm",
+            "i": self._state.i,
+            "h_disp": [int(h) for h in self._state.h_disp],
+            "scores": [float(s) for s in self._state.scores],
+            "h_disp_low": int(self._state.h_disp_low),
+            "buffer": [[float(v) for v in row] for row in self._buffer],
+            "buf_start": int(self._buf_start),
+            "exhausted": bool(self._exhausted),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this cursor."""
+        if state.get("kind") != "dwm":
+            raise ValueError(f"not a StreamingDwm state: {state.get('kind')!r}")
+        fresh = _DwmState()
+        fresh.i = int(state["i"])  # type: ignore[arg-type]
+        fresh.h_disp = [int(h) for h in state["h_disp"]]  # type: ignore[union-attr]
+        fresh.scores = [float(s) for s in state["scores"]]  # type: ignore[union-attr]
+        fresh.h_disp_low = int(state["h_disp_low"])  # type: ignore[arg-type]
+        self._state = fresh
+        buffer = np.asarray(state["buffer"], dtype=np.float64)
+        if buffer.size == 0:
+            buffer = np.zeros((0, self.reference.n_channels))
+        self._buffer = buffer.reshape(-1, self.reference.n_channels)
+        self._buf_start = int(state["buf_start"])  # type: ignore[arg-type]
+        self._exhausted = bool(state["exhausted"])

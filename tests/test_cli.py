@@ -215,6 +215,25 @@ class TestForensicsWorkflow:
         assert len(features["v_dist_filtered"]) == doc["n_windows"]
         assert set(doc["thresholds"]) == {"c_c", "h_c", "v_c", "d_c"}
 
+    def test_detect_stream_matches_batch_verdict(self, workspace, capsys):
+        """--stream drives the same engine chunk by chunk: identical JSON
+        verdict and exit code."""
+        import json
+
+        code_batch = main(
+            ["detect", "--json", str(workspace / "model"),
+             str(workspace / "malicious" / "ACC.npz")]
+        )
+        batch = json.loads(capsys.readouterr().out)
+        code_stream = main(
+            ["detect", "--json", "--stream", "--chunk-s", "0.2",
+             str(workspace / "model"),
+             str(workspace / "malicious" / "ACC.npz")]
+        )
+        stream = json.loads(capsys.readouterr().out)
+        assert code_stream == code_batch == 1
+        assert stream == batch
+
     def test_events_out_writes_valid_schema_v1(self, workspace, tmp_path):
         from repro.obs import events as events_module
 

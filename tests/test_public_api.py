@@ -54,6 +54,46 @@ class TestTopLevelNamespace:
         ):
             assert name in repro.__all__, name
 
+    def test_legacy_detector_surface_still_imports(self):
+        """The pre-engine import paths and signatures keep working.
+
+        `NsyncIds`/`StreamingNsyncIds` became facades over
+        `repro.core.engine.DetectionEngine`; existing callers must not
+        notice (same modules, same constructor signatures, `Alert` and
+        `TRUNCATED_WINDOW_DISTANCE` still importable from
+        `repro.core.streaming`).
+        """
+        import inspect
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core.pipeline import AnalysisResult, NsyncIds
+            from repro.core.streaming import (
+                Alert,
+                StreamingNsyncIds,
+                TRUNCATED_WINDOW_DISTANCE,
+            )
+
+        assert TRUNCATED_WINDOW_DISTANCE == 2.0
+        assert AnalysisResult is not None
+        batch = inspect.signature(NsyncIds.__init__)
+        assert list(batch.parameters) == [
+            "self", "reference", "synchronizer", "metric",
+            "filter_window", "policy",
+        ]
+        stream = inspect.signature(StreamingNsyncIds.__init__)
+        assert list(stream.parameters) == [
+            "self", "reference", "params", "thresholds", "metric",
+            "filter_window", "policy",
+        ]
+        alert_fields = [
+            f.name for f in __import__("dataclasses").fields(Alert)
+        ]
+        assert alert_fields == [
+            "window_index", "submodule", "value", "threshold", "time_s",
+        ]
+
     def test_docstrings_everywhere_public(self):
         """Every public module, class, and function carries a docstring."""
         import inspect
@@ -64,7 +104,9 @@ class TestTopLevelNamespace:
             "repro.signals.metrics",
             "repro.sync.dwm",
             "repro.sync.tde",
+            "repro.core.engine",
             "repro.core.pipeline",
+            "repro.core.streaming",
             "repro.core.discriminator",
             "repro.core.health",
             "repro.faults.models",
