@@ -32,6 +32,7 @@ from repro.eval import Campaign, CampaignEngine, default_setup, generate_campaig
 
 RESULTS_DIR = Path(__file__).parent / "results"
 CAMPAIGN_STATS_PATH = RESULTS_DIR / "BENCH_campaign.json"
+ENGINE_THROUGHPUT_PATH = RESULTS_DIR / "BENCH_engine_throughput.json"
 
 N_TRAIN = 8
 N_BENIGN_TEST = 8
@@ -52,17 +53,28 @@ def bench_workers() -> int:
     return max(0, (os.cpu_count() or 1) - 1)
 
 
-def record_campaign_stats(name: str, record: dict) -> None:
-    """Append one perf record to benchmarks/results/BENCH_campaign.json."""
+def record_bench_stats(path: Path, name: str, record: dict) -> None:
+    """Append one perf record to a ``BENCH_*.json`` history file.
+
+    Every history file shares the record shape the regression gate
+    (``scripts/check_bench_regression.py``) expects: a JSON list of dicts,
+    each with a ``name``, a wall-clock ``time`` stamp, and free-form
+    numeric fields.  A corrupt or missing file restarts the history.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     history = []
-    if CAMPAIGN_STATS_PATH.exists():
+    if path.exists():
         try:
-            history = json.loads(CAMPAIGN_STATS_PATH.read_text())
+            history = json.loads(path.read_text())
         except (ValueError, OSError):
             history = []
     history.append({"name": name, "time": time.time(), **record})
-    CAMPAIGN_STATS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def record_campaign_stats(name: str, record: dict) -> None:
+    """Append one perf record to benchmarks/results/BENCH_campaign.json."""
+    record_bench_stats(CAMPAIGN_STATS_PATH, name, record)
 
 
 def _timed_campaign(printer: str, seed: int) -> Campaign:

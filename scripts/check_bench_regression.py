@@ -6,8 +6,16 @@ committed baseline records come first and every benchmark run appends fresh
 records (see ``benchmarks/conftest.py``).  This script compares, for each
 record ``name``, the **first** (committed baseline) against the **last**
 (just-measured) record and fails when a timing field slowed down by more
-than ``--tolerance`` (default 25%), or a ``*speedup*`` field dropped by
-more than the same tolerance.
+than ``--tolerance`` (default 25%), or a higher-is-better field
+(``*speedup*`` or ``*samples_per_s*``) dropped by more than the same
+tolerance.  ``benchmarks/results/BENCH_engine_throughput.json`` (the
+engine samples/s/core history) is gated with the same invocation, just a
+different path argument.
+
+Cross-machine safety: when baseline and current report different
+``cpu_count`` values, absolute fields — wall-clock timings *and*
+``samples_per_s`` throughput — are skipped and only machine-relative
+``*speedup*`` ratios are compared.
 
 Two-file mode (``--baseline`` + ``--current``) compares the last record per
 name of each file instead — useful for comparing artifacts of two CI runs.
@@ -36,10 +44,16 @@ DEFAULT_PATH = (
     / "benchmarks" / "results" / "BENCH_campaign.json"
 )
 
-#: Bookkeeping fields that are not performance measurements.
+#: Bookkeeping fields that are not performance measurements.  The
+#: ``*_cold_*`` throughput fields are excluded on purpose: cold numbers are
+#: dominated by one-time allocation/dispatch costs and are too noisy to
+#: gate; only the warm steady-state throughput is regression-checked.
 NON_TIMING_FIELDS = frozenset(
     {"name", "time", "workers", "cpu_count",
-     "cache_hits", "cache_misses", "simulated"}
+     "cache_hits", "cache_misses", "simulated",
+     "streaming_cold_samples_per_s", "batch_cold_samples_per_s",
+     "disabled_obs_overhead", "hot_path_obs_calls",
+     "chunk_samples", "n_samples", "sample_rate"}
 )
 
 #: Baselines smaller than this are noise-level; ratios would be garbage.
@@ -100,7 +114,7 @@ def check_pair(
         if b < MIN_BASELINE:
             continue
         ratio = c / b
-        higher_is_better = "speedup" in field
+        higher_is_better = "speedup" in field or "samples_per_s" in field
         if higher_is_better:
             ok = ratio >= 1.0 - tolerance
         else:

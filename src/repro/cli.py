@@ -445,6 +445,34 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .eval.throughput import (
+        ThroughputWorkload,
+        load_baseline_record,
+        measure_engine_throughput,
+        render_comparison,
+    )
+
+    workload = ThroughputWorkload(
+        n_samples=args.samples, chunk_samples=args.chunk
+    )
+    if not args.json:
+        print(
+            f"measuring DetectionEngine throughput "
+            f"({workload.n_samples} samples, chunk={workload.chunk_samples}, "
+            f"{args.repeats} warm repeats)..."
+        )
+    record = measure_engine_throughput(workload, repeats=args.repeats)
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        baseline = load_baseline_record(Path(args.baseline))
+        print(render_comparison(record, baseline))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -607,6 +635,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attack-runs", type=int, default=2)
     p.add_argument("--r", type=float, default=0.3)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure detection-engine throughput (samples/s/core)",
+    )
+    p.add_argument(
+        "target", choices=["throughput"],
+        help="which benchmark to run (only 'throughput' for now)",
+    )
+    p.add_argument(
+        "--samples", type=int, default=40_000,
+        help="observed-signal length in samples (default 40000)",
+    )
+    p.add_argument(
+        "--chunk", type=int, default=10,
+        help="streaming push chunk size in samples (default 10)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3,
+        help="warm repeats; the best one is reported (default 3)",
+    )
+    p.add_argument(
+        "--baseline", default="benchmarks/results/BENCH_engine_throughput.json",
+        help="BENCH_engine_throughput.json history to compare against "
+             "(first record; missing file = no comparison)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the raw measurement record as JSON",
+    )
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -15,6 +15,7 @@ from typing import Callable, Union
 import numpy as np
 
 from .. import obs
+from ..signals.metrics import _EPS as _METRIC_EPS
 from ..signals.metrics import DISTANCE_METRICS, correlation_distance
 from ..signals.signal import Signal
 from ..sync.base import SyncResult
@@ -114,34 +115,135 @@ class Comparator:
         value = float(self.metric(wa, wb))
         return value if math.isfinite(value) else MAX_CORRELATION_DISTANCE
 
+    def pair_distances(self, wa: np.ndarray, wb: np.ndarray) -> np.ndarray:
+        """Batched :meth:`pair_distance` over stacked ``(k, n, c)`` pairs.
+
+        Bit-identical to calling :meth:`pair_distance` on each pair in
+        turn: the batched reductions run over the same axis, in the same
+        operation order, on the same float64 values, so numpy produces the
+        same bits per window (differential-tested against the scalar
+        reference).  Only the correlation metric vectorizes — any other
+        metric is an opaque ``d(u, v) -> float`` callable and falls back
+        to the per-pair loop.
+        """
+        wa = np.asarray(wa, dtype=np.float64)
+        wb = np.asarray(wb, dtype=np.float64)
+        if wa.ndim != 3 or wa.shape != wb.shape:
+            raise ValueError(
+                f"expected matching (k, n, c) window stacks, "
+                f"got {wa.shape} vs {wb.shape}"
+            )
+        k = wa.shape[0]
+        out = np.empty(k)
+        if k == 0:
+            return out
+        if not self._correlation_like:
+            for j in range(k):
+                out[j] = self.pair_distance(wa[j], wb[j])
+            return out
+        ca = np.all(np.ptp(wa, axis=1) <= _CONSTANT_EPS, axis=1)
+        cb = np.all(np.ptp(wb, axis=1) <= _CONSTANT_EPS, axis=1)
+        special = ca | cb
+        if special.any():
+            out[special] = MAX_CORRELATION_DISTANCE
+            both = ca & cb
+            if both.any():
+                same = both & np.all(wa[:, 0, :] == wb[:, 0, :], axis=1)
+                out[same] = 0.0
+        rest = ~special
+        if rest.any():
+            u, v = wa[rest], wb[rest]
+            du = u - u.mean(axis=1, keepdims=True)
+            dv = v - v.mean(axis=1, keepdims=True)
+            num = np.sum(du * dv, axis=1)
+            den = np.linalg.norm(du, axis=1) * np.linalg.norm(dv, axis=1)
+            scores = np.where(
+                den > _METRIC_EPS, num / np.maximum(den, _METRIC_EPS), 0.0
+            )
+            vals = 1.0 - scores.mean(axis=1)
+            out[rest] = np.where(
+                np.isfinite(vals), vals, MAX_CORRELATION_DISTANCE
+            )
+        return out
+
     def _window_distances(
         self, a: Signal, b: Signal, sync: SyncResult
     ) -> np.ndarray:
+        """Vertical distances for every synchronized window (Eq. 16).
+
+        Fast path: all windows that lie fully inside both signals with a
+        finite displacement are gathered into one ``(k, n_win, c)`` stack
+        and scored by a single :meth:`pair_distances` call.  Boundary-
+        clipped, degenerate, or non-finitely-displaced windows take the
+        scalar per-window route, which owns the walk-off accounting.
+        """
         n_win, n_hop = sync.n_win, sync.n_hop
+        k = sync.n_indexes
+        if k == 0 or n_win < 2 or not self._correlation_like:
+            return self._window_distances_scalar(a, b, sync)
+        h = np.asarray(sync.h_disp, dtype=np.float64)
+        starts = np.arange(k, dtype=np.float64) * n_hop
+        # Eligibility is decided in float64 so absurd displacements (1e300
+        # from a walked-off synchronizer) cannot overflow an int cast; the
+        # ineligible windows fall through to the scalar path, which works
+        # in exact Python ints.
+        b0f = starts + np.round(h)
+        eligible = (
+            np.isfinite(h)
+            & (b0f >= 0.0)
+            & (b0f + n_win <= b.n_samples)
+            & (starts + n_win <= a.n_samples)
+        )
+        out = np.empty(k)
+        idx = np.flatnonzero(eligible)
+        if idx.size:
+            span = np.arange(n_win)
+            a0 = idx * n_hop
+            b0 = b0f[idx].astype(np.int64)
+            wa = a.data[a0[:, np.newaxis] + span, :]
+            wb = b.data[b0[:, np.newaxis] + span, :]
+            out[idx] = self.pair_distances(wa, wb)
+        for i in np.flatnonzero(~eligible):
+            out[i] = self._one_window_distance(a, b, sync, int(i))
+        return out
+
+    def _window_distances_scalar(
+        self, a: Signal, b: Signal, sync: SyncResult
+    ) -> np.ndarray:
+        """Reference implementation: one :meth:`pair_distance` per window.
+
+        Kept verbatim as the bit-exactness oracle for the vectorized
+        :meth:`_window_distances` (differential-tested), and used directly
+        for non-correlation metrics and sub-2-sample windows.
+        """
         out = np.empty(sync.n_indexes)
         for i in range(sync.n_indexes):
-            h = float(sync.h_disp[i])
-            if not math.isfinite(h):
-                # A non-finite displacement estimate is a synchronizer
-                # walk-off, not a crash: int(round(nan)) would raise
-                # mid-detection.  Score the window as worst-case instead.
-                self._note_walkoff(i, 0)
-                out[i] = MAX_CORRELATION_DISTANCE
-                continue
-            disp = int(round(h))
-            wa = a.window(i, n_win, n_hop).data
-            wb = b.window(i, n_win, n_hop, offset=disp).data
-            n = min(wa.shape[0], wb.shape[0])
-            if n < 2:
-                # A vanishing window means the synchronizer walked off the
-                # reference (overrun, or an offset so negative the window
-                # clamps to nothing); report the worst correlation distance
-                # so the discriminator sees it.
-                self._note_walkoff(i, n)
-                out[i] = MAX_CORRELATION_DISTANCE
-                continue
-            out[i] = self.pair_distance(wa[:n], wb[:n])
+            out[i] = self._one_window_distance(a, b, sync, i)
         return out
+
+    def _one_window_distance(
+        self, a: Signal, b: Signal, sync: SyncResult, i: int
+    ) -> float:
+        n_win, n_hop = sync.n_win, sync.n_hop
+        h = float(sync.h_disp[i])
+        if not math.isfinite(h):
+            # A non-finite displacement estimate is a synchronizer
+            # walk-off, not a crash: int(round(nan)) would raise
+            # mid-detection.  Score the window as worst-case instead.
+            self._note_walkoff(i, 0)
+            return MAX_CORRELATION_DISTANCE
+        disp = int(round(h))
+        wa = a.window(i, n_win, n_hop).data
+        wb = b.window(i, n_win, n_hop, offset=disp).data
+        n = min(wa.shape[0], wb.shape[0])
+        if n < 2:
+            # A vanishing window means the synchronizer walked off the
+            # reference (overrun, or an offset so negative the window
+            # clamps to nothing); report the worst correlation distance
+            # so the discriminator sees it.
+            self._note_walkoff(i, n)
+            return MAX_CORRELATION_DISTANCE
+        return self.pair_distance(wa[:n], wb[:n])
 
     @staticmethod
     def _note_walkoff(window: int, n: int) -> None:

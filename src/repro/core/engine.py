@@ -51,6 +51,7 @@ import numpy as np
 
 from .. import obs
 from ..obs import events
+from ..signals.ringbuffer import SampleRing
 from ..signals.signal import Signal
 from ..sync.base import BatchSyncCursor, SyncCursor, SyncResult, Synchronizer
 from .comparator import Comparator, DistanceFn, MAX_CORRELATION_DISTANCE
@@ -294,17 +295,27 @@ class DetectionEngine:
         self._n_channels = int(n_ch)
         self._min_dark = self.policy.min_dark_samples(self._rate)
         # --- progress / buffered tail ---
+        # Preallocated tail buffers (amortized O(chunk) appends, logical
+        # prefix trims) shared by the sanitize and compare stages; both
+        # address samples by absolute stream index.
         self._samples_seen = 0
-        self._buffer = np.zeros((0, n_ch))
-        self._buf_start = 0
-        self._bad = np.zeros(0, dtype=bool)
+        self._ring = SampleRing(n_ch)
+        self._bad_ring = SampleRing(None, dtype=bool)
         self._finalized = False
         # --- sanitize carry (see repro.core.health) ---
         self._last_good = np.zeros(n_ch)
         self._have_good = np.zeros(n_ch, dtype=bool)
         self._prev_raw: Optional[np.ndarray] = None
+        # True when the carried previous raw row has a non-finite entry;
+        # lets the dark-run tracker skip the errstate-guarded path on the
+        # (overwhelmingly common) all-finite chunks.
+        self._prev_raw_bad = False
         self._n_nonfinite = 0
         self._run_start = np.zeros(n_ch, dtype=np.int64)
+        # Scalar lower bound of _run_start (= the oldest open run): lets
+        # the per-push fast path decide "no channel can close a dark span
+        # here" with one int compare instead of a numpy reduction.
+        self._run_start_min = 0
         self._longest_dark = 0
         self._dark_spans: List[Tuple[int, int]] = []
         self._fault_fired = False
@@ -366,20 +377,33 @@ class DetectionEngine:
             raise ValueError(
                 f"expected {self._n_channels} channels, got {samples.shape[1]}"
             )
+        if not obs.enabled():
+            # Disabled-observability fast path: identical stage sequence,
+            # but no context-manager entries or counter lookups per push —
+            # at DAQ chunk sizes those null shims alone cost measurable
+            # throughput (asserted < 3% overhead by
+            # benchmarks/bench_engine_throughput.py).
+            clean, bad_rows = self._stage_sanitize(samples)
+            self._ring.append(clean)
+            self._bad_ring.append(bad_rows)
+            self._samples_seen += samples.shape[0]
+            emitted = self._cursor.push(clean)
+            new_alerts = self._ingest(emitted, v_pre=None)
+            self._trim()
+            return new_alerts
         with obs.trace("repro.core.engine.push"):
             with obs.trace("sanitize"):
                 clean, bad_rows = self._stage_sanitize(samples)
-            self._buffer = np.concatenate([self._buffer, clean], axis=0)
-            self._bad = np.concatenate([self._bad, bad_rows])
+            self._ring.append(clean)
+            self._bad_ring.append(bad_rows)
             self._samples_seen += samples.shape[0]
             with obs.trace("synchronize"):
                 emitted = self._cursor.push(clean)
             new_alerts = self._ingest(emitted, v_pre=None)
             self._trim()
-        if obs.enabled():
-            obs.counter("repro.core.engine.samples").inc(samples.shape[0])
-            if new_alerts:
-                obs.counter("repro.core.engine.alerts").inc(len(new_alerts))
+        obs.counter("repro.core.engine.samples").inc(samples.shape[0])
+        if new_alerts:
+            obs.counter("repro.core.engine.alerts").inc(len(new_alerts))
         return new_alerts
 
     def finalize(self) -> EngineResult:
@@ -394,9 +418,9 @@ class DetectionEngine:
             emitted = self._cursor.finalize()
             sync = self._cursor.result()
             v_pre: Optional[np.ndarray] = None
-            if sync.mode == "point" and self._buffer.shape[0]:
+            if sync.mode == "point" and len(self._ring):
                 with obs.trace("compare"):
-                    observed = Signal(self._buffer, self._rate)
+                    observed = Signal(self._ring.tail(), self._rate)
                     v_pre = self._comparator.vertical_distances(
                         observed, self.reference, sync
                     )
@@ -498,10 +522,12 @@ class DetectionEngine:
                 "filter_window": self.filter_window,
             },
             progress={
+                # One C-level tolist() per array (not per-element Python
+                # loops): checkpointing happens mid-stream, on the clock.
                 "samples_seen": int(self._samples_seen),
-                "buf_start": int(self._buf_start),
-                "buffer": [[float(v) for v in row] for row in self._buffer],
-                "bad": [bool(b) for b in self._bad],
+                "buf_start": int(self._ring.start),
+                "buffer": self._ring.tail().tolist(),
+                "bad": self._bad_ring.tail().tolist(),
             },
             sanitize={
                 "last_good": [float(v) for v in self._last_good],
@@ -551,12 +577,11 @@ class DetectionEngine:
                 )
         prog = state.progress
         self._samples_seen = int(prog["samples_seen"])  # type: ignore[call-overload]
-        self._buf_start = int(prog["buf_start"])  # type: ignore[call-overload]
-        buffer = np.asarray(prog["buffer"], dtype=np.float64)
-        if buffer.size == 0:
-            buffer = np.zeros((0, self._n_channels))
-        self._buffer = buffer.reshape(-1, self._n_channels)
-        self._bad = np.asarray(prog["bad"], dtype=bool).reshape(-1)
+        buf_start = int(prog["buf_start"])  # type: ignore[call-overload]
+        self._ring.load(
+            np.asarray(prog["buffer"], dtype=np.float64), buf_start
+        )
+        self._bad_ring.load(np.asarray(prog["bad"], dtype=bool), buf_start)
         self._finalized = False
         san = state.sanitize
         self._last_good = np.asarray(san["last_good"], dtype=np.float64)
@@ -565,8 +590,12 @@ class DetectionEngine:
         self._prev_raw = (
             None if raw is None else _decode_optional_floats(raw)  # type: ignore[arg-type]
         )
+        self._prev_raw_bad = self._prev_raw is not None and not bool(
+            np.isfinite(self._prev_raw).all()
+        )
         self._n_nonfinite = int(san["n_nonfinite"])  # type: ignore[call-overload]
         self._run_start = np.asarray(san["run_start"], dtype=np.int64)
+        self._run_start_min = int(self._run_start.min())
         self._longest_dark = int(san["longest_dark"])  # type: ignore[call-overload]
         self._dark_spans = [
             (int(a), int(b)) for a, b in san["dark_spans"]  # type: ignore[union-attr]
@@ -605,10 +634,12 @@ class DetectionEngine:
         n = raw.shape[0]
         bad = ~np.isfinite(raw)
         bad_rows: np.ndarray = bad.any(axis=1)
-        self._n_nonfinite += int(np.count_nonzero(bad_rows))
-        self._track_dark_runs(raw, bad)
+        has_bad = bool(bad_rows.any())
+        if has_bad:
+            self._n_nonfinite += int(np.count_nonzero(bad_rows))
+        self._track_dark_runs(raw, bad, has_bad)
 
-        if not bad.any():
+        if not has_bad:
             self._last_good = raw[-1].copy()
             self._have_good[:] = True
             return raw, bad_rows
@@ -626,7 +657,9 @@ class DetectionEngine:
         self._have_good |= (~bad).any(axis=0)
         return clean, bad_rows
 
-    def _track_dark_runs(self, raw: np.ndarray, bad: np.ndarray) -> None:
+    def _track_dark_runs(
+        self, raw: np.ndarray, bad: np.ndarray, has_bad: bool
+    ) -> None:
         """Continue per-channel constant/non-finite runs through this chunk.
 
         Works on the *raw* data (forward-filling first would turn every
@@ -639,16 +672,48 @@ class DetectionEngine:
         n = raw.shape[0]
         offset = self._samples_seen
         eps = self.policy.dark_eps
-        extend = np.zeros_like(bad)
-        if self._prev_raw is not None:
-            prev_bad = ~np.isfinite(self._prev_raw)
-            with np.errstate(invalid="ignore"):
+        if has_bad or self._prev_raw_bad:
+            extend = np.zeros_like(bad)
+            if self._prev_raw is not None:
+                prev_bad = ~np.isfinite(self._prev_raw)
+                with np.errstate(invalid="ignore"):
+                    extend[0] = np.abs(raw[0] - self._prev_raw) <= eps
+                extend[0] |= bad[0] | prev_bad
+            if n > 1:
+                with np.errstate(invalid="ignore"):
+                    extend[1:] = np.abs(np.diff(raw, axis=0)) <= eps
+                extend[1:] |= bad[1:] | bad[:-1]
+        else:
+            # All-finite chunk with an all-finite carry: the non-finite
+            # terms above are identically False and the subtractions
+            # cannot trip the invalid-FP guard, so skip the errstate
+            # context managers and mask work entirely.
+            extend = np.empty_like(bad)
+            if self._prev_raw is not None:
                 extend[0] = np.abs(raw[0] - self._prev_raw) <= eps
-            extend[0] |= bad[0] | prev_bad
-        if n > 1:
-            with np.errstate(invalid="ignore"):
+            else:
+                extend[0] = False
+            if n > 1:
                 extend[1:] = np.abs(np.diff(raw, axis=0)) <= eps
-            extend[1:] |= bad[1:] | bad[:-1]
+        self._prev_raw_bad = has_bad and bool(bad[-1].any())
+        if not extend.any():
+            # Every run resets at every sample of this chunk: all run
+            # lengths are 1, so at most one span per channel can close
+            # (the carried run ending at this chunk's first sample), no
+            # dark-limit crossing is possible (the limit is >= 2), and
+            # the per-channel boundary scan below collapses to O(C).
+            # This is the steady-state path for healthy, textured input.
+            if offset - self._run_start_min >= self._min_dark:
+                carry0 = offset - self._run_start
+                for c in np.flatnonzero(carry0 >= self._min_dark):
+                    self._dark_spans.append(
+                        (int(self._run_start[c]), int(offset))
+                    )
+            self._run_start[:] = offset + n - 1
+            self._run_start_min = offset + n - 1
+            self._longest_dark = max(self._longest_dark, 1)
+            self._prev_raw = raw[-1].copy()
+            return
         idx = np.arange(n)[:, np.newaxis]
         carry = (offset - self._run_start).astype(np.int64)
         reset = np.where(~extend, idx, -1)
@@ -667,6 +732,7 @@ class DetectionEngine:
             for k in np.flatnonzero(ends - starts >= self._min_dark):
                 self._dark_spans.append((int(starts[k]), int(ends[k])))
             self._run_start[c] = int(offset + bnd[-1])
+        self._run_start_min = int(self._run_start.min())
         if (
             self.policy.enabled
             and not self._fault_fired
@@ -772,6 +838,9 @@ class DetectionEngine:
         """Evaluate newly synchronized indexes, interleaving the pending
         sensor fault at its exact crossing sample."""
         new_alerts: List[Alert] = []
+        v_batch: Optional[Dict[int, float]] = None
+        if v_pre is None and len(emitted) > 1:
+            v_batch = self._batch_compare(emitted)
         for i, disp in emitted:
             if self._pending_fault is not None:
                 stop = i * self._cursor.n_hop + self._cursor.n_win
@@ -780,7 +849,9 @@ class DetectionEngine:
                         new_alerts, ("dark_channel",), *self._pending_fault
                     )
                     self._pending_fault = None
-            self._evaluate_index(int(i), float(disp), v_pre, new_alerts)
+            self._evaluate_index(
+                int(i), float(disp), v_pre, v_batch, new_alerts
+            )
         if self._pending_fault is not None:
             self._fire_sensor_fault(
                 new_alerts, ("dark_channel",), *self._pending_fault
@@ -789,11 +860,54 @@ class DetectionEngine:
         self._alerts.extend(new_alerts)
         return new_alerts
 
+    def _batch_compare(
+        self, emitted: Sequence[Tuple[int, float]]
+    ) -> Optional[Dict[int, float]]:
+        """Pre-score the clean full windows of one push in a single call.
+
+        Gathers every emitted window that lies fully inside both the
+        buffered tail and the reference (finite displacement, no boundary
+        clipping) into one ``(k, n_win, c)`` stack and scores it with one
+        :meth:`~repro.core.comparator.Comparator.pair_distances` call —
+        bit-identical to the per-window scalar path.  Windows that need
+        the worst-case fallback are deliberately left out: they emit
+        ``window_truncated`` events from inside the per-index loop, and
+        pre-scoring them here would reorder the event stream relative to
+        a differently-chunked run.
+        """
+        if self._cursor.mode != "window":
+            return None
+        n_win, n_hop = self._cursor.n_win, self._cursor.n_hop
+        n_ref = self.reference.n_samples
+        ref = self.reference.data
+        idxs: List[int] = []
+        stack_a: List[np.ndarray] = []
+        stack_b: List[np.ndarray] = []
+        for i, disp in emitted:
+            if not math.isfinite(disp):
+                continue
+            start = int(i) * n_hop
+            b0 = start + int(round(disp))
+            if b0 < 0 or b0 + n_win > n_ref:
+                continue
+            if start + n_win > self._ring.end:
+                continue
+            idxs.append(int(i))
+            stack_a.append(self._ring.view(start, start + n_win))
+            stack_b.append(ref[b0 : b0 + n_win])
+        if not idxs:
+            return None
+        vals = self._comparator.pair_distances(
+            np.stack(stack_a), np.stack(stack_b)
+        )
+        return {i: float(v) for i, v in zip(idxs, vals)}
+
     def _evaluate_index(
         self,
         i: int,
         disp: float,
         v_pre: Optional[np.ndarray],
+        v_batch: Optional[Dict[int, float]],
         sink: List[Alert],
     ) -> None:
         """Compare + discriminate one synchronized index (window or point).
@@ -826,7 +940,7 @@ class DetectionEngine:
         self._h_f.append(h_f)
 
         # Sub-module 3: filtered vertical distance (Eq. 20, 22).
-        v = self._stage_compare(i, disp, degenerate, v_pre)
+        v = self._stage_compare(i, disp, degenerate, v_pre, v_batch)
         self._quarantine_check(i, n_win, n_hop)
         self._v_hist.append(v)
         v_f = min(self._v_hist[-self.filter_window:])
@@ -862,16 +976,21 @@ class DetectionEngine:
         disp: float,
         degenerate: bool,
         v_pre: Optional[np.ndarray],
+        v_batch: Optional[Dict[int, float]],
     ) -> float:
         """Vertical distance for one index, with the worst-case fallback."""
-        if v_pre is not None and not degenerate:
-            # Point mode: distances were computed wholesale over the
-            # warping path (Eq. 15); nothing to window out.
-            return float(v_pre[i])
+        if not degenerate:
+            if v_pre is not None:
+                # Point mode: distances were computed wholesale over the
+                # warping path (Eq. 15); nothing to window out.
+                return float(v_pre[i])
+            if v_batch is not None:
+                v = v_batch.get(i)
+                if v is not None:
+                    return v
         n_win, n_hop = self._cursor.n_win, self._cursor.n_hop
         start = i * n_hop
-        rel = start - self._buf_start
-        wa = self._buffer[rel : rel + n_win, :]
+        wa = self._ring.view(start, start + n_win)
         offset = int(round(disp))
         wb = self.reference.slice(
             start + offset, start + offset + n_win
@@ -887,11 +1006,21 @@ class DetectionEngine:
 
     def _quarantine_check(self, i: int, n_win: int, n_hop: int) -> None:
         """Flag an index whose input samples had to be repaired."""
+        if self._n_nonfinite == 0:
+            # Nothing was ever repaired, so no window can be quarantined;
+            # skip the per-window mask scan on healthy streams.
+            return
         if self._cursor.mode == "window":
-            rel = i * n_hop - self._buf_start
-            n_bad = int(np.count_nonzero(self._bad[rel : rel + n_win]))
+            start = i * n_hop
+            n_bad = int(
+                np.count_nonzero(self._bad_ring.view(start, start + n_win))
+            )
         else:
-            n_bad = 1 if (i < self._bad.shape[0] and self._bad[i]) else 0
+            n_bad = (
+                1
+                if (i < self._bad_ring.end and bool(self._bad_ring.view(i, i + 1)[0]))
+                else 0
+            )
         if not n_bad:
             return
         self._quarantined.append(i)
@@ -914,11 +1043,8 @@ class DetectionEngine:
     def _trim(self) -> None:
         """Drop the buffered prefix every evaluated window has consumed."""
         low = len(self._c_hist) * self._cursor.n_hop
-        cut = low - self._buf_start
-        if cut > 0:
-            self._buffer = self._buffer[cut:]
-            self._bad = self._bad[cut:]
-            self._buf_start = low
+        self._ring.trim_to(low)
+        self._bad_ring.trim_to(low)
 
     # ------------------------------------------------------------------
     # End-of-run discrimination

@@ -1,6 +1,7 @@
 """Signal substrate: containers, metrics, windows, filters, spectrograms."""
 
 from .signal import Signal, Window
+from .ringbuffer import SampleRing
 from .metrics import (
     DISTANCE_METRICS,
     SIMILARITY_FUNCTIONS,
@@ -29,6 +30,7 @@ from .spectrogram import (
 __all__ = [
     "Signal",
     "Window",
+    "SampleRing",
     "DISTANCE_METRICS",
     "SIMILARITY_FUNCTIONS",
     "correlation_distance",

@@ -1,0 +1,159 @@
+"""Preallocated, geometrically-grown sample buffer for streaming hot paths.
+
+Every incremental component of the detection core (engine sample/repair
+buffers, the streaming DWM cursor) used to grow its buffered tail with
+``np.concatenate`` on every chunk — an O(buffer) copy *per push*, which at
+DAQ-sized chunks (tens of samples) dominated the whole pipeline.
+
+:class:`SampleRing` replaces that pattern with a contiguous tail buffer that
+
+* grows geometrically (amortized O(1) appends; a chunk is copied once into
+  preallocated space instead of re-copying the whole tail),
+* trims a consumed prefix *logically* (pointer bump, no copy; the space is
+  reclaimed by compaction the next time an append would not fit), and
+* addresses samples by their **absolute** index in the stream, so callers
+  never re-derive "buffer-relative" offsets.
+
+The buffer is "ring-like" rather than a textbook circular buffer on
+purpose: keeping the live tail contiguous means :meth:`view` hands out
+zero-copy numpy views that feed straight into vectorized kernels — a true
+wraparound ring would force a copy (or two-part views) on exactly the
+windows the hot path reads most.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["SampleRing"]
+
+#: Smallest backing-store capacity (rows); avoids pathological regrowth for
+#: the first few one-sample pushes.
+_MIN_CAPACITY = 64
+
+
+class SampleRing:
+    """Contiguous streaming buffer with absolute-index addressing.
+
+    Parameters
+    ----------
+    n_channels:
+        Row width.  ``None`` makes the ring 1-D (a stream of scalars, e.g.
+        the engine's per-row repair mask); an integer makes rows
+        ``(n_channels,)`` vectors.
+    dtype:
+        Element dtype (default ``float64``).
+
+    The ring exposes the retained range as ``[start, end)`` in absolute
+    stream coordinates: ``start`` advances on :meth:`trim_to`, ``end`` on
+    :meth:`append`.
+    """
+
+    __slots__ = ("_data", "_lo", "_n", "_start", "_channels")
+
+    def __init__(
+        self,
+        n_channels: Optional[int] = None,
+        dtype: Union[type, np.dtype] = np.float64,
+        capacity: int = _MIN_CAPACITY,
+    ) -> None:
+        self._channels = n_channels
+        capacity = max(int(capacity), _MIN_CAPACITY)
+        self._data = np.empty(self._shape(capacity), dtype=dtype)
+        self._lo = 0      # physical index of the first retained row
+        self._n = 0       # number of retained rows
+        self._start = 0   # absolute stream index of the first retained row
+
+    def _shape(self, rows: int) -> Tuple[int, ...]:
+        if self._channels is None:
+            return (rows,)
+        return (rows, self._channels)
+
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> int:
+        """Absolute stream index of the first retained sample."""
+        return self._start
+
+    @property
+    def end(self) -> int:
+        """Absolute stream index one past the last retained sample."""
+        return self._start + self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------
+    def append(self, samples: np.ndarray) -> None:
+        """Append a chunk of rows; amortized O(len(chunk))."""
+        k = int(samples.shape[0])
+        if k == 0:
+            return
+        cap = self._data.shape[0]
+        if self._lo + self._n + k > cap:
+            need = self._n + k
+            if need > cap:
+                # Geometric growth: double (at least) so the per-sample
+                # copy cost stays amortized O(1).
+                new_cap = max(2 * cap, need)
+                fresh = np.empty(self._shape(new_cap), dtype=self._data.dtype)
+                fresh[: self._n] = self._data[self._lo : self._lo + self._n]
+                self._data = fresh
+            else:
+                # Enough total capacity once the trimmed prefix is
+                # reclaimed: compact the live tail to the front in place.
+                self._data[: self._n] = self._data[self._lo : self._lo + self._n]
+            self._lo = 0
+        pos = self._lo + self._n
+        self._data[pos : pos + k] = samples
+        self._n += k
+
+    def view(self, start: int, stop: int) -> np.ndarray:
+        """Zero-copy view of the absolute sample range ``[start, stop)``.
+
+        ``stop`` is clamped to :attr:`end` (mirroring Python slice
+        semantics for windows that poke past the buffered tail), but
+        ``start`` below :attr:`start` is a hard error: it would silently
+        read samples that were already trimmed away.
+        """
+        if start < self._start:
+            raise IndexError(
+                f"sample {start} was already trimmed "
+                f"(buffer starts at {self._start})"
+            )
+        stop = min(stop, self.end)
+        a = start - self._start + self._lo
+        b = max(stop - self._start, start - self._start) + self._lo
+        return self._data[a:b]
+
+    def tail(self) -> np.ndarray:
+        """Zero-copy view of everything retained (``[start, end)``)."""
+        return self._data[self._lo : self._lo + self._n]
+
+    def trim_to(self, abs_index: int) -> None:
+        """Logically drop all samples before ``abs_index`` (no copy)."""
+        cut = min(abs_index - self._start, self._n)
+        if cut <= 0:
+            return
+        self._lo += cut
+        self._n -= cut
+        self._start += cut
+
+    def load(self, data: np.ndarray, start: int) -> None:
+        """Replace the retained tail (checkpoint restore)."""
+        data = np.asarray(data, dtype=self._data.dtype)
+        if self._channels is None:
+            rows = data.reshape(-1)
+        else:
+            rows = data.reshape(-1, self._channels)
+        self._lo = 0
+        self._n = int(rows.shape[0])
+        self._start = int(start)
+        if self._n > self._data.shape[0]:
+            self._data = np.empty(
+                self._shape(max(2 * self._n, _MIN_CAPACITY)),
+                dtype=self._data.dtype,
+            )
+        self._data[: self._n] = rows

@@ -171,8 +171,20 @@ class BatchSyncCursor:
         self.mode = "window"
         self.n_win = 1
         self.n_hop = 1
-        self._buffer = np.zeros((0, reference.n_channels))
+        # Chunks are collected as-is and concatenated once on demand: a
+        # per-push np.concatenate would make buffering a long stream
+        # O(n^2) in total copies.
+        self._chunks: List[np.ndarray] = []
         self._result: Optional[SyncResult] = None
+
+    @property
+    def _buffer(self) -> np.ndarray:
+        """The full buffered stream (single concatenation, on demand)."""
+        if not self._chunks:
+            return np.zeros((0, self.reference.n_channels))
+        if len(self._chunks) > 1:
+            self._chunks = [np.concatenate(self._chunks, axis=0)]
+        return self._chunks[0]
 
     def push(self, samples: np.ndarray) -> List[Tuple[int, float]]:
         """Buffer observed samples; a batch cursor never emits early."""
@@ -182,7 +194,7 @@ class BatchSyncCursor:
         if samples.ndim == 1:
             samples = samples[:, np.newaxis]
         if samples.shape[0]:
-            self._buffer = np.concatenate([self._buffer, samples], axis=0)
+            self._chunks.append(samples.copy())
         return []
 
     def finalize(self) -> List[Tuple[int, float]]:
@@ -213,7 +225,7 @@ class BatchSyncCursor:
             raise RuntimeError("cannot snapshot a finalized cursor")
         return {
             "kind": "batch",
-            "buffer": [[float(v) for v in row] for row in self._buffer],
+            "buffer": self._buffer.tolist(),
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -221,7 +233,6 @@ class BatchSyncCursor:
         if state.get("kind") != "batch":
             raise ValueError(f"not a BatchSyncCursor state: {state.get('kind')!r}")
         buffer = np.asarray(state["buffer"], dtype=np.float64)
-        if buffer.size == 0:
-            buffer = np.zeros((0, self.reference.n_channels))
-        self._buffer = buffer.reshape(-1, self.reference.n_channels)
+        buffer = buffer.reshape(-1, self.reference.n_channels)
+        self._chunks = [buffer] if buffer.shape[0] else []
         self._result = None

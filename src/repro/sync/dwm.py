@@ -26,9 +26,10 @@ import numpy as np
 
 from .. import obs
 from ..signals.metrics import correlation_similarity
+from ..signals.ringbuffer import SampleRing
 from ..signals.signal import Signal
 from .base import SyncResult
-from .tde import tdeb
+from .tde import correlation_profile, tdeb
 
 __all__ = [
     "DwmParams",
@@ -242,13 +243,19 @@ class StreamingDwm:
         self.n_hop = params.n_hop(rate)
         self._n_ext = params.n_ext(rate)
         self._n_sigma = params.n_sigma(rate)
-        self._buffer = np.zeros((0, reference.n_channels))
-        # Absolute sample index of _buffer[0]: the prefix every synchronized
-        # window already consumed is trimmed, so a cursor held open for a
-        # whole print stays O(window) in memory, not O(print).
-        self._buf_start = 0
+        # Preallocated tail buffer with absolute-index addressing: the
+        # prefix every synchronized window already consumed is trimmed
+        # (logically — no copy), so a cursor held open for a whole print
+        # stays O(window) in memory, not O(print), and a push costs
+        # amortized O(chunk) instead of O(buffer).
+        self._ring = SampleRing(reference.n_channels)
         self._state = _DwmState()
         self._exhausted = False
+        # TDEB's Gaussian bias depends only on (profile length, centre),
+        # both of which settle into a handful of values once the stream is
+        # away from the reference edges; caching them removes an exp() of
+        # search-window length per window.
+        self._bias_cache: Dict[Tuple[int, int], np.ndarray] = {}
 
     @property
     def n_windows_done(self) -> int:
@@ -270,35 +277,87 @@ class StreamingDwm:
             )
         if self._exhausted:
             return []
-        if samples.shape[0]:
-            self._buffer = np.concatenate([self._buffer, samples], axis=0)
+        self._ring.append(samples)
 
+        # The h_disp_low recurrence makes window i+1's search centre depend
+        # on window i's result, so the windows themselves are inherently
+        # sequential; the batching win is that every newly-complete window
+        # in this push is evaluated on zero-copy ring views through the
+        # direct fast step (cached bias, no per-window tracing shims)
+        # instead of one fully-wrapped tdeb call per window.
+        fast = (
+            self.similarity is correlation_similarity and not obs.enabled()
+        )
         emitted: List[Tuple[int, float]] = []
         while True:
             i = self._state.i
-            start = i * self.n_hop - self._buf_start
-            stop = start + self.n_win
-            if stop > self._buffer.shape[0]:
+            start = i * self.n_hop
+            if start + self.n_win > self._ring.end:
                 break
-            ok = _dwm_step(
-                self._state,
-                self._buffer[start:stop, :],
-                self.reference,
-                self.n_hop,
-                self._n_ext,
-                self._n_sigma,
-                self.params.eta,
-                self.similarity,
-            )
+            a_window = self._ring.view(start, start + self.n_win)
+            if fast:
+                ok = self._step_fast(a_window)
+            else:
+                ok = _dwm_step(
+                    self._state,
+                    a_window,
+                    self.reference,
+                    self.n_hop,
+                    self._n_ext,
+                    self._n_sigma,
+                    self.params.eta,
+                    self.similarity,
+                )
             if not ok:
                 self._exhausted = True
                 break
             emitted.append((i, float(self._state.h_disp[-1])))
-        cut = self._state.i * self.n_hop - self._buf_start
-        if cut > 0:
-            self._buffer = self._buffer[cut:]
-            self._buf_start += cut
+        self._ring.trim_to(self._state.i * self.n_hop)
         return emitted
+
+    def _step_fast(self, a_window: np.ndarray) -> bool:
+        """One DWM iteration, inlined for the streaming hot path.
+
+        Replicates ``_dwm_step`` + :func:`~repro.sync.tde.tdeb` for the
+        default correlation similarity with observability disabled —
+        bit-identical math (differential-tested against the kept
+        ``_dwm_step`` reference), minus the per-window span/counter
+        machinery and with the Gaussian bias vector cached.
+        """
+        state = self._state
+        i = state.i
+        low = state.h_disp_low
+        n_win = a_window.shape[0]
+        b = self.reference
+        want_start = i * self.n_hop - self._n_ext + low
+        want_stop = i * self.n_hop + self._n_ext + low + n_win
+        start = max(0, want_start)
+        stop = min(b.n_samples, want_stop)
+        segment = b.data[start:stop, :]
+        if segment.shape[0] < n_win:
+            return False
+        raw_centre = i * self.n_hop + low - start
+        centre = min(max(raw_centre, 0), segment.shape[0] - n_win)
+        raw = correlation_profile(segment, a_window)
+        bias = self._bias(raw.size, centre)
+        shifted = raw - raw.min()
+        delay = int(np.argmax(shifted * bias))
+        delta = (start + delay) - (i * self.n_hop + low)
+        state.h_disp.append(low + delta)
+        state.scores.append(float(raw[delay]))
+        state.h_disp_low = int(round(self.params.eta * delta + low))
+        state.i += 1
+        return True
+
+    def _bias(self, size: int, centre: int) -> np.ndarray:
+        """The TDEB Gaussian bias vector, cached by (size, centre)."""
+        key = (size, centre)
+        bias = self._bias_cache.get(key)
+        if bias is None:
+            n = np.arange(size, dtype=np.float64)
+            bias = np.exp(-0.5 * ((n - float(centre)) / self._n_sigma) ** 2)
+            self._bias_cache[key] = bias
+        return bias
 
     def finalize(self) -> List[Tuple[int, float]]:
         """Flush the stream: DWM emits eagerly, so nothing is pending."""
@@ -322,14 +381,19 @@ class StreamingDwm:
         the displacement/score history, the low-frequency track, and the
         untrimmed tail of the observed buffer.
         """
+        # One C-level tolist() per array instead of per-element Python
+        # round-trips: periodic DetectorState checkpointing at high sample
+        # rates sits on this path.
         return {
             "kind": "dwm",
             "i": self._state.i,
-            "h_disp": [int(h) for h in self._state.h_disp],
-            "scores": [float(s) for s in self._state.scores],
+            "h_disp": np.asarray(self._state.h_disp, dtype=np.int64).tolist(),
+            "scores": np.asarray(
+                self._state.scores, dtype=np.float64
+            ).tolist(),
             "h_disp_low": int(self._state.h_disp_low),
-            "buffer": [[float(v) for v in row] for row in self._buffer],
-            "buf_start": int(self._buf_start),
+            "buffer": self._ring.tail().tolist(),
+            "buf_start": int(self._ring.start),
             "exhausted": bool(self._exhausted),
         }
 
@@ -339,13 +403,12 @@ class StreamingDwm:
             raise ValueError(f"not a StreamingDwm state: {state.get('kind')!r}")
         fresh = _DwmState()
         fresh.i = int(state["i"])  # type: ignore[arg-type]
-        fresh.h_disp = [int(h) for h in state["h_disp"]]  # type: ignore[union-attr]
-        fresh.scores = [float(s) for s in state["scores"]]  # type: ignore[union-attr]
+        fresh.h_disp = np.asarray(state["h_disp"], dtype=np.int64).tolist()
+        fresh.scores = np.asarray(state["scores"], dtype=np.float64).tolist()
         fresh.h_disp_low = int(state["h_disp_low"])  # type: ignore[arg-type]
         self._state = fresh
-        buffer = np.asarray(state["buffer"], dtype=np.float64)
-        if buffer.size == 0:
-            buffer = np.zeros((0, self.reference.n_channels))
-        self._buffer = buffer.reshape(-1, self.reference.n_channels)
-        self._buf_start = int(state["buf_start"])  # type: ignore[arg-type]
+        self._ring.load(
+            np.asarray(state["buffer"], dtype=np.float64),
+            int(state["buf_start"]),  # type: ignore[arg-type]
+        )
         self._exhausted = bool(state["exhausted"])

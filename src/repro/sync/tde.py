@@ -57,16 +57,25 @@ def _as_2d(a: np.ndarray) -> np.ndarray:
     return a[:, np.newaxis] if a.ndim == 1 else a
 
 
+#: Crossover (in multiply-adds, ``n_shifts * n_y * n_channels``) between
+#: the direct ``np.correlate`` cross-correlation and scipy's fftconvolve.
+#: Below this, the O(n*m) direct product beats the FFT because scipy's
+#: per-call dispatch/padding overhead (~0.5 ms) dwarfs the arithmetic —
+#: and DWM's streaming search windows sit far below it at DAQ sample
+#: rates.  Above it, the O(n log n) FFT wins as before.
+_DIRECT_CROSS_MAX_OPS = 2_000_000
+
+
 def correlation_profile(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     """Vectorized sliding correlation coefficient, channel-averaged.
 
     Computes ``s[n] = corr(x[n : n + N_y], y)`` for every admissible shift
-    using running sums and an FFT/direct cross-correlation (scipy picks the
-    faster method), instead of recomputing Eq. (3) per shift.  This is what
-    makes DWM run orders of magnitude faster than DTW in practice.
+    using running sums and a cross-correlation — direct ``np.correlate``
+    for small problems, FFT for large ones (see
+    :data:`_DIRECT_CROSS_MAX_OPS`) — instead of recomputing Eq. (3) per
+    shift.  This is what makes DWM run orders of magnitude faster than DTW
+    in practice.
     """
-    fftconvolve = _get_fftconvolve()
-
     x2, y2 = _as_2d(x), _as_2d(y)
     n_x, n_y, n_ch = x2.shape[0], y2.shape[0], x2.shape[1]
     n_shifts = n_x - n_y + 1
@@ -74,7 +83,13 @@ def correlation_profile(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
     # Cross terms for every channel at once: correlation along the time
     # axis is convolution with the time-reversed template.
-    cross = fftconvolve(x2, y2[::-1, :], mode="valid", axes=0)  # (shifts, C)
+    if n_shifts * n_y * n_ch <= _DIRECT_CROSS_MAX_OPS:
+        cross = np.empty((n_shifts, n_ch))
+        for c in range(n_ch):
+            cross[:, c] = np.correlate(x2[:, c], y2[:, c], mode="valid")
+    else:
+        fftconvolve = _get_fftconvolve()
+        cross = fftconvolve(x2, y2[::-1, :], mode="valid", axes=0)  # (shifts, C)
 
     # Sliding window sums of x and x^2 via cumulative sums (O(n) each).
     cs1 = np.cumsum(np.concatenate([np.zeros((1, n_ch)), x2]), axis=0)

@@ -181,3 +181,132 @@ class TestDegenerateWindows:
         assert comp.pair_distance(const, varying) == 2.0
         assert comp.pair_distance(const, const.copy()) == 0.0
         assert np.isfinite(comp.pair_distance(varying, varying))
+
+
+class TestBatchedDifferential:
+    """The vectorized comparator paths vs their scalar bit-oracles.
+
+    ``_window_distances_scalar`` / ``pair_distance`` are kept verbatim as
+    references; the batched implementations must reproduce them *bit for
+    bit* (not approximately) so chunking invariance and forensic replay
+    stay exact.
+    """
+
+    @staticmethod
+    def _windows(seed, k, n, c, special):
+        """A (k, n, c) stack with optional degenerate windows mixed in."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((k, n, c))
+        for j in range(k):
+            kind = special[j % len(special)] if special else "normal"
+            if kind == "const":
+                w[j] = float(j)
+            elif kind == "nan":
+                w[j, n // 2, 0] = np.nan
+        return w
+
+    def test_pair_distances_matches_pair_distance(self):
+        comp = Comparator("correlation")
+        specials = ["normal", "const", "nan", "normal"]
+        wa = self._windows(1, 8, 12, 2, specials)
+        wb = self._windows(2, 8, 12, 2, ["normal", "const"])
+        batched = comp.pair_distances(wa, wb)
+        scalar = np.array(
+            [comp.pair_distance(wa[j], wb[j]) for j in range(8)]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_pair_distances_identical_constants_zero(self):
+        comp = Comparator("correlation")
+        wa = np.full((3, 10, 1), 4.0)
+        wb = wa.copy()
+        wb[1] += 1.0  # different constant -> worst case
+        batched = comp.pair_distances(wa, wb)
+        assert batched[0] == 0.0
+        assert batched[1] == 2.0
+        assert batched[2] == 0.0
+
+    def test_pair_distances_shape_mismatch_rejected(self):
+        comp = Comparator("correlation")
+        with pytest.raises(ValueError, match="window stacks"):
+            comp.pair_distances(np.zeros((2, 5, 1)), np.zeros((2, 6, 1)))
+
+    def test_pair_distances_empty_stack(self):
+        assert Comparator().pair_distances(
+            np.zeros((0, 5, 1)), np.zeros((0, 5, 1))
+        ).shape == (0,)
+
+    def test_pair_distances_noncorrelation_falls_back(self):
+        comp = Comparator("mae")
+        wa = self._windows(3, 4, 9, 1, [])
+        wb = self._windows(4, 4, 9, 1, [])
+        batched = comp.pair_distances(wa, wb)
+        scalar = np.array(
+            [comp.pair_distance(wa[j], wb[j]) for j in range(4)]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_window_distances_matches_scalar_reference(self):
+        """Mixed clean / clipped / walked-off / NaN-displaced windows."""
+        comp = Comparator("correlation")
+        a = make_signal(200, seed=3, channels=2)
+        b = make_signal(220, seed=4, channels=2)
+        h = [0.0, 3.0, -2.4, np.nan, 1e9, -1e9, 215.0, 0.5, np.inf, 7.0]
+        sync = window_sync(10, n_win=16, n_hop=8, h_disp=h)
+        fast = comp._window_distances(a, b, sync)
+        scalar = comp._window_distances_scalar(a, b, sync)
+        assert np.array_equal(fast, scalar)
+
+    def test_window_distances_quarantined_nan_windows(self):
+        """NaN samples (as left by a disabled sanitizer) score identically
+        through the batched and scalar routes."""
+        comp = Comparator("correlation")
+        data = np.random.default_rng(5).standard_normal((200, 1))
+        data[30:40] = np.nan
+        a = Signal(data, 10.0)
+        b = make_signal(200, seed=6)
+        sync = window_sync(20, n_win=12, n_hop=6)
+        fast = comp._window_distances(a, b, sync)
+        scalar = comp._window_distances_scalar(a, b, sync)
+        assert np.array_equal(fast, scalar)
+
+    def test_window_distances_hypothesis_bit_identical(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        comp = Comparator("correlation")
+
+        @given(
+            seed=st.integers(0, 2**16),
+            channels=st.sampled_from([1, 3]),
+            n_win=st.integers(2, 10),
+            n_hop=st.integers(1, 8),
+            disps=st.lists(
+                st.one_of(
+                    st.floats(-40, 40),
+                    st.sampled_from(
+                        [np.nan, np.inf, -np.inf, 1e300, -1e300]
+                    ),
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            zero_var=st.booleans(),
+        )
+        @settings(deadline=None, max_examples=75)
+        def property_case(seed, channels, n_win, n_hop, disps, zero_var):
+            rng = np.random.default_rng(seed)
+            n = max(n_hop * len(disps) + n_win, n_win) + 5
+            da = rng.standard_normal((n, channels))
+            db = rng.standard_normal((n + 13, channels))
+            if zero_var:
+                da[: n // 2] = 1.25  # constant prefix windows
+            a, b = Signal(da, 10.0), Signal(db, 10.0)
+            sync = window_sync(
+                len(disps), n_win=n_win, n_hop=n_hop, h_disp=disps
+            )
+            fast = comp._window_distances(a, b, sync)
+            scalar = comp._window_distances_scalar(a, b, sync)
+            assert np.array_equal(fast, scalar)
+
+        property_case()

@@ -114,11 +114,21 @@ class TestChunkingInvariance:
         cuts=st.lists(
             st.integers(1, N - 1), unique=True, min_size=1, max_size=8
         ).map(sorted),
+        dribble=st.booleans(),
     )
-    def test_any_chunking_is_bit_identical(self, reference, scenario, cuts):
+    def test_any_chunking_is_bit_identical(
+        self, reference, scenario, cuts, dribble
+    ):
         observed = make_observed(scenario)
+        chunks = split(observed, cuts)
+        if dribble:
+            # Stress the ring buffer's worst case: explode the largest
+            # chunk into 1-sample pushes.
+            j = max(range(len(chunks)), key=lambda k: chunks[k].shape[0])
+            ones = [chunks[j][i : i + 1] for i in range(chunks[j].shape[0])]
+            chunks = chunks[:j] + ones + chunks[j + 1 :]
         eng_a, res_a, ev_a = record_events(reference, [observed])
-        eng_b, res_b, ev_b = record_events(reference, split(observed, cuts))
+        eng_b, res_b, ev_b = record_events(reference, chunks)
 
         # Window evidence, bit-exact.
         for key in ("c_disp_curve", "h_dist_filtered", "v_dist_filtered"):
@@ -138,12 +148,15 @@ class TestChunkingInvariance:
         # The emitted event stream, record for record.
         assert ev_a == ev_b
 
-    def test_one_sample_dribble(self, reference):
-        """The degenerate chunking: one sample at a time."""
-        observed = make_observed("nan_burst")[:600]
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_one_sample_dribble(self, reference, scenario):
+        """The degenerate chunking: one sample at a time, every scenario."""
+        observed = make_observed(scenario)[:600]
         _, res_a, ev_a = record_events(reference, [observed])
         chunks = [observed[i : i + 1] for i in range(observed.shape[0])]
         _, res_b, ev_b = record_events(reference, chunks)
+        assert np.array_equal(res_a.v_dist, res_b.v_dist)
+        assert np.array_equal(res_a.sync.h_disp, res_b.sync.h_disp)
         assert res_a.alerts == res_b.alerts
         assert res_a.health == res_b.health
         assert res_a.detection.to_dict() == res_b.detection.to_dict()
@@ -346,6 +359,8 @@ class TestEngineLifecycle:
         for start in range(0, N, 100):
             engine.push(data[start : start + 100])
         n_hop = round(PARAMS.t_hop * FS)
-        kept = engine._buffer.shape[0]
+        kept = len(engine._ring)
         assert kept < N
         assert kept == N - engine.n_indexes * n_hop
+        assert len(engine._bad_ring) == kept
+        assert engine._ring.start == engine.n_indexes * n_hop

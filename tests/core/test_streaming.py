@@ -204,8 +204,8 @@ class TestStreamingSanitization:
         # The first chunk (97 samples) completes no window, so the engine's
         # sanitized buffer is still untrimmed and inspectable.
         ids.push(data[:97])
-        assert np.isfinite(ids.engine._buffer).all()
-        assert np.all(ids.engine._buffer[:10, 0] == 0.0)
+        assert np.isfinite(ids.engine._ring.tail()).all()
+        assert np.all(ids.engine._ring.tail()[:10, 0] == 0.0)
         for start in range(97, data.size, 97):
             ids.push(data[start : start + 97])
         ev = ids.evidence()

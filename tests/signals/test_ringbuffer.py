@@ -1,0 +1,156 @@
+"""Tests for the absolute-indexed sample ring (repro.signals.ringbuffer).
+
+The ring is the detection hot path's buffer: the engine and the streaming
+DWM cursor address it by *absolute sample index* so trimming never shifts
+anyone's coordinates.  The model-based test drives it against a naive
+"keep everything" reference to pin the addressing semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals import SampleRing
+
+
+class TestBasics:
+    def test_empty(self):
+        ring = SampleRing(1)
+        assert len(ring) == 0
+        assert ring.start == 0
+        assert ring.end == 0
+        assert ring.tail().shape == (0, 1)
+
+    def test_append_and_view(self):
+        ring = SampleRing(2)
+        data = np.arange(10.0).reshape(5, 2)
+        ring.append(data)
+        assert len(ring) == 5
+        assert ring.end == 5
+        np.testing.assert_array_equal(ring.view(1, 4), data[1:4])
+        np.testing.assert_array_equal(ring.tail(), data)
+
+    def test_one_dimensional_ring(self):
+        ring = SampleRing(None)
+        ring.append(np.arange(4.0))
+        assert ring.tail().ndim == 1
+        np.testing.assert_array_equal(ring.view(2, 4), [2.0, 3.0])
+
+    def test_bool_dtype(self):
+        ring = SampleRing(None, dtype=bool)
+        ring.append(np.array([True, False, True]))
+        assert ring.tail().dtype == bool
+        assert ring.view(0, 2).tolist() == [True, False]
+
+    def test_growth_past_initial_capacity(self):
+        ring = SampleRing(1)
+        chunks = [np.full((37, 1), float(i)) for i in range(20)]
+        for chunk in chunks:
+            ring.append(chunk)
+        np.testing.assert_array_equal(ring.tail(), np.concatenate(chunks))
+
+    def test_view_clamps_stop_like_a_python_slice(self):
+        ring = SampleRing(1)
+        ring.append(np.zeros((3, 1)))
+        assert ring.view(1, 100).shape == (2, 1)
+        assert ring.view(5, 100).shape == (0, 1)
+
+    def test_view_before_trimmed_start_raises(self):
+        ring = SampleRing(1)
+        ring.append(np.zeros((10, 1)))
+        ring.trim_to(4)
+        with pytest.raises(IndexError, match="already trimmed"):
+            ring.view(3, 6)
+
+    def test_trim_is_logical_not_physical(self):
+        """Trimming moves ``start`` forward; kept samples stay addressable
+        at their original absolute indexes."""
+        ring = SampleRing(1)
+        data = np.arange(10.0).reshape(10, 1)
+        ring.append(data)
+        ring.trim_to(6)
+        assert ring.start == 6
+        assert ring.end == 10
+        assert len(ring) == 4
+        np.testing.assert_array_equal(ring.view(6, 10), data[6:])
+
+    def test_trim_backwards_is_a_noop(self):
+        ring = SampleRing(1)
+        ring.append(np.zeros((5, 1)))
+        ring.trim_to(3)
+        ring.trim_to(1)
+        assert ring.start == 3
+
+    def test_compaction_reclaims_trimmed_prefix(self):
+        """After heavy trimming, appends reuse the buffer instead of
+        growing it without bound."""
+        ring = SampleRing(1, capacity=64)
+        for i in range(1000):
+            ring.append(np.full((8, 1), float(i)))
+            ring.trim_to(ring.end - 16)
+        assert ring._data.shape[0] < 8 * 1000
+        expected = np.concatenate(
+            [np.full((8, 1), 998.0), np.full((8, 1), 999.0)]
+        )[-len(ring):]
+        np.testing.assert_array_equal(ring.tail(), expected)
+
+    def test_view_is_a_view_not_a_copy(self):
+        ring = SampleRing(1)
+        ring.append(np.zeros((4, 1)))
+        v = ring.view(0, 4)
+        assert v.base is not None
+
+    def test_load_round_trip(self):
+        ring = SampleRing(2)
+        ring.append(np.arange(12.0).reshape(6, 2))
+        ring.trim_to(2)
+        restored = SampleRing(2)
+        restored.load(ring.tail().copy(), ring.start)
+        assert restored.start == ring.start
+        assert restored.end == ring.end
+        np.testing.assert_array_equal(restored.tail(), ring.tail())
+
+
+class TestModelBased:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("append"), st.integers(0, 25)),
+                st.tuples(st.just("trim"), st.integers(0, 30)),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        channels=st.sampled_from([None, 1, 3]),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_matches_keep_everything_model(self, ops, channels):
+        """Absolute-index reads always match a model that never discards."""
+        rng = np.random.default_rng(0)
+        ring = SampleRing(channels, capacity=4)
+        shape = (0,) if channels is None else (0, channels)
+        model = np.zeros(shape)
+        model_start = 0
+        for op, arg in ops:
+            if op == "append":
+                chunk_shape = (arg,) if channels is None else (arg, channels)
+                chunk = rng.standard_normal(chunk_shape)
+                ring.append(chunk)
+                model = np.concatenate([model, chunk])
+            else:
+                target = min(model_start + arg, model.shape[0])
+                ring.trim_to(target)
+                model_start = max(model_start, target)
+            assert ring.start == model_start
+            assert ring.end == model.shape[0]
+            np.testing.assert_array_equal(
+                ring.tail(), model[model_start:]
+            )
+            if model.shape[0] > model_start:
+                lo = model_start
+                hi = model.shape[0]
+                mid = (lo + hi) // 2
+                np.testing.assert_array_equal(
+                    ring.view(mid, hi), model[mid:hi]
+                )

@@ -177,3 +177,83 @@ class TestStreamingDwm:
         stream = StreamingDwm(ref, self.PARAMS)
         out = stream.push(chirpy_signal(1000))
         assert len(out) > 0
+
+
+class TestFastPathDifferential:
+    """The hoisted fast step vs the instrumented reference step.
+
+    With observability disabled the streaming cursor takes ``_step_fast``
+    (no span wrappers, cached Gaussian bias, direct correlation kernel);
+    with it enabled it takes the original ``_dwm_step``.  Both must emit
+    bit-identical displacements and scores — the fast path is an
+    *overhead* optimization, never a numerical one.
+    """
+
+    PARAMS = DwmParams(t_win=1.0, t_hop=0.5, t_ext=0.5, t_sigma=0.25, eta=0.2)
+
+    @staticmethod
+    def _run(obs_sig, ref, params, chunk, enable_obs):
+        from repro import obs as obs_mod
+
+        stream = StreamingDwm(ref, params)
+        emitted = []
+        was_enabled = obs_mod.enabled()
+        if enable_obs:
+            obs_mod.enable()
+        try:
+            for start in range(0, obs_sig.n_samples, chunk):
+                emitted.extend(
+                    stream.push(obs_sig.data[start : start + chunk])
+                )
+        finally:
+            if enable_obs and not was_enabled:
+                obs_mod.disable()
+        return emitted, stream.result()
+
+    @pytest.mark.parametrize("shift", [0, 15, -20])
+    @pytest.mark.parametrize("chunk", [1, 97, 4000])
+    def test_fast_and_slow_paths_bit_identical(self, shift, chunk):
+        obs_sig, ref = shifted_pair(shift=shift, n=2000)
+        fast_emitted, fast = self._run(
+            obs_sig, ref, self.PARAMS, chunk, enable_obs=False
+        )
+        slow_emitted, slow = self._run(
+            obs_sig, ref, self.PARAMS, chunk, enable_obs=True
+        )
+        assert fast_emitted == slow_emitted
+        assert np.array_equal(fast.h_disp, slow.h_disp)
+        assert np.array_equal(fast.scores, slow.scores)
+
+    def test_fast_path_matches_drifting_stream(self):
+        """A drifting (resampled) observed stream exercises non-trivial
+        search centres and clamping on both paths."""
+        data = chirpy_signal(3000)
+        drift = np.interp(
+            np.linspace(0, data.size - 1, data.size) * 1.01,
+            np.arange(data.size),
+            data,
+        )
+        ref = Signal(data, 100.0)
+        obs_sig = Signal(drift, 100.0)
+        _, fast = self._run(obs_sig, ref, self.PARAMS, 50, enable_obs=False)
+        _, slow = self._run(obs_sig, ref, self.PARAMS, 50, enable_obs=True)
+        assert np.array_equal(fast.h_disp, slow.h_disp)
+        assert np.array_equal(fast.scores, slow.scores)
+
+    def test_custom_similarity_never_takes_fast_path(self):
+        """A non-correlation similarity must use the generic step even
+        with observability disabled (the fast kernel hard-codes
+        correlation)."""
+        from repro.signals.metrics import correlation_similarity
+
+        def wrapped(x, y):
+            return correlation_similarity(x, y)
+
+        obs_sig, ref = shifted_pair(shift=10, n=1500)
+        generic = StreamingDwm(ref, self.PARAMS, similarity=wrapped)
+        generic.push(obs_sig.data)
+        fast = StreamingDwm(ref, self.PARAMS)
+        fast.push(obs_sig.data)
+        assert np.array_equal(
+            generic.result().h_disp, fast.result().h_disp
+        )

@@ -86,6 +86,66 @@ class TestSingleFileMode:
         assert gate.main([str(path)]) == 0
 
 
+class TestThroughputFields:
+    """samples/s fields are higher-is-better and machine-bound."""
+
+    def test_throughput_drop_beyond_tolerance_fails(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            _record("thr", streaming_warm_samples_per_s=300e3, cpu_count=4),
+            _record("thr", streaming_warm_samples_per_s=200e3, cpu_count=4),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 1
+
+    def test_throughput_gain_passes(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            _record("thr", streaming_warm_samples_per_s=300e3, cpu_count=4),
+            _record("thr", streaming_warm_samples_per_s=900e3, cpu_count=4),
+        ])
+        assert gate.main([str(path)]) == 0
+
+    def test_throughput_drop_within_tolerance_passes(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            _record("thr", batch_warm_samples_per_s=1000e3, cpu_count=4),
+            _record("thr", batch_warm_samples_per_s=800e3, cpu_count=4),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 0
+
+    def test_cold_config_and_overhead_fields_not_gated(self, tmp_path):
+        """Only warm throughput gates; cold numbers and the workload/probe
+        bookkeeping may move arbitrarily without failing the build."""
+        path = _write(tmp_path / "h.json", [
+            _record("thr", streaming_warm_samples_per_s=300e3,
+                    streaming_cold_samples_per_s=300e3,
+                    batch_cold_samples_per_s=1000e3,
+                    disabled_obs_overhead=0.0, hot_path_obs_calls=0,
+                    chunk_samples=10, n_samples=40000, sample_rate=200.0,
+                    cpu_count=4),
+            _record("thr", streaming_warm_samples_per_s=300e3,
+                    streaming_cold_samples_per_s=10e3,
+                    batch_cold_samples_per_s=10e3,
+                    disabled_obs_overhead=0.5, hot_path_obs_calls=99,
+                    chunk_samples=1, n_samples=100, sample_rate=1.0,
+                    cpu_count=4),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 0
+
+    def test_cross_machine_skips_absolute_throughput(self, tmp_path):
+        """samples/s is machine-absolute: never compared across cpu_counts."""
+        path = _write(tmp_path / "h.json", [
+            _record("thr", streaming_warm_samples_per_s=900e3, cpu_count=64),
+            _record("thr", streaming_warm_samples_per_s=100e3, cpu_count=1),
+        ])
+        assert gate.main([str(path)]) == 0
+
+    def test_committed_throughput_baseline_parses(self):
+        """The gate must accept the repo's committed throughput history."""
+        path = (
+            SCRIPT.parent.parent
+            / "benchmarks" / "results" / "BENCH_engine_throughput.json"
+        )
+        assert gate.main([str(path)]) == 0
+
+
 class TestTwoFileMode:
     def test_compares_last_records_across_files(self, tmp_path):
         baseline = _write(tmp_path / "b.json", [

@@ -327,3 +327,58 @@ class TestFaultsCommand:
         assert rc == 0
         assert doc["all_passed"] is True
         assert doc["detectors"] == ["batch"]
+
+
+class TestBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "throughput"])
+        assert args.target == "throughput"
+        assert args.samples == 40_000
+        assert args.chunk == 10
+        assert args.repeats == 3
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "latency"])
+
+    def test_throughput_prints_table(self, capsys, tmp_path):
+        assert main([
+            "bench", "throughput", "--samples", "1200", "--repeats", "1",
+            "--baseline", str(tmp_path / "missing.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "streaming_warm_samples_per_s" in out
+        assert "no stored baseline" in out
+
+    def test_throughput_json_record(self, capsys, tmp_path):
+        import json as json_mod
+
+        assert main([
+            "bench", "throughput", "--samples", "1200", "--repeats", "1",
+            "--json",
+        ]) == 0
+        record = json_mod.loads(capsys.readouterr().out)
+        assert record["name"] == "engine_throughput"
+        assert record["streaming_warm_samples_per_s"] > 0
+        assert record["hot_path_obs_calls"] == 0
+
+    def test_throughput_compares_against_baseline(self, capsys, tmp_path):
+        import json as json_mod
+        import os
+
+        baseline = tmp_path / "hist.json"
+        baseline.write_text(json_mod.dumps([{
+            "name": "engine_throughput", "time": 0.0,
+            "streaming_warm_samples_per_s": 1.0,
+            "streaming_cold_samples_per_s": 1.0,
+            "batch_warm_samples_per_s": 1.0,
+            "batch_cold_samples_per_s": 1.0,
+            "disabled_obs_overhead": 0.0,
+            "hot_path_obs_calls": 0,
+            "cpu_count": os.cpu_count(),
+        }]))
+        assert main([
+            "bench", "throughput", "--samples", "1200", "--repeats", "1",
+            "--baseline", str(baseline),
+        ]) == 0
+        assert "vs baseline" in capsys.readouterr().out
