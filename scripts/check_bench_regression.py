@@ -20,10 +20,17 @@ Cross-machine safety: when baseline and current report different
 Two-file mode (``--baseline`` + ``--current``) compares the last record per
 name of each file instead — useful for comparing artifacts of two CI runs.
 
+Several history files can be gated in one invocation; each is checked
+independently and summarized on its own line, and the exit status is the
+worst across all of them.
+
 Usage::
 
     python scripts/check_bench_regression.py                      # CI gate
     python scripts/check_bench_regression.py --tolerance 0.10
+    python scripts/check_bench_regression.py \
+        benchmarks/results/BENCH_campaign.json \
+        benchmarks/results/BENCH_engine_throughput.json
     python scripts/check_bench_regression.py \
         --baseline old.json --current new.json
 
@@ -123,17 +130,13 @@ def check_pair(
     return rows
 
 
-def run(
+def run_one(
     path: Path,
     tolerance: float,
     baseline_path: Optional[Path] = None,
     current_path: Optional[Path] = None,
 ) -> int:
-    if (baseline_path is None) != (current_path is None):
-        print("--baseline and --current must be given together",
-              file=sys.stderr)
-        return 2
-
+    """Gate one history file (or one --baseline/--current pair)."""
     pairs: List[Tuple[str, dict, dict]] = []
     if baseline_path is not None and current_path is not None:
         base = by_name(load_history(baseline_path))
@@ -175,14 +178,47 @@ def run(
     return 0
 
 
+def run(
+    paths: Sequence[Path],
+    tolerance: float,
+    baseline_path: Optional[Path] = None,
+    current_path: Optional[Path] = None,
+) -> int:
+    """Gate every history file; summarize each; return the worst status."""
+    if (baseline_path is None) != (current_path is None):
+        print("--baseline and --current must be given together",
+              file=sys.stderr)
+        return 2
+    if baseline_path is not None:
+        code = run_one(paths[0], tolerance, baseline_path, current_path)
+        verdict = "ok" if code == 0 else "FAIL"
+        print(f"summary: {baseline_path} vs {current_path}: {verdict}")
+        return code
+
+    worst = 0
+    summaries: List[str] = []
+    for k, path in enumerate(paths):
+        if k:
+            print()
+        print(f"== {path} ==")
+        code = run_one(path, tolerance)
+        worst = max(worst, code)
+        summaries.append(f"summary: {path}: {'ok' if code == 0 else 'FAIL'}")
+    print()
+    for line in summaries:
+        print(line)
+    return worst
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare benchmark records against the committed "
                     "baseline and fail on regression."
     )
     parser.add_argument(
-        "path", nargs="?", default=DEFAULT_PATH, type=Path,
-        help="append-only BENCH_*.json history "
+        "paths", nargs="*", default=[DEFAULT_PATH], type=Path,
+        metavar="path",
+        help="append-only BENCH_*.json histories, each gated independently "
              "(default: benchmarks/results/BENCH_campaign.json)",
     )
     parser.add_argument(
@@ -196,7 +232,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         parser.error(f"tolerance must be >= 0, got {args.tolerance}")
-    return run(args.path, args.tolerance, args.baseline, args.current)
+    return run(args.paths, args.tolerance, args.baseline, args.current)
 
 
 if __name__ == "__main__":

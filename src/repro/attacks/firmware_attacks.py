@@ -10,7 +10,6 @@ which is exactly why side-channel IDSs are needed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
 
 from ..printer.gcode import GcodeCommand
 

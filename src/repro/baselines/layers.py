@@ -16,7 +16,7 @@ generic signal we fall back to the strongest activity envelope.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

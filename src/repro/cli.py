@@ -14,7 +14,11 @@ Four workflows cover the life of a deployment:
   Table VIII-style row for one channel;
 * ``faults``   — chaos-test the trained IDS by replaying the fault-injection
   matrix (:mod:`repro.faults`) against the batch and streaming detectors
-  (exit status 1 when any graceful-degradation check fails).
+  (exit status 1 when any graceful-degradation check fails);
+* ``diff``     — lock-step differential validation of every vectorized
+  hot path against its kept scalar reference over generated workloads
+  (:mod:`repro.eval.diff`; exit status 1 + a replayable repro bundle on
+  the first divergence).
 
 Every command accepting ``--trace``/``--metrics-out`` can record tracing
 spans and pipeline metrics (see :mod:`repro.obs`): ``--trace`` turns the
@@ -347,12 +351,63 @@ def cmd_faults(args: argparse.Namespace) -> int:
         verdict = "all cases passed" if result.all_passed else \
             f"{result.n_failed}/{len(result.results)} cases FAILED"
         print(f"fault campaign: {verdict}")
+    if args.summary:
+        # One machine-greppable line; on stderr when --json owns stdout.
+        line = f"{len(result.results)} cases, {result.n_failed} failed"
+        print(line, file=sys.stderr if args.json else sys.stdout)
     return 0 if result.all_passed else 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .eval.diff import (
+        PAIRS,
+        DiffReport,
+        diff_pair,
+        replay_bundle,
+        write_bundle,
+    )
+
+    if args.replay is not None:
+        report = replay_bundle(args.replay)
+        reports = [report]
+        seed = report.seed
+        if not args.json:
+            state = "DIVERGED" if not report.ok else "no divergence"
+            print(f"replay {args.replay} ({report.pair}): {state}")
+    else:
+        pairs = list(PAIRS) if args.pair == "all" else [args.pair]
+        seed = args.seed
+        reports = []
+        for pair in pairs:
+            report = diff_pair(pair, seed=seed, examples=args.examples)
+            reports.append(report)
+            if not args.json:
+                state = "OK" if report.ok else "DIVERGED"
+                print(
+                    f"{pair:<10} {report.examples} workloads "
+                    f"(seed {seed}): {state}"
+                )
+            if not report.ok:
+                path = write_bundle(
+                    report, Path(args.bundle_dir) / f"bundle_{pair}.json"
+                )
+                if not args.json:
+                    print(f"  repro bundle: {path}")
+    diff_report = DiffReport(seed=seed, reports=tuple(reports))
+    if args.json:
+        print(json.dumps(diff_report.to_dict(), indent=2))
+    elif not diff_report.ok:
+        for report in reports:
+            if report.divergence is not None:
+                print()
+                print(report.divergence.render())
+    return 0 if diff_report.ok else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from .eval import (
-        baseline_results,
         fig12_overall_accuracy,
         format_accuracy_ranking,
         format_ids_table,
@@ -622,7 +677,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the per-case results as JSON instead of a table",
     )
+    p.add_argument(
+        "--summary", action="store_true",
+        help="print one 'N cases, M failed' line (stderr with --json, so "
+             "stdout stays clean JSON); exit status is unchanged",
+    )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "diff",
+        help="lock-step differential validation of fast vs reference paths",
+        description="Run each vectorized implementation against its kept "
+        "scalar reference in lock-step over hypothesis-generated workloads "
+        "(see repro.eval.diff), asserting full state equality at every "
+        "step.  Exits 1 on the first divergence and writes a replayable "
+        "repro bundle; re-run a bundle with --replay (no hypothesis "
+        "needed).",
+    )
+    p.add_argument(
+        "--pair", default="all",
+        choices=["all", "firmware", "dwm", "comparator", "engine"],
+        help="which fast/reference pair to validate (default all)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="hypothesis search seed (default 0)")
+    p.add_argument(
+        "--examples", type=int, default=25,
+        help="generated workloads per pair (default 25)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the full diff report as JSON",
+    )
+    p.add_argument(
+        "--bundle-dir", default="diff-bundles", metavar="DIR",
+        help="where to write bundle_<pair>.json on divergence "
+             "(default diff-bundles/)",
+    )
+    p.add_argument(
+        "--replay", default=None, metavar="BUNDLE",
+        help="re-run the exact workload stored in a repro bundle instead "
+             "of searching",
+    )
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser("campaign", help="run a scaled evaluation campaign")
     common(p)

@@ -13,7 +13,7 @@ over the segments in proportion to arc length.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

@@ -23,7 +23,6 @@ import numpy as np
 
 from .. import obs
 from .gcode import GcodeCommand, GcodeProgram
-from .kinematics import Kinematics
 from .machine import MachineConfig
 from .motion import TrapezoidalProfile, plan_move
 from .noise import NO_TIME_NOISE, TimeNoiseModel, TimeNoiseProcess
@@ -524,6 +523,12 @@ class Firmware:
         jit_durs = np.array([seg.duration for seg in segments])
         p_dist = np.array([seg.profile.distance for seg in segments])
         p_vpeak = np.array([seg.profile.v_peak for seg in segments])
+        # Look-ahead chains produce GeneralProfile segments entered at a
+        # nonzero junction speed; stop-to-stop TrapezoidalProfile has no
+        # v_start attribute and starts from rest.
+        p_vstart = np.array(
+            [getattr(seg.profile, "v_start", 0.0) for seg in segments]
+        )
         p_accel = np.array([seg.profile.accel for seg in segments])
         p_taccel = np.array([seg.profile.t_accel for seg in segments])
         p_tcruise = np.array([seg.profile.t_cruise for seg in segments])
@@ -559,17 +564,26 @@ class Firmware:
             tau = (times[active] - rep(t_starts)) * rep(stretch)
             r_dur, r_dist = rep(p_dur), rep(p_dist)
             r_vpeak, r_accel = rep(p_vpeak), rep(p_accel)
+            r_vstart = rep(p_vstart)
             r_taccel, r_tcruise = rep(p_taccel), rep(p_tcruise)
 
-            # position(tau), clamped exactly as TrapezoidalProfile.position
+            # position(tau), clamped exactly as the profile classes do;
+            # the v_start terms are written first to mirror GeneralProfile
+            # term order (they vanish exactly for v_start == 0).  t_accel
+            # is squared with Python pow like the scalar attribute in the
+            # profile methods — see the stretch_sq note below.
+            taccel_sq = np.array([x**2 for x in p_taccel.tolist()])
             tc = np.clip(tau, 0.0, r_dur)
-            d_accel = 0.5 * r_accel * r_taccel**2
+            d_accel = r_vstart * r_taccel + 0.5 * r_accel * rep(taccel_sq)
             d_cruise = r_vpeak * r_tcruise
             in_accel = tc < r_taccel
             in_cruise = (~in_accel) & (tc < r_taccel + r_tcruise)
             in_decel = ~(in_accel | in_cruise)
             s = np.empty_like(tc)
-            s[in_accel] = 0.5 * r_accel[in_accel] * tc[in_accel] ** 2
+            s[in_accel] = (
+                r_vstart[in_accel] * tc[in_accel]
+                + 0.5 * r_accel[in_accel] * tc[in_accel] ** 2
+            )
             s[in_cruise] = d_accel[in_cruise] + r_vpeak[in_cruise] * (
                 tc[in_cruise] - r_taccel[in_cruise]
             )
@@ -590,10 +604,13 @@ class Firmware:
             vm = np.empty_like(tm)
             m_taccel, m_tcruise = r_taccel[in_move], r_tcruise[in_move]
             m_vpeak, m_accel = r_vpeak[in_move], r_accel[in_move]
+            m_vstart = r_vstart[in_move]
             accel_phase = tm < m_taccel
             cruise_phase = (~accel_phase) & (tm < m_taccel + m_tcruise)
             decel_phase = ~(accel_phase | cruise_phase)
-            vm[accel_phase] = m_accel[accel_phase] * tm[accel_phase]
+            vm[accel_phase] = (
+                m_vstart[accel_phase] + m_accel[accel_phase] * tm[accel_phase]
+            )
             vm[cruise_phase] = m_vpeak[cruise_phase]
             tdv = (
                 tm[decel_phase]

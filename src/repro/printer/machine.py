@@ -9,7 +9,7 @@ machine-state trace is sampled at.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .kinematics import CartesianKinematics, DeltaKinematics, Kinematics
 

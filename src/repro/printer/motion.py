@@ -15,7 +15,6 @@ as functions of time, which the firmware samples onto its simulation grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

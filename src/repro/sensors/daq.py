@@ -10,7 +10,7 @@ to run at full paper rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 import numpy as np

@@ -10,7 +10,7 @@ provides the slicing and windowing primitives that the synchronizers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np

@@ -15,7 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..printer.gcode import GcodeCommand, GcodeProgram
-from .geometry import polygon_perimeter, scale_polygon
+from .geometry import scale_polygon
 from .infill import infill_for_layer
 
 __all__ = ["SlicerConfig", "Slicer", "slice_model"]

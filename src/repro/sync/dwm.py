@@ -20,7 +20,7 @@ detection, and the default parameter sets of Table IV.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -233,10 +233,23 @@ class StreamingDwm:
         reference: Signal,
         params: DwmParams,
         similarity: SimilarityFn = correlation_similarity,
+        *,
+        use_fast: Optional[bool] = None,
     ) -> None:
         self.reference = reference
         self.params = params
         self.similarity = similarity
+        # Per-step path selection is normally automatic (fast when the
+        # default similarity runs with observability off).  ``use_fast``
+        # pins one path; the differential harness (repro.eval.diff) uses
+        # it to run a fast and a reference cursor in lock-step over the
+        # same stream.  ``use_fast=True`` requires the default correlation
+        # similarity — _step_fast inlines exactly that metric.
+        if use_fast and similarity is not correlation_similarity:
+            raise ValueError(
+                "use_fast=True requires the default correlation similarity"
+            )
+        self._use_fast = use_fast
         rate = reference.sample_rate
         self.mode = "window"
         self.n_win = params.n_win(rate)
@@ -285,9 +298,13 @@ class StreamingDwm:
         # in this push is evaluated on zero-copy ring views through the
         # direct fast step (cached bias, no per-window tracing shims)
         # instead of one fully-wrapped tdeb call per window.
-        fast = (
-            self.similarity is correlation_similarity and not obs.enabled()
-        )
+        if self._use_fast is None:
+            fast = (
+                self.similarity is correlation_similarity
+                and not obs.enabled()
+            )
+        else:
+            fast = self._use_fast
         emitted: List[Tuple[int, float]] = []
         while True:
             i = self._state.i
@@ -312,7 +329,19 @@ class StreamingDwm:
                 self._exhausted = True
                 break
             emitted.append((i, float(self._state.h_disp[-1])))
-        self._ring.trim_to(self._state.i * self.n_hop)
+        if self._exhausted:
+            # Walked off the reference: no further window will ever be
+            # evaluated, so the buffered tail is dead state.  Resetting the
+            # ring to empty at the last window start keeps the serialized
+            # cursor state chunking-invariant — the tail (and its end
+            # index) would otherwise record where in the stream exhaustion
+            # happened to land.
+            self._ring.load(
+                np.empty((0, self.reference.n_channels)),
+                self._state.i * self.n_hop,
+            )
+        else:
+            self._ring.trim_to(self._state.i * self.n_hop)
         return emitted
 
     def _step_fast(self, a_window: np.ndarray) -> bool:

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-import numpy as np
-
 from ..signals.signal import Signal
 from .base import SyncResult
 from .dtw import path_to_h_disp

@@ -7,8 +7,28 @@ slice of the paper's gear, one or two side channels).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # CI profile: no wall-clock deadline (shared runners stall), a bounded
+    # example budget, and printed reproduction blobs so a red property run
+    # in the log is replayable locally.  Select with HYPOTHESIS_PROFILE=ci;
+    # the default profile stays untouched for local runs.
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        max_examples=30,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover - hypothesis ships with [dev]
+    pass
 
 from repro.attacks import PrintJob
 from repro.eval import Campaign, default_setup, generate_campaign

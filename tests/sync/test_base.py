@@ -50,3 +50,88 @@ class TestProtocol:
 
     def test_fastdtw_satisfies_protocol(self):
         assert isinstance(FastDtwSynchronizer(), Synchronizer)
+
+
+class TestBatchCursorDifferential:
+    """BatchSyncCursor wrapping DwmSynchronizer must be bit-identical to the
+    native incremental DwmSynchronizer.cursor() — the one fast/reference
+    pair whose equivalence is otherwise only implied by the engine tests.
+    """
+
+    @staticmethod
+    def _signals(n_obs=260, rate=50.0, n_channels=2, seed=11):
+        rng = np.random.default_rng(seed)
+        t = np.arange(max(300, n_obs)) / rate
+        base = np.stack(
+            [
+                np.sin(2 * np.pi * (1.0 + c) * t)
+                + 0.2 * rng.standard_normal(t.size)
+                for c in range(n_channels)
+            ],
+            axis=1,
+        )
+        reference = Signal(base[:300].copy(), rate)
+        observed = base[:n_obs] + 0.05 * rng.standard_normal(
+            (n_obs, n_channels)
+        )
+        return reference, observed
+
+    @staticmethod
+    def _chunked(observed, sizes):
+        spans, pos = [], 0
+        k = 0
+        while pos < observed.shape[0]:
+            step = min(max(1, sizes[k % len(sizes)]), observed.shape[0] - pos)
+            spans.append(observed[pos : pos + step])
+            pos += step
+            k += 1
+        return spans
+
+    def _run_both(self, sizes):
+        from repro.sync import UM3_DWM_PARAMS
+        from repro.sync.base import BatchSyncCursor
+        from repro.sync.dwm import DwmParams
+
+        params = DwmParams(t_win=0.4, t_hop=0.2, t_ext=0.2, t_sigma=0.1)
+        synchronizer = DwmSynchronizer(params)
+        reference, observed = self._signals()
+
+        native = synchronizer.cursor(reference)
+        batch = BatchSyncCursor(synchronizer, reference)
+        native_emitted, batch_early = [], []
+        for chunk in self._chunked(observed, sizes):
+            native_emitted.extend(native.push(chunk.copy()))
+            batch_early.extend(batch.push(chunk.copy()))
+        assert batch_early == []  # deferred-collapse path emits nothing early
+        native_emitted.extend(native.finalize())
+        batch_emitted = batch.finalize()
+        return native, native_emitted, batch, batch_emitted
+
+    @pytest.mark.parametrize(
+        "sizes",
+        [[1], [7], [260], [1, 13, 2, 40], [3, 3, 100]],
+        ids=["dribble", "small", "one-shot", "ragged", "mixed"],
+    )
+    def test_emitted_pairs_bit_identical(self, sizes):
+        _, native_emitted, _, batch_emitted = self._run_both(sizes)
+        assert len(native_emitted) > 0
+        assert native_emitted == batch_emitted  # (i, h_disp) exact
+
+    def test_results_bit_identical_under_random_chunkings(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=15, deadline=None)
+        @given(sizes=st.lists(st.integers(1, 80), min_size=1, max_size=6))
+        def check(sizes):
+            native, native_emitted, batch, batch_emitted = self._run_both(
+                sizes
+            )
+            assert native_emitted == batch_emitted
+            n_res, b_res = native.result(), batch.result()
+            assert n_res.mode == b_res.mode
+            assert (n_res.n_win, n_res.n_hop) == (b_res.n_win, b_res.n_hop)
+            assert np.array_equal(n_res.h_disp, b_res.h_disp)
+            assert np.array_equal(n_res.scores, b_res.scores)
+
+        check()

@@ -163,6 +163,58 @@ class TestTwoFileMode:
         baseline = _write(tmp_path / "b.json", [])
         assert gate.main(["--baseline", str(baseline)]) == 2
 
+    def test_summary_line_printed(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "b.json", [
+            _record("bench", wall_clock=2.0, cpu_count=4),
+        ])
+        current = _write(tmp_path / "c.json", [
+            _record("bench", wall_clock=2.0, cpu_count=4),
+        ])
+        assert gate.main([
+            "--baseline", str(baseline), "--current", str(current)
+        ]) == 0
+        assert "summary:" in capsys.readouterr().out
+
+
+class TestMultiFileMode:
+    def test_two_clean_files_pass_with_per_file_summary(
+        self, tmp_path, capsys
+    ):
+        a = _write(tmp_path / "a.json", [
+            _record("alpha", wall_clock=2.0, cpu_count=4),
+            _record("alpha", wall_clock=2.0, cpu_count=4),
+        ])
+        b = _write(tmp_path / "b.json", [
+            _record("beta", warm_samples_per_s=1e5, cpu_count=4),
+            _record("beta", warm_samples_per_s=2e5, cpu_count=4),
+        ])
+        assert gate.main([str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert f"summary: {a}: ok" in out
+        assert f"summary: {b}: ok" in out
+
+    def test_one_regressed_file_fails_overall(self, tmp_path, capsys):
+        good = _write(tmp_path / "good.json", [
+            _record("alpha", wall_clock=2.0, cpu_count=4),
+            _record("alpha", wall_clock=2.0, cpu_count=4),
+        ])
+        bad = _write(tmp_path / "bad.json", [
+            _record("beta", wall_clock=2.0, cpu_count=4),
+            _record("beta", wall_clock=9.0, cpu_count=4),
+        ])
+        assert gate.main([str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"summary: {good}: ok" in out
+        assert f"summary: {bad}: FAIL" in out
+
+    def test_single_file_also_gets_summary(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            _record("bench", wall_clock=2.0, cpu_count=4),
+            _record("bench", wall_clock=2.0, cpu_count=4),
+        ])
+        assert gate.main([str(path)]) == 0
+        assert f"summary: {path}: ok" in capsys.readouterr().out
+
 
 class TestBadInput:
     def test_missing_file_errors(self, tmp_path):

@@ -328,6 +328,107 @@ class TestFaultsCommand:
         assert doc["all_passed"] is True
         assert doc["detectors"] == ["batch"]
 
+    def test_summary_with_json_keeps_stdout_clean(self, capsys):
+        import json
+        import re
+
+        rc = main(
+            [
+                "faults", "--height", "0.4", "--train", "2", "--workers", "0",
+                "--detector", "batch", "--json", "--summary",
+            ]
+        )
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # stdout must stay parseable JSON
+        assert rc == 0
+        assert re.search(r"^\d+ cases, \d+ failed$", captured.err, re.M)
+        assert doc["n_failed"] == 0
+
+    def test_summary_without_json_prints_to_stdout(self, capsys):
+        import re
+
+        rc = main(
+            [
+                "faults", "--height", "0.4", "--train", "2", "--workers", "0",
+                "--detector", "batch", "--summary",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert re.search(r"^\d+ cases, 0 failed$", captured.out, re.M)
+        assert captured.err == ""
+
+
+class TestDiffCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["diff"])
+        assert args.pair == "all"
+        assert args.seed == 0
+        assert args.examples == 25
+        assert args.bundle_dir == "diff-bundles"
+        assert args.replay is None
+        assert not args.json
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diff", "--pair", "quantum"])
+
+    def test_clean_pair_exits_zero(self, capsys):
+        rc = main(["diff", "--pair", "comparator", "--examples", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "comparator" in out and "OK" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        rc = main(
+            ["diff", "--pair", "dwm", "--examples", "3", "--seed", "5",
+             "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert doc["seed"] == 5
+        assert [p["pair"] for p in doc["pairs"]] == ["dwm"]
+
+    def test_divergence_exits_one_and_writes_bundle(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import numpy as np
+
+        from repro.sync.dwm import StreamingDwm
+
+        orig = StreamingDwm._step_fast
+
+        def mutated(self, a_window):
+            ok = orig(self, a_window)
+            if ok and self._state.scores:
+                self._state.scores[-1] = float(
+                    np.nextafter(self._state.scores[-1], np.inf)
+                )
+            return ok
+
+        monkeypatch.setattr(StreamingDwm, "_step_fast", mutated)
+        bundle_dir = tmp_path / "bundles"
+        rc = main(
+            ["diff", "--pair", "dwm", "--examples", "25",
+             "--bundle-dir", str(bundle_dir)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DIVERGENCE in pair 'dwm'" in out
+        bundle = bundle_dir / "bundle_dwm.json"
+        assert bundle.exists()
+
+        # The bundle replays to the same divergence while the fault is in,
+        # and comes back clean once it is fixed.
+        assert main(["diff", "--replay", str(bundle)]) == 1
+        monkeypatch.undo()
+        capsys.readouterr()
+        assert main(["diff", "--replay", str(bundle)]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
 
 class TestBenchCommand:
     def test_parser_defaults(self):
