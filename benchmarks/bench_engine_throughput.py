@@ -44,6 +44,11 @@ def test_engine_throughput(report):
     # layer, so its measured overhead must be noise-level.
     assert int(record["hot_path_obs_calls"]) == 0
     assert float(record["disabled_obs_overhead"]) < MAX_DISABLED_OBS_OVERHEAD
+    # Chunk-latency percentiles ride along for the regression gate
+    # (p99 is gated lower-is-better; p50 is informational).
+    assert 0.0 < float(record["streaming_chunk_p50_ms"]) <= float(
+        record["streaming_chunk_p99_ms"]
+    )
 
     record_bench_stats(ENGINE_THROUGHPUT_PATH, RECORD_NAME, record)
     report("engine_throughput", render_comparison(record, baseline=None))

@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Validate a Prometheus telemetry scrape against the repo's contract.
+
+Used by CI after scraping ``/metrics`` from a streaming ``repro detect``
+run (or after reading a ``.prom`` snapshot file).  Checks two things:
+
+1. **Exposition-format syntax** (text format 0.0.4): metric names match
+   ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label names ``[a-zA-Z_][a-zA-Z0-9_]*``,
+   sample values parse as floats (``NaN``/``+Inf``/``-Inf`` included),
+   every sample's family was announced by a ``# TYPE`` line *above* it,
+   and no family is announced twice.
+2. **The per-stream schema**: every family in
+   :data:`repro.obs.telemetry.STREAM_FAMILIES` is present, and — for
+   each ``--require-stream ID`` — that stream has a sample in every
+   family, including the three chunk-latency quantile series.
+
+Usage::
+
+    python scripts/validate_telemetry.py scrape.prom
+    python scripts/validate_telemetry.py scrape.prom \
+        --require-stream printer-A --min-chunks 2
+
+Exit status: 0 = valid, 1 = validation failure, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Runnable from a checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.telemetry import STREAM_FAMILIES  # noqa: E402
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: The families a summary renders under its announced name.
+_SUMMARY_SUFFIXES = ("", "_count", "_sum")
+
+
+def _family_of(name: str, types: Dict[str, str]) -> Optional[str]:
+    """The announced family a sample name belongs to, if any."""
+    if name in types:
+        return name
+    for suffix in ("_count", "_sum"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            base = name[: -len(suffix)]
+            if types[base] == "summary":
+                return base
+    return None
+
+
+def parse_exposition(
+    text: str,
+) -> Tuple[List[str], Dict[str, str], List[Tuple[str, Dict[str, str], str]]]:
+    """Parse exposition text → (problems, family types, samples).
+
+    Samples are ``(name, labels, value)`` triples; validation problems
+    are collected rather than raised so CI reports all of them at once.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], str]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            _, _, name, mtype = parts
+            if not _METRIC_NAME.match(name):
+                problems.append(
+                    f"line {lineno}: bad metric name {name!r}"
+                )
+            if mtype not in ("counter", "gauge", "summary", "histogram",
+                            "untyped"):
+                problems.append(
+                    f"line {lineno}: unknown metric type {mtype!r}"
+                )
+            if name in types:
+                problems.append(
+                    f"line {lineno}: family {name!r} announced twice"
+                )
+            types[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments are free-form
+        m = _SAMPLE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        family = _family_of(name, types)
+        if family is None:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding"
+                f" # TYPE announcement"
+            )
+        labels: Dict[str, str] = {}
+        raw_labels = m.group("labels")
+        if raw_labels:
+            consumed = 0
+            for lm in _LABEL.finditer(raw_labels):
+                labels[lm.group(1)] = lm.group(2)
+                consumed = lm.end()
+            remainder = raw_labels[consumed:].strip().strip(",")
+            if remainder:
+                problems.append(
+                    f"line {lineno}: malformed labels {raw_labels!r}"
+                )
+            for label in labels:
+                if not _LABEL_NAME.match(label):
+                    problems.append(
+                        f"line {lineno}: bad label name {label!r}"
+                    )
+        value = m.group("value")
+        try:
+            float(value)  # accepts NaN / +Inf / -Inf
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric sample value {value!r}"
+            )
+        samples.append((name, labels, value))
+    return problems, types, samples
+
+
+def check_stream_schema(
+    types: Dict[str, str],
+    samples: List[Tuple[str, Dict[str, str], str]],
+    require_streams: Sequence[str],
+    min_chunks: int,
+) -> List[str]:
+    """Contract checks: every stream family present, required ids covered."""
+    problems: List[str] = []
+    for family, mtype, _help in STREAM_FAMILIES:
+        if family not in types:
+            problems.append(f"missing # TYPE for family {family!r}")
+        elif types[family] != mtype:
+            problems.append(
+                f"family {family!r} announced as {types[family]!r}, "
+                f"contract says {mtype!r}"
+            )
+
+    by_family: Dict[str, List[Tuple[Dict[str, str], str]]] = {}
+    for name, labels, value in samples:
+        by_family.setdefault(name, []).append((labels, value))
+
+    for stream in require_streams:
+        for family, mtype, _help in STREAM_FAMILIES:
+            rows = [
+                (labels, value)
+                for labels, value in by_family.get(family, [])
+                if labels.get("stream") == stream
+            ]
+            if not rows:
+                problems.append(
+                    f"stream {stream!r}: no sample in family {family!r}"
+                )
+                continue
+            if family == "repro_stream_chunk_latency_seconds":
+                quantiles = {labels.get("quantile") for labels, _ in rows}
+                for q in ("0.5", "0.95", "0.99"):
+                    if q not in quantiles:
+                        problems.append(
+                            f"stream {stream!r}: chunk-latency quantile"
+                            f" {q!r} missing (saw {sorted(quantiles)})"
+                        )
+                count_rows = [
+                    (labels, value)
+                    for labels, value in by_family.get(f"{family}_count", [])
+                    if labels.get("stream") == stream
+                ]
+                if not count_rows:
+                    problems.append(
+                        f"stream {stream!r}: {family}_count missing"
+                    )
+        chunk_rows = [
+            float(value)
+            for labels, value in by_family.get("repro_stream_chunks_total", [])
+            if labels.get("stream") == stream
+        ]
+        if chunk_rows and chunk_rows[0] < min_chunks:
+            problems.append(
+                f"stream {stream!r}: only {chunk_rows[0]:g} chunks scored,"
+                f" expected >= {min_chunks} — scrape raced the run?"
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "scrape", help="Prometheus text-format file (a /metrics scrape)"
+    )
+    parser.add_argument(
+        "--require-stream", action="append", default=[], metavar="ID",
+        help="stream id that must have a sample in every stream family "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--min-chunks", type=int, default=1, metavar="N",
+        help="minimum repro_stream_chunks_total per required stream "
+        "(default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        text = Path(args.scrape).read_text()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems, types, samples = parse_exposition(text)
+    problems += check_stream_schema(
+        types, samples, args.require_stream, args.min_chunks
+    )
+    if problems:
+        for problem in problems:
+            print(f"invalid telemetry: {problem}", file=sys.stderr)
+        return 1
+
+    n_streams = len(
+        {
+            labels.get("stream")
+            for name, labels, _ in samples
+            if name == "repro_stream_up"
+        }
+    )
+    print(
+        f"ok: {len(samples)} samples in {len(types)} families valid "
+        f"(exposition 0.0.4), {n_streams} stream(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

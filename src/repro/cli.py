@@ -18,7 +18,14 @@ Four workflows cover the life of a deployment:
 * ``diff``     — lock-step differential validation of every vectorized
   hot path against its kept scalar reference over generated workloads
   (:mod:`repro.eval.diff`; exit status 1 + a replayable repro bundle on
-  the first divergence).
+  the first divergence);
+* ``bench``    — measure detection-engine throughput on this machine;
+* ``top``      — live terminal dashboard over the telemetry endpoint or
+  snapshot file (:mod:`repro.obs.telemetry`): one row per detection
+  stream with ingest lag, chunk-latency p50/p99, windows, quarantine /
+  SENSOR_FAULT state and alerts.  Pair it with ``detect --stream
+  --telemetry-port 9107`` (and optionally ``--pace 1`` for DAQ-realtime
+  replay) in another terminal.
 
 Every command accepting ``--trace``/``--metrics-out`` can record tracing
 spans and pipeline metrics (see :mod:`repro.obs`): ``--trace`` turns the
@@ -27,8 +34,11 @@ instrumentation on (equivalent to ``REPRO_TRACE=1``), and
 the command finishes (implies ``--trace``).  ``--chrome-trace PATH``
 additionally captures every span as a Chrome/Perfetto ``trace_event`` and
 writes the trace JSON on exit (open it at https://ui.perfetto.dev).  With
-``--workers > 0`` the simulation-side spans stay in the worker processes;
-use ``--workers 0`` for a complete single-process trace.
+``--workers > 0`` each worker records its own registry and the campaign
+engine merges it back into the parent on task completion, so counters,
+histograms, and span aggregates cover the whole pool; only the
+Chrome-trace *event capture* stays per-process (use ``--workers 0`` for a
+complete single-process trace timeline).
 
 Forensics: ``detect --events-out events.jsonl`` records the structured
 event log (schema v1, see :mod:`repro.obs.events`) — per-window evidence,
@@ -206,13 +216,45 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
     observed = load_signal(args.signal)
     if args.stream:
+        import time as _time
+
+        from . import obs
+
+        telemetry_on = (
+            args.telemetry_port is not None or args.telemetry_snapshot
+        )
+        exporter = None
+        if args.telemetry_port is not None:
+            server = obs.serve_telemetry(args.telemetry_port)
+            print(
+                f"telemetry endpoint at {server.url}/metrics "
+                f"(snapshot: {server.url}/snapshot.json)",
+                file=sys.stderr,
+            )
+        if args.telemetry_snapshot:
+            obs.enable()
+            exporter = obs.start_snapshot_exporter(
+                args.telemetry_snapshot, interval_s=args.telemetry_interval
+            )
+        stream_id = args.stream_id
+        if stream_id is None and telemetry_on:
+            stream_id = Path(args.signal).stem
         # Same engine as the batch call, driven chunk by chunk.
-        engine = ids.engine()
+        engine = ids.engine(stream_id=stream_id)
         hop = max(1, int(round(args.chunk_s * observed.sample_rate)))
+        pace_s = args.chunk_s / args.pace if args.pace > 0 else 0.0
         for start in range(0, observed.n_samples, hop):
             engine.push(observed.data[start : start + hop])
+            if pace_s:
+                _time.sleep(pace_s)
         verdict = engine.finalize().detection
         assert verdict is not None
+        if exporter is not None:
+            exporter.stop()
+            print(
+                f"telemetry snapshot written to {exporter.path}",
+                file=sys.stderr,
+            )
     else:
         verdict = ids.detect(observed)
     if args.json:
@@ -234,6 +276,93 @@ def cmd_detect(args: argparse.Namespace) -> int:
     else:
         print("ok — no intrusion detected")
     return 1 if verdict.is_intrusion else 0
+
+
+def _render_top(doc: dict, source: str = "") -> str:
+    """One ``repro top`` frame from a telemetry JSON document."""
+    import datetime
+
+    streams = doc.get("streams", {})
+    ts = doc.get("ts")
+    when = (
+        datetime.datetime.fromtimestamp(float(ts)).strftime("%H:%M:%S")
+        if ts
+        else "?"
+    )
+    header = f"repro top — {len(streams)} stream(s) — {when}"
+    if source:
+        header += f" — {source}"
+    cols = (
+        f"{'STREAM':<18} {'STATE':<9} {'SAMPLES':>9} {'RATE/S':>9} "
+        f"{'LAG_S':>7} {'P50_MS':>7} {'P99_MS':>7} {'WIN':>5} "
+        f"{'QUAR':>5} {'ALERTS':>6} {'FAULT':>5}  LAST_ALERT"
+    )
+    lines = [header, cols]
+    for sid in sorted(streams):
+        row = streams[sid]
+        lat = row.get("chunk_latency") or {}
+        last = row.get("last_alert")
+        last_s = (
+            f"{last['submodule']}@{float(last['time_s']):.1f}s"
+            if last
+            else "-"
+        )
+        lines.append(
+            f"{sid[:18]:<18} {row['state']:<9} {int(row['samples']):>9} "
+            f"{float(row['samples_per_s']):>9.1f} "
+            f"{float(row['ingest_lag_s']):>7.2f} "
+            f"{float(lat.get('p50_s', 0.0)) * 1e3:>7.2f} "
+            f"{float(lat.get('p99_s', 0.0)) * 1e3:>7.2f} "
+            f"{int(row['windows']):>5} "
+            f"{int(row['quarantined_windows']):>5} "
+            f"{int(row['alerts']):>6} "
+            f"{'YES' if row['sensor_fault'] else '-':>5}  {last_s}"
+        )
+    if not streams:
+        lines.append("(no streams registered yet)")
+    return "\n".join(lines) + "\n"
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live-refreshing dashboard over /snapshot.json or a snapshot file."""
+    import json
+    import time as _time
+    import urllib.request
+
+    if args.snapshot:
+        source = str(args.snapshot)
+
+        def fetch() -> dict:
+            return json.loads(Path(args.snapshot).read_text())
+
+    else:
+        source = args.url.rstrip("/")
+
+        def fetch() -> dict:
+            with urllib.request.urlopen(
+                source + "/snapshot.json", timeout=2.0
+            ) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+
+    iterations = 1 if args.once else args.iterations
+    shown = 0
+    ever_ok = False
+    while True:
+        try:
+            frame = _render_top(fetch(), source=source)
+            ever_ok = True
+        except (OSError, ValueError, KeyError) as exc:
+            frame = f"repro top: waiting for telemetry ({exc})\n"
+        if shown and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(frame, end="", flush=True)
+        shown += 1
+        if iterations is not None and shown >= iterations:
+            return 0 if ever_ok else 1
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -624,7 +753,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-s", type=float, default=0.25, metavar="SECONDS",
         help="chunk duration for --stream (default 0.25 s)",
     )
+    p.add_argument(
+        "--stream-id", default=None, metavar="ID",
+        help="register the stream under this id in the live telemetry "
+             "registry (default: the signal file stem when telemetry is "
+             "on, otherwise unregistered)",
+    )
+    p.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="serve the Prometheus/JSON telemetry endpoint on PORT while "
+             "streaming (0 = ephemeral; implies --trace; try 9107 and "
+             "point 'repro top' at it)",
+    )
+    p.add_argument(
+        "--telemetry-snapshot", default=None, metavar="PATH",
+        help="periodically write the telemetry snapshot to PATH "
+             "(.prom = Prometheus text, else JSON for 'repro top "
+             "--snapshot'); final write on completion",
+    )
+    p.add_argument(
+        "--telemetry-interval", type=float, default=2.0, metavar="SECONDS",
+        help="snapshot export interval for --telemetry-snapshot "
+             "(default 2 s)",
+    )
+    p.add_argument(
+        "--pace", type=float, default=0.0, metavar="FACTOR",
+        help="replay speed relative to the DAQ real-time rate (1 = live "
+             "DAQ pace, 2 = twice as fast; default 0 = no pacing) — "
+             "keeps the stream alive long enough to watch with "
+             "'repro top'",
+    )
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over the telemetry endpoint",
+        description="Render one row per detection stream (ingest lag, "
+        "chunk-latency p50/p99, windows scored, quarantine/SENSOR_FAULT "
+        "state, alerts) from a running telemetry endpoint "
+        "(detect --stream --telemetry-port PORT, or obs.serve_telemetry) "
+        "or from a --telemetry-snapshot file.",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:9107",
+        help="telemetry endpoint base URL "
+             "(default http://127.0.0.1:9107)",
+    )
+    p.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="read a JSON snapshot file instead of scraping the endpoint",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default 2 s)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (status 1 if unreachable)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="exit after N frames (default: run until Ctrl-C)",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "explain",

@@ -76,10 +76,27 @@ class EngineStats:
 
 
 def _execute_indexed(
-    args: Tuple[int, RunRequest, DataAcquisition, Optional[Tuple[str, ...]]]
-) -> Tuple[int, ProcessRun]:
-    """Worker entry point: simulate one request (picklable, order-tagged)."""
-    index, request, daq, channels = args
+    args: Tuple[
+        int, RunRequest, DataAcquisition, Optional[Tuple[str, ...]], bool
+    ]
+) -> Tuple[int, ProcessRun, Optional[Dict[str, object]]]:
+    """Worker entry point: simulate one request (picklable, order-tagged).
+
+    With ``record=True`` (the parent had observability enabled) the worker
+    re-enables recording in its own process — child processes start with
+    the module-level switch off — and ships its registry state back with
+    the result so the parent can fold it in
+    (:meth:`~repro.obs.metrics.MetricsRegistry.merge_state`).  The
+    registry is reset *before* the task because pool workers are reused:
+    without the reset a long-lived worker would re-ship its whole history
+    with every task and the parent would double-count.  Must stay
+    ``False`` on the serial in-process path, where the reset would wipe
+    the caller's own registry.
+    """
+    index, request, daq, channels, record = args
+    if record:
+        obs.reset()
+        obs.enable()
     run = run_process(
         request.setup,
         request.job,
@@ -89,7 +106,8 @@ def _execute_indexed(
         daq=daq,
         channels=channels,
     )
-    return index, run
+    state = obs.registry().state_dict() if record else None
+    return index, run, state
 
 
 class CampaignEngine:
@@ -195,13 +213,21 @@ class CampaignEngine:
             with obs.trace("simulate"):
                 if self.workers >= 2 and len(pending) > 1:
                     tasks = [
-                        (i, requests[i], daq, wanted) for i, _ in pending
+                        (i, requests[i], daq, wanted, record)
+                        for i, _ in pending
                     ]
                     max_workers = min(self.workers, len(tasks))
                     with ProcessPoolExecutor(max_workers=max_workers) as pool:
                         t_dispatch = time.perf_counter()
-                        for index, run in pool.map(_execute_indexed, tasks):
+                        for index, run, state in pool.map(
+                            _execute_indexed, tasks
+                        ):
                             results[index] = run
+                            if state is not None:
+                                # Fold the worker's per-task registry into
+                                # the parent: counters add, histograms
+                                # concatenate, spans merge.
+                                obs.registry().merge_state(state)
                             if record:
                                 obs.histogram(
                                     "repro.eval.engine.queue_wait_s"
@@ -209,7 +235,11 @@ class CampaignEngine:
                 else:
                     for i, _ in pending:
                         t_task = time.perf_counter()
-                        _, run = _execute_indexed((i, requests[i], daq, wanted))
+                        # record=False: the serial path runs in-process, so
+                        # metrics land in this registry directly.
+                        _, run, _state = _execute_indexed(
+                            (i, requests[i], daq, wanted, False)
+                        )
                         results[i] = run
                         if record:
                             obs.histogram(

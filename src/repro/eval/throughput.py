@@ -27,7 +27,15 @@ Measurement semantics
   probe run measures a build with no observability registry at all, so
   ``t_normal / t_probe - 1`` is the overhead the disabled obs layer adds
   to ``push()``; the touch count asserts structurally that the disabled
-  hot path never enters a span or resolves a counter.
+  hot path never enters a span or resolves a counter.  The same probe
+  also swaps the ``telemetry`` module seen by the engine for a stub
+  whose stream-health methods count, so a disabled run that brushed the
+  per-stream health registry (PR 8) fails the same zero-touch gate.
+* **chunk latency** — per-chunk ``push()`` wall latency (p50/p99, ms) is
+  measured in a *separate* untimed pass so the latency bookkeeping never
+  perturbs the gated samples/s numbers.  These are the SLO numbers the
+  live telemetry endpoint exports per stream; recording them into the
+  benchmark history puts a lower-is-better regression gate on them too.
 """
 
 from __future__ import annotations
@@ -64,6 +72,12 @@ RECORD_NAME = "engine_throughput"
 WARM_FIELDS = (
     "streaming_warm_samples_per_s",
     "batch_warm_samples_per_s",
+)
+
+#: Lower-is-better per-chunk push-latency fields (also regression-gated).
+LATENCY_FIELDS = (
+    "streaming_chunk_p50_ms",
+    "streaming_chunk_p99_ms",
 )
 
 
@@ -125,6 +139,26 @@ def _push_loop(
     return time.perf_counter() - t0
 
 
+def _chunk_latencies(
+    workload: ThroughputWorkload, reference: Signal, observed: np.ndarray
+) -> np.ndarray:
+    """Per-chunk ``push()`` wall latencies (seconds), one warm pass.
+
+    Runs *outside* the timed throughput loops: the per-chunk clock reads
+    here would otherwise perturb the gated samples/s numbers.
+    """
+    engine = workload.engine(reference)
+    chunk = workload.chunk_samples
+    n = workload.n_samples
+    latencies = np.empty(-(-n // chunk), dtype=np.float64)
+    for i, s in enumerate(range(0, n, chunk)):
+        t0 = time.perf_counter()
+        engine.push(observed[s : s + chunk])
+        latencies[i] = time.perf_counter() - t0
+    engine.finalize()
+    return latencies
+
+
 def _time_streaming(
     workload: ThroughputWorkload, reference: Signal, observed: np.ndarray
 ) -> float:
@@ -171,9 +205,11 @@ class _ObsProbe:
 
     ``enabled()`` is hard-wired ``False`` (the one check the hoisted fast
     path is allowed to make); every *other* touch — entering a span,
-    resolving a counter/gauge/histogram — bumps ``touches``.  A correctly
-    hoisted hot path therefore times identically to the real disabled
-    ``obs`` module and finishes with ``touches == 0``.
+    resolving a counter/gauge/histogram, or (via the paired
+    :class:`_TelemetryStub`) touching a stream-health row — bumps
+    ``touches``.  A correctly hoisted hot path therefore times
+    identically to the real disabled ``obs`` module and finishes with
+    ``touches == 0``.
     """
 
     def __init__(self) -> None:
@@ -202,23 +238,65 @@ class _ObsProbe:
         return self._instrument
 
 
+class _HealthProbe:
+    """A stream-health row whose every method counts as an obs touch."""
+
+    def __init__(self, probe: _ObsProbe) -> None:
+        self._probe = probe
+
+    def observe_chunk(self, *args: object, **kwargs: object) -> None:
+        self._probe.touches += 1
+
+    def note_alert(self, *args: object, **kwargs: object) -> None:
+        self._probe.touches += 1
+
+    def mark_finished(self, *args: object, **kwargs: object) -> None:
+        self._probe.touches += 1
+
+    def snapshot(self, *args: object, **kwargs: object) -> Dict[str, object]:
+        self._probe.touches += 1
+        return {}
+
+
+class _TelemetryStub:
+    """A ``repro.obs.telemetry`` lookalike for the zero-touch probe.
+
+    An engine constructed without a ``stream_id`` binds
+    ``NULL_STREAM_HEALTH`` — here a counting :class:`_HealthProbe` — so
+    any health-row call the disabled hot path makes shows up in the same
+    ``touches`` count the benchmark asserts to be zero.
+    """
+
+    def __init__(self, probe: _ObsProbe) -> None:
+        self._probe = probe
+        self.NULL_STREAM_HEALTH = _HealthProbe(probe)
+
+    def register_stream(self, stream_id: str, sample_rate: float) -> _HealthProbe:
+        self._probe.touches += 1
+        return self.NULL_STREAM_HEALTH
+
+
 @contextlib.contextmanager
 def _patched_obs(probe: _ObsProbe) -> Iterator[None]:
-    """Swap the ``obs`` module seen by the detection hot path."""
+    """Swap the ``obs`` + ``telemetry`` modules seen by the hot path."""
     import importlib
 
     modules = tuple(
         importlib.import_module(f"repro.{name}")
         for name in ("core.engine", "core.comparator", "sync.dwm", "sync.tde")
     )
+    engine_mod = modules[0]
     saved = [m.obs for m in modules]
+    saved_telemetry = engine_mod.telemetry
     for m in modules:
         m.obs = probe  # type: ignore[misc]
+    engine_mod.telemetry = _TelemetryStub(probe)  # type: ignore[misc]
     try:
         yield
     finally:
         for m, original in zip(modules, saved):
             m.obs = original  # type: ignore[misc]
+        engine_mod.telemetry = saved_telemetry  # type: ignore[misc]
 
 
 def count_hot_path_obs_calls(
@@ -234,12 +312,17 @@ def count_hot_path_obs_calls(
     """
     w = workload or ThroughputWorkload(n_samples=2_000)
     reference, observed = w.signals()
-    engine = w.engine(reference)
     probe = _ObsProbe()
     with _patched_obs(probe):
+        # Constructed inside the patch so the engine binds the counting
+        # health row: a hot path that brushed per-stream telemetry would
+        # be counted, not silently absorbed by the real null singleton.
+        engine = w.engine(reference)
+        probe.touches = 0  # construction itself is not the hot path
         _push_loop(engine, w, observed)
+        touches = probe.touches
     engine.finalize()
-    return probe.touches
+    return touches
 
 
 def measure_engine_throughput(
@@ -267,15 +350,17 @@ def measure_engine_throughput(
         batch_warm = min(
             _time_batch(w, reference, observed) for _ in range(repeats)
         )
-        engines = [w.engine(reference) for _ in range(repeats)]
         probe = _ObsProbe()
         with _patched_obs(probe):
+            engines = [w.engine(reference) for _ in range(repeats)]
+            probe.touches = 0  # construction is not the hot path
             no_obs = min(
                 _push_loop(engine, w, observed) for engine in engines
             )
-        hot_path_calls = probe.touches
+            hot_path_calls = probe.touches
         for engine in engines:
             engine.finalize()
+        latencies = _chunk_latencies(w, reference, observed)
     finally:
         if was_enabled:
             obs.enable()
@@ -286,6 +371,8 @@ def measure_engine_throughput(
         "streaming_warm_samples_per_s": n / stream_warm,
         "batch_cold_samples_per_s": n / batch_cold,
         "batch_warm_samples_per_s": n / batch_warm,
+        "streaming_chunk_p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "streaming_chunk_p99_ms": float(np.percentile(latencies, 99) * 1e3),
         "disabled_obs_overhead": max(0.0, stream_warm / no_obs - 1.0),
         "hot_path_obs_calls": int(hot_path_calls),
         "chunk_samples": int(w.chunk_samples),
@@ -338,6 +425,20 @@ def render_comparison(
                 line += f"   {value / ref:6.2f}x vs baseline ({ref:,.0f})"
             elif ref > 0:
                 line += f"   (baseline {ref:,.0f}; different machine)"
+        lines.append(line)
+    for field in LATENCY_FIELDS:
+        if field not in record:
+            continue
+        value = float(record[field])  # type: ignore[arg-type]
+        line = f"{field:34s} {value:12.3f}"
+        if baseline is not None and isinstance(
+            baseline.get(field), (int, float)
+        ):
+            ref = float(baseline[field])  # type: ignore[arg-type]
+            if ref > 0 and same_machine:
+                line += f"   {value / ref:6.2f}x vs baseline ({ref:.3f})"
+            elif ref > 0:
+                line += f"   (baseline {ref:.3f}; different machine)"
         lines.append(line)
     overhead = float(record["disabled_obs_overhead"])  # type: ignore[arg-type]
     lines.append(f"{'disabled_obs_overhead':34s} {overhead:12.2%}")

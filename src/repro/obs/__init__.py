@@ -41,10 +41,19 @@ discriminator evidence, alarms, run summaries — ``events.enable(path)`` or
 :func:`export_chrome_trace` capture spans as Chrome/Perfetto
 ``trace_event`` JSON for ``ui.perfetto.dev``.
 
-Note on multiprocessing: metrics live in the recording process.  With
-``CampaignEngine(workers>=2)`` the simulation spans land in the worker
-processes and are not merged back; run with ``workers=0`` when a complete
-single-process trace is wanted (the CLI's ``--trace`` docs repeat this).
+Two *live* layers complete the picture: :mod:`repro.obs.telemetry`
+exposes everything above over a Prometheus text-exposition endpoint with
+a per-stream health registry (``obs.serve_telemetry(port)``,
+``REPRO_TELEMETRY=port``, ``repro top``), and :mod:`repro.obs.profiler`
+is a stdlib-only sampling profiler (``REPRO_PROFILE``) producing
+collapsed-stack and Chrome-trace output.
+
+Note on multiprocessing: metrics live in the recording process.
+``CampaignEngine(workers>=2)`` re-enables recording inside each worker
+and merges the per-task registry state back into the parent
+(:meth:`MetricsRegistry.merge_state`), so counters/histograms/spans
+aggregate across the pool; only the live *telemetry* endpoint remains
+per-process.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from pathlib import Path
 from typing import Dict, Union
 
 from . import events
+from . import profiler  # noqa: F401  (public submodule: obs.profiler)
 from .metrics import (
     SNAPSHOT_VERSION,
     Counter,
@@ -76,6 +86,11 @@ from .tracing import (
 
 __all__ = [
     "events",
+    "profiler",
+    "telemetry",
+    "serve_telemetry",
+    "stop_telemetry",
+    "start_snapshot_exporter",
     "CHROME_TRACE_MAX_EVENTS",
     "chrome_trace_enabled",
     "disable_chrome_trace",
@@ -254,3 +269,28 @@ def reset() -> None:
 # benchmarks) can be traced without code changes.
 if os.environ.get(ENV_VAR):
     configure_from_env()
+
+# Imported last: telemetry's import-time REPRO_TELEMETRY hook may call
+# back into ``enable()`` above, which must already exist.
+from . import telemetry  # noqa: E402
+
+
+def serve_telemetry(
+    port: int = 0, host: str = "127.0.0.1"
+) -> "telemetry.TelemetryServer":
+    """Start the live Prometheus/JSON telemetry endpoint (see
+    :func:`repro.obs.telemetry.serve`); implies :func:`enable`."""
+    return telemetry.serve(port=port, host=host)
+
+
+def stop_telemetry() -> None:
+    """Shut the telemetry endpoint down (idempotent)."""
+    telemetry.stop()
+
+
+def start_snapshot_exporter(
+    path: Union[str, "os.PathLike"], interval_s: float = 5.0
+) -> "telemetry.SnapshotExporter":
+    """Start the periodic telemetry file exporter (see
+    :class:`repro.obs.telemetry.SnapshotExporter`)."""
+    return telemetry.start_snapshot_exporter(path, interval_s=interval_s)

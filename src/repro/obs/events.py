@@ -21,6 +21,15 @@ Design constraints mirror :mod:`repro.obs` (PR 2):
    (``collections.deque(maxlen=...)``); the complete stream goes to an
    append-only JSONL sink when a path is given.
 3. **Zero dependencies.**  ``threading`` + ``time`` + ``json`` only.
+4. **Safe to leave on for days.**  The sink has an explicit flush policy
+   (``flush_every`` records; default every record, so a crash loses at
+   most the in-flight one) and size-based rotation
+   (``max_bytes`` / ``REPRO_EVENTS_MAX_MB``): when the live file would
+   exceed the cap it is closed and shifted to ``<path>.1`` (existing
+   ``.N`` shift to ``.N+1``) *before* the record is written, so a
+   rotation boundary never splits a JSON record.  :func:`read_jsonl`
+   reassembles the rotated chain oldest-first and still enforces the
+   strictly-increasing ``seq``.
 
 Event record schema (version :data:`EVENT_SCHEMA_VERSION`)::
 
@@ -61,6 +70,8 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EVENT_TYPES",
     "ENV_VAR",
+    "MAX_MB_ENV_VAR",
+    "rotated_paths",
     "EventLog",
     "NullEventLog",
     "NULL_EVENT_LOG",
@@ -80,6 +91,10 @@ EVENT_SCHEMA_VERSION = 1
 
 #: Environment variable: a JSONL sink path, or ``mem`` for ring-only.
 ENV_VAR = "REPRO_EVENTS"
+
+#: Environment variable: rotate the JSONL sink when it would exceed this
+#: many MiB (float; unset/empty = never rotate).
+MAX_MB_ENV_VAR = "REPRO_EVENTS_MAX_MB"
 
 #: Required payload fields per event type (schema v1).  Emitters may add
 #: extra fields; validators only require these.
@@ -118,25 +133,51 @@ class EventLog:
     jsonl_path:
         Optional path of an append-only JSON-Lines sink; parent
         directories are created.  ``None`` keeps events in memory only.
+    max_bytes:
+        Rotate the sink when the live file would exceed this size
+        (``None`` = never).  Rotation happens *before* the offending
+        record is written, at a record boundary: the live file moves to
+        ``<path>.1`` (older generations shift up) and a fresh file takes
+        its place — no record is ever split across generations.
+    flush_every:
+        Flush the sink every N records (default 1: every record is
+        durable as soon as :meth:`emit` returns).  ``0`` leaves flushing
+        to the OS buffer / :meth:`flush` / :meth:`close` — cheaper for
+        very chatty logs, at the cost of losing the buffered tail on a
+        crash.
     """
 
     def __init__(
         self,
         ring_size: int = 4096,
         jsonl_path: Union[str, "os.PathLike", None] = None,
+        max_bytes: Optional[int] = None,
+        flush_every: int = 1,
     ) -> None:
         if ring_size < 1:
             raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if flush_every < 0:
+            raise ValueError(f"flush_every must be >= 0, got {flush_every}")
         self._lock = threading.Lock()
         self._seq = 0
         self._ring: Deque[dict] = deque(maxlen=ring_size)
         self._path: Optional[Path] = None
         self._sink = None
+        self.max_bytes = max_bytes
+        self.flush_every = flush_every
+        self.rotations = 0
+        self._bytes = 0
+        self._unflushed = 0
         if jsonl_path is not None:
             self._path = Path(jsonl_path)
             if self._path.parent != Path(""):
                 self._path.parent.mkdir(parents=True, exist_ok=True)
             self._sink = open(self._path, "a", encoding="utf-8")
+            # Appending to an existing file: count what is already there
+            # so the rotation threshold covers the whole live file.
+            self._bytes = self._path.stat().st_size
 
     # ------------------------------------------------------------------
     @property
@@ -162,8 +203,41 @@ class EventLog:
             self._seq += 1
             self._ring.append(record)
             if self._sink is not None:
-                self._sink.write(json.dumps(record) + "\n")
+                line = json.dumps(record) + "\n"
+                n_bytes = len(line.encode("utf-8"))
+                if (
+                    self.max_bytes is not None
+                    and self._bytes > 0
+                    and self._bytes + n_bytes > self.max_bytes
+                ):
+                    self._rotate_locked()
+                self._sink.write(line)
+                self._bytes += n_bytes
+                self._unflushed += 1
+                if self.flush_every and self._unflushed >= self.flush_every:
+                    self._sink.flush()
+                    self._unflushed = 0
         return record
+
+    def _rotate_locked(self) -> None:
+        """Close the live file and shift the generation chain up by one.
+
+        Caller holds the lock and writes the next record to the fresh
+        file, so every generation holds only whole records.
+        """
+        assert self._sink is not None and self._path is not None
+        self._sink.flush()
+        self._sink.close()
+        n = 1
+        while Path(f"{self._path}.{n}").exists():
+            n += 1
+        for i in range(n - 1, 0, -1):
+            os.replace(f"{self._path}.{i}", f"{self._path}.{i + 1}")
+        os.replace(self._path, f"{self._path}.1")
+        self._sink = open(self._path, "a", encoding="utf-8")
+        self._bytes = 0
+        self._unflushed = 0
+        self.rotations += 1
 
     def tail(self, n: Optional[int] = None, etype: Optional[str] = None) -> List[dict]:
         """The last ``n`` ring-buffered events (all when ``n`` is None),
@@ -225,15 +299,24 @@ def enabled() -> bool:
 def enable(
     jsonl_path: Union[str, "os.PathLike", None] = None,
     ring_size: int = 4096,
+    max_bytes: Optional[int] = None,
+    flush_every: int = 1,
 ) -> EventLog:
     """Install a fresh process-wide :class:`EventLog` and return it.
 
-    Replaces (and closes) any previously active log.
+    Replaces (and closes) any previously active log.  ``max_bytes`` /
+    ``flush_every`` configure sink rotation and durability (see
+    :class:`EventLog`).
     """
     global _log
     if _log is not None:
         _log.close()
-    _log = EventLog(ring_size=ring_size, jsonl_path=jsonl_path)
+    _log = EventLog(
+        ring_size=ring_size,
+        jsonl_path=jsonl_path,
+        max_bytes=max_bytes,
+        flush_every=flush_every,
+    )
     return _log
 
 
@@ -301,17 +384,28 @@ def validate_event(record: object) -> dict:
     return record
 
 
-def read_jsonl(
-    path: Union[str, "os.PathLike"], validate: bool = True
-) -> List[dict]:
-    """Load an events JSONL file; optionally validate every record.
+def rotated_paths(path: Union[str, "os.PathLike"]) -> List[Path]:
+    """The full generation chain of a (possibly rotated) sink, oldest first.
 
-    Also checks that ``seq`` is strictly increasing when validating —
-    a truncated or interleaved log fails loudly instead of producing a
-    silently wrong incident report.
+    ``[<path>.N, ..., <path>.2, <path>.1, <path>]`` for every generation
+    that exists on disk — the order in which :func:`read_jsonl`
+    concatenates them so ``seq`` stays strictly increasing.
     """
-    records: List[dict] = []
-    last_seq = -1
+    base = Path(path)
+    n = 1
+    generations: List[Path] = []
+    while Path(f"{base}.{n}").exists():
+        generations.append(Path(f"{base}.{n}"))
+        n += 1
+    generations.reverse()
+    generations.append(base)
+    return generations
+
+
+def _read_one(
+    path: Path, records: List[dict], validate: bool, last_seq: int
+) -> int:
+    """Append one file's records; returns the updated last ``seq``."""
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -333,18 +427,61 @@ def read_jsonl(
                     )
                 last_seq = record["seq"]
             records.append(record)
+    return last_seq
+
+
+def read_jsonl(
+    path: Union[str, "os.PathLike"],
+    validate: bool = True,
+    include_rotated: bool = True,
+) -> List[dict]:
+    """Load an events JSONL file; optionally validate every record.
+
+    Rotation-aware: with ``include_rotated`` (the default) any
+    ``<path>.N`` generations left by sink rotation are read first,
+    oldest to newest, then the live file — one seamless stream.  Also
+    checks that ``seq`` is strictly increasing when validating (across
+    the whole chain) — a truncated or interleaved log fails loudly
+    instead of producing a silently wrong incident report.
+    """
+    base = Path(path)
+    paths = rotated_paths(base) if include_rotated else [base]
+    records: List[dict] = []
+    last_seq = -1
+    for p in paths:
+        if p != base and not p.exists():
+            continue
+        last_seq = _read_one(p, records, validate, last_seq)
     return records
 
 
 def configure_from_env(environ: Dict[str, str] = os.environ) -> bool:
-    """Enable from ``REPRO_EVENTS`` (a JSONL path, or ``mem``/``1``)."""
+    """Enable from ``REPRO_EVENTS`` (a JSONL path, or ``mem``/``1``).
+
+    ``REPRO_EVENTS_MAX_MB`` (float, MiB) additionally caps the live sink
+    file, rotating at record boundaries once it would be exceeded.
+    """
     raw = environ.get(ENV_VAR, "").strip()
     if not raw:
         return enabled()
+    max_bytes: Optional[int] = None
+    raw_mb = environ.get(MAX_MB_ENV_VAR, "").strip()
+    if raw_mb:
+        try:
+            max_mb = float(raw_mb)
+        except ValueError:
+            raise ValueError(
+                f"{MAX_MB_ENV_VAR} must be a number of MiB, got {raw_mb!r}"
+            ) from None
+        if max_mb <= 0:
+            raise ValueError(
+                f"{MAX_MB_ENV_VAR} must be > 0, got {raw_mb!r}"
+            )
+        max_bytes = int(max_mb * 1024 * 1024)
     if raw.lower() in ("mem", "1", "true", "yes", "on"):
-        enable()
+        enable(max_bytes=max_bytes)
     else:
-        enable(jsonl_path=raw)
+        enable(jsonl_path=raw, max_bytes=max_bytes)
     return True
 
 

@@ -275,6 +275,99 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
+    # -- cross-process transfer -----------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Lossless, JSON/pickle-safe registry state for merging.
+
+        Unlike :meth:`snapshot` (which summarizes histograms down to
+        quantiles), this keeps raw histogram values so a parent process
+        can fold worker registries into its own without losing quantile
+        fidelity.  Consumed by :meth:`merge_state`; the pair is how
+        ``CampaignEngine`` ships per-task metrics across the process
+        pool.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            spans = dict(self._spans)
+        hist_state: Dict[str, Dict[str, object]] = {}
+        for name, h in histograms.items():
+            with h._lock:
+                hist_state[name] = {
+                    "values": list(h._values),
+                    "count": h._count,
+                    "total": h._total,
+                    "max_samples": h.max_samples,
+                }
+        span_state: Dict[str, Dict[str, float]] = {}
+        for name, s in spans.items():
+            with s._lock:
+                span_state[name] = {
+                    "count": s.count,
+                    "errors": s.errors,
+                    "wall_total": s.wall_total,
+                    "wall_min": s.wall_min if s.count else math.inf,
+                    "wall_max": s.wall_max,
+                    "cpu_total": s.cpu_total,
+                }
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": {n: c.value for n, c in counters.items()},
+            "gauges": {n: g.value for n, g in gauges.items()},
+            "histograms": hist_state,
+            "spans": span_state,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold a :meth:`state_dict` from another registry into this one.
+
+        Counters and histogram observations *add*, span aggregates merge
+        (counts/totals sum, min/max widen), gauges are last-write-wins —
+        the same semantics each metric kind has within one process.
+        """
+        version = state.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"cannot merge registry state version {version!r}; "
+                f"expected {SNAPSHOT_VERSION}"
+            )
+        counters = state.get("counters", {})
+        assert isinstance(counters, dict)
+        for name, value in counters.items():
+            if value:
+                self.counter(name).inc(float(value))
+        gauges = state.get("gauges", {})
+        assert isinstance(gauges, dict)
+        for name, value in gauges.items():
+            self.gauge(name).set(float(value))
+        histograms = state.get("histograms", {})
+        assert isinstance(histograms, dict)
+        for name, hs in histograms.items():
+            h = self.histogram(
+                name, max_samples=int(hs.get("max_samples", 65536))
+            )
+            values = [float(v) for v in hs["values"]]
+            with h._lock:
+                h._count += int(hs["count"])
+                h._total += float(hs["total"])
+                h._values.extend(values)
+                if len(h._values) > h.max_samples:
+                    del h._values[: len(h._values) - h.max_samples]
+        spans = state.get("spans", {})
+        assert isinstance(spans, dict)
+        for name, ss in spans.items():
+            s = self.span_stats(name)
+            with s._lock:
+                incoming = int(ss["count"])
+                if incoming:
+                    s.count += incoming
+                    s.errors += int(ss["errors"])
+                    s.wall_total += float(ss["wall_total"])
+                    s.wall_min = min(s.wall_min, float(ss["wall_min"]))
+                    s.wall_max = max(s.wall_max, float(ss["wall_max"]))
+                    s.cpu_total += float(ss["cpu_total"])
+
     def reset(self) -> None:
         """Drop every metric (tests and repeated CLI invocations)."""
         with self._lock:

@@ -1,0 +1,370 @@
+"""In-process sampling profiler (stdlib only): ``obs.profiler``.
+
+Answers "where is the detector spending its time *right now*?" without
+stopping the process and without a third-party dependency: a daemon timer
+thread snapshots every thread's Python stack via ``sys._current_frames()``
+at a fixed interval and folds the samples into a collapsed-stack table —
+the flamegraph wire format (``frame;frame;frame count`` per line), also
+exportable through the existing Chrome/Perfetto ``trace_event`` path so
+one ``ui.perfetto.dev`` tab shows spans and profile side by side.
+
+Discipline matches the rest of :mod:`repro.obs`:
+
+* **Disabled costs nothing.**  Off by default; :func:`profiler` returns
+  the shared :data:`NULL_PROFILER` whose methods are empty, and no timer
+  thread exists.  Nothing in the detection hot path ever calls into this
+  module — sampling is driven entirely by the profiler's own thread, so
+  the PR-6 zero-obs-touch gate is unaffected by construction.
+* **Sampling bias is real.**  A sampler only sees stacks at tick
+  boundaries: costs shorter than the interval are attributed
+  probabilistically, C-extension time (NumPy kernels) is charged to the
+  Python frame that called it, and threads blocked in I/O still show
+  their current frame.  Treat counts as proportions, not truths.
+* **Zero dependencies.**  ``sys`` + ``threading`` + ``time`` + ``json``.
+
+Usage::
+
+    from repro.obs import profiler
+
+    profiler.enable(interval_s=0.01)     # or REPRO_PROFILE=1 / =5 (ms)
+    ...                                   # run the workload
+    prof = profiler.disable()             # stops sampling, keeps samples
+    print(prof.report(top=10))
+    prof.export_collapsed("profile.folded")
+    prof.export_chrome_trace("profile.json")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_INTERVAL_S",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "enabled",
+    "enable",
+    "disable",
+    "profiler",
+    "active",
+    "configure_from_env",
+]
+
+#: Environment variable toggling the profiler.  Boolean-ish values
+#: (``1``/``true``/``yes``/``on``) enable at the default interval; a
+#: number enables with that interval **in milliseconds**.
+ENV_VAR = "REPRO_PROFILE"
+
+#: Default sampling interval: 10 ms = 100 Hz, low enough to be invisible
+#: next to a 200 Hz DAQ hot path, high enough to resolve stage costs.
+DEFAULT_INTERVAL_S = 0.01
+
+#: Bound on distinct stacks kept (a runaway recursive workload would
+#: otherwise grow the fold table without limit).
+_MAX_STACKS = 100_000
+
+
+def _frame_name(frame: "object") -> str:
+    """One collapsed-stack frame label: ``module.qualname``."""
+    code = frame.f_code  # type: ignore[attr-defined]
+    module = frame.f_globals.get("__name__", "?")  # type: ignore[attr-defined]
+    return f"{module}.{code.co_name}"
+
+
+class Profiler:
+    """A running (or stopped-with-data) stack sampler.
+
+    Thread-safe: the sampling thread folds into ``_stacks`` under a lock;
+    readers (:meth:`collapsed`, :meth:`report`, exports) take the same
+    lock and work on copies.
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = float(interval_s)
+        self.samples = 0
+        self.dropped = 0
+        self._stacks: Dict[Tuple[str, ...], int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started_ts = time.time()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Profiler":
+        """Start the sampling thread (idempotent)."""
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> "Profiler":
+        """Stop sampling; accumulated samples remain readable."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def _loop(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self.sample_once(exclude={own_id})
+
+    def sample_once(self, exclude: Optional[set] = None) -> int:
+        """Take one sample of every thread's stack; returns stacks folded.
+
+        Exposed for deterministic tests; the timer loop calls it too.
+        """
+        skip = exclude or set()
+        folded = 0
+        for tid, frame in sys._current_frames().items():
+            if tid in skip:
+                continue
+            stack: List[str] = []
+            f: Optional[object] = frame
+            while f is not None:
+                stack.append(_frame_name(f))
+                f = f.f_back  # type: ignore[attr-defined]
+            key = tuple(reversed(stack))  # root -> leaf, folded convention
+            with self._lock:
+                if key in self._stacks:
+                    self._stacks[key] += 1
+                elif len(self._stacks) < _MAX_STACKS:
+                    self._stacks[key] = 1
+                else:
+                    self.dropped += 1
+                    continue
+                self.samples += 1
+            folded += 1
+        return folded
+
+    # ------------------------------------------------------------------
+    def stacks(self) -> Dict[Tuple[str, ...], int]:
+        """Copy of the fold table (root->leaf tuples to sample counts)."""
+        with self._lock:
+            return dict(self._stacks)
+
+    def collapsed(self) -> str:
+        """The folded-stack document (``frame;frame;frame count`` lines).
+
+        This is the flamegraph.pl / speedscope / inferno wire format;
+        stacks are root->leaf, sorted by descending count.
+        """
+        table = self.stacks()
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(
+                table.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable top-N functions by self-sample share."""
+        table = self.stacks()
+        total = sum(table.values())
+        if not total:
+            return "profiler: no samples collected\n"
+        self_counts: Dict[str, int] = {}
+        cumulative: Dict[str, int] = {}
+        for stack, count in table.items():
+            self_counts[stack[-1]] = self_counts.get(stack[-1], 0) + count
+            for name in set(stack):
+                cumulative[name] = cumulative.get(name, 0) + count
+        rows = sorted(
+            self_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:top]
+        width = max(len(name) for name, _ in rows)
+        lines = [
+            f"profiler: {total} samples @ {self.interval_s * 1e3:g} ms"
+            f" ({self.dropped} dropped)",
+            f"{'function'.ljust(width)}  self%  cum%",
+        ]
+        for name, count in rows:
+            lines.append(
+                f"{name.ljust(width)}"
+                f"  {100.0 * count / total:5.1f}"
+                f"  {100.0 * cumulative.get(name, count) / total:5.1f}"
+            )
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def export_collapsed(self, path: Union[str, "os.PathLike"]) -> Path:
+        """Write :meth:`collapsed` to ``path``; returns the path."""
+        out = Path(path)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.collapsed())
+        return out
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """The profile as a Chrome/Perfetto ``trace_event`` document.
+
+        Each distinct stack renders as one complete ("ph": "X") event
+        whose duration is ``count * interval`` with its frames in
+        ``args.stack`` — the same document shape
+        :func:`repro.obs.tracing.export_chrome_trace` produces, so both
+        open in the same viewer.
+        """
+        table = self.stacks()
+        events: List[Dict[str, object]] = []
+        cursor_us = 0.0
+        for stack, count in sorted(
+            table.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            dur_us = count * self.interval_s * 1e6
+            events.append(
+                {
+                    "name": stack[-1],
+                    "cat": "profile",
+                    "ph": "X",
+                    "ts": cursor_us,
+                    "dur": dur_us,
+                    "pid": os.getpid(),
+                    "tid": 0,
+                    "args": {"stack": ";".join(stack), "samples": count},
+                }
+            )
+            cursor_us += dur_us
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.obs.profiler",
+                "samples": self.samples,
+                "droppedSamples": self.dropped,
+                "intervalMs": self.interval_s * 1e3,
+            },
+        }
+
+    def export_chrome_trace(self, path: Union[str, "os.PathLike"]) -> Path:
+        """Write :meth:`chrome_trace` to ``path`` as JSON."""
+        out = Path(path)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(self.chrome_trace(), indent=2) + "\n")
+        return out
+
+
+class NullProfiler:
+    """Disabled-path profiler: accepts every call and drops it."""
+
+    __slots__ = ()
+    interval_s = 0.0
+    samples = 0
+    dropped = 0
+    running = False
+
+    def start(self) -> "NullProfiler":
+        return self
+
+    def stop(self) -> "NullProfiler":
+        return self
+
+    def sample_once(self, exclude: Optional[set] = None) -> int:
+        return 0
+
+    def stacks(self) -> Dict[Tuple[str, ...], int]:
+        return {}
+
+    def collapsed(self) -> str:
+        return ""
+
+    def report(self, top: int = 10) -> str:
+        return "profiler: disabled\n"
+
+    def chrome_trace(self) -> Dict[str, object]:
+        return {"traceEvents": [], "displayTimeUnit": "ms",
+                "otherData": {"producer": "repro.obs.profiler"}}
+
+
+#: Shared no-op returned by :func:`profiler` while sampling is disabled.
+NULL_PROFILER = NullProfiler()
+
+_active: Optional[Profiler] = None
+_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Is a sampler currently running?"""
+    return _active is not None
+
+
+def enable(interval_s: float = DEFAULT_INTERVAL_S) -> Profiler:
+    """Start the process-wide sampler (idempotent while running)."""
+    global _active
+    with _lock:
+        if _active is None:
+            _active = Profiler(interval_s=interval_s).start()
+        return _active
+
+
+def disable() -> Optional[Profiler]:
+    """Stop the process-wide sampler; returns it (with its samples)."""
+    global _active
+    with _lock:
+        prof = _active
+        _active = None
+    if prof is not None:
+        prof.stop()
+    return prof
+
+
+def profiler() -> Union[Profiler, NullProfiler]:
+    """The live sampler, or the shared no-op while disabled."""
+    prof = _active
+    return prof if prof is not None else NULL_PROFILER
+
+
+def active() -> Optional[Profiler]:
+    """The live sampler or ``None`` (when you need the real object)."""
+    return _active
+
+
+def configure_from_env(
+    environ: Optional[Dict[str, str]] = None,
+) -> Optional[Profiler]:
+    """Start the sampler if ``REPRO_PROFILE`` asks for it.
+
+    ``1``/``true``/``yes``/``on`` sample at :data:`DEFAULT_INTERVAL_S`;
+    a number is the interval in **milliseconds**; ``0``/``false``/empty
+    leave the profiler off.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(ENV_VAR, "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return None
+    if raw in ("1", "true", "yes", "on"):
+        return enable()
+    try:
+        interval_ms = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_VAR} must be boolean-ish or an interval in ms, "
+            f"got {raw!r}"
+        ) from None
+    if interval_ms <= 0:
+        raise ValueError(f"{ENV_VAR} interval must be > 0 ms, got {raw!r}")
+    return enable(interval_s=interval_ms / 1e3)
+
+
+# Honour REPRO_PROFILE at import time (mirrors REPRO_TRACE).
+if os.environ.get(ENV_VAR):
+    configure_from_env()

@@ -207,3 +207,70 @@ def test_obs_counters_track_cold_misses(setup, attacks, tmp_path):
     assert counters["repro.eval.engine.simulated"] == n_runs
     assert counters.get("repro.eval.engine.cache_hits", 0) == 0
     assert histograms["repro.eval.engine.queue_wait_s"]["count"] == n_runs
+
+
+def test_pool_workers_merge_registry_into_parent(setup, attacks):
+    """S1: with workers>=2 each worker ships its per-task registry back
+    and the parent folds it in, so counters/spans from inside
+    ``run_process`` survive the process boundary."""
+    from repro import obs
+
+    was_enabled = obs.enabled()
+
+    def run(workers):
+        obs.reset()
+        obs.enable()
+        try:
+            engine = CampaignEngine(workers=workers)
+            generate_campaign(
+                setup, attacks=attacks, engine=engine, **CAMPAIGN_KW
+            )
+            return obs.snapshot()
+        finally:
+            obs.reset()
+            if not was_enabled:
+                obs.disable()
+
+    serial = run(workers=0)
+    pooled = run(workers=2)
+
+    # Worker-side spans (simulation internals) must appear in the parent
+    # registry with the same per-leaf call counts as the serial run.
+    def leaf_counts(snapshot):
+        counts = {}
+        for name, stats in snapshot["spans"].items():
+            leaf = name.rsplit("/", 1)[-1]
+            counts[leaf] = counts.get(leaf, 0) + stats["count"]
+        return counts
+
+    serial_counts = leaf_counts(serial)
+    pooled_counts = leaf_counts(pooled)
+    assert any("firmware" in name for name in pooled["spans"])
+    for leaf, count in serial_counts.items():
+        assert pooled_counts.get(leaf, 0) == count, leaf
+
+    # Counters recorded inside workers accumulate identically.
+    for name, value in serial["counters"].items():
+        assert pooled["counters"].get(name, 0) == value, name
+
+
+def test_serial_path_does_not_reset_parent_registry(setup, attacks):
+    """The in-process path must never pass record=True to the worker
+    entry point: the per-task reset would wipe the caller's registry."""
+    from repro import obs
+
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        obs.counter("repro.test.sentinel").inc(41)
+        engine = CampaignEngine(workers=0)
+        generate_campaign(
+            setup, attacks=attacks, engine=engine, **CAMPAIGN_KW
+        )
+        counters = obs.snapshot()["counters"]
+    finally:
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
+    assert counters["repro.test.sentinel"] == 41

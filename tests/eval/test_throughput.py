@@ -53,6 +53,11 @@ class TestMeasurement:
             "batch_warm_samples_per_s",
         ):
             assert float(record[field]) > 0.0
+        for field in ("streaming_chunk_p50_ms", "streaming_chunk_p99_ms"):
+            assert float(record[field]) > 0.0
+        assert record["streaming_chunk_p50_ms"] <= record[
+            "streaming_chunk_p99_ms"
+        ]
         assert float(record["disabled_obs_overhead"]) >= 0.0
         assert record["hot_path_obs_calls"] == 0
         assert record["chunk_samples"] == TINY.chunk_samples
@@ -88,6 +93,18 @@ class TestMeasurement:
         probe.histogram("h").observe(2.0)
         assert probe.touches == 4
 
+    def test_health_probe_counts_stream_touches(self):
+        """The telemetry stub must catch hot-path StreamHealth brushes."""
+        from repro.eval.throughput import _TelemetryStub
+
+        probe = _ObsProbe()
+        stub = _TelemetryStub(probe)
+        row = stub.register_stream("p1", 200.0)
+        row.observe_chunk(10, 0.001, 1, 0, False)
+        row.note_alert("c_disp", 1.0)
+        row.snapshot()
+        assert probe.touches == 4  # register + 3 row touches
+
 
 class TestBaseline:
     def test_missing_file_is_none(self, tmp_path):
@@ -114,6 +131,7 @@ class TestBaseline:
         assert "no stored baseline" in alone
         against_self = render_comparison(record, record)
         assert "1.00x vs baseline" in against_self
+        assert "streaming_chunk_p99_ms" in against_self
         other_machine = dict(record, cpu_count=-1)
         cross = render_comparison(record, other_machine)
         assert "different machine" in cross

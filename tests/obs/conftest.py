@@ -3,20 +3,26 @@
 import pytest
 
 from repro import obs
-from repro.obs import events
+from repro.obs import events, profiler, telemetry
 
 
 @pytest.fixture(autouse=True)
 def clean_obs():
-    """Reset registry/events/capture and restore enabled state per test."""
+    """Reset registry/events/capture/telemetry and restore state per test."""
     was_enabled = obs.enabled()
     obs.reset()
     events.disable()
     obs.disable_chrome_trace()
+    telemetry.reset_streams()
+    telemetry.stop()
+    profiler.disable()
     yield
     obs.reset()
     events.disable()
     obs.disable_chrome_trace()
+    telemetry.reset_streams()
+    telemetry.stop()
+    profiler.disable()
     if was_enabled:
         obs.enable()
     else:

@@ -248,3 +248,124 @@ class TestChromeTrace:
         with obs.trace("not.captured"):
             pass
         assert not obs.chrome_trace_enabled()
+
+
+class TestRotation:
+    """S2: size-based sink rotation never splits a record."""
+
+    def _fill(self, log, n=40):
+        for i in range(n):
+            log.emit("test_event", index=i, payload="x" * 40)
+
+    def test_rotates_at_record_boundary(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = events.EventLog(jsonl_path=path, max_bytes=500)
+        self._fill(log)
+        log.close()
+        chain = events.rotated_paths(path)
+        assert log.rotations >= 2
+        assert len(chain) == log.rotations + 1
+        # Every generation (including rotated ones) is intact JSONL and
+        # within the cap: rotation happened *before* the overflow write.
+        for gen in chain:
+            assert gen.stat().st_size <= 500
+            for line in gen.read_text().splitlines():
+                json.loads(line)
+
+    def test_read_jsonl_reassembles_chain(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = events.EventLog(jsonl_path=path, max_bytes=500)
+        self._fill(log, n=40)
+        log.close()
+        records = events.read_jsonl(path)
+        assert [r["index"] for r in records] == list(range(40))
+        assert [r["seq"] for r in records] == list(range(40))
+        # Without the rotated generations only the newest records remain.
+        live_only = events.read_jsonl(path, include_rotated=False)
+        assert len(live_only) < 40
+        assert live_only[-1]["index"] == 39
+
+    def test_no_rotation_without_cap(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = events.EventLog(jsonl_path=path)
+        self._fill(log)
+        log.close()
+        assert log.rotations == 0
+        assert events.rotated_paths(path) == [path]
+
+    def test_oversized_single_record_still_lands(self, tmp_path):
+        # A record larger than the cap rotates, then writes whole anyway:
+        # the invariant is "never split", not "never exceed".
+        path = tmp_path / "ev.jsonl"
+        log = events.EventLog(jsonl_path=path, max_bytes=100)
+        log.emit("test_event", blob="y" * 400)
+        log.emit("test_event", blob="z" * 400)
+        log.close()
+        records = events.read_jsonl(path)
+        assert len(records) == 2
+        assert records[0]["blob"] == "y" * 400
+
+    def test_append_to_existing_counts_prior_bytes(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        first = events.EventLog(jsonl_path=path, max_bytes=10_000)
+        self._fill(first, n=5)
+        first.close()
+        second = events.EventLog(jsonl_path=path, max_bytes=400)
+        assert second._bytes == path.stat().st_size
+        second.emit("test_event", payload="x" * 40)
+        second.close()
+        assert second.rotations == 1
+
+    def test_rejects_bad_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            events.EventLog(jsonl_path=tmp_path / "e.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            events.EventLog(
+                jsonl_path=tmp_path / "e.jsonl", flush_every=-1
+            )
+
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = events.EventLog(jsonl_path=path, flush_every=0)
+        log.emit("test_event", index=0)
+        log.close()  # close still flushes everything
+        assert len(events.read_jsonl(path)) == 1
+
+    def test_module_enable_passes_rotation_config(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = events.enable(jsonl_path=path, max_bytes=500, flush_every=2)
+        assert log.max_bytes == 500
+        assert log.flush_every == 2
+        events.disable()
+
+    def test_configure_from_env_max_mb(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        events.configure_from_env(
+            {
+                "REPRO_EVENTS": str(path),
+                "REPRO_EVENTS_MAX_MB": "0.0005",  # 524 bytes
+            }
+        )
+        log = events.log()
+        assert log.max_bytes == 524
+        for i in range(40):
+            events.emit("test_event", index=i, payload="x" * 40)
+        events.disable()
+        assert log.rotations >= 1
+        assert len(events.read_jsonl(path)) == 40
+
+    def test_configure_from_env_rejects_bad_max_mb(self, tmp_path):
+        with pytest.raises(ValueError):
+            events.configure_from_env(
+                {
+                    "REPRO_EVENTS": str(tmp_path / "e.jsonl"),
+                    "REPRO_EVENTS_MAX_MB": "huge",
+                }
+            )
+        with pytest.raises(ValueError):
+            events.configure_from_env(
+                {
+                    "REPRO_EVENTS": str(tmp_path / "e.jsonl"),
+                    "REPRO_EVENTS_MAX_MB": "-1",
+                }
+            )

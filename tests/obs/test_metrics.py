@@ -158,3 +158,156 @@ class TestModuleLevelApi:
             obs.disable()
         data = json.loads(out.read_text())
         assert data["counters"]["repro.test.c"] == 1
+
+
+class TestStateDictMerge:
+    def test_round_trip_is_lossless(self):
+        src = MetricsRegistry()
+        src.counter("repro.test.c").inc(5)
+        src.gauge("repro.test.g").set(3.5)
+        h = src.histogram("repro.test.h", max_samples=4)
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        src.record_span("repro.test.span", wall=0.5, cpu=0.4)
+        src.record_span("repro.test.span", wall=1.5, cpu=1.0, error=True)
+
+        dst = MetricsRegistry()
+        dst.merge_state(src.state_dict())
+        assert dst.counter("repro.test.c").value == 5
+        assert dst.gauge("repro.test.g").value == 3.5
+        h2 = dst.histogram("repro.test.h")
+        assert h2.count == 3
+        assert h2.quantile(0.5) == 2.0
+        s2 = dst.span_stats("repro.test.span")
+        assert s2.count == 2
+        assert s2.errors == 1
+        assert s2.wall_min == 0.5
+        assert s2.wall_max == 1.5
+
+    def test_merge_accumulates_counters_and_overwrites_gauges(self):
+        a = MetricsRegistry()
+        a.counter("repro.test.c").inc(5)
+        a.gauge("repro.test.g").set(1.0)
+        b = MetricsRegistry()
+        b.counter("repro.test.c").inc(7)
+        b.gauge("repro.test.g").set(9.0)
+        a.merge_state(b.state_dict())
+        assert a.counter("repro.test.c").value == 12
+        assert a.gauge("repro.test.g").value == 9.0
+
+    def test_merge_histograms_truncates_oldest(self):
+        a = MetricsRegistry()
+        ha = a.histogram("repro.test.h", max_samples=4)
+        for v in (1.0, 2.0, 3.0):
+            ha.observe(v)
+        b = MetricsRegistry()
+        hb = b.histogram("repro.test.h", max_samples=4)
+        for v in (4.0, 5.0, 6.0):
+            hb.observe(v)
+        a.merge_state(b.state_dict())
+        merged = a.histogram("repro.test.h")
+        assert merged.count == 6          # lifetime count keeps everything
+        assert merged.quantile(0.0) == 3.0  # window kept the newest 4
+        assert merged.quantile(1.0) == 6.0
+
+    def test_merge_state_is_json_safe(self):
+        src = MetricsRegistry()
+        src.span_stats("repro.test.span")  # zero-count span: wall_min is +inf
+        state = json.loads(json.dumps(src.state_dict()))
+        dst = MetricsRegistry()
+        dst.merge_state(state)
+        assert dst.span_stats("repro.test.span").count == 0
+
+    def test_merge_rejects_version_mismatch(self):
+        state = MetricsRegistry().state_dict()
+        state["version"] = 99
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_state(state)
+
+    def test_empty_merge_is_noop(self):
+        dst = MetricsRegistry()
+        dst.merge_state(MetricsRegistry().state_dict())
+        assert dst.snapshot()["counters"] == {}
+
+
+class TestConcurrentWriters:
+    """S3: the registry must not lose increments under thread contention."""
+
+    def test_counter_no_lost_increments(self):
+        registry = MetricsRegistry()
+        n_threads, n_incs = 8, 2_000
+
+        def pound():
+            counter = registry.counter("repro.test.contended")
+            for _ in range(n_incs):
+                counter.inc()
+
+        threads = [threading.Thread(target=pound) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("repro.test.contended").value == (
+            n_threads * n_incs
+        )
+
+    def test_histogram_consistent_under_contention(self):
+        registry = MetricsRegistry()
+        n_threads, n_obs = 8, 1_000
+
+        def pound(worker):
+            h = registry.histogram("repro.test.h", max_samples=100_000)
+            for i in range(n_obs):
+                h.observe(float(worker * n_obs + i))
+
+        threads = [
+            threading.Thread(target=pound, args=(w,))
+            for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        h = registry.histogram("repro.test.h")
+        assert h.count == n_threads * n_obs
+        summary = h.summary()
+        assert summary["count"] == n_threads * n_obs
+
+    def test_get_or_create_races_to_one_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("repro.test.once"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+    def test_snapshot_while_writing_stays_consistent(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            counter = registry.counter("repro.test.c")
+            h = registry.histogram("repro.test.h")
+            while not stop.is_set():
+                counter.inc()
+                h.observe(1.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(50):
+                snap = registry.snapshot()
+                state = registry.state_dict()
+                json.dumps(snap)
+                json.dumps(state)
+        finally:
+            stop.set()
+            t.join()

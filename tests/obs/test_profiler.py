@@ -1,0 +1,152 @@
+"""Sampling profiler: folding, exports, singleton, env configuration."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import profiler
+from repro.obs.profiler import (
+    DEFAULT_INTERVAL_S,
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+)
+
+
+class TestProfiler:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            Profiler(interval_s=0.0)
+
+    def test_sample_once_folds_this_thread(self):
+        prof = Profiler()
+        assert prof.sample_once() >= 1
+        table = prof.stacks()
+        assert prof.samples == sum(table.values())
+        # Our own call chain ends in sample_once.
+        own = [s for s in table if s[-1].endswith(".sample_once")]
+        assert own, table
+        # Stacks are root -> leaf: the leaf frame is last.
+        assert all(isinstance(k, tuple) for k in table)
+
+    def test_sample_once_respects_exclude(self):
+        prof = Profiler()
+        n_all = prof.sample_once()
+        n_none = prof.sample_once(
+            exclude=set(t.ident for t in threading.enumerate())
+        )
+        assert n_all >= 1
+        # Non-enumerable dummy threads may still appear, but excluding
+        # every known thread must sample strictly fewer stacks.
+        assert n_none < n_all or n_none == 0
+
+    def test_collapsed_format(self):
+        prof = Profiler()
+        prof.sample_once()
+        prof.sample_once()
+        text = prof.collapsed()
+        assert text.endswith("\n")
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in stack or "." in stack
+        # Sorted by descending count.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_report_empty_and_populated(self):
+        prof = Profiler()
+        assert "no samples" in prof.report()
+        prof.sample_once()
+        report = prof.report(top=3)
+        assert "self%" in report and "cum%" in report
+        assert f"{prof.samples} samples" in report
+
+    def test_export_collapsed(self, tmp_path):
+        prof = Profiler()
+        prof.sample_once()
+        out = prof.export_collapsed(tmp_path / "sub" / "prof.folded")
+        assert out.exists()
+        assert out.read_text() == prof.collapsed()
+
+    def test_chrome_trace_document(self, tmp_path):
+        prof = Profiler(interval_s=0.005)
+        prof.sample_once()
+        doc = prof.chrome_trace()
+        assert doc["otherData"]["producer"] == "repro.obs.profiler"
+        assert doc["otherData"]["intervalMs"] == 5.0
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+            assert ";".join([event["name"]]) in event["args"]["stack"]
+        # Events tile the timeline back to back.
+        cursor = 0.0
+        for event in events:
+            assert event["ts"] == pytest.approx(cursor)
+            cursor += event["dur"]
+        out = prof.export_chrome_trace(tmp_path / "trace.json")
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_timer_thread_collects_samples(self):
+        prof = Profiler(interval_s=0.002).start()
+        assert prof.running
+        assert prof.start() is prof  # idempotent
+        deadline = time.monotonic() + 1.0
+        while prof.samples == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        prof.stop()
+        assert not prof.running
+        assert prof.samples >= 1
+        prof.stop()  # idempotent
+
+
+class TestNullProfiler:
+    def test_inert_surface(self):
+        null = NullProfiler()
+        assert null.start() is null
+        assert null.stop() is null
+        assert null.sample_once() == 0
+        assert null.stacks() == {}
+        assert null.collapsed() == ""
+        assert "disabled" in null.report()
+        assert null.chrome_trace()["traceEvents"] == []
+        assert not null.running
+
+
+class TestSingleton:
+    def test_enable_disable_cycle(self):
+        assert not profiler.enabled()
+        assert profiler.profiler() is NULL_PROFILER
+        assert profiler.active() is None
+        prof = profiler.enable(interval_s=0.005)
+        assert profiler.enabled()
+        assert profiler.profiler() is prof
+        assert profiler.enable() is prof  # idempotent, keeps interval
+        stopped = profiler.disable()
+        assert stopped is prof
+        assert not stopped.running
+        assert profiler.disable() is None
+
+    def test_configure_from_env(self):
+        assert profiler.configure_from_env({}) is None
+        assert profiler.configure_from_env({"REPRO_PROFILE": "off"}) is None
+        prof = profiler.configure_from_env({"REPRO_PROFILE": "1"})
+        assert prof is not None
+        assert prof.interval_s == DEFAULT_INTERVAL_S
+        profiler.disable()
+        prof = profiler.configure_from_env({"REPRO_PROFILE": "2.5"})
+        assert prof is not None
+        assert prof.interval_s == pytest.approx(0.0025)
+        profiler.disable()
+
+    def test_configure_from_env_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            profiler.configure_from_env({"REPRO_PROFILE": "soon"})
+        with pytest.raises(ValueError):
+            profiler.configure_from_env({"REPRO_PROFILE": "-5"})

@@ -241,3 +241,56 @@ class TestBadInput:
     def test_committed_baseline_parses(self):
         """The gate must accept the repo's real committed history file."""
         assert gate.main([str(gate.DEFAULT_PATH)]) == 0
+
+
+class TestLatencyGating:
+    """Chunk-latency fields: p99 gated lower-is-better, p50 never gated."""
+
+    def _throughput_record(self, p50, p99, cpu=4, warm=1000.0):
+        return _record(
+            "engine_throughput",
+            streaming_warm_samples_per_s=warm,
+            streaming_chunk_p50_ms=p50,
+            streaming_chunk_p99_ms=p99,
+            cpu_count=cpu,
+        )
+
+    def test_p99_regression_fails(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            self._throughput_record(0.02, 0.20),
+            self._throughput_record(0.02, 0.30),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 1
+        out = capsys.readouterr().out
+        assert "streaming_chunk_p99_ms" in out
+        assert "FAIL" in out
+
+    def test_p99_within_tolerance_passes(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            self._throughput_record(0.02, 0.20),
+            self._throughput_record(0.02, 0.24),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 0
+
+    def test_p99_improvement_passes(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            self._throughput_record(0.02, 0.20),
+            self._throughput_record(0.02, 0.10),
+        ])
+        assert gate.main([str(path)]) == 0
+
+    def test_p50_is_never_gated(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            self._throughput_record(0.02, 0.20),
+            self._throughput_record(9.99, 0.20),  # wild p50 regression
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 0
+        assert "streaming_chunk_p50_ms" not in capsys.readouterr().out
+
+    def test_latency_skipped_across_machines(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            self._throughput_record(0.02, 0.20, cpu=4),
+            self._throughput_record(0.02, 0.90, cpu=16),
+        ])
+        assert gate.main([str(path)]) == 0
+        assert "streaming_chunk_p99_ms" not in capsys.readouterr().out

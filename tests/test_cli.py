@@ -234,6 +234,47 @@ class TestForensicsWorkflow:
         assert code_stream == code_batch == 1
         assert stream == batch
 
+    def test_detect_stream_with_telemetry_snapshot(
+        self, workspace, tmp_path, capsys
+    ):
+        """Telemetry-enabled streaming detect writes a snapshot that
+        ``repro top`` can render after the run finished."""
+        import json
+
+        from repro import obs
+        from repro.obs import telemetry
+
+        snap = tmp_path / "telemetry.json"
+        was_enabled = obs.enabled()
+        try:
+            code = main(
+                ["detect", "--stream", "--chunk-s", "0.2",
+                 "--telemetry-snapshot", str(snap),
+                 "--stream-id", "printer-A",
+                 str(workspace / "model"),
+                 str(workspace / "malicious" / "ACC.npz")]
+            )
+        finally:
+            telemetry.reset_streams()
+            obs.reset()
+            if was_enabled:
+                obs.enable()
+            else:
+                obs.disable()
+        assert code == 1
+        capsys.readouterr()
+        doc = json.loads(snap.read_text())
+        row = doc["streams"]["printer-A"]
+        assert row["state"] == "finished"
+        assert row["intrusion"] is True
+        assert row["chunks"] > 0
+        assert row["chunk_latency"]["count"] == row["chunks"]
+
+        assert main(["top", "--snapshot", str(snap), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "printer-A" in out
+        assert "finished" in out
+
     def test_events_out_writes_valid_schema_v1(self, workspace, tmp_path):
         from repro.obs import events as events_module
 
@@ -483,3 +524,89 @@ class TestBenchCommand:
             "--baseline", str(baseline),
         ]) == 0
         assert "vs baseline" in capsys.readouterr().out
+
+
+class TestTopCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.url == "http://127.0.0.1:9107"
+        assert args.snapshot is None
+        assert args.interval == 2.0
+        assert args.once is False
+        assert args.func.__name__ == "cmd_top"
+
+    def test_detect_telemetry_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["detect", "model", "sig.npz", "--stream",
+             "--telemetry-port", "0", "--telemetry-snapshot", "t.json",
+             "--telemetry-interval", "0.5", "--stream-id", "p1",
+             "--pace", "1"]
+        )
+        assert args.telemetry_port == 0
+        assert args.telemetry_snapshot == "t.json"
+        assert args.telemetry_interval == 0.5
+        assert args.stream_id == "p1"
+        assert args.pace == 1.0
+
+    def _doc(self):
+        return {
+            "v": 1,
+            "ts": 1_700_000_000.0,
+            "metrics": {},
+            "streams": {
+                "printer-A": {
+                    "state": "live",
+                    "samples": 12_000,
+                    "samples_per_s": 199.8,
+                    "ingest_lag_s": 0.25,
+                    "windows": 40,
+                    "quarantined_windows": 2,
+                    "alerts": 3,
+                    "sensor_fault": True,
+                    "last_alert": {
+                        "submodule": "c_disp", "time_s": 12.5, "ts": 0.0
+                    },
+                    "chunk_latency": {
+                        "count": 24, "mean_s": 0.002,
+                        "p50_s": 0.0015, "p95_s": 0.004, "p99_s": 0.005,
+                    },
+                },
+            },
+        }
+
+    def test_render_top_populated(self):
+        from repro.cli import _render_top
+
+        frame = _render_top(self._doc(), source="snap.json")
+        assert "repro top — 1 stream(s)" in frame
+        assert "snap.json" in frame
+        assert "printer-A" in frame
+        assert "c_disp@12.5s" in frame
+        assert "YES" in frame  # sensor fault column
+        assert "1.50" in frame and "5.00" in frame  # p50/p99 in ms
+
+    def test_render_top_empty(self):
+        from repro.cli import _render_top
+
+        frame = _render_top({"v": 1, "streams": {}})
+        assert "0 stream(s)" in frame
+        assert "no streams registered yet" in frame
+
+    def test_missing_snapshot_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            ["top", "--snapshot", str(tmp_path / "nope.json"), "--once"]
+        )
+        assert code == 1
+        assert "waiting for telemetry" in capsys.readouterr().out
+
+    def test_iterations_bound_reads_file_repeatedly(self, tmp_path, capsys):
+        import json
+
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(self._doc()))
+        code = main(
+            ["top", "--snapshot", str(snap),
+             "--iterations", "2", "--interval", "0.01"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("repro top —") == 2

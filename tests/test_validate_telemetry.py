@@ -1,0 +1,120 @@
+"""Tests for the CI telemetry contract check (scripts/validate_telemetry.py)."""
+
+import importlib.util
+from pathlib import Path
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent
+    / "scripts" / "validate_telemetry.py"
+)
+
+spec = importlib.util.spec_from_file_location("validate_telemetry", SCRIPT)
+vt = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(vt)
+
+
+def _live_scrape(stream="printer-A", alerts=True):
+    """A real render from the telemetry module, isolated per call."""
+    from repro.obs import telemetry
+
+    registry = telemetry.StreamHealthRegistry()
+    row = registry.register(stream, 200.0)
+    for _ in range(3):
+        row.observe_chunk(50, 0.002, 4, 1, False)
+    if alerts:
+        row.note_alert("c_disp", 1.5)
+    return telemetry.render_prometheus(
+        metrics_snapshot={
+            "version": 1, "counters": {}, "gauges": {},
+            "histograms": {}, "spans": {},
+        },
+        stream_rows=registry.snapshot(),
+    )
+
+
+class TestParseExposition:
+    def test_live_render_is_clean(self):
+        problems, types, samples = vt.parse_exposition(_live_scrape())
+        assert problems == []
+        assert types["repro_stream_up"] == "gauge"
+        assert any(name == "repro_stream_up" for name, _, _ in samples)
+
+    def test_rejects_unannounced_sample(self):
+        problems, _, _ = vt.parse_exposition("repro_orphan 1.0\n")
+        assert any("no preceding # TYPE" in p for p in problems)
+
+    def test_rejects_bad_value_and_duplicate_type(self):
+        text = (
+            "# TYPE repro_x gauge\n"
+            "repro_x oops\n"
+            "# TYPE repro_x gauge\n"
+        )
+        problems, _, _ = vt.parse_exposition(text)
+        assert any("non-numeric" in p for p in problems)
+        assert any("announced twice" in p for p in problems)
+
+    def test_accepts_escaped_labels_and_inf(self):
+        text = (
+            "# TYPE repro_x gauge\n"
+            'repro_x{stream="we\\"ird\\\\id\\n"} +Inf\n'
+        )
+        problems, _, samples = vt.parse_exposition(text)
+        assert problems == []
+        assert samples[0][1]["stream"] == 'we\\"ird\\\\id\\n'
+
+    def test_summary_children_belong_to_family(self):
+        problems, _, _ = vt.parse_exposition(_live_scrape())
+        assert not any("_count" in p for p in problems)
+
+
+class TestStreamSchema:
+    def _checked(self, text, streams, min_chunks=1):
+        problems, types, samples = vt.parse_exposition(text)
+        assert problems == []
+        return vt.check_stream_schema(types, samples, streams, min_chunks)
+
+    def test_complete_stream_passes(self):
+        assert self._checked(_live_scrape(), ["printer-A"]) == []
+
+    def test_alert_free_stream_still_passes(self):
+        scrape = _live_scrape(stream="quiet", alerts=False)
+        assert self._checked(scrape, ["quiet"]) == []
+
+    def test_missing_stream_reports_every_family(self):
+        problems = self._checked(_live_scrape(), ["ghost"])
+        assert len(problems) == len(vt.STREAM_FAMILIES)
+
+    def test_min_chunks_guards_racing_scrapes(self):
+        problems = self._checked(
+            _live_scrape(), ["printer-A"], min_chunks=10
+        )
+        assert any("chunks scored" in p for p in problems)
+
+    def test_quantile_series_required(self):
+        scrape = _live_scrape()
+        stripped = "\n".join(
+            line
+            for line in scrape.splitlines()
+            if 'quantile="0.99"' not in line
+        )
+        problems, types, samples = vt.parse_exposition(stripped)
+        assert problems == []
+        problems = vt.check_stream_schema(types, samples, ["printer-A"], 1)
+        assert any("'0.99' missing" in p for p in problems)
+
+
+class TestMain:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "scrape.prom"
+        path.write_text(_live_scrape())
+        assert vt.main([str(path), "--require-stream", "printer-A"]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_violation_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "scrape.prom"
+        path.write_text(_live_scrape())
+        assert vt.main([str(path), "--require-stream", "ghost"]) == 1
+        assert "invalid telemetry" in capsys.readouterr().err
+
+    def test_missing_file_exit_two(self, tmp_path):
+        assert vt.main([str(tmp_path / "nope.prom")]) == 2
