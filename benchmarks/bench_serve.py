@@ -1,0 +1,105 @@
+"""Fleet detection service ingest benchmark (streams/core).
+
+The serve path multiplexes many printer streams over a small pool of
+shard workers; the capacity question is how many *real-time* printers one
+deployment can carry per core it burns.  This benchmark replays the
+canonical demo fleet — 64 concurrent streams — through a process-mode
+:class:`~repro.serve.server.FleetServer` (2 shard workers + the listener)
+with offline verification enabled, so the measured configuration is also
+proven bit-identical to the offline engine on every stream.
+
+The record lands in ``benchmarks/results/BENCH_serve.json`` with the
+exact field names ``repro loadgen --bench-out`` writes, so the committed
+baseline here gates the CI serve job's end-to-end run (and vice versa):
+``ingest_p99_ms`` lower-is-better, ``serve_samples_per_s`` and
+``streams_per_core`` higher-is-better, everything else bookkeeping (see
+``scripts/check_bench_regression.py``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from conftest import RESULTS_DIR, record_bench_stats
+
+from repro.obs import telemetry
+from repro.serve.loadgen import run_loadgen, synth_streams
+from repro.serve.model import demo_model
+from repro.serve.server import FleetServer
+
+SERVE_STATS_PATH = RESULTS_DIR / "BENCH_serve.json"
+
+#: The canonical scenario — keep in sync with the CI serve job's
+#: ``repro loadgen`` flags so baseline and CI records are comparable.
+N_STREAMS = 64
+N_SAMPLES = 2_000
+SAMPLE_RATE = 200.0
+CHUNK_SAMPLES = 200
+SHARDS = 2
+
+
+def test_serve_ingest_64_streams(tmp_path, report):
+    model = demo_model(n_samples=N_SAMPLES, sample_rate=SAMPLE_RATE)
+    model_dir = tmp_path / "model"
+    model.save(model_dir)
+    streams = synth_streams(
+        N_STREAMS, n_samples=N_SAMPLES, sample_rate=SAMPLE_RATE
+    )
+
+    async def scenario():
+        server = FleetServer(str(model_dir), shards=SHARDS, port=0)
+        await server.start()
+        try:
+            return await run_loadgen(
+                ("127.0.0.1", server.port),
+                streams,
+                chunk_samples=CHUNK_SAMPLES,
+                verify_model=model,
+            )
+        finally:
+            await server.stop()
+
+    try:
+        result = asyncio.run(asyncio.wait_for(scenario(), timeout=600))
+    finally:
+        telemetry.reset_streams()
+
+    # Correctness gate: every served verdict bit-identical to offline.
+    assert result.mismatches == []
+    assert result.n_streams == N_STREAMS
+    assert result.total_samples == N_STREAMS * N_SAMPLES
+    assert result.samples_per_s > 0
+
+    cores_used = SHARDS + 1
+    streams_per_core = result.samples_per_s / SAMPLE_RATE / cores_used
+    record = {
+        "n_streams": result.n_streams,
+        "chunk_samples": CHUNK_SAMPLES,
+        "pace": 0.0,
+        "shards": SHARDS,
+        "cores_used": cores_used,
+        "cpu_count": os.cpu_count(),
+        "total_samples": result.total_samples,
+        "total_chunks": result.total_chunks,
+        "elapsed_s": round(result.elapsed_s, 4),
+        "ingest_p50_ms": round(result.ingest_p50_ms, 4),
+        "ingest_p99_ms": round(result.ingest_p99_ms, 4),
+        "ingest_mean_ms": round(result.ingest_mean_ms, 4),
+        "serve_samples_per_s": round(result.samples_per_s, 1),
+        "streams_per_core": round(streams_per_core, 3),
+        "resumes": result.resumes,
+        "verified": True,
+        "mismatches": len(result.mismatches),
+    }
+    record_bench_stats(SERVE_STATS_PATH, "serve_loadgen", record)
+    report(
+        "serve_ingest",
+        result.summary()
+        + f"\nstreams_per_core   {streams_per_core:10.1f} "
+        f"(cores_used={cores_used})",
+    )

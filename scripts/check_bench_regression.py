@@ -11,8 +11,10 @@ slowed down by more than ``--tolerance`` (default 25%), or a
 higher-is-better field (``*speedup*`` or ``*samples_per_s*``) dropped by
 more than the same tolerance.
 ``benchmarks/results/BENCH_engine_throughput.json`` (the engine
-samples/s/core history) is gated with the same invocation, just a
-different path argument.
+samples/s/core history) and ``benchmarks/results/BENCH_serve.json`` (the
+fleet service ingest history — p99 ingest latency lower-is-better,
+``serve_samples_per_s`` and ``streams_per_core`` higher-is-better) are
+gated with the same invocation, just different path arguments.
 
 Cross-machine safety: when baseline and current report different
 ``cpu_count`` values, absolute fields — wall-clock timings *and*
@@ -60,14 +62,20 @@ DEFAULT_PATH = (
 #: ``streaming_chunk_p50_ms`` is recorded for trend inspection but not
 #: gated — the median of a sub-millisecond loop body wobbles with CPU
 #: frequency scaling; the tail (``streaming_chunk_p99_ms``) is the latency
-#: SLO and *is* gated, as lower-is-better.
+#: SLO and *is* gated, as lower-is-better.  The serve history follows the
+#: same convention: ``ingest_p50_ms`` is informational, ``ingest_p99_ms``
+#: is the gated ingest SLO, and the workload-shape fields (stream/chunk
+#: counts, shard layout, verify bookkeeping) are not measurements at all.
 NON_TIMING_FIELDS = frozenset(
     {"name", "time", "workers", "cpu_count",
      "cache_hits", "cache_misses", "simulated",
      "streaming_cold_samples_per_s", "batch_cold_samples_per_s",
      "streaming_chunk_p50_ms",
      "disabled_obs_overhead", "hot_path_obs_calls",
-     "chunk_samples", "n_samples", "sample_rate"}
+     "chunk_samples", "n_samples", "sample_rate",
+     "n_streams", "shards", "cores_used", "pace",
+     "total_samples", "total_chunks",
+     "ingest_p50_ms", "resumes", "verified", "mismatches"}
 )
 
 #: Baselines smaller than this are noise-level; ratios would be garbage.
@@ -132,7 +140,11 @@ def check_pair(
         # (the ``*_ms`` fields, e.g. streaming_chunk_p99_ms) — is gated
         # lower-is-better: the current value may exceed baseline by at
         # most the tolerance.
-        higher_is_better = "speedup" in field or "samples_per_s" in field
+        higher_is_better = (
+            "speedup" in field
+            or "samples_per_s" in field
+            or "streams_per_core" in field
+        )
         if higher_is_better:
             ok = ratio >= 1.0 - tolerance
         else:

@@ -20,6 +20,13 @@ Four workflows cover the life of a deployment:
   (:mod:`repro.eval.diff`; exit status 1 + a replayable repro bundle on
   the first divergence);
 * ``bench``    — measure detection-engine throughput on this machine;
+* ``serve``    — run the fleet detection service: multiplex many live
+  printer streams over a pool of checkpointed detection engines
+  (:mod:`repro.serve`), with crash resume from atomic checkpoints and
+  one shared telemetry endpoint;
+* ``loadgen``  — replay a synthetic printer fleet against ``serve`` and
+  report p50/p99 ingest latency, samples/s, and streams/core (with
+  optional bit-identical offline verification);
 * ``top``      — live terminal dashboard over the telemetry endpoint or
   snapshot file (:mod:`repro.obs.telemetry`): one row per detection
   stream with ingest lag, chunk-latency p50/p99, windows, quarantine /
@@ -216,8 +223,6 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
     observed = load_signal(args.signal)
     if args.stream:
-        import time as _time
-
         from . import obs
 
         telemetry_on = (
@@ -242,11 +247,15 @@ def cmd_detect(args: argparse.Namespace) -> int:
         # Same engine as the batch call, driven chunk by chunk.
         engine = ids.engine(stream_id=stream_id)
         hop = max(1, int(round(args.chunk_s * observed.sample_rate)))
-        pace_s = args.chunk_s / args.pace if args.pace > 0 else 0.0
+        # Deadline-based pacing: chunk k is released at start + k/pace
+        # chunk-durations on the monotonic clock, so engine processing
+        # time is absorbed instead of accumulating as replay drift.
+        from .serve.pacing import Pacer
+
+        pacer = Pacer(args.chunk_s / args.pace if args.pace > 0 else 0.0)
         for start in range(0, observed.n_samples, hop):
             engine.push(observed.data[start : start + hop])
-            if pace_s:
-                _time.sleep(pace_s)
+            pacer.wait()
         verdict = engine.finalize().detection
         assert verdict is not None
         if exporter is not None:
@@ -382,11 +391,21 @@ def cmd_explain(args: argparse.Namespace) -> int:
         raise SystemExit("repro explain: pass --attack NAME or --gcode PATH "
                          "so the print can be re-simulated")
 
-    records = read_jsonl(args.events_jsonl)
+    try:
+        records = read_jsonl(
+            args.events_jsonl, tolerate_torn_tail=args.tolerate_torn_tail
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro explain: {exc}") from None
     # Re-run the same simulation 'detect' screened (same noise model and
     # seed) to recover the sample -> instruction mapping.
     trace = simulate_print(program, setup.machine, setup.noise, seed=args.seed)
-    incident = incident_from_events(records, trace=trace)
+    try:
+        incident = incident_from_events(records, trace=trace)
+    except ValueError as exc:
+        # A torn tail that ate the run_summary lands here: the log read
+        # cleanly but no longer carries a verdict to explain.
+        raise SystemExit(f"repro explain: {exc}") from None
     report = render_incident_report(
         incident, program=program, tampered_spans=tampered
     )
@@ -657,6 +676,156 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal as _signal
+
+    from .serve import FleetServer
+    from .serve.model import demo_model
+
+    model_dir = Path(args.model)
+    if not (model_dir / "reference.npz").exists():
+        if args.demo:
+            demo_model(n_samples=args.demo_samples).save(model_dir)
+            print(f"demo model written to {model_dir}/", file=sys.stderr)
+        else:
+            raise SystemExit(
+                f"repro serve: {model_dir} has no reference.npz; train a "
+                "model first ('repro train') or pass --demo"
+            )
+    server = FleetServer(
+        model_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        checkpoint_interval_s=args.checkpoint_interval,
+        metrics_port=args.metrics_port,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        where = (
+            str(server.unix_path)
+            if server.unix_path is not None
+            else f"{server.host}:{server.port}"
+        )
+        mode = (
+            f"{server.shards} shard worker(s)" if server.shards else "inline"
+        )
+        print(f"serving on {where} ({mode})", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        waiters = [asyncio.ensure_future(stop.wait())]
+        if args.max_seconds is not None:
+            waiters.append(
+                asyncio.ensure_future(asyncio.sleep(args.max_seconds))
+            )
+        _, pending = await asyncio.wait(
+            waiters, return_when=asyncio.FIRST_COMPLETED
+        )
+        for fut in pending:
+            fut.cancel()
+        print("draining connections, final checkpoint...", file=sys.stderr)
+        await server.stop()
+
+    asyncio.run(_run())
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import time as _time
+
+    from .serve.loadgen import run_loadgen, synth_streams
+    from .serve.model import ServeModel
+    from .serve.protocol import read_address
+
+    if args.unix:
+        address = args.unix
+    else:
+        address = read_address(args.connect)
+        if address is None:
+            raise SystemExit(
+                f"repro loadgen: --connect must be host:port, "
+                f"got {args.connect!r}"
+            )
+    streams = synth_streams(
+        args.streams,
+        n_samples=args.n_samples,
+        sample_rate=args.sample_rate,
+    )
+    verify_model = ServeModel.from_dir(args.verify) if args.verify else None
+    result = asyncio.run(
+        run_loadgen(
+            address,
+            streams,
+            chunk_samples=args.chunk_samples,
+            pace=args.pace,
+            verify_model=verify_model,
+        )
+    )
+    # Streams/core: how many real-time printers this deployment could
+    # keep up with per core it burns (listener + shard workers).
+    cores_used = args.server_shards + 1 if args.server_shards > 0 else 1
+    streams_per_core = (
+        result.samples_per_s / args.sample_rate / cores_used
+        if args.sample_rate > 0
+        else 0.0
+    )
+    record = {
+        "name": "serve_loadgen",
+        "time": _time.time(),
+        "n_streams": result.n_streams,
+        "chunk_samples": args.chunk_samples,
+        "pace": args.pace,
+        "shards": args.server_shards,
+        "cores_used": cores_used,
+        "cpu_count": os.cpu_count(),
+        "total_samples": result.total_samples,
+        "total_chunks": result.total_chunks,
+        "elapsed_s": round(result.elapsed_s, 4),
+        "ingest_p50_ms": round(result.ingest_p50_ms, 4),
+        "ingest_p99_ms": round(result.ingest_p99_ms, 4),
+        "ingest_mean_ms": round(result.ingest_mean_ms, 4),
+        "serve_samples_per_s": round(result.samples_per_s, 1),
+        "streams_per_core": round(streams_per_core, 3),
+        "resumes": result.resumes,
+        "verified": verify_model is not None,
+        "mismatches": len(result.mismatches),
+    }
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(result.summary())
+        print(
+            f"streams_per_core   {streams_per_core:10.1f} "
+            f"(cores_used={cores_used})"
+        )
+    if args.bench_out:
+        path = Path(args.bench_out)
+        history = []
+        if path.exists():
+            try:
+                history = json.loads(path.read_text())
+            except ValueError:
+                history = []
+        history.append(record)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"bench record appended to {path}", file=sys.stderr)
+    if result.mismatches:
+        shown = ", ".join(result.mismatches[:8])
+        print(f"VERDICT MISMATCHES ({len(result.mismatches)}): {shown}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -781,7 +950,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay speed relative to the DAQ real-time rate (1 = live "
              "DAQ pace, 2 = twice as fast; default 0 = no pacing) — "
              "keeps the stream alive long enough to watch with "
-             "'repro top'",
+             "'repro top'.  Deadline-scheduled: chunk k is released at "
+             "start + k/pace chunk-durations, so engine processing time "
+             "does not accumulate as replay drift",
     )
     p.set_defaults(func=cmd_detect)
 
@@ -830,6 +1001,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="G-code the screened run executed (no ground truth)")
     p.add_argument("--output", default=None,
                    help="write the markdown report here (default: stdout)")
+    p.add_argument(
+        "--tolerate-torn-tail", action="store_true",
+        help="accept an event log whose writer crashed mid-record: drop "
+             "exactly one incomplete trailing line (with a warning) "
+             "instead of failing; mid-file corruption still fails",
+    )
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("report", help="full evaluation -> markdown report")
@@ -954,6 +1131,123 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw measurement record as JSON",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the fleet detection service (many streams, one model)",
+        description="Long-running ingest service: accepts line-delimited "
+        "JSON chunk messages over TCP or a unix socket, multiplexes every "
+        "printer stream over a pool of checkpointed detection engines "
+        "(--shards worker processes; 0 = inline), and periodically "
+        "checkpoints every live engine so a crashed worker resumes "
+        "mid-run bit-identically.  Pair with 'repro loadgen'.",
+    )
+    p.add_argument("model", help="model directory from 'train' (or --demo)")
+    p.add_argument(
+        "--demo", action="store_true",
+        help="synthesize the deterministic demo model into MODEL if it "
+             "does not exist yet (tests/CI)",
+    )
+    p.add_argument(
+        "--demo-samples", type=int, default=8_000,
+        help="reference length for --demo (default 8000)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=9870,
+        help="TCP port to listen on (0 = ephemeral; default 9870)",
+    )
+    p.add_argument(
+        "--unix", default=None, metavar="PATH",
+        help="listen on a unix socket instead of TCP",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help="detection worker processes (streams are sharded by "
+             "crc32(stream_id); 0 = run engines inline; default 0)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="atomically checkpoint every live engine state into DIR "
+             "(enables crash resume; unset disables checkpointing)",
+    )
+    p.add_argument(
+        "--checkpoint-interval", type=float, default=5.0, metavar="SECONDS",
+        help="checkpoint sweep period (default 5 s)",
+    )
+    p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve the shared telemetry /metrics endpoint on PORT "
+             "(one endpoint for every stream; try 9107)",
+    )
+    p.add_argument(
+        "--max-seconds", type=float, default=None, metavar="SECONDS",
+        help="shut down gracefully after SECONDS (CI guard; default: "
+             "run until SIGINT/SIGTERM)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="replay a synthetic printer fleet against 'repro serve'",
+        description="One connection per printer stream, each replaying "
+        "its samples as chunk messages (optionally paced against the "
+        "recording's own timebase), riding out shard crashes via the "
+        "checkpoint-resume protocol.  Reports p50/p99 ingest latency, "
+        "aggregate samples/s, and streams/core; --verify re-runs every "
+        "stream offline and fails on any non-bit-identical verdict.",
+    )
+    p.add_argument(
+        "--connect", default="127.0.0.1:9870", metavar="HOST:PORT",
+        help="service TCP address (default 127.0.0.1:9870)",
+    )
+    p.add_argument(
+        "--unix", default=None, metavar="PATH",
+        help="connect to a unix socket instead of TCP",
+    )
+    p.add_argument(
+        "--streams", type=int, default=8,
+        help="synthetic printer streams to replay (default 8)",
+    )
+    p.add_argument(
+        "--n-samples", type=int, default=8_000,
+        help="samples per stream (default 8000; must match the demo "
+             "model's reference length)",
+    )
+    p.add_argument(
+        "--sample-rate", type=float, default=200.0,
+        help="stream sample rate in Hz (default 200)",
+    )
+    p.add_argument(
+        "--chunk-samples", type=int, default=200,
+        help="samples per chunk message (default 200)",
+    )
+    p.add_argument(
+        "--pace", type=float, default=0.0, metavar="FACTOR",
+        help="replay speed relative to the stream timebase (1 = real "
+             "time, 2 = double speed; default 0 = unpaced)",
+    )
+    p.add_argument(
+        "--verify", default=None, metavar="MODELDIR",
+        help="re-run every stream through an offline engine built from "
+             "MODELDIR and exit 1 unless all served verdicts are "
+             "bit-identical",
+    )
+    p.add_argument(
+        "--server-shards", type=int, default=0,
+        help="the server's --shards value, for the streams/core "
+             "accounting (default 0 = inline)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the measurement record as JSON",
+    )
+    p.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="append the record to a BENCH_*.json history file "
+             "(regression-gated by scripts/check_bench_regression.py)",
+    )
+    p.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -151,6 +151,84 @@ def _decode_optional_floats(values: Sequence[Optional[float]]) -> np.ndarray:
     )
 
 
+#: Sections a serialized ``DetectorState`` must carry, with the expected
+#: container type (``from_dict`` validates before indexing anything).
+_STATE_SECTIONS: Tuple[Tuple[str, type], ...] = (
+    ("config", dict),
+    ("progress", dict),
+    ("sanitize", dict),
+    ("sync", dict),
+    ("evidence", dict),
+    ("alerts", list),
+    ("fired", list),
+)
+
+#: Required keys per dict-valued section — exactly the fields
+#: :meth:`DetectionEngine.restore` indexes, so a checkpoint that passes
+#: validation cannot die with a ``KeyError`` halfway through a restore.
+#: (``sync`` is opaque: its layout belongs to the synchronizer cursor.)
+_STATE_REQUIRED_KEYS: Dict[str, Tuple[str, ...]] = {
+    "config": ("n_channels", "sample_rate", "filter_window"),
+    "progress": ("samples_seen", "buf_start", "buffer", "bad"),
+    "sanitize": (
+        "last_good", "have_good", "prev_raw", "n_nonfinite", "run_start",
+        "longest_dark", "dark_spans", "fault_fired", "fault_reasons",
+        "fault_window",
+    ),
+    "evidence": (
+        "prev_disp", "c_disp", "c_hist", "h_hist", "v_hist", "h_f", "v_f",
+        "quarantined",
+    ),
+}
+
+#: Required keys of each serialized alert (what ``Alert.from_dict`` reads).
+_ALERT_REQUIRED_KEYS: Tuple[str, ...] = (
+    "window_index", "submodule", "value", "threshold", "time_s",
+)
+
+
+def _validate_state_payload(doc: Dict[str, object]) -> None:
+    """Check a ``to_dict`` payload is structurally complete.
+
+    A truncated or hand-corrupted checkpoint fails here with a
+    ``ValueError`` naming the missing/ill-typed field rather than
+    surfacing an opaque ``KeyError`` from deep inside ``restore``.
+    """
+    for section, expected in _STATE_SECTIONS:
+        if section not in doc:
+            raise ValueError(
+                f"DetectorState payload missing section {section!r}"
+            )
+        value = doc[section]
+        if not isinstance(value, expected):
+            raise ValueError(
+                f"DetectorState section {section!r} must be a "
+                f"{expected.__name__}, got {type(value).__name__}"
+            )
+    for section, keys in _STATE_REQUIRED_KEYS.items():
+        body = doc[section]
+        assert isinstance(body, dict)
+        for key in keys:
+            if key not in body:
+                raise ValueError(
+                    f"DetectorState payload missing field "
+                    f"{section!r}.{key!r}"
+                )
+    alerts = doc["alerts"]
+    assert isinstance(alerts, list)
+    for k, alert in enumerate(alerts):
+        if not isinstance(alert, dict):
+            raise ValueError(
+                f"DetectorState alert #{k} must be a dict, "
+                f"got {type(alert).__name__}"
+            )
+        for key in _ALERT_REQUIRED_KEYS:
+            if key not in alert:
+                raise ValueError(
+                    f"DetectorState alert #{k} missing field {key!r}"
+                )
+
+
 @dataclass(frozen=True)
 class DetectorState:
     """Serializable snapshot of every piece of cross-chunk carry.
@@ -201,7 +279,16 @@ class DetectorState:
 
     @classmethod
     def from_dict(cls, doc: Dict[str, object]) -> "DetectorState":
-        """Validate the schema header and rebuild the state."""
+        """Validate the schema header and payload, then rebuild the state.
+
+        Every malformed input — wrong schema, unsupported version, a
+        missing or ill-typed section, a section missing one of the fields
+        :meth:`DetectionEngine.restore` will index — raises a
+        :class:`ValueError` naming the offending field, never a raw
+        ``KeyError``.  A checkpoint store can therefore treat *any*
+        ``ValueError`` as "checkpoint unusable, restart the stream from
+        scratch" instead of crashing the process that loaded it.
+        """
         schema = doc.get("schema")
         if schema != STATE_SCHEMA:
             raise ValueError(f"not a DetectorState payload: schema={schema!r}")
@@ -211,6 +298,7 @@ class DetectorState:
                 f"unsupported DetectorState version {version!r} "
                 f"(this build reads version {STATE_VERSION})"
             )
+        _validate_state_payload(doc)
         return cls(
             config=dict(doc["config"]),  # type: ignore[call-overload, arg-type]
             progress=dict(doc["progress"]),  # type: ignore[call-overload, arg-type]
@@ -375,6 +463,26 @@ class DetectionEngine:
     def n_indexes(self) -> int:
         """Number of synchronized indexes evaluated so far."""
         return len(self._c_hist)
+
+    @property
+    def samples_seen(self) -> int:
+        """Absolute number of samples pushed so far.
+
+        This is the resume cursor of the checkpoint/replay contract: a
+        client that re-feeds the stream from exactly this sample after a
+        :meth:`restore` reproduces the uninterrupted run bit-identically.
+        """
+        return self._samples_seen
+
+    @property
+    def n_quarantined(self) -> int:
+        """Number of indexes whose input samples had to be repaired."""
+        return len(self._quarantined)
+
+    @property
+    def sensor_fault_fired(self) -> bool:
+        """True once the fail-closed SENSOR_FAULT verdict fired."""
+        return self._fault_fired
 
     def push(self, samples: np.ndarray) -> List[Alert]:
         """Feed observed samples; return alerts raised by this chunk.

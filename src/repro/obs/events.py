@@ -62,6 +62,7 @@ import json
 import os
 import threading
 import time
+import warnings
 from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple, Union
@@ -82,6 +83,7 @@ __all__ = [
     "emit",
     "tail",
     "validate_event",
+    "TornTailWarning",
     "read_jsonl",
     "configure_from_env",
 ]
@@ -402,31 +404,57 @@ def rotated_paths(path: Union[str, "os.PathLike"]) -> List[Path]:
     return generations
 
 
+class TornTailWarning(UserWarning):
+    """A torn (incomplete) trailing record was dropped by :func:`read_jsonl`."""
+
+
 def _read_one(
-    path: Path, records: List[dict], validate: bool, last_seq: int
+    path: Path,
+    records: List[dict],
+    validate: bool,
+    last_seq: int,
+    tolerate_tail: bool = False,
 ) -> int:
-    """Append one file's records; returns the updated last ``seq``."""
+    """Append one file's records; returns the updated last ``seq``.
+
+    With ``tolerate_tail`` a JSON decode failure on the file's *final*
+    non-empty line is treated as a torn write (interrupted process): that
+    one record is dropped and reported via :class:`TornTailWarning`.  A
+    decode failure anywhere earlier is mid-file corruption and still
+    raises ``ValueError``, as do schema and ``seq`` violations — a torn
+    tail can only ever be the last thing written.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
+        lines = handle.read().split("\n")
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            is_tail = all(not rest.strip() for rest in lines[lineno:])
+            if tolerate_tail and is_tail:
+                warnings.warn(
+                    f"{path}:{lineno}: dropped torn trailing record "
+                    f"({exc}): {line[:80]!r}",
+                    TornTailWarning,
+                    stacklevel=3,
+                )
+                break
+            raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from None
+        if validate:
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from None
-            if validate:
-                try:
-                    validate_event(record)
-                except ValueError as exc:
-                    raise ValueError(f"{path}:{lineno}: {exc}") from None
-                if record["seq"] <= last_seq:
-                    raise ValueError(
-                        f"{path}:{lineno}: seq {record['seq']} not increasing "
-                        f"(previous {last_seq})"
-                    )
-                last_seq = record["seq"]
-            records.append(record)
+                validate_event(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            if record["seq"] <= last_seq:
+                raise ValueError(
+                    f"{path}:{lineno}: seq {record['seq']} not increasing "
+                    f"(previous {last_seq})"
+                )
+            last_seq = record["seq"]
+        records.append(record)
     return last_seq
 
 
@@ -434,6 +462,7 @@ def read_jsonl(
     path: Union[str, "os.PathLike"],
     validate: bool = True,
     include_rotated: bool = True,
+    tolerate_torn_tail: bool = False,
 ) -> List[dict]:
     """Load an events JSONL file; optionally validate every record.
 
@@ -443,6 +472,13 @@ def read_jsonl(
     checks that ``seq`` is strictly increasing when validating (across
     the whole chain) — a truncated or interleaved log fails loudly
     instead of producing a silently wrong incident report.
+
+    ``tolerate_torn_tail`` is for crash-recovery forensics: a SIGKILLed
+    writer can leave a partial final line in the *newest* file of the
+    chain.  When set, exactly that one incomplete trailing record is
+    dropped and reported via :class:`TornTailWarning`; corruption
+    anywhere else (mid-file garbage, rotated generations, ``seq``
+    regressions) still raises ``ValueError``.
     """
     base = Path(path)
     paths = rotated_paths(base) if include_rotated else [base]
@@ -451,7 +487,13 @@ def read_jsonl(
     for p in paths:
         if p != base and not p.exists():
             continue
-        last_seq = _read_one(p, records, validate, last_seq)
+        last_seq = _read_one(
+            p,
+            records,
+            validate,
+            last_seq,
+            tolerate_tail=tolerate_torn_tail and p == paths[-1],
+        )
     return records
 
 

@@ -50,7 +50,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .metrics import Histogram
 
@@ -68,6 +68,9 @@ __all__ = [
     "register_stream",
     "unregister_stream",
     "reset_streams",
+    "set_service_stats",
+    "clear_service_stats",
+    "service_stats",
     "prometheus_name",
     "render_prometheus",
     "telemetry_document",
@@ -347,6 +350,54 @@ def reset_streams() -> None:
 
 
 # ---------------------------------------------------------------------------
+# Service-level stats (the fleet service's gauges: live streams, shard
+# queue depth, ...).  The service registers a provider callable returning
+# a flat {stat: number} dict; each key renders as a ``repro_serve_<stat>``
+# gauge in the exposition and rides along as the ``service`` section of
+# :func:`telemetry_document`.  A provider keeps the coupling one-way:
+# telemetry knows nothing about repro.serve, and a crashed/stopped service
+# simply clears its provider.
+# ---------------------------------------------------------------------------
+_service_stats_lock = threading.Lock()
+_service_stats_provider: Optional[Callable[[], Dict[str, float]]] = None
+
+
+def set_service_stats(provider: Callable[[], Dict[str, float]]) -> None:
+    """Install the service-stats provider (latest registration wins)."""
+    global _service_stats_provider
+    with _service_stats_lock:
+        _service_stats_provider = provider
+
+
+def clear_service_stats() -> None:
+    """Remove the provider (service shut down); idempotent."""
+    global _service_stats_provider
+    with _service_stats_lock:
+        _service_stats_provider = None
+
+
+def service_stats() -> Optional[Dict[str, float]]:
+    """The current service-stats dict, or ``None`` when no service runs.
+
+    A provider that raises is treated as absent: the scrape must never
+    fail because the service is mid-shutdown.
+    """
+    with _service_stats_lock:
+        provider = _service_stats_provider
+    if provider is None:
+        return None
+    try:
+        stats = provider()
+    except Exception:
+        return None
+    return {
+        str(k): float(v)
+        for k, v in stats.items()
+        if isinstance(v, (int, float))
+    }
+
+
+# ---------------------------------------------------------------------------
 # Prometheus text exposition (format version 0.0.4)
 # ---------------------------------------------------------------------------
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -588,6 +639,12 @@ def render_prometheus(
         doc,
         stream_rows if stream_rows is not None else _streams.snapshot(),
     )
+    stats = service_stats()
+    if stats is not None:
+        for key in sorted(stats):
+            prom = prometheus_name(f"repro_serve_{key}")
+            doc.family(prom, "gauge", f"fleet service stat {key}")
+            doc.sample(prom, stats[key])
     return doc.render()
 
 
@@ -595,12 +652,16 @@ def telemetry_document() -> Dict[str, object]:
     """The live JSON telemetry snapshot (``repro top``'s wire format)."""
     from . import snapshot as obs_snapshot  # late: avoid import cycle
 
-    return {
+    doc: Dict[str, object] = {
         "v": TELEMETRY_SCHEMA_VERSION,
         "ts": time.time(),
         "metrics": obs_snapshot(),
         "streams": _streams.snapshot(),
     }
+    stats = service_stats()
+    if stats is not None:
+        doc["service"] = stats
+    return doc
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,56 @@
+"""Fleet detection service: N printer streams over checkpointed engines.
+
+This package is ROADMAP item 1 — the step from "library" to a long-running
+ingest *service*.  The architecture follows the edge→server split of the
+OctoPrint exemplar: printers (or the load generator standing in for them)
+push side-channel sample chunks over a socket; the service owns detection.
+
+Layout:
+
+* :mod:`repro.serve.protocol` — the line-delimited JSON wire protocol
+  (``open`` / ``chunk`` / ``close`` / ``ping`` requests, ``ok``/error
+  replies carrying the ``samples_seen`` resume cursor).
+* :mod:`repro.serve.model` — the on-disk model directory (reference
+  signal + DWM params + learned thresholds) every worker loads, plus the
+  deterministic demo fleet used by tests, CI, and benchmarks.
+* :mod:`repro.serve.shard` — the detection workers: ``shards=0`` runs
+  every engine in-process (tests, single-core); ``shards>=1`` runs one
+  single-worker ``ProcessPoolExecutor`` per shard, keyed by
+  ``crc32(stream_id) % shards`` so each printer's chunks stay ordered on
+  one worker and a crashed shard takes down only its own streams.
+* :mod:`repro.serve.checkpoint` — atomic ``DetectorState`` persistence
+  (tmp + ``os.replace``) so a crashed shard resumes mid-run, including
+  mid-dark-run, bit-identically.
+* :mod:`repro.serve.server` — the asyncio front-end (TCP or unix socket)
+  multiplexing connections over the shard pool, periodic checkpointing,
+  and the service-level telemetry gauges.
+* :mod:`repro.serve.loadgen` — the matching load-generator client:
+  replays cached runs (or the synthetic demo fleet) as paced live
+  traffic and reports p50/p99 ingest latency and streams/core.
+* :mod:`repro.serve.pacing` — the deadline-based replay scheduler shared
+  by ``repro detect --pace`` and the load generator.
+
+``repro serve`` / ``repro loadgen`` are the CLI entry points; see
+DESIGN.md "Fleet detection service" for protocol and resume guarantees.
+"""
+
+from .checkpoint import CheckpointStore
+from .loadgen import LoadgenResult, run_loadgen, synth_streams
+from .model import ServeModel, demo_model, demo_observed
+from .pacing import Pacer
+from .server import FleetServer
+from .shard import ShardCrashed, ShardPool
+
+__all__ = [
+    "CheckpointStore",
+    "FleetServer",
+    "LoadgenResult",
+    "Pacer",
+    "ServeModel",
+    "ShardCrashed",
+    "ShardPool",
+    "demo_model",
+    "demo_observed",
+    "run_loadgen",
+    "synth_streams",
+]

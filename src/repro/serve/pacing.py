@@ -1,0 +1,88 @@
+"""Deadline-based replay pacing on the monotonic clock.
+
+The naive way to replay a recorded signal "in real time" — sleep a fixed
+``interval`` after pushing each chunk — drifts: every sleep adds the
+chunk's *processing* time on top of the interval, so a long replay runs
+slower than real time and inflates ``ingest_lag_s`` for no physical
+reason (the ``repro detect --pace`` bug this module fixes).
+
+:class:`Pacer` instead schedules absolute deadlines ``start + k *
+interval`` on ``time.monotonic()`` and sleeps only the *remaining* time
+to the next one (never negative).  Processing time is absorbed as long
+as the loop body is faster than the interval on average; when the body
+is persistently slower the pacer reports how far behind schedule it is
+instead of silently stretching time.
+
+Shared by the CLI's ``detect --pace`` loop (sync :meth:`Pacer.wait`) and
+the asyncio load generator (:meth:`Pacer.async_wait`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+__all__ = ["Pacer"]
+
+
+class Pacer:
+    """Absolute-deadline scheduler: the k-th wait returns at
+    ``start + k * interval_s``.
+
+    The schedule starts at the first :meth:`wait` / :meth:`async_wait`
+    call (not at construction), so setup cost is not counted against the
+    first deadline.  ``interval_s == 0`` disables pacing: every wait
+    returns immediately with zero delay.
+    """
+
+    def __init__(self, interval_s: float) -> None:
+        if interval_s < 0:
+            raise ValueError(f"interval_s must be >= 0, got {interval_s}")
+        self.interval_s = float(interval_s)
+        self._k = 0
+        self._start: Optional[float] = None
+
+    @property
+    def ticks(self) -> int:
+        """Number of deadlines consumed so far."""
+        return self._k
+
+    def next_delay(self) -> float:
+        """Seconds until the next deadline (>= 0); advances the schedule.
+
+        Deadlines are anchored to the schedule start, never to "now":
+        a loop body that overruns one interval does not push every later
+        deadline back — the pacer catches up by returning 0.0 until the
+        replay is back on schedule.
+        """
+        now = time.monotonic()
+        if self._start is None:
+            self._start = now
+        self._k += 1
+        deadline = self._start + self._k * self.interval_s
+        return max(0.0, deadline - now)
+
+    def behind_s(self) -> float:
+        """How far the replay is behind schedule right now (>= 0)."""
+        if self._start is None or self.interval_s == 0.0:
+            return 0.0
+        deadline = self._start + self._k * self.interval_s
+        return max(0.0, time.monotonic() - deadline)
+
+    def wait(self) -> float:
+        """Sleep until the next deadline; returns the slept seconds."""
+        delay = self.next_delay()
+        if delay > 0.0:
+            time.sleep(delay)
+        return delay
+
+    async def async_wait(self) -> float:
+        """Asyncio flavour of :meth:`wait` (yields even when on time)."""
+        delay = self.next_delay()
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        else:
+            # Cooperative: a saturated loadgen must not starve the loop.
+            await asyncio.sleep(0)
+        return delay

@@ -1,0 +1,166 @@
+"""The fleet service wire protocol: line-delimited JSON over a socket.
+
+One request per line, one reply per line, strictly in order per
+connection — per-stream chunk ordering therefore falls out of "one
+connection per stream", with no sequence reassembly on the server.
+
+Requests (client → server)::
+
+    {"op": "open",  "stream_id": "...", "sample_rate": 200.0,
+     "resume": true, "restart": false}
+    {"op": "chunk", "stream_id": "...", "seq": 0, "samples": [[...], ...]}
+    {"op": "close", "stream_id": "..."}
+    {"op": "ping"}
+
+Replies (server → client) always carry ``ok``::
+
+    {"ok": true, "op": "open", "stream_id": "...", "resumed": false,
+     "samples_seen": 0}
+    {"ok": true, "op": "chunk", "stream_id": "...", "seq": 0,
+     "samples_seen": 512, "alerts": [...]}
+    {"ok": true, "op": "close", "stream_id": "...", "result": {...}}
+    {"ok": true, "op": "pong", "stats": {...}}
+    {"ok": false, "error": "<code>", "message": "...", ...}
+
+``samples_seen`` is the resume cursor: after a shard crash the client
+re-``open``s with ``resume`` and continues pushing from the
+``samples_seen`` the reply reports (the engine's checkpointed position).
+``seq`` is a per-session chunk counter starting at 0 on every ``open`` —
+a gap or repeat is a client bug and is rejected with ``bad_seq``.
+
+Error codes: ``bad_request`` (unparseable/ill-typed message),
+``unknown_stream``, ``stream_busy`` (already owned by a live
+connection), ``bad_seq``, ``bad_samples``, ``shard_crashed`` (worker
+died; re-open to resume from the checkpoint), ``shutting_down``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode",
+    "decode_request",
+    "error_reply",
+    "samples_to_array",
+]
+
+#: Protocol schema version (echoed in ``ping`` replies).
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one wire line.  8 MiB fits ~500k float samples per
+#: chunk — far beyond any sane DAQ chunk — while bounding server memory
+#: per connection.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+_OPS = ("open", "chunk", "close", "ping")
+
+
+class ProtocolError(ValueError):
+    """A malformed request; ``code`` is the wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One wire line: compact JSON + newline (strict JSON, no NaN)."""
+    return (
+        json.dumps(message, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def error_reply(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """Build an ``ok: false`` reply."""
+    reply: Dict[str, Any] = {"ok": False, "error": code, "message": message}
+    reply.update(extra)
+    return reply
+
+
+def _require_stream_id(doc: Dict[str, Any]) -> str:
+    stream_id = doc.get("stream_id")
+    if not isinstance(stream_id, str) or not stream_id:
+        raise ProtocolError(
+            "bad_request", "stream_id must be a non-empty string"
+        )
+    if len(stream_id) > 512:
+        raise ProtocolError("bad_request", "stream_id longer than 512 chars")
+    return stream_id
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse + shape-check one request line.
+
+    Returns the request dict with ``op`` and (where applicable)
+    ``stream_id`` validated; payload fields (``samples``) are validated
+    separately by :func:`samples_to_array` so the error can carry the
+    stream/seq context.
+    """
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+    op = doc.get("op")
+    if op not in _OPS:
+        raise ProtocolError(
+            "bad_request", f"op must be one of {_OPS}, got {op!r}"
+        )
+    if op != "ping":
+        _require_stream_id(doc)
+    if op == "chunk":
+        seq = doc.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise ProtocolError(
+                "bad_request", "chunk seq must be a non-negative int"
+            )
+    return doc
+
+
+def samples_to_array(payload: Any) -> np.ndarray:
+    """Convert a request's ``samples`` field to a float64 sample block.
+
+    Accepts ``[v, v, ...]`` (single channel) or ``[[v, ...], ...]``
+    (``(n_samples, n_channels)``).  Non-numeric content raises
+    :class:`ProtocolError` (``bad_samples``); non-finite values are
+    allowed — sensor faults are the sanitize stage's job, not the
+    transport's.
+    """
+    if not isinstance(payload, list) or not payload:
+        raise ProtocolError(
+            "bad_samples", "samples must be a non-empty JSON array"
+        )
+    try:
+        arr = np.asarray(payload, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            "bad_samples", f"samples must be numeric: {exc}"
+        ) from None
+    if arr.ndim == 1:
+        arr = arr[:, np.newaxis]
+    if arr.ndim != 2:
+        raise ProtocolError(
+            "bad_samples",
+            f"samples must be 1-D or 2-D, got shape {arr.shape}",
+        )
+    return arr
+
+
+def read_address(spec: str) -> Optional[tuple]:
+    """Parse ``host:port`` into ``(host, port)``; ``None`` if not TCP."""
+    host, sep, port_s = spec.rpartition(":")
+    if not sep:
+        return None
+    try:
+        return (host or "127.0.0.1", int(port_s))
+    except ValueError:
+        return None

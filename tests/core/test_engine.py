@@ -364,3 +364,86 @@ class TestEngineLifecycle:
         assert kept == N - engine.n_indexes * n_hop
         assert len(engine._bad_ring) == kept
         assert engine._ring.start == engine.n_indexes * n_hop
+
+
+class TestStatePayloadValidation:
+    """A malformed checkpoint fails with a ValueError naming the field.
+
+    The fleet service treats that ValueError as "checkpoint unusable,
+    restart the stream from scratch"; a raw KeyError from deep inside
+    restore (the original bug) would crash the shard worker instead.
+    """
+
+    @pytest.fixture(scope="class")
+    def doc(self, reference):
+        engine = DetectionEngine(
+            reference, DwmSynchronizer(PARAMS), thresholds=STRICT
+        )
+        engine.push(make_observed("nan_burst")[:800])
+        return engine.state().to_dict()
+
+    def clone(self, doc):
+        return json.loads(json.dumps(doc))
+
+    @pytest.mark.parametrize(
+        "section",
+        ("config", "progress", "sanitize", "sync", "evidence",
+         "alerts", "fired"),
+    )
+    def test_missing_section_is_named(self, doc, section):
+        broken = {k: v for k, v in doc.items() if k != section}
+        with pytest.raises(ValueError, match=section):
+            DetectorState.from_dict(broken)
+
+    def test_ill_typed_section_is_named(self, doc):
+        broken = self.clone(doc)
+        broken["progress"] = [1, 2, 3]
+        with pytest.raises(ValueError, match="progress"):
+            DetectorState.from_dict(broken)
+        broken = self.clone(doc)
+        broken["alerts"] = "none"
+        with pytest.raises(ValueError, match="alerts"):
+            DetectorState.from_dict(broken)
+
+    @pytest.mark.parametrize(
+        "section, key",
+        [
+            ("config", "n_channels"),
+            ("config", "sample_rate"),
+            ("progress", "samples_seen"),
+            ("progress", "buffer"),
+            ("sanitize", "last_good"),
+            ("evidence", "v_hist"),
+        ],
+    )
+    def test_missing_nested_field_is_named(self, doc, section, key):
+        broken = self.clone(doc)
+        assert key in broken[section], f"fixture lacks {section}.{key}"
+        del broken[section][key]
+        with pytest.raises(ValueError) as exc:
+            DetectorState.from_dict(broken)
+        assert section in str(exc.value) and key in str(exc.value)
+
+    def test_malformed_alert_entries_are_named(self, doc):
+        broken = self.clone(doc)
+        broken["alerts"] = [{"window_index": 3}]  # everything else missing
+        with pytest.raises(ValueError, match="alert #0"):
+            DetectorState.from_dict(broken)
+        broken["alerts"] = [7]
+        with pytest.raises(ValueError, match="alert #0"):
+            DetectorState.from_dict(broken)
+
+    def test_any_single_deletion_never_escapes_as_keyerror(self, doc):
+        """Exhaustive: deleting *any* nested key either still loads or
+        raises ValueError — never KeyError/TypeError."""
+        for section, body in doc.items():
+            if not isinstance(body, dict):
+                continue
+            for key in body:
+                broken = self.clone(doc)
+                del broken[section][key]
+                try:
+                    state = DetectorState.from_dict(broken)
+                except ValueError:
+                    continue
+                assert isinstance(state, DetectorState)

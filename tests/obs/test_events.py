@@ -369,3 +369,81 @@ class TestRotation:
                     "REPRO_EVENTS_MAX_MB": "-1",
                 }
             )
+
+
+class TestTornTail:
+    """Crash forensics: an event log whose writer died mid-record.
+
+    ``tolerate_torn_tail=True`` drops exactly one incomplete trailing
+    record of the *newest* generation (with a :class:`TornTailWarning`);
+    everything else — mid-file garbage, torn rotated generations, seq
+    regressions — still fails loudly, because those mean corruption, not
+    a crash.
+    """
+
+    def _record(self, seq):
+        return {"v": 1, "seq": seq, "ts": 0.0, "type": "x", "index": seq}
+
+    def _write(self, path, seqs, torn=""):
+        lines = [json.dumps(self._record(s)) for s in seqs]
+        text = "\n".join(lines) + "\n" if lines else ""
+        path.write_text(text + torn)
+
+    def test_torn_tail_fails_by_default(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        self._write(path, [0, 1, 2], torn='{"v": 1, "seq": 3, "ts')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            events.read_jsonl(path)
+
+    def test_tolerate_drops_exactly_one_and_warns(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        self._write(path, [0, 1, 2], torn='{"v": 1, "seq": 3, "ts')
+        with pytest.warns(events.TornTailWarning, match="torn"):
+            records = events.read_jsonl(path, tolerate_torn_tail=True)
+        assert [r["seq"] for r in records] == [0, 1, 2]
+
+    def test_intact_log_reads_clean_without_warning(self, tmp_path, recwarn):
+        path = tmp_path / "ev.jsonl"
+        self._write(path, [0, 1, 2])
+        assert len(events.read_jsonl(path, tolerate_torn_tail=True)) == 3
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, events.TornTailWarning)
+        ]
+
+    def test_midfile_corruption_still_fails(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        good = json.dumps(self._record(0))
+        also_good = json.dumps(self._record(1))
+        path.write_text(good + "\n" + '{"torn": ' + "\n" + also_good + "\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            events.read_jsonl(path, tolerate_torn_tail=True)
+
+    def test_seq_regression_still_fails(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        self._write(path, [0, 2, 1], torn='{"torn')
+        with pytest.raises(ValueError, match="not increasing"):
+            events.read_jsonl(path, tolerate_torn_tail=True)
+
+    def test_torn_rotated_generation_still_fails(self, tmp_path):
+        # Only the newest generation can legitimately be torn: rotation
+        # closes older files at record boundaries, so a torn .1 file is
+        # real corruption.
+        path = tmp_path / "ev.jsonl"
+        self._write(tmp_path / "ev.jsonl.1", [0, 1], torn='{"torn')
+        self._write(path, [2, 3])
+        with pytest.raises(ValueError, match="invalid JSON"):
+            events.read_jsonl(path, tolerate_torn_tail=True)
+
+    def test_torn_tail_after_rotated_chain_is_tolerated(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        self._write(tmp_path / "ev.jsonl.1", [0, 1])
+        self._write(path, [2, 3], torn='{"v": 1, "seq": 4')
+        with pytest.warns(events.TornTailWarning):
+            records = events.read_jsonl(path, tolerate_torn_tail=True)
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+
+    def test_tail_of_only_whitespace_is_fine(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        self._write(path, [0, 1], torn="   \n\n")
+        assert len(events.read_jsonl(path, tolerate_torn_tail=True)) == 2

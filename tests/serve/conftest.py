@@ -1,0 +1,37 @@
+"""Shared fixtures for the fleet-service tests.
+
+One small demo model (2000 samples @ 200 Hz) is built once per session
+and saved to disk once; the serve layer is pure transport, so every test
+can compare served output against an offline engine run of the same
+samples bit-for-bit.
+"""
+
+import pytest
+
+from repro.obs import telemetry
+from repro.serve.model import demo_model
+
+N_SAMPLES = 2_000
+SAMPLE_RATE = 200.0
+
+
+@pytest.fixture(scope="session")
+def model():
+    return demo_model(n_samples=N_SAMPLES, sample_rate=SAMPLE_RATE)
+
+
+@pytest.fixture(scope="session")
+def model_dir(tmp_path_factory, model):
+    directory = tmp_path_factory.mktemp("serve-model")
+    model.save(directory)
+    return directory
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Inline engines register in the process-wide registry: isolate it."""
+    telemetry.reset_streams()
+    telemetry.clear_service_stats()
+    yield
+    telemetry.reset_streams()
+    telemetry.clear_service_stats()

@@ -1,0 +1,91 @@
+"""Deadline semantics of the replay pacer (`repro.serve.pacing`).
+
+The contract under test is the ``--pace`` bugfix: the k-th wait returns
+at ``start + k * interval`` on the monotonic clock, so per-chunk
+processing time is absorbed instead of accumulating as replay drift, and
+a delay is never negative.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.pacing import Pacer
+
+
+class TestPacer:
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            Pacer(-0.1)
+
+    def test_zero_interval_disables_pacing(self):
+        pacer = Pacer(0.0)
+        for _ in range(5):
+            assert pacer.next_delay() == 0.0
+        assert pacer.ticks == 5
+        assert pacer.behind_s() == 0.0
+
+    def test_first_delay_is_one_full_interval(self):
+        pacer = Pacer(10.0)
+        # Schedule starts at the first call, so the first deadline is a
+        # full interval away (setup cost before it is not charged).
+        assert pacer.next_delay() == pytest.approx(10.0, abs=0.1)
+        assert pacer.ticks == 1
+
+    def test_overrun_is_absorbed_not_compounded(self):
+        pacer = Pacer(0.05)
+        pacer.next_delay()  # k=1; deadline start+0.05, ~0.05 away
+        time.sleep(0.08)  # body overruns past the k=1 deadline
+        # k=2 deadline is anchored at start+0.10, not at now+0.05: only
+        # ~0.02 s remain.  The fixed-sleep bug would return 0.05 here.
+        delay = pacer.next_delay()
+        assert 0.0 <= delay < 0.035
+
+    def test_delay_never_negative_when_far_behind(self):
+        pacer = Pacer(0.01)
+        pacer.next_delay()
+        time.sleep(0.06)  # blow through several deadlines
+        assert pacer.next_delay() == 0.0
+        assert pacer.behind_s() > 0.0
+
+    def test_wait_schedule_absorbs_processing_time(self):
+        # 4 ticks at 50 ms with a 20 ms body: deadline pacing finishes in
+        # ~200 ms; the old sleep-after-push loop needed ~280 ms.
+        pacer = Pacer(0.05)
+        t0 = time.monotonic()
+        for _ in range(4):
+            time.sleep(0.02)
+            pacer.wait()
+        elapsed = time.monotonic() - t0
+        assert elapsed >= 0.19
+        assert elapsed < 0.27
+
+    def test_async_wait_matches_sync_semantics(self):
+        async def scenario():
+            pacer = Pacer(0.02)
+            t0 = time.monotonic()
+            for _ in range(3):
+                await pacer.async_wait()
+            return time.monotonic() - t0
+
+        elapsed = asyncio.run(scenario())
+        assert elapsed >= 0.055
+        assert elapsed < 0.2
+
+    def test_async_wait_yields_even_when_behind(self):
+        async def scenario():
+            pacer = Pacer(0.0)
+            # Must not starve the loop: a zero delay still yields.
+            other_ran = []
+
+            async def other():
+                other_ran.append(True)
+
+            task = asyncio.get_running_loop().create_task(other())
+            for _ in range(3):
+                await pacer.async_wait()
+            await task
+            return other_ran
+
+        assert asyncio.run(scenario()) == [True]

@@ -1,0 +1,141 @@
+"""Wire-protocol validation (`repro.serve.protocol`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_reply,
+    read_address,
+    samples_to_array,
+)
+
+
+def line(doc) -> bytes:
+    return json.dumps(doc).encode("utf-8")
+
+
+class TestDecodeRequest:
+    def test_valid_ops_pass(self):
+        for doc in (
+            {"op": "open", "stream_id": "p1", "sample_rate": 200.0},
+            {"op": "chunk", "stream_id": "p1", "seq": 0, "samples": [1.0]},
+            {"op": "close", "stream_id": "p1"},
+            {"op": "ping"},
+        ):
+            assert decode_request(line(doc))["op"] == doc["op"]
+
+    def test_invalid_json_is_bad_request(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_request(b"{not json\n")
+        assert exc.value.code == "bad_request"
+
+    def test_non_object_is_bad_request(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_request(b"[1, 2]\n")
+        assert exc.value.code == "bad_request"
+
+    def test_unknown_op_is_bad_request(self):
+        with pytest.raises(ProtocolError, match="op"):
+            decode_request(line({"op": "frobnicate", "stream_id": "x"}))
+
+    def test_missing_stream_id(self):
+        with pytest.raises(ProtocolError, match="stream_id"):
+            decode_request(line({"op": "open"}))
+
+    def test_empty_and_non_string_stream_id(self):
+        for bad in ("", 7, None, ["x"]):
+            with pytest.raises(ProtocolError, match="stream_id"):
+                decode_request(line({"op": "close", "stream_id": bad}))
+
+    def test_overlong_stream_id(self):
+        with pytest.raises(ProtocolError, match="512"):
+            decode_request(line({"op": "close", "stream_id": "x" * 513}))
+
+    def test_ping_needs_no_stream_id(self):
+        assert decode_request(line({"op": "ping"}))["op"] == "ping"
+
+    def test_bad_seq_values(self):
+        for bad in (-1, 1.5, "0", True, None):
+            with pytest.raises(ProtocolError, match="seq"):
+                decode_request(
+                    line({"op": "chunk", "stream_id": "p", "seq": bad})
+                )
+
+
+class TestEncode:
+    def test_one_line_strict_json(self):
+        raw = encode({"ok": True, "op": "pong"})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert json.loads(raw) == {"ok": True, "op": "pong"}
+
+    def test_nan_is_rejected(self):
+        # Strict JSON on the wire: NaN must never leak into a reply.
+        with pytest.raises(ValueError):
+            encode({"value": float("nan")})
+
+    def test_error_reply_shape(self):
+        reply = error_reply("bad_seq", "expected 3", stream_id="p1")
+        assert reply == {
+            "ok": False,
+            "error": "bad_seq",
+            "message": "expected 3",
+            "stream_id": "p1",
+        }
+
+
+class TestSamplesToArray:
+    def test_flat_list_becomes_column(self):
+        arr = samples_to_array([1.0, 2.0, 3.0])
+        assert arr.shape == (3, 1)
+        assert arr.dtype == np.float64
+
+    def test_nested_list_keeps_channels(self):
+        arr = samples_to_array([[1.0, 2.0], [3.0, 4.0]])
+        assert arr.shape == (2, 2)
+
+    def test_non_finite_values_pass_through(self):
+        # Sensor faults are sanitize's job, not the transport's.
+        arr = samples_to_array([1.0, None, 3.0])
+        assert np.isnan(arr[1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            samples_to_array([])
+        assert exc.value.code == "bad_samples"
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            samples_to_array(["a", "b"])
+        assert exc.value.code == "bad_samples"
+
+    def test_non_list_rejected(self):
+        with pytest.raises(ProtocolError):
+            samples_to_array("123")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ProtocolError):
+            samples_to_array([[1.0], [2.0, 3.0]])
+
+
+class TestReadAddress:
+    def test_host_port(self):
+        assert read_address("10.0.0.1:9870") == ("10.0.0.1", 9870)
+
+    def test_default_host(self):
+        assert read_address(":9870") == ("127.0.0.1", 9870)
+
+    def test_not_tcp(self):
+        assert read_address("/tmp/serve.sock") is None
+        assert read_address("host:notaport") is None
+
+
+def test_max_line_fits_a_big_chunk():
+    # ~500k samples per chunk must fit one wire line with headroom.
+    assert MAX_LINE_BYTES >= 4 * 1024 * 1024

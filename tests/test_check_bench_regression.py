@@ -294,3 +294,88 @@ class TestLatencyGating:
         ])
         assert gate.main([str(path)]) == 0
         assert "streaming_chunk_p99_ms" not in capsys.readouterr().out
+
+
+class TestServeFields:
+    """Fleet-service ingest records (BENCH_serve.json gate rules)."""
+
+    def _serve_record(self, p50=0.2, p99=1.0, sps=400e3, spc=100.0,
+                      cpu=4, resumes=0, mismatches=0):
+        return _record(
+            "serve_loadgen",
+            n_streams=64, chunk_samples=200, pace=0.0, shards=2,
+            cores_used=3, cpu_count=cpu,
+            total_samples=128000, total_chunks=640,
+            elapsed_s=1.0,
+            ingest_p50_ms=p50, ingest_p99_ms=p99, ingest_mean_ms=0.4,
+            serve_samples_per_s=sps, streams_per_core=spc,
+            resumes=resumes, verified=True, mismatches=mismatches,
+        )
+
+    def test_streams_per_core_drop_fails(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            self._serve_record(spc=100.0),
+            self._serve_record(spc=60.0),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 1
+        out = capsys.readouterr().out
+        assert "streams_per_core" in out
+        assert "FAIL" in out
+
+    def test_streams_per_core_gain_passes(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            self._serve_record(spc=100.0),
+            self._serve_record(spc=200.0),
+        ])
+        assert gate.main([str(path)]) == 0
+
+    def test_serve_throughput_drop_fails(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            self._serve_record(sps=400e3),
+            self._serve_record(sps=200e3),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 1
+
+    def test_ingest_p99_regression_fails(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            self._serve_record(p99=1.0),
+            self._serve_record(p99=2.0),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 1
+        assert "ingest_p99_ms" in capsys.readouterr().out
+
+    def test_ingest_p50_is_never_gated(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            self._serve_record(p50=0.2),
+            self._serve_record(p50=50.0),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 0
+        assert "ingest_p50_ms" not in capsys.readouterr().out
+
+    def test_workload_shape_and_resume_counts_not_gated(
+        self, tmp_path, capsys
+    ):
+        # A crashy run resumes more and re-pushes rewound chunks; neither
+        # bookkeeping figure is a performance measurement.
+        path = _write(tmp_path / "h.json", [
+            self._serve_record(resumes=0),
+            self._serve_record(resumes=37, mismatches=0),
+        ])
+        assert gate.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "resumes" not in out
+        assert "mismatches" not in out
+
+    def test_cross_machine_skips_absolute_serve_fields(self, tmp_path):
+        path = _write(tmp_path / "h.json", [
+            self._serve_record(spc=100.0, sps=400e3, p99=1.0, cpu=64),
+            self._serve_record(spc=10.0, sps=40e3, p99=9.0, cpu=2),
+        ])
+        assert gate.main([str(path)]) == 0
+
+    def test_committed_serve_baseline_parses(self):
+        path = (
+            SCRIPT.parent.parent
+            / "benchmarks" / "results" / "BENCH_serve.json"
+        )
+        assert gate.main([str(path)]) == 0

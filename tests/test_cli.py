@@ -610,3 +610,142 @@ class TestTopCommand:
         )
         assert code == 0
         assert capsys.readouterr().out.count("repro top —") == 2
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "model-dir"])
+        assert args.model == "model-dir"
+        assert args.demo is False
+        assert args.host == "127.0.0.1"
+        assert args.port == 9870
+        assert args.unix is None
+        assert args.shards == 0
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_interval == 5.0
+        assert args.metrics_port is None
+        assert args.max_seconds is None
+
+    def test_serve_full_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "m", "--demo", "--shards", "4", "--port", "0",
+             "--checkpoint-dir", "ckpt", "--checkpoint-interval", "0.5",
+             "--metrics-port", "9101", "--max-seconds", "30"]
+        )
+        assert args.demo is True
+        assert args.shards == 4
+        assert args.port == 0
+        assert args.checkpoint_dir == "ckpt"
+        assert args.checkpoint_interval == 0.5
+        assert args.metrics_port == 9101
+        assert args.max_seconds == 30.0
+
+    def test_serve_missing_model_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no reference.npz"):
+            main(["serve", str(tmp_path / "nope")])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.connect == "127.0.0.1:9870"
+        assert args.unix is None
+        assert args.streams == 8
+        assert args.n_samples == 8000
+        assert args.sample_rate == 200.0
+        assert args.chunk_samples == 200
+        assert args.pace == 0.0
+        assert args.verify is None
+        assert args.server_shards == 0
+        assert args.json is False
+        assert args.bench_out is None
+
+    def test_loadgen_bad_connect_exits(self):
+        with pytest.raises(SystemExit, match="host:port"):
+            main(["loadgen", "--connect", "not-an-address"])
+
+    def test_explain_tolerate_torn_tail_flag(self):
+        args = build_parser().parse_args(
+            ["explain", "ev.jsonl", "--attack", "Void",
+             "--tolerate-torn-tail"]
+        )
+        assert args.tolerate_torn_tail is True
+        args = build_parser().parse_args(
+            ["explain", "ev.jsonl", "--attack", "Void"]
+        )
+        assert args.tolerate_torn_tail is False
+
+    def test_detect_pace_help_mentions_deadline(self):
+        parser = build_parser()
+        # The --pace fix is user-visible: the flag documents deadline
+        # scheduling rather than naive per-chunk sleeps.
+        text = parser.format_help()
+        assert "serve" in text
+        assert "loadgen" in text
+
+
+class TestServeRoundTripCLI:
+    """`repro serve --demo` + `repro loadgen` over a real socket."""
+
+    def test_demo_serve_and_loadgen(self, tmp_path, capsys):
+        import asyncio
+        import json as _json
+        import threading
+
+        from repro.obs import telemetry
+        from repro.serve.model import demo_model
+        from repro.serve.server import FleetServer
+
+        telemetry.reset_streams()
+        model_dir = tmp_path / "model"
+        demo_model(n_samples=2000).save(model_dir)
+        server = FleetServer(str(model_dir), shards=0, port=0)
+        started = threading.Event()
+        stop = None
+        loop_box = {}
+
+        async def _serve():
+            nonlocal stop
+            await server.start()
+            stop = asyncio.Event()
+            loop_box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await stop.wait()
+            await server.stop()
+
+        thread = threading.Thread(target=lambda: asyncio.run(_serve()))
+        thread.start()
+        try:
+            assert started.wait(timeout=30)
+            bench = tmp_path / "bench.json"
+            code = main(
+                ["loadgen", "--connect", f"127.0.0.1:{server.port}",
+                 "--streams", "2", "--n-samples", "1000",
+                 "--verify", str(model_dir), "--json",
+                 "--bench-out", str(bench)]
+            )
+            assert code == 0
+            record = _json.loads(capsys.readouterr().out)
+            assert record["name"] == "serve_loadgen"
+            assert record["n_streams"] == 2
+            assert record["total_samples"] == 2000
+            assert record["mismatches"] == 0
+            assert record["verified"] is True
+            assert record["streams_per_core"] > 0
+            history = _json.loads(bench.read_text())
+            assert isinstance(history, list) and len(history) == 1
+        finally:
+            loop_box["loop"].call_soon_threadsafe(stop.set)
+            thread.join(timeout=30)
+            telemetry.reset_streams()
+
+
+class TestExplainTornLogs:
+    def test_corrupt_log_exits_cleanly_not_traceback(self, tmp_path):
+        # A mid-file-corrupt log must fail as a one-line CLI error even
+        # with --tolerate-torn-tail (only the newest file's tail is
+        # forgivable), before any simulation work starts.
+        log = tmp_path / "e.jsonl"
+        log.write_text('{"torn": \n{"v": 1, "seq": 0, "ts": 0.0, '
+                       '"type": "run_summary"}\n')
+        with pytest.raises(SystemExit, match="repro explain:"):
+            main(["explain", str(log), "--attack", "Void",
+                  "--height", "0.4", "--tolerate-torn-tail"])
