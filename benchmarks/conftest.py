@@ -103,10 +103,19 @@ def _timed_campaign(printer: str, seed: int) -> Campaign:
         obs.reset()
         if not was_enabled:
             obs.disable()
+    import resource
+
     record_campaign_stats(
         f"{printer.lower()}_campaign",
         {
             "wall_clock": wall_clock,
+            # Informational in the regression gate (verdict "info"): RSS
+            # ceilings vary with allocator/page-cache pressure across
+            # machines, but the trend is worth recording.
+            "peak_rss_mb": round(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+                1,
+            ),
             "workers": engine.workers,
             "cpu_count": os.cpu_count(),
             **engine.stats.as_dict(),

@@ -9,7 +9,9 @@ record ``name``, the **first** (committed baseline) against the **last**
 timings and latency percentiles such as ``streaming_chunk_p99_ms`` —
 slowed down by more than ``--tolerance`` (default 25%), or a
 higher-is-better field (``*speedup*`` or ``*samples_per_s*``) dropped by
-more than the same tolerance.
+more than the same tolerance.  Fields in ``INFORMATIONAL_FIELDS`` (memory
+ceilings such as ``peak_rss_mb``) are shown with an ``info`` verdict for
+trend inspection but never fail the gate.
 ``benchmarks/results/BENCH_engine_throughput.json`` (the engine
 samples/s/core history) and ``benchmarks/results/BENCH_serve.json`` (the
 fleet service ingest history — p99 ingest latency lower-is-better,
@@ -78,6 +80,13 @@ NON_TIMING_FIELDS = frozenset(
      "ingest_p50_ms", "resumes", "verified", "mismatches"}
 )
 
+#: Lower-is-better trend fields that are *displayed* but never gated.
+#: ``peak_rss_mb`` (the paper-scale nightly's resident-set ceiling) depends
+#: on allocator behaviour and page-cache pressure, which vary too much
+#: across runners to fail CI on — the verdict column shows ``info`` so a
+#: creeping trend is still visible in the gate output.
+INFORMATIONAL_FIELDS = frozenset({"peak_rss_mb"})
+
 #: Baselines smaller than this are noise-level; ratios would be garbage.
 MIN_BASELINE = 1e-6
 
@@ -145,11 +154,13 @@ def check_pair(
             or "samples_per_s" in field
             or "streams_per_core" in field
         )
-        if higher_is_better:
-            ok = ratio >= 1.0 - tolerance
+        if field in INFORMATIONAL_FIELDS:
+            verdict = "info"
+        elif higher_is_better:
+            verdict = "ok" if ratio >= 1.0 - tolerance else "FAIL"
         else:
-            ok = ratio <= 1.0 + tolerance
-        rows.append((name, field, b, c, ratio, "ok" if ok else "FAIL"))
+            verdict = "ok" if ratio <= 1.0 + tolerance else "FAIL"
+        rows.append((name, field, b, c, ratio, verdict))
     return rows
 
 

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
+import zipfile
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -159,6 +161,16 @@ def default_cache_dir() -> Path:
 #: (signals, layer_times, duration) as stored per cache entry.
 RunPayload = Tuple[Dict[str, "object"], Tuple[float, ...], float]
 
+#: Exceptions that mean "this entry is unreadable" rather than a bug:
+#: truncated/garbage archives (``BadZipFile`` is *not* an ``OSError``),
+#: missing members, and malformed npy headers all behave like a miss.
+_CORRUPT_ENTRY_ERRORS = (OSError, KeyError, ValueError, zipfile.BadZipFile)
+
+#: Per-process counter giving every ``put`` a distinct tmp name.  Combined
+#: with the pid, two writers publishing the same key can never share a tmp
+#: file, so neither can replace a half-written archive into place.
+_TMP_COUNTER = itertools.count()
+
 
 class RunCache:
     """On-disk, content-addressed store of simulated run payloads.
@@ -189,7 +201,11 @@ class RunCache:
     def _entries(self) -> Iterable[Path]:
         if not self.directory.exists():
             return []
-        return sorted(self.directory.glob("*/*.npz"))
+        return sorted(
+            p
+            for p in self.directory.glob("*/*.npz")
+            if not p.name.endswith(".tmp.npz")
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
@@ -198,20 +214,25 @@ class RunCache:
         return self.path_for(key).exists()
 
     def total_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self._entries())
+        # A concurrent writer/evictor may unlink an entry between the scan
+        # and the stat; a vanished entry simply contributes nothing.
+        total = 0
+        for p in self._entries():
+            try:
+                total += p.stat().st_size
+            except FileNotFoundError:
+                continue
+        return total
 
     # -- payload IO --------------------------------------------------------
-    def get(self, key: str) -> Optional[RunPayload]:
-        """Load a payload, or ``None`` (counted as a miss) if absent."""
-        from .io import load_run_payload
-
+    def _load(self, key: str, loader):
         path = self.path_for(key)
         if not path.exists():
             self.misses += 1
             return None
         try:
-            payload = load_run_payload(path)
-        except (OSError, KeyError, ValueError):
+            payload = loader(path)
+        except _CORRUPT_ENTRY_ERRORS:
             # A truncated/corrupt entry behaves like a miss and is removed
             # so the slot repopulates cleanly.
             path.unlink(missing_ok=True)
@@ -220,15 +241,46 @@ class RunCache:
         self.hits += 1
         return payload
 
+    def get(self, key: str) -> Optional[RunPayload]:
+        """Load a payload eagerly, or ``None`` (a miss) if absent."""
+        from .io import load_run_payload
+
+        return self._load(key, load_run_payload)
+
+    def get_lazy(self, key: str):
+        """A :class:`~repro.io.LazyRunPayload` handle, or ``None`` (a miss).
+
+        The handle reads only the archive metadata up front; channel arrays
+        are memory-mapped on first access.  Corrupt entries are removed and
+        miss, exactly like :meth:`get` — though corruption *past* the
+        metadata (a torn sample array with an intact zip directory) can
+        only surface later, when the bad pages are actually touched.
+        """
+        from .io import LazyRunPayload
+
+        return self._load(key, LazyRunPayload)
+
     def put(self, key: str, signals, layer_times, duration) -> Path:
-        """Store one simulated run under its content address."""
+        """Store one simulated run under its content address.
+
+        The payload is staged under a per-writer unique tmp name (pid +
+        in-process counter) and published with an atomic ``os.replace``, so
+        any number of concurrent writers of the *same* key race safely:
+        each publishes only its own fully-written archive, and readers see
+        either nothing or a complete entry.
+        """
         from .io import save_run_payload
 
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp.npz")
-        save_run_payload(tmp, signals, layer_times, duration)
-        os.replace(tmp, path)  # atomic publish: parallel writers race safely
+        tmp = path.parent / (
+            f"{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp.npz"
+        )
+        try:
+            save_run_payload(tmp, signals, layer_times, duration)
+            os.replace(tmp, path)  # atomic publish
+        finally:
+            tmp.unlink(missing_ok=True)  # no-op unless the publish failed
         return path
 
     # -- maintenance -------------------------------------------------------
@@ -245,14 +297,23 @@ class RunCache:
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
     ) -> int:
-        """Drop least-recently-modified entries until under the bounds."""
-        entries = sorted(
-            self._entries(), key=lambda p: p.stat().st_mtime, reverse=True
-        )
+        """Drop least-recently-modified entries until under the bounds.
+
+        Entries unlinked mid-scan by a concurrent writer or evictor are
+        skipped: they no longer occupy space, so they neither count against
+        the bounds nor count as removed here.
+        """
+        stated: List[Tuple[Path, os.stat_result]] = []
+        for path in self._entries():
+            try:
+                stated.append((path, path.stat()))
+            except FileNotFoundError:
+                continue
+        stated.sort(key=lambda item: item[1].st_mtime, reverse=True)
         removed = 0
         kept_bytes = 0
-        for i, path in enumerate(entries):
-            size = path.stat().st_size
+        for i, (path, stat) in enumerate(stated):
+            size = stat.st_size
             over_count = max_entries is not None and i >= max_entries
             over_bytes = max_bytes is not None and kept_bytes + size > max_bytes
             if over_count or over_bytes:

@@ -61,7 +61,7 @@ import argparse
 import os
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -437,32 +437,122 @@ def _print_engine_stats(engine) -> None:
     )
 
 
+#: Table VIII/IX campaign sizes: 50 training, 100 benign test, 20 runs
+#: per attack class (the paper's per-configuration experiment counts).
+PAPER_SCALE = {"train": 50, "test": 100, "attack_runs": 20}
+
+#: The quick default sizes used when --paper-scale is not given.
+QUICK_SCALE = {"train": 8, "test": 8, "attack_runs": 2}
+
+
+def _campaign_sizes(args: argparse.Namespace) -> Dict[str, int]:
+    """Resolve --train/--test/--attack-runs against the scale preset.
+
+    Explicit flags always win; unset ones fall back to the paper's
+    Table VIII/IX counts under ``--paper-scale``, else the quick preset.
+    """
+    preset = PAPER_SCALE if args.paper_scale else QUICK_SCALE
+    return {
+        key: preset[key] if getattr(args, key) is None else getattr(args, key)
+        for key in ("train", "test", "attack_runs")
+    }
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process in MiB (Linux: KB units)."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _append_bench_record(path: str, record: Dict[str, object]) -> None:
+    """Append one record to a BENCH_*.json append-only history list."""
+    import json
+
+    out = Path(path)
+    history = []
+    if out.exists():
+        history = json.loads(out.read_text())
+        if not isinstance(history, list):
+            raise SystemExit(f"repro: {out} is not a JSON list history")
+    history.append(record)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
+    import time
+
     from .eval import format_ids_table, generate_campaign, nsync_results
 
+    sizes = _campaign_sizes(args)
     setup = _setup_for(args.printer, args.height)
-    print(f"generating campaign ({args.printer}, {args.train} train, "
-          f"{args.test} benign test, {args.attack_runs} runs/attack)...")
+    print(f"generating campaign ({args.printer}, {sizes['train']} train, "
+          f"{sizes['test']} benign test, {sizes['attack_runs']} runs/attack"
+          f"{', paper scale' if args.paper_scale else ''})...")
     engine = _engine_for(args)
+    synchronizer = None
+    if args.synchronizer == "fastdtw":
+        from .sync.fastdtw import FastDtwSynchronizer
+
+        synchronizer = FastDtwSynchronizer()
+    t0 = time.perf_counter()
+    # Lazy campaign: runs stream through nsync_results one at a time, so
+    # peak memory stays O(1) in the campaign size even at paper scale.
     campaign = generate_campaign(
         setup,
         channels=(args.channel,),
-        n_train=args.train,
-        n_benign_test=args.test,
-        n_attack_runs=args.attack_runs,
+        n_train=sizes["train"],
+        n_benign_test=sizes["test"],
+        n_attack_runs=sizes["attack_runs"],
         seed=args.seed,
         engine=engine,
+        materialize=False,
     )
+    result = nsync_results(
+        campaign, args.channel, args.transform,
+        synchronizer=synchronizer, r=args.r,
+    )
+    wall_clock_s = time.perf_counter() - t0
     _print_engine_stats(engine)
-    result = nsync_results(campaign, args.channel, args.transform, r=args.r)
+    engine.close()
+    sync_name = args.synchronizer
     label = f"{args.printer} {args.transform} {args.channel}"
-    print(format_ids_table(
+    table = format_ids_table(
         {label: result},
         submodule_names=("c_disp", "h_dist", "v_dist", "duration"),
-        title="NSYNC/DWM",
-    ))
-    for attack, tpr in sorted(result.per_attack_tpr.items()):
-        print(f"  {attack:<11} TPR {tpr:.2f}")
+        title=f"NSYNC/{sync_name.upper()}",
+    )
+    tpr_lines = [
+        f"  {attack:<11} TPR {tpr:.2f}"
+        for attack, tpr in sorted(result.per_attack_tpr.items())
+    ]
+    print(table)
+    for line in tpr_lines:
+        print(line)
+    if args.tables_out:
+        out = Path(args.tables_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(table + "\n" + "\n".join(tpr_lines) + "\n")
+        print(f"tables written to {args.tables_out}")
+    if args.bench_out:
+        s = engine.stats
+        _append_bench_record(args.bench_out, {
+            "name": f"campaign_{args.channel}_{args.transform}_{sync_name}"
+                    .replace(".", ""),
+            "time": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "wall_clock_s": round(wall_clock_s, 3),
+            "peak_rss_mb": round(_peak_rss_mb(), 1),
+            "workers": engine.workers,
+            "cpu_count": os.cpu_count(),
+            "simulated": s.simulated,
+            "cache_hits": s.cache_hits,
+            "cache_misses": s.cache_misses,
+            "n_train": sizes["train"],
+            "n_benign_test": sizes["test"],
+            "n_attack_runs": sizes["attack_runs"],
+        })
+        print(f"bench record appended to {args.bench_out}")
     return 0
 
 
@@ -569,6 +659,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         f"({args.printer}; this takes a few minutes)..."
     )
     engine = _engine_for(args)
+    # The report makes many evaluation passes over the same campaign.  With
+    # a run cache the campaign stays a lazy view — each pass streams cached
+    # payloads as memmaps and memory stays flat.  Without a cache a lazy
+    # campaign would re-simulate every pass, so fall back to materializing.
     campaign = generate_campaign(
         setup,
         channels=("ACC", "MAG", "AUD", "EPT"),
@@ -577,6 +671,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         n_attack_runs=args.attack_runs,
         seed=args.seed,
         engine=engine,
+        materialize=engine.cache is None,
     )
     _print_engine_stats(engine)
 
@@ -644,6 +739,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     text = chr(10).join(sections) + chr(10)
     Path(args.output).write_text(text)
+    engine.close()
     print(f"report written to {args.output}")
     return 0
 
@@ -1089,16 +1185,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_diff)
 
-    p = sub.add_parser("campaign", help="run a scaled evaluation campaign")
+    p = sub.add_parser(
+        "campaign",
+        help="run a scaled evaluation campaign",
+        description="Stream one campaign cell through the NSYNC evaluation. "
+        "Runs are generated lazily and folded into streaming accumulators, "
+        "so memory stays flat in the campaign size; pair with --cache-dir "
+        "so repeated invocations replay cached runs instead of "
+        "re-simulating.",
+    )
     common(p)
     engine_opts(p)
     obs_opts(p)
     p.add_argument("--channel", default="ACC")
     p.add_argument("--transform", default="Raw", choices=["Raw", "Spectro."])
-    p.add_argument("--train", type=int, default=8)
-    p.add_argument("--test", type=int, default=8)
-    p.add_argument("--attack-runs", type=int, default=2)
+    p.add_argument(
+        "--train", type=int, default=None, metavar="N",
+        help="training runs (default 8; 50 under --paper-scale)",
+    )
+    p.add_argument(
+        "--test", type=int, default=None, metavar="N",
+        help="benign test runs (default 8; 100 under --paper-scale)",
+    )
+    p.add_argument(
+        "--attack-runs", type=int, default=None, metavar="N",
+        help="runs per attack class (default 2; 20 under --paper-scale)",
+    )
+    p.add_argument(
+        "--paper-scale", action="store_true",
+        help="use the paper's Table VIII/IX experiment counts "
+             "(50 train / 100 benign test / 20 runs per attack) for any "
+             "size flag not given explicitly",
+    )
+    p.add_argument(
+        "--synchronizer", default="dwm", choices=["dwm", "fastdtw"],
+        help="synchronizer under test: dwm (Table VIII) or fastdtw "
+             "(Table IX)",
+    )
     p.add_argument("--r", type=float, default=0.3)
+    p.add_argument(
+        "--tables-out", default=None, metavar="PATH",
+        help="also write the rendered results table to this file",
+    )
+    p.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="append a benchmark record (wall clock, peak_rss_mb, engine "
+             "stats) to this BENCH_*.json history",
+    )
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(

@@ -9,8 +9,17 @@ attack — every run with fresh time noise and fresh sensor noise.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -29,6 +38,8 @@ __all__ = [
     "PrinterSetup",
     "ProcessRun",
     "Campaign",
+    "CampaignPlan",
+    "campaign_requests",
     "default_setup",
     "generate_campaign",
     "reference_from_gcode",
@@ -66,14 +77,167 @@ class ProcessRun:
 
 
 @dataclass(frozen=True)
-class Campaign:
-    """The full dataset for one printer: Table I at configurable scale."""
+class CampaignPlan:
+    """Everything needed to (re-)execute a campaign's runs on demand.
+
+    The lazy backing of :class:`Campaign`: the ordered request list plus
+    the engine/DAQ to execute it through.  With a warm
+    :class:`~repro.cache.RunCache` behind the engine, "executing" a run is
+    a metadata read + memmap open, so a plan-backed campaign can be swept
+    over many times (one pass per evaluation cell) without ever holding
+    more than one run's working set in memory.
+    """
 
     setup: PrinterSetup
-    reference: ProcessRun
-    training: Tuple[ProcessRun, ...]
-    benign_test: Tuple[ProcessRun, ...]
-    malicious_test: Dict[str, Tuple[ProcessRun, ...]]
+    requests: Tuple["RunRequest", ...]  # noqa: F821 - engine import cycle
+    attack_names: Tuple[str, ...]
+    n_train: int
+    n_benign_test: int
+    n_attack_runs: int
+    channels: Optional[Tuple[str, ...]]
+    engine: object  # CampaignEngine (kept loose: engine imports dataset)
+    daq: DataAcquisition
+
+    def run_at(self, index: int) -> ProcessRun:
+        """Execute (typically: load from cache) one run by stream index."""
+        pair = next(
+            iter(
+                self.engine.iter_execute(
+                    [self.requests[index]],
+                    daq=self.daq,
+                    channels=self.channels,
+                )
+            )
+        )
+        return pair[1]
+
+    def iter_runs(self) -> Iterator[Tuple[str, ProcessRun]]:
+        """Stream every run, in order, tagged with its campaign role."""
+        stream = self.engine.iter_execute(
+            self.requests, daq=self.daq, channels=self.channels
+        )
+        for index, (_request, run) in enumerate(stream):
+            yield self.role_of(index), run
+
+    def role_of(self, index: int) -> str:
+        """The campaign role of stream position ``index``."""
+        if index == 0:
+            return "reference"
+        if index <= self.n_train:
+            return "training"
+        if index <= self.n_train + self.n_benign_test:
+            return "benign"
+        return "malicious"
+
+
+class _RunView(Sequence):
+    """A read-only run sequence backed by a :class:`CampaignPlan` slice.
+
+    Indexing executes exactly the requested run through the plan's engine
+    (a cache hit on any warmed campaign); nothing is retained between
+    accesses, so iterating a view never accumulates run payloads.
+    """
+
+    __slots__ = ("_plan", "_start", "_count")
+
+    def __init__(self, plan: CampaignPlan, start: int, count: int) -> None:
+        self._plan = plan
+        self._start = start
+        self._count = count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._count))]
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(index)
+        return self._plan.run_at(self._start + index)
+
+    def __repr__(self) -> str:
+        return f"_RunView({self._count} runs @ {self._start})"
+
+
+class Campaign:
+    """The full dataset for one printer: Table I at configurable scale.
+
+    Two backings share this one interface:
+
+    * **Eager** — constructed with materialized runs (the historical
+      shape): ``Campaign(setup, reference=..., training=...,
+      benign_test=..., malicious_test=...)``.
+    * **Lazy** — constructed from a :class:`CampaignPlan`
+      (``Campaign(setup, plan=plan)``, via
+      ``generate_campaign(..., materialize=False)``): ``training`` /
+      ``benign_test`` / ``malicious_test`` become on-demand views that
+      execute runs through the plan's engine as they are indexed, and
+      :meth:`iter_runs` streams the whole campaign through
+      :meth:`~repro.eval.engine.CampaignEngine.iter_execute` without ever
+      materializing it.
+
+    Existing call sites (``campaign.benign_test[0]``,
+    ``for run in campaign.training``, ``campaign.all_malicious()``) work
+    identically on both.
+    """
+
+    def __init__(
+        self,
+        setup: PrinterSetup,
+        reference: Optional[ProcessRun] = None,
+        training: Sequence[ProcessRun] = (),
+        benign_test: Sequence[ProcessRun] = (),
+        malicious_test: Optional[Dict[str, Tuple[ProcessRun, ...]]] = None,
+        *,
+        plan: Optional[CampaignPlan] = None,
+    ) -> None:
+        self.setup = setup
+        self.plan = plan
+        self._reference = reference
+        if plan is None:
+            if reference is None:
+                raise TypeError(
+                    "an eager Campaign needs a reference run "
+                    "(or pass plan=... for a lazy campaign)"
+                )
+            self._training: Sequence[ProcessRun] = tuple(training)
+            self._benign_test: Sequence[ProcessRun] = tuple(benign_test)
+            self._malicious_test: Dict[str, Sequence[ProcessRun]] = dict(
+                malicious_test or {}
+            )
+        else:
+            n_train, n_test = plan.n_train, plan.n_benign_test
+            self._training = _RunView(plan, 1, n_train)
+            self._benign_test = _RunView(plan, 1 + n_train, n_test)
+            cursor = 1 + n_train + n_test
+            views: Dict[str, Sequence[ProcessRun]] = {}
+            for name in plan.attack_names:
+                views[name] = _RunView(plan, cursor, plan.n_attack_runs)
+                cursor += plan.n_attack_runs
+            self._malicious_test = views
+
+    # -- the historical attribute surface ----------------------------------
+    @property
+    def reference(self) -> ProcessRun:
+        if self._reference is None:
+            # Memoized: the reference anchors every evaluation pass, so a
+            # lazy campaign resolves it once (a cache hit when warmed).
+            self._reference = self.plan.run_at(0)
+        return self._reference
+
+    @property
+    def training(self) -> Sequence[ProcessRun]:
+        return self._training
+
+    @property
+    def benign_test(self) -> Sequence[ProcessRun]:
+        return self._benign_test
+
+    @property
+    def malicious_test(self) -> Dict[str, Sequence[ProcessRun]]:
+        return self._malicious_test
 
     @property
     def channels(self) -> Tuple[str, ...]:
@@ -92,6 +256,28 @@ class Campaign:
         for runs in self.malicious_test.values():
             out.extend(runs)
         return out
+
+    # -- streaming ---------------------------------------------------------
+    def iter_runs(self) -> Iterator[Tuple[str, ProcessRun]]:
+        """Stream ``(role, run)`` over the whole campaign, in order.
+
+        Roles are ``"reference"``, ``"training"``, ``"benign"``, and
+        ``"malicious"`` — emitted in exactly that order, so a streaming
+        consumer can finish training before the first test run arrives.
+        A lazy campaign streams through the engine (each run held only for
+        its own iteration); an eager one yields its stored runs.
+        """
+        if self.plan is not None:
+            yield from self.plan.iter_runs()
+            return
+        yield "reference", self.reference
+        for run in self.training:
+            yield "training", run
+        for run in self.benign_test:
+            yield "benign", run
+        for runs in self.malicious_test.values():
+            for run in runs:
+                yield "malicious", run
 
 
 def default_setup(
@@ -180,45 +366,30 @@ def reference_from_gcode(
     )[channel]
 
 
-def generate_campaign(
-    setup: Optional[PrinterSetup] = None,
-    channels: Sequence[str] = ("ACC", "MAG", "AUD", "EPT"),
+def campaign_requests(
+    setup: PrinterSetup,
+    job: Optional[PrintJob] = None,
     n_train: int = 10,
     n_benign_test: int = 10,
     attacks: Optional[Iterable[Attack]] = None,
     n_attack_runs: int = 2,
     seed: int = 0,
-    daq: Optional[DataAcquisition] = None,
-    workers: int = 0,
-    cache=None,
-    engine=None,
-) -> Campaign:
-    """Generate a full campaign (reference + training + test sets).
+) -> Tuple[Tuple["RunRequest", ...], Tuple[str, ...]]:  # noqa: F821
+    """Build the ordered campaign request list with seeds pre-assigned.
 
-    The paper's full scale is ``n_train=50, n_benign_test=100,
-    n_attack_runs=20`` per printer; the defaults here are a faithful but
-    laptop-sized rendition of the same structure.
-
-    Execution goes through a :class:`~repro.eval.engine.CampaignEngine`:
-    ``workers`` fans the independent simulations out over processes (``0``
-    keeps the serial in-process path), and ``cache`` (a directory path or
-    :class:`~repro.cache.RunCache`) memoizes runs on disk.  Seeds are
-    assigned from the sequential ``seq`` stream *before* dispatch, so every
-    ``workers`` setting produces bit-identical signals.  Pass a
-    pre-configured ``engine`` to share a cache/pool and read back its
-    ``stats``; it overrides ``workers``/``cache``.
+    Returns ``(requests, attack_names)``.  Seeds come from an *unbounded*
+    sequential stream (``itertools.count(seed * 1_000_003)``) consumed in
+    the exact order the serial implementation always has — reference,
+    training, benign test, then attack runs — so existing campaigns keep
+    their exact seed assignment while paper-scale (and larger) campaigns
+    no longer hit the historical 10,000-seed ceiling.
     """
-    from .engine import CampaignEngine, RunRequest
+    from .engine import RunRequest
 
-    setup = setup or default_setup()
+    job = job if job is not None else setup.job()
     attacks = list(attacks) if attacks is not None else TABLE_I_ATTACKS()
-    daq = daq or default_daq()
-    job = setup.job()
+    seq = itertools.count(seed * 1_000_003)
 
-    seq = iter(range(seed * 1_000_003, seed * 1_000_003 + 10_000))
-
-    # Build the request list in the exact order the serial implementation
-    # consumed seeds: reference, training, benign test, then attack runs.
     requests = [RunRequest(setup, job, "Reference", False, next(seq))]
     requests += [
         RunRequest(setup, job, "Benign", False, next(seq))
@@ -236,10 +407,76 @@ def generate_campaign(
             RunRequest(setup, attacked, attack.name, True, next(seq))
             for _ in range(n_attack_runs)
         ]
+    return tuple(requests), tuple(attack_names)
 
+
+def generate_campaign(
+    setup: Optional[PrinterSetup] = None,
+    channels: Sequence[str] = ("ACC", "MAG", "AUD", "EPT"),
+    n_train: int = 10,
+    n_benign_test: int = 10,
+    attacks: Optional[Iterable[Attack]] = None,
+    n_attack_runs: int = 2,
+    seed: int = 0,
+    daq: Optional[DataAcquisition] = None,
+    workers: int = 0,
+    cache=None,
+    engine=None,
+    materialize: bool = True,
+) -> Campaign:
+    """Generate a full campaign (reference + training + test sets).
+
+    The paper's full scale is ``n_train=50, n_benign_test=100,
+    n_attack_runs=20`` per printer; the defaults here are a faithful but
+    laptop-sized rendition of the same structure.
+
+    Execution goes through a :class:`~repro.eval.engine.CampaignEngine`:
+    ``workers`` fans the independent simulations out over processes (``0``
+    keeps the serial in-process path), and ``cache`` (a directory path or
+    :class:`~repro.cache.RunCache`) memoizes runs on disk.  Seeds are
+    assigned from the sequential stream *before* dispatch
+    (:func:`campaign_requests`), so every ``workers`` setting produces
+    bit-identical signals.  Pass a pre-configured ``engine`` to share a
+    cache/pool and read back its ``stats``; it overrides
+    ``workers``/``cache``.
+
+    ``materialize=False`` returns a *lazy* campaign backed by a
+    :class:`CampaignPlan`: no run is executed up front, and evaluation
+    passes stream runs through the engine one at a time
+    (:meth:`Campaign.iter_runs`).  Attach a cache when the campaign will
+    be swept more than once — each pass re-resolves runs through the
+    engine, which is only cheap when it hits.
+    """
+    from .engine import CampaignEngine
+
+    setup = setup or default_setup()
+    daq = daq or default_daq()
+    job = setup.job()
+    requests, attack_names = campaign_requests(
+        setup,
+        job=job,
+        n_train=n_train,
+        n_benign_test=n_benign_test,
+        attacks=attacks,
+        n_attack_runs=n_attack_runs,
+        seed=seed,
+    )
     engine = engine or CampaignEngine(workers=workers, cache=cache)
-    runs = engine.execute(requests, daq=daq, channels=channels)
+    plan = CampaignPlan(
+        setup=setup,
+        requests=requests,
+        attack_names=attack_names,
+        n_train=n_train,
+        n_benign_test=n_benign_test,
+        n_attack_runs=n_attack_runs,
+        channels=tuple(channels) if channels is not None else None,
+        engine=engine,
+        daq=daq,
+    )
+    if not materialize:
+        return Campaign(setup, plan=plan)
 
+    runs = engine.execute(requests, daq=daq, channels=channels)
     reference = runs[0]
     training = tuple(runs[1 : 1 + n_train])
     benign_test = tuple(runs[1 + n_train : 1 + n_train + n_benign_test])

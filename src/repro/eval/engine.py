@@ -21,15 +21,24 @@ The engine is the single chokepoint through which
 :func:`~repro.eval.dataset.generate_campaign`, the CLI ``campaign`` /
 ``report`` commands, and the benchmark harness all execute runs, so cached
 campaigns are shared across every consumer.
+
+Two execution modes share one implementation: :meth:`CampaignEngine.execute`
+collects every run into a list (the historical API, bit-identical), while
+:meth:`CampaignEngine.iter_execute` *streams* ``(request, run)`` pairs in
+request order as workers finish — cache hits arrive as memmap-backed lazy
+payloads, misses fan out over a persistent pool under a bounded in-flight
+window, and a consumer that aggregates incrementally holds O(1) runs in
+memory no matter how large the campaign is.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..obs import events
@@ -134,6 +143,30 @@ class CampaignEngine:
         self.workers = int(workers)
         self.cache = resolve_cache(cache)
         self.stats = EngineStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created on first pooled batch.
+
+        Keeping one pool across batches amortizes worker start-up over the
+        whole campaign instead of paying it per ``execute`` call.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; engine stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def execute(
@@ -142,130 +175,238 @@ class CampaignEngine:
         daq: Optional[DataAcquisition] = None,
         channels: Optional[Sequence[str]] = None,
     ) -> List[ProcessRun]:
-        """Run every request; results keep the order of ``requests``."""
-        t0 = time.perf_counter()
+        """Run every request; results keep the order of ``requests``.
+
+        Collect-all wrapper over :meth:`iter_execute` with eager (fully
+        decoded) cache payloads — bit-identical results to the historical
+        batch implementation under any worker count.
+        """
+        with obs.trace("repro.eval.engine.execute"):
+            return [
+                run
+                for _, run in self.iter_execute(
+                    requests, daq=daq, channels=channels, lazy=False
+                )
+            ]
+
+    def iter_execute(
+        self,
+        requests: Sequence[RunRequest],
+        daq: Optional[DataAcquisition] = None,
+        channels: Optional[Sequence[str]] = None,
+        *,
+        lazy: bool = True,
+        window: Optional[int] = None,
+    ) -> Iterator[Tuple[RunRequest, ProcessRun]]:
+        """Stream ``(request, run)`` pairs in request order as they finish.
+
+        The streaming execution mode: results are yielded one at a time,
+        so a consumer that aggregates incrementally holds O(1) runs in
+        memory regardless of campaign size.  With ``lazy=True`` (the
+        default) cache hits come back as memmap-backed
+        :class:`~repro.eval.dataset.ProcessRun` objects — opening a hit
+        costs metadata only, and samples page in as the consumer touches
+        them.  ``lazy=False`` decodes hits eagerly (what :meth:`execute`
+        uses).
+
+        With ``workers >= 2`` misses fan out over the engine's persistent
+        pool under a bounded in-flight window (default ``2 * workers``):
+        at most ``window`` simulations are queued or running at once, so a
+        slow consumer exerts backpressure instead of letting results pile
+        up.  Cache lookups always happen in the calling process, and yield
+        order is request order regardless of completion order — the seeds
+        were pre-assigned, so the stream is bit-identical to the serial
+        path.
+
+        The per-task ``queue_wait_s`` histogram observes submit-to-result
+        latency for simulated runs; ``engine_run`` events are emitted as
+        each request is resolved against the cache.
+        """
+        requests = list(requests)
         daq = daq or default_daq()
         wanted = tuple(channels) if channels is not None else None
-        results: List[Optional[ProcessRun]] = [None] * len(requests)
         emit = events.enabled()
+        record = obs.enabled()
+        t0 = time.perf_counter()
+        hits0, misses0 = self.stats.cache_hits, self.stats.cache_misses
+        sim0 = self.stats.simulated
         if emit:
             events.emit("engine_batch_start", n_requests=len(requests))
-        hits0, misses0 = self.stats.cache_hits, self.stats.cache_misses
+        # Register the counter even for an all-hits batch, so a snapshot
+        # after a fully warm campaign reports simulated == 0 explicitly.
+        obs.counter("repro.eval.engine.simulated").inc(0)
+        try:
+            if self.workers >= 2 and len(requests) > 1:
+                yield from self._iter_pooled(
+                    requests, daq, wanted, lazy, window, emit, record
+                )
+            else:
+                yield from self._iter_serial(
+                    requests, daq, wanted, lazy, emit, record
+                )
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.stats.elapsed += elapsed
+            if emit:
+                events.emit(
+                    "engine_batch_end",
+                    simulated=self.stats.simulated - sim0,
+                    cache_hits=self.stats.cache_hits - hits0,
+                    cache_misses=self.stats.cache_misses - misses0,
+                    elapsed=elapsed,
+                )
 
-        with obs.trace("repro.eval.engine.execute"):
-            # 1) Cache lookups (always in the parent: hits never reach a
-            #    worker).
-            pending: List[Tuple[int, Optional[str]]] = []
+    # -- streaming internals ----------------------------------------------
+    def _lookup(
+        self,
+        index: int,
+        request: RunRequest,
+        daq: DataAcquisition,
+        wanted: Optional[Tuple[str, ...]],
+        lazy: bool,
+        emit: bool,
+    ) -> Tuple[Optional[str], Optional[ProcessRun]]:
+        """Resolve one request against the cache (never reaches a worker)."""
+        key: Optional[str] = None
+        run: Optional[ProcessRun] = None
+        if self.cache is not None:
+            key = run_cache_key(
+                request.job.program,
+                request.setup.machine,
+                request.setup.noise,
+                daq,
+                wanted,
+                request.seed,
+            )
             with obs.trace("cache_lookup"):
-                for i, request in enumerate(requests):
-                    key: Optional[str] = None
-                    if self.cache is not None:
-                        key = run_cache_key(
-                            request.job.program,
-                            request.setup.machine,
-                            request.setup.noise,
-                            daq,
-                            wanted,
-                            request.seed,
+                if lazy:
+                    handle = self.cache.get_lazy(key)
+                    payload = (
+                        None
+                        if handle is None
+                        else (
+                            handle.signals(),
+                            handle.layer_times,
+                            handle.duration,
                         )
-                        payload = self.cache.get(key)
-                        if payload is not None:
-                            signals, layer_times, duration = payload
-                            results[i] = ProcessRun(
-                                label=request.label,
-                                is_malicious=request.is_malicious,
-                                signals=signals,
-                                layer_times=layer_times,
-                                duration=duration,
-                            )
-                            self.stats.cache_hits += 1
-                            obs.counter(
-                                "repro.eval.engine.cache_hits"
-                            ).inc()
-                            if emit:
-                                events.emit(
-                                    "engine_run",
-                                    index=i,
-                                    label=request.label,
-                                    source="cache",
-                                    key=key,
-                                    seed=request.seed,
-                                )
-                            continue
-                        self.stats.cache_misses += 1
-                        obs.counter("repro.eval.engine.cache_misses").inc()
-                    if emit:
-                        events.emit(
-                            "engine_run",
-                            index=i,
-                            label=request.label,
-                            source="simulated",
-                            key=key,
-                            seed=request.seed,
-                        )
-                    pending.append((i, key))
-
-            # 2) Simulate the misses — fanned out or serial.  The queue-wait
-            # histogram observes, per task, the time from dispatching the
-            # batch to that task's result arriving: a flat profile means
-            # workers drained the queue evenly, a long tail means stragglers.
-            record = obs.enabled()
-            with obs.trace("simulate"):
-                if self.workers >= 2 and len(pending) > 1:
-                    tasks = [
-                        (i, requests[i], daq, wanted, record)
-                        for i, _ in pending
-                    ]
-                    max_workers = min(self.workers, len(tasks))
-                    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                        t_dispatch = time.perf_counter()
-                        for index, run, state in pool.map(
-                            _execute_indexed, tasks
-                        ):
-                            results[index] = run
-                            if state is not None:
-                                # Fold the worker's per-task registry into
-                                # the parent: counters add, histograms
-                                # concatenate, spans merge.
-                                obs.registry().merge_state(state)
-                            if record:
-                                obs.histogram(
-                                    "repro.eval.engine.queue_wait_s"
-                                ).observe(time.perf_counter() - t_dispatch)
+                    )
                 else:
-                    for i, _ in pending:
-                        t_task = time.perf_counter()
-                        # record=False: the serial path runs in-process, so
-                        # metrics land in this registry directly.
-                        _, run, _state = _execute_indexed(
-                            (i, requests[i], daq, wanted, False)
-                        )
-                        results[i] = run
-                        if record:
-                            obs.histogram(
-                                "repro.eval.engine.queue_wait_s"
-                            ).observe(time.perf_counter() - t_task)
-            self.stats.simulated += len(pending)
-            obs.counter("repro.eval.engine.simulated").inc(len(pending))
-
-            # 3) Write the fresh results back under their content addresses.
-            with obs.trace("cache_write"):
-                if self.cache is not None:
-                    for i, key in pending:
-                        run = results[i]
-                        assert key is not None and run is not None
-                        self.cache.put(
-                            key, run.signals, run.layer_times, run.duration
-                        )
-
-        elapsed = time.perf_counter() - t0
-        self.stats.elapsed += elapsed
+                    payload = self.cache.get(key)
+            if payload is not None:
+                signals, layer_times, duration = payload
+                run = ProcessRun(
+                    label=request.label,
+                    is_malicious=request.is_malicious,
+                    signals=signals,
+                    layer_times=layer_times,
+                    duration=duration,
+                )
+                self.stats.cache_hits += 1
+                obs.counter("repro.eval.engine.cache_hits").inc()
+            else:
+                self.stats.cache_misses += 1
+                obs.counter("repro.eval.engine.cache_misses").inc()
         if emit:
             events.emit(
-                "engine_batch_end",
-                simulated=len(pending),
-                cache_hits=self.stats.cache_hits - hits0,
-                cache_misses=self.stats.cache_misses - misses0,
-                elapsed=elapsed,
+                "engine_run",
+                index=index,
+                label=request.label,
+                source="cache" if run is not None else "simulated",
+                key=key,
+                seed=request.seed,
             )
-        return [r for r in results if r is not None]
+        return key, run
+
+    def _finish_miss(
+        self, key: Optional[str], run: ProcessRun
+    ) -> ProcessRun:
+        """Account for one fresh simulation and write it back."""
+        self.stats.simulated += 1
+        obs.counter("repro.eval.engine.simulated").inc()
+        if self.cache is not None and key is not None:
+            with obs.trace("cache_write"):
+                self.cache.put(
+                    key, run.signals, run.layer_times, run.duration
+                )
+        return run
+
+    def _iter_serial(
+        self, requests, daq, wanted, lazy, emit, record
+    ) -> Iterator[Tuple[RunRequest, ProcessRun]]:
+        for i, request in enumerate(requests):
+            key, run = self._lookup(i, request, daq, wanted, lazy, emit)
+            if run is None:
+                t_task = time.perf_counter()
+                # record=False: the serial path runs in-process, so metrics
+                # land in this registry directly (a reset would wipe it).
+                with obs.trace("simulate"):
+                    _, run, _state = _execute_indexed(
+                        (i, request, daq, wanted, False)
+                    )
+                if record:
+                    obs.histogram(
+                        "repro.eval.engine.queue_wait_s"
+                    ).observe(time.perf_counter() - t_task)
+                run = self._finish_miss(key, run)
+            yield request, run
+
+    def _iter_pooled(
+        self, requests, daq, wanted, lazy, window, emit, record
+    ) -> Iterator[Tuple[RunRequest, ProcessRun]]:
+        window = window if window else max(2 * self.workers, 2)
+        buffer_cap = max(2 * window, 8)
+        pool = self._ensure_pool()
+        # Entries keep request order: (request, hit-run-or-None, miss-info).
+        pending: deque = deque()
+        in_flight = 0
+        cursor = 0
+
+        def pump() -> None:
+            nonlocal cursor, in_flight
+            while (
+                cursor < len(requests)
+                and in_flight < window
+                and len(pending) < buffer_cap
+            ):
+                i = cursor
+                cursor += 1
+                request = requests[i]
+                key, run = self._lookup(i, request, daq, wanted, lazy, emit)
+                if run is not None:
+                    pending.append((request, run, None))
+                    continue
+                future = pool.submit(
+                    _execute_indexed, (i, request, daq, wanted, record)
+                )
+                in_flight += 1
+                pending.append(
+                    (request, None, (key, future, time.perf_counter()))
+                )
+
+        try:
+            pump()
+            while pending:
+                request, run, miss = pending.popleft()
+                if miss is not None:
+                    key, future, t_submit = miss
+                    with obs.trace("simulate"):
+                        _index, run, state = future.result()
+                    in_flight -= 1
+                    if state is not None:
+                        # Fold the worker's per-task registry into the
+                        # parent: counters add, histograms concatenate,
+                        # spans merge.
+                        obs.registry().merge_state(state)
+                    if record:
+                        obs.histogram(
+                            "repro.eval.engine.queue_wait_s"
+                        ).observe(time.perf_counter() - t_submit)
+                    run = self._finish_miss(key, run)
+                yield request, run
+                pump()
+        finally:
+            # A consumer that stops early must not leave queued work
+            # behind; running tasks finish but their results are dropped.
+            for entry in pending:
+                if entry[2] is not None:
+                    entry[2][1].cancel()

@@ -44,7 +44,7 @@ from ..sync.base import Synchronizer
 from ..sync.dwm import DwmParams, DwmSynchronizer
 from ..sync.fastdtw import FastDtwSynchronizer
 from .dataset import Campaign, ProcessRun
-from .metrics import DetectionStats
+from .metrics import DetectionStats, IdsAccumulator
 
 __all__ = [
     "transform_signal",
@@ -127,6 +127,15 @@ def nsync_results(
     :class:`~repro.core.engine.DetectionEngine`, so the scores are
     identical — the streaming mode exists to evaluate (and regression-test)
     the deployment path itself.
+
+    The evaluation is a single pass over :meth:`Campaign.iter_runs` folded
+    through an :class:`~repro.eval.metrics.IdsAccumulator`: the stream
+    yields the reference first and finishes training before the first test
+    run, so at no point is more than one run's signal resident.  On a lazy
+    (plan-backed) campaign this evaluates arbitrarily large campaigns in
+    O(1) run memory; on an eager campaign the verdicts — confusion counts
+    are commutative sums — are float-for-float what the materialized
+    implementation produced.
     """
     if synchronizer is None:
         synchronizer = DwmSynchronizer(campaign.setup.dwm_params)
@@ -136,7 +145,7 @@ def nsync_results(
     def signal_of(run: ProcessRun) -> Signal:
         return transform_signal(run.signals[channel], channel, transform)
 
-    ids = NsyncIds(signal_of(campaign.reference), synchronizer)
+    ids: Optional[NsyncIds] = None
 
     def features_of(signal: Signal):
         if mode == "batch":
@@ -148,39 +157,38 @@ def nsync_results(
         return engine.finalize().features
 
     trainer = OneClassTrainer(r=r)
-    for run in campaign.training:
-        trainer.add_run(features_of(signal_of(run)))
-    thresholds = trainer.thresholds()
-    ids.thresholds = thresholds
+    thresholds: Optional[Thresholds] = None
+    acc = IdsAccumulator(
+        submodule_names=("c_disp", "h_dist", "v_dist", "duration")
+    )
 
-    overall = DetectionStats()
-    submodules = {
-        name: DetectionStats()
-        for name in ("c_disp", "h_dist", "v_dist", "duration")
-    }
-    per_attack: Dict[str, DetectionStats] = {}
-
-    def classify(run: ProcessRun) -> None:
-        features = features_of(signal_of(run))
-        flags = _submodule_flags(features, thresholds)
-        fired = any(flags.values())
-        overall.record(run.is_malicious, fired)
-        for name, flag in flags.items():
-            submodules[name].record(run.is_malicious, flag)
-        if run.is_malicious:
-            per_attack.setdefault(run.label, DetectionStats()).record(
-                True, fired
+    for role, run in campaign.iter_runs():
+        if role == "reference":
+            ids = NsyncIds(signal_of(run), synchronizer)
+            continue
+        if ids is None:
+            raise ValueError(
+                "campaign stream yielded runs before the reference"
             )
-
-    for run in campaign.benign_test:
-        classify(run)
-    for run in campaign.all_malicious():
-        classify(run)
+        if role == "training":
+            trainer.add_run(features_of(signal_of(run)))
+            continue
+        if thresholds is None:
+            # The stream is ordered reference -> training -> tests, so the
+            # first test run marks the training set complete.
+            thresholds = trainer.thresholds()
+            ids.thresholds = thresholds
+        features = features_of(signal_of(run))
+        acc.record(
+            run.label,
+            run.is_malicious,
+            _submodule_flags(features, thresholds),
+        )
 
     return IdsResult(
-        overall=overall,
-        submodules=submodules,
-        per_attack_tpr={name: s.tpr for name, s in per_attack.items()},
+        overall=acc.overall,
+        submodules=acc.submodules,
+        per_attack_tpr=acc.per_attack_tpr,
     )
 
 
@@ -202,7 +210,14 @@ def baseline_results(
     channel: str,
     transform: str = RAW,
 ) -> IdsResult:
-    """Evaluate a prior-work IDS on one campaign cell."""
+    """Evaluate a prior-work IDS on one campaign cell.
+
+    Consumes the campaign as a single run stream.  The ``BaselineIds.fit``
+    API takes the training recordings as a batch, so the (single-channel)
+    training recordings are buffered until the first test run arrives and
+    released immediately after fitting — test runs then stream through one
+    at a time.
+    """
 
     def recording_of(run: ProcessRun) -> ProcessRecording:
         return ProcessRecording(
@@ -210,36 +225,44 @@ def baseline_results(
             layer_times=run.layer_times,
         )
 
-    ids.fit(
-        recording_of(campaign.reference),
-        [recording_of(run) for run in campaign.training],
-    )
+    reference: Optional[ProcessRecording] = None
+    training: List[ProcessRecording] = []
+    fitted = False
+    acc = IdsAccumulator()
 
-    overall = DetectionStats()
-    submodules: Dict[str, DetectionStats] = {}
-    per_attack: Dict[str, DetectionStats] = {}
+    def fit() -> None:
+        nonlocal fitted, training
+        ids.fit(reference, training)
+        fitted = True
+        training = []
 
-    def classify(run: ProcessRun) -> None:
+    for role, run in campaign.iter_runs():
+        if role == "reference":
+            reference = recording_of(run)
+            continue
+        if reference is None:
+            raise ValueError(
+                "campaign stream yielded runs before the reference"
+            )
+        if role == "training":
+            training.append(recording_of(run))
+            continue
+        if not fitted:
+            fit()
         detection = ids.detect(recording_of(run))
-        overall.record(run.is_malicious, detection.is_intrusion)
-        for name, flag in detection.submodules.items():
-            submodules.setdefault(name, DetectionStats()).record(
-                run.is_malicious, flag
-            )
-        if run.is_malicious:
-            per_attack.setdefault(run.label, DetectionStats()).record(
-                True, detection.is_intrusion
-            )
-
-    for run in campaign.benign_test:
-        classify(run)
-    for run in campaign.all_malicious():
-        classify(run)
+        acc.record(
+            run.label,
+            run.is_malicious,
+            dict(detection.submodules),
+            fired=detection.is_intrusion,
+        )
+    if not fitted and reference is not None:
+        fit()  # no test runs: leave the caller's IDS fitted regardless
 
     return IdsResult(
-        overall=overall,
-        submodules=submodules,
-        per_attack_tpr={name: s.tpr for name, s in per_attack.items()},
+        overall=acc.overall,
+        submodules=acc.submodules,
+        per_attack_tpr=acc.per_attack_tpr,
     )
 
 

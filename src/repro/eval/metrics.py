@@ -3,14 +3,30 @@
 The paper reports results as "FPR / TPR" pairs and defines accuracy as the
 fraction of correctly identified processes; with balanced test sets this is
 ``((1 - FPR) + TPR) / 2`` (Section VIII-F).
+
+Beyond the per-configuration :class:`DetectionStats`, this module holds the
+*streaming accumulators* the campaign evaluation path aggregates through:
+:class:`IdsAccumulator` (overall + per-submodule + per-attack confusion
+counts, one ``record`` per classified run) and :class:`RocAccumulator`
+(per-``r`` confusion counts for a whole ROC sweep in a single pass).
+Confusion counts are commutative sums, so an evaluation folded run-by-run
+through an accumulator is float-for-float identical to one computed over a
+fully materialized campaign — which is what lets ``nsync_results`` /
+``baseline_results`` / ``roc_sweep`` consume a lazy run stream without a
+full-campaign list anywhere on the path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["DetectionStats", "accuracy_from_rates"]
+__all__ = [
+    "DetectionStats",
+    "IdsAccumulator",
+    "RocAccumulator",
+    "accuracy_from_rates",
+]
 
 
 def accuracy_from_rates(fpr: float, tpr: float) -> float:
@@ -74,3 +90,86 @@ class DetectionStats:
             f"FPR={self.fpr:.2f} TPR={self.tpr:.2f} acc={self.accuracy:.2f} "
             f"(benign={self.n_benign}, malicious={self.n_malicious})"
         )
+
+
+class IdsAccumulator:
+    """Streaming aggregation of one IDS's verdicts over a run stream.
+
+    One :meth:`record` call per classified run maintains the overall
+    confusion counts, the per-submodule counts (would each sub-module have
+    fired *alone*?), and the per-attack counts behind the paper's TPR
+    column — without retaining the run or its features.
+
+    ``submodule_names`` pre-registers submodules so they appear (at zero)
+    even when they never fire; submodules first seen in ``flags`` are added
+    on the fly, which is what the prior-work baselines rely on.
+    """
+
+    def __init__(self, submodule_names: Sequence[str] = ()) -> None:
+        self.overall = DetectionStats()
+        self.submodules: Dict[str, DetectionStats] = {
+            name: DetectionStats() for name in submodule_names
+        }
+        self.per_attack: Dict[str, DetectionStats] = {}
+
+    def record(
+        self,
+        label: str,
+        is_malicious: bool,
+        flags: Dict[str, bool],
+        fired: Optional[bool] = None,
+    ) -> bool:
+        """Fold one classified run in; returns the overall verdict.
+
+        ``fired`` defaults to ``any(flags.values())`` — pass it explicitly
+        for IDSs whose overall verdict is not the OR of their submodules.
+        """
+        if fired is None:
+            fired = any(flags.values())
+        self.overall.record(is_malicious, fired)
+        for name, flag in flags.items():
+            self.submodules.setdefault(name, DetectionStats()).record(
+                is_malicious, flag
+            )
+        if is_malicious:
+            self.per_attack.setdefault(label, DetectionStats()).record(
+                True, fired
+            )
+        return fired
+
+    @property
+    def per_attack_tpr(self) -> Dict[str, float]:
+        """Detection rate per attack label (the paper's TPR column)."""
+        return {name: s.tpr for name, s in self.per_attack.items()}
+
+
+class RocAccumulator:
+    """Streaming ROC sweep: per-``r`` confusion counts in a single pass.
+
+    The caller computes, for each test run, whether the IDS fires at every
+    margin ``r`` (thresholds are derived once from the finished training
+    stream), and folds the verdict map in with :meth:`record`.  No feature
+    or run list is retained, so the sweep's memory footprint is the number
+    of ``r`` values — not the number of runs.
+    """
+
+    def __init__(self, r_values: Iterable[float]) -> None:
+        self.r_values: Tuple[float, ...] = tuple(
+            sorted(float(r) for r in r_values)
+        )
+        if not self.r_values:
+            raise ValueError("r_values must not be empty")
+        self.stats: Dict[float, DetectionStats] = {
+            r: DetectionStats() for r in self.r_values
+        }
+
+    def record(
+        self, is_malicious: bool, fired_by_r: Dict[float, bool]
+    ) -> None:
+        """Fold one classified run in (one verdict per ``r`` value)."""
+        for r, fired in fired_by_r.items():
+            self.stats[float(r)].record(is_malicious, fired)
+
+    def points(self) -> List[Tuple[float, DetectionStats]]:
+        """``(r, stats)`` pairs ordered by increasing ``r``."""
+        return [(r, self.stats[r]) for r in self.r_values]

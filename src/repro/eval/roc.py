@@ -13,7 +13,7 @@ done once, and each ``r`` only re-applies thresholds to cached features.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from ..sync.base import Synchronizer
 from ..sync.dwm import DwmSynchronizer
 from .dataset import Campaign, ProcessRun
 from .experiments import RAW, _submodule_flags, transform_signal
-from .metrics import DetectionStats
+from .metrics import RocAccumulator
 
 __all__ = ["RocPoint", "RocCurve", "roc_sweep", "auc"]
 
@@ -78,8 +78,11 @@ def roc_sweep(
 ) -> RocCurve:
     """Sweep the OCC margin over one campaign cell.
 
-    Features are computed once per run; every ``r`` value re-derives the
-    thresholds from the cached training maxima and re-applies them.
+    The campaign is consumed as a single run stream: features are computed
+    once per run, every ``r`` value re-derives its thresholds from the
+    finished training maxima, and per-``r`` verdicts fold into a
+    :class:`~repro.eval.metrics.RocAccumulator` — no run or feature list is
+    retained, so the sweep works unchanged over a lazy campaign.
     """
     if synchronizer is None:
         synchronizer = DwmSynchronizer(campaign.setup.dwm_params)
@@ -87,30 +90,32 @@ def roc_sweep(
     def signal_of(run: ProcessRun) -> Signal:
         return transform_signal(run.signals[channel], channel, transform)
 
-    ids = NsyncIds(signal_of(campaign.reference), synchronizer)
+    ids: Optional[NsyncIds] = None
     trainer = OneClassTrainer(r=0.0)
-    for run in campaign.training:
-        trainer.add_run(ids.analyze(signal_of(run)).features)
-
-    cached = []
-    for run in campaign.benign_test:
-        cached.append((False, ids.analyze(signal_of(run)).features))
-    for run in campaign.all_malicious():
-        cached.append((True, ids.analyze(signal_of(run)).features))
-
-    points: List[RocPoint] = []
-    for r in sorted(r_values):
-        thresholds = trainer.thresholds(r=r)
-        stats = DetectionStats()
-        for is_malicious, features in cached:
-            fired = any(_submodule_flags(features, thresholds).values())
-            stats.record(is_malicious, fired)
-        points.append(
-            RocPoint(
-                r=float(r),
-                fpr=stats.fpr,
-                tpr=stats.tpr,
-                accuracy=stats.accuracy,
-            )
+    acc = RocAccumulator(r_values)
+    thresholds_by_r: Optional[Dict[float, object]] = None
+    for role, run in campaign.iter_runs():
+        if role == "reference":
+            ids = NsyncIds(signal_of(run), synchronizer)
+            continue
+        if ids is None:
+            raise ValueError("campaign stream yielded runs before the reference")
+        if role == "training":
+            trainer.add_run(ids.analyze(signal_of(run)).features)
+            continue
+        if thresholds_by_r is None:
+            thresholds_by_r = {r: trainer.thresholds(r=r) for r in acc.r_values}
+        features = ids.analyze(signal_of(run)).features
+        acc.record(
+            run.is_malicious,
+            {
+                r: any(_submodule_flags(features, th).values())
+                for r, th in thresholds_by_r.items()
+            },
         )
-    return RocCurve(points=tuple(points))
+
+    points = tuple(
+        RocPoint(r=r, fpr=s.fpr, tpr=s.tpr, accuracy=s.accuracy)
+        for r, s in acc.points()
+    )
+    return RocCurve(points=points)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import unittest.mock
 from dataclasses import replace
 
 import numpy as np
@@ -175,3 +178,142 @@ class TestRunCache:
         bogus.touch()
         with pytest.raises(ValueError, match="not a directory"):
             RunCache(bogus)
+
+
+def _hammer_put(directory, key, n_rounds):
+    """Worker for the concurrent-put stress test (module-level: picklable)."""
+    rng = np.random.default_rng(os.getpid())
+    cache = RunCache(directory)
+    for _ in range(n_rounds):
+        signals = {"ACC": Signal(rng.standard_normal((40, 3)), 400.0)}
+        cache.put(key, signals, (0.5,), 1.0)
+
+
+class TestConcurrentCache:
+    KEY = "ee" + "0" * 62
+
+    def test_two_process_put_same_key_stays_consistent(self, tmp_path):
+        """Two writers hammer one key while a reader polls it.
+
+        Every read must come back as either a miss or a complete payload —
+        never a torn archive — and no staging tmp files may survive.
+        """
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_put, args=(str(tmp_path), self.KEY, 20)
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        reader = RunCache(tmp_path)
+        try:
+            while any(p.is_alive() for p in procs):
+                payload = reader.get(self.KEY)
+                if payload is not None:
+                    signals, layer_times, duration = payload
+                    assert signals["ACC"].data.shape == (40, 3)
+                    assert duration == 1.0
+        finally:
+            for p in procs:
+                p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        final = reader.get(self.KEY)
+        assert final is not None
+        assert list(tmp_path.glob("**/*.tmp.npz")) == []
+
+    def test_tmp_staging_names_are_per_writer_unique(self, tmp_path):
+        cache = RunCache(tmp_path)
+        seen = set()
+
+        real_replace = os.replace
+
+        def spy_replace(src, dst):
+            seen.add(str(src))
+            return real_replace(src, dst)
+
+        signals = {"ACC": Signal(np.zeros((4, 3)), 400.0)}
+        with unittest.mock.patch("repro.cache.os.replace", spy_replace):
+            cache.put(self.KEY, signals, (0.5,), 1.0)
+            cache.put(self.KEY, signals, (0.5,), 1.0)
+        assert len(seen) == 2  # distinct tmp path per write, same key
+        for name in seen:
+            assert f".{os.getpid()}." in name
+
+    def test_tmp_files_excluded_from_entries(self, tmp_path):
+        cache = RunCache(tmp_path)
+        signals = {"ACC": Signal(np.zeros((4, 3)), 400.0)}
+        cache.put(self.KEY, signals, (0.5,), 1.0)
+        straggler = tmp_path / self.KEY[:2] / f"{self.KEY}.999.7.tmp.npz"
+        straggler.write_bytes(b"partial write")
+        assert len(cache) == 1
+        assert cache.evict(max_entries=5) == 0
+        assert cache.get(self.KEY) is not None
+
+
+class TestScanRaces:
+    def _cache_with_entries(self, tmp_path, n=3):
+        cache = RunCache(tmp_path)
+        signals = {"ACC": Signal(np.zeros((10, 3)), 400.0)}
+        for i in range(n):
+            cache.put(f"{i:02d}" + "0" * 62, signals, (0.5,), 1.0)
+        return cache
+
+    def _vanish_mid_scan(self, cache, monkeypatch):
+        """Make the first scanned entry disappear between glob and stat."""
+        real_entries = RunCache._entries
+
+        def racy_entries(self_cache):
+            entries = list(real_entries(self_cache))
+            if entries:
+                entries[0].unlink(missing_ok=True)
+            return entries
+
+        monkeypatch.setattr(RunCache, "_entries", racy_entries)
+
+    def test_total_bytes_tolerates_vanished_entry(self, tmp_path, monkeypatch):
+        cache = self._cache_with_entries(tmp_path)
+        baseline = cache.total_bytes()
+        self._vanish_mid_scan(cache, monkeypatch)
+        assert 0 < cache.total_bytes() < baseline
+
+    def test_evict_tolerates_vanished_entry(self, tmp_path, monkeypatch):
+        cache = self._cache_with_entries(tmp_path)
+        self._vanish_mid_scan(cache, monkeypatch)
+        # 3 scanned, 1 vanished mid-scan: only the survivors are evictable.
+        assert cache.evict(max_entries=0) == 2
+        monkeypatch.undo()
+        assert len(cache) == 0
+
+
+class TestGetLazy:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(5)
+        cache = RunCache(tmp_path)
+        key = "ab" + "1" * 62
+        signals = {"ACC": Signal(rng.standard_normal((50, 3)), 400.0)}
+        cache.put(key, signals, (0.5, 1.0), 1.5)
+        handle = cache.get_lazy(key)
+        assert handle is not None
+        with handle:
+            assert handle.channels == ("ACC",)
+            assert handle.layer_times == (0.5, 1.0)
+            assert handle.duration == 1.5
+            assert np.array_equal(
+                handle.signal("ACC").data, signals["ACC"].data
+            )
+        assert cache.stats == {"hits": 1, "misses": 0}
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.get_lazy("ff" + "1" * 62) is None
+        assert cache.stats == {"hits": 0, "misses": 1}
+
+    def test_corrupt_entry_behaves_like_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = "cd" + "1" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not an npz")
+        assert cache.get_lazy(key) is None
+        assert not path.exists()

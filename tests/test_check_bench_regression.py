@@ -379,3 +379,30 @@ class TestServeFields:
             / "benchmarks" / "results" / "BENCH_serve.json"
         )
         assert gate.main([str(path)]) == 0
+
+
+class TestInformationalFields:
+    def test_peak_rss_growth_never_fails(self, tmp_path, capsys):
+        path = _write(tmp_path / "h.json", [
+            _record("campaign", wall_clock_s=2.0, peak_rss_mb=150.0,
+                    cpu_count=4),
+            _record("campaign", wall_clock_s=2.0, peak_rss_mb=900.0,
+                    cpu_count=4),
+        ])
+        assert gate.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "info" in out  # trend is visible ...
+        assert "peak_rss_mb" in out
+
+    def test_peak_rss_shown_alongside_gated_fields(self, tmp_path, capsys):
+        # A real wall-clock regression still fails; the memory column just
+        # rides along informationally.
+        path = _write(tmp_path / "h.json", [
+            _record("campaign", wall_clock_s=2.0, peak_rss_mb=150.0,
+                    cpu_count=4),
+            _record("campaign", wall_clock_s=9.0, peak_rss_mb=120.0,
+                    cpu_count=4),
+        ])
+        assert gate.main([str(path), "--tolerance", "0.25"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "info" in out

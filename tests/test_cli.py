@@ -749,3 +749,38 @@ class TestExplainTornLogs:
         with pytest.raises(SystemExit, match="repro explain:"):
             main(["explain", str(log), "--attack", "Void",
                   "--height", "0.4", "--tolerate-torn-tail"])
+
+
+class TestCampaignScalePresets:
+    def _sizes(self, argv):
+        from repro.cli import _campaign_sizes
+
+        return _campaign_sizes(build_parser().parse_args(argv))
+
+    def test_quick_defaults(self):
+        assert self._sizes(["campaign"]) == {
+            "train": 8, "test": 8, "attack_runs": 2,
+        }
+
+    def test_paper_scale_is_table_viii(self):
+        # 50 training / 100 benign test / 20 runs per attack class.
+        assert self._sizes(["campaign", "--paper-scale"]) == {
+            "train": 50, "test": 100, "attack_runs": 20,
+        }
+
+    def test_explicit_flags_override_paper_scale(self):
+        assert self._sizes(
+            ["campaign", "--paper-scale", "--train", "3"]
+        ) == {"train": 3, "test": 100, "attack_runs": 20}
+
+    def test_synchronizer_choices(self):
+        args = build_parser().parse_args(
+            ["campaign", "--synchronizer", "fastdtw"]
+        )
+        assert args.synchronizer == "fastdtw"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--synchronizer", "dtw"])
+
+    def test_bench_and_tables_out_default_off(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.bench_out is None and args.tables_out is None

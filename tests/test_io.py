@@ -5,11 +5,14 @@ import pytest
 
 from repro.core import Thresholds
 from repro.io import (
+    LazyRunPayload,
     load_dwm_params,
+    load_run_payload,
     load_signal,
     load_signals,
     load_thresholds,
     save_dwm_params,
+    save_run_payload,
     save_signal,
     save_signals,
     save_thresholds,
@@ -106,3 +109,80 @@ class TestDeploymentRoundtrip:
         reloaded.thresholds = load_thresholds(tmp_path / "thresholds.json")
         verdict = reloaded.detect(obs)
         assert not verdict.is_intrusion  # its own training run must pass
+
+
+class TestLazyRunPayload:
+    def _payload(self):
+        rng = np.random.default_rng(3)
+        signals = {
+            "ACC": Signal(rng.standard_normal((60, 3)), 400.0,
+                          channel_names=["ax", "ay", "az"]),
+            "AUD": Signal(rng.standard_normal(90), 2000.0),
+        }
+        return signals, (0.5, 1.25, 2.0), 2.5
+
+    def test_roundtrip_matches_eager_loader(self, tmp_path):
+        signals, layer_times, duration = self._payload()
+        save_run_payload(tmp_path / "run.npz", signals, layer_times, duration)
+        with LazyRunPayload(tmp_path / "run.npz") as lazy:
+            assert lazy.channels == ("ACC", "AUD")
+            assert lazy.layer_times == layer_times
+            assert lazy.duration == duration
+            got = lazy.materialize()
+        eager = load_run_payload(tmp_path / "run.npz")
+        assert got[1] == eager[1] and got[2] == eager[2]
+        for cid in signals:
+            assert np.array_equal(got[0][cid].data, eager[0][cid].data)
+            assert np.array_equal(got[0][cid].data, signals[cid].data)
+            assert got[0][cid].sample_rate == signals[cid].sample_rate
+        assert got[0]["ACC"].channel_names == ("ax", "ay", "az")
+        assert got[0]["AUD"].channel_names is None
+
+    def test_channel_data_is_memmap_backed(self, tmp_path):
+        signals, layer_times, duration = self._payload()
+        save_run_payload(tmp_path / "run.npz", signals, layer_times, duration)
+        lazy = LazyRunPayload(tmp_path / "run.npz")
+        sig = lazy.signal("ACC")
+        base = sig.data
+        while isinstance(base, np.ndarray) and not isinstance(base, np.memmap):
+            base = base.base
+        assert isinstance(base, np.memmap)
+        assert np.array_equal(sig.data, signals["ACC"].data)
+
+    def test_partial_channel_load(self, tmp_path):
+        signals, layer_times, duration = self._payload()
+        save_run_payload(tmp_path / "run.npz", signals, layer_times, duration)
+        with LazyRunPayload(tmp_path / "run.npz") as lazy:
+            got = lazy.signals(channels=("AUD",))
+            assert list(got) == ["AUD"]
+            assert np.array_equal(got["AUD"].data, signals["AUD"].data)
+            # Only the requested channel is resident in the handle cache.
+            assert list(lazy._signals) == ["AUD"]
+
+    def test_metadata_without_touching_data(self, tmp_path):
+        signals, layer_times, duration = self._payload()
+        save_run_payload(tmp_path / "run.npz", signals, layer_times, duration)
+        lazy = LazyRunPayload(tmp_path / "run.npz")
+        assert lazy.rate("ACC") == 400.0
+        assert lazy.rate("AUD") == 2000.0
+        assert lazy._signals == {}  # nothing loaded yet
+
+    def test_unknown_channel_raises_with_inventory(self, tmp_path):
+        signals, layer_times, duration = self._payload()
+        save_run_payload(tmp_path / "run.npz", signals, layer_times, duration)
+        with pytest.raises(KeyError, match="ACC"):
+            LazyRunPayload(tmp_path / "run.npz").signal("MAG")
+
+    def test_empty_channel_array(self, tmp_path):
+        signals = {"ACC": Signal(np.zeros((0, 3)), 400.0)}
+        save_run_payload(tmp_path / "run.npz", signals, (), 0.0)
+        with LazyRunPayload(tmp_path / "run.npz") as lazy:
+            assert lazy.signal("ACC").data.shape == (0, 3)
+
+    def test_signals_stay_valid_after_close(self, tmp_path):
+        signals, layer_times, duration = self._payload()
+        save_run_payload(tmp_path / "run.npz", signals, layer_times, duration)
+        lazy = LazyRunPayload(tmp_path / "run.npz")
+        sig = lazy.signal("ACC")
+        lazy.close()
+        assert np.array_equal(sig.data, signals["ACC"].data)
